@@ -1,0 +1,51 @@
+//! Criterion bench for Figure 8: PUT and GET cost per index variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldbpp_bench::setup::{bench_opts, build_db, doc_of, load_static, VARIANTS};
+use ldbpp_workload::{SeedStats, TweetGenerator};
+use std::hint::black_box;
+
+fn bench_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("put");
+    group.sample_size(10);
+    for kind in VARIANTS {
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter_batched(
+                || {
+                    let db = build_db(kind, bench_opts());
+                    let mut generator = TweetGenerator::new(SeedStats::compact(), 4000, 7);
+                    let tweets = generator.take(2000);
+                    (db, tweets)
+                },
+                |(db, tweets)| {
+                    for t in &tweets {
+                        db.put(&t.id, &doc_of(t)).unwrap();
+                    }
+                    black_box(db.primary().last_sequence())
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("get");
+    group.sample_size(20);
+    for kind in VARIANTS {
+        let db = build_db(kind, bench_opts());
+        let tweets = load_static(&db, 5000, 7);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                i = (i + 2713) % tweets.len();
+                black_box(db.get(&tweets[i].id).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_put, bench_get);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Appendix C.1: Embedded LOOKUP vs bloom length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldbpp_bench::setup::{bench_opts, build_db, load_static};
+use ldbpp_common::json::Value;
+use ldbpp_core::IndexKind;
+use ldbpp_lsm::db::DbOptions;
+use std::hint::black_box;
+
+fn bench_bloom_bits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("embedded_lookup_bloom_bits");
+    group.sample_size(15);
+    for bits in [2usize, 10, 20] {
+        let opts = DbOptions {
+            bloom_bits_per_key: bits,
+            ..bench_opts()
+        };
+        let db = build_db(IndexKind::Embedded, opts);
+        let tweets = load_static(&db, 5000, 17);
+        let users: Vec<String> = tweets.iter().map(|t| t.user.clone()).collect();
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(bits), |b| {
+            b.iter(|| {
+                i = (i + 997) % users.len();
+                black_box(
+                    db.lookup("UserID", &Value::str(users[i].clone()), Some(10))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bloom_bits);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for Appendix C.2: compressed vs raw blocks, plus the
+//! snaplite codec itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ldbpp_bench::setup::{bench_opts, build_db, load_static};
+use ldbpp_common::json::Value;
+use ldbpp_core::IndexKind;
+use ldbpp_lsm::compress::{self, Compression};
+use ldbpp_lsm::db::DbOptions;
+use std::hint::black_box;
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snaplite_codec");
+    let data: Vec<u8> = (0..64 * 1024)
+        .map(|i| {
+            // JSON-ish repetitive content.
+            let cycle = b"{\"UserID\":\"u0000042\",\"Text\":\"lorem ipsum dolor\"}";
+            cycle[i % cycle.len()]
+        })
+        .collect();
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress_64k", |b| {
+        b.iter(|| black_box(compress::compress(&data)))
+    });
+    let compressed = compress::compress(&data);
+    group.bench_function("decompress_64k", |b| {
+        b.iter(|| black_box(compress::decompress(&compressed).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_lookup_compression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup_by_compression");
+    group.sample_size(15);
+    for (label, compression) in [("snaplite", Compression::Snaplite), ("none", Compression::None)] {
+        let opts = DbOptions {
+            compression,
+            ..bench_opts()
+        };
+        let db = build_db(IndexKind::LazyStandalone, opts);
+        let tweets = load_static(&db, 5000, 19);
+        let users: Vec<String> = tweets.iter().map(|t| t.user.clone()).collect();
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                i = (i + 997) % users.len();
+                black_box(
+                    db.lookup("UserID", &Value::str(users[i].clone()), Some(10))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_lookup_compression);
+criterion_main!(benches);

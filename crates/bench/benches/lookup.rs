@@ -1,0 +1,38 @@
+//! Criterion bench for Figures 10(a)/11(a): LOOKUP latency per variant
+//! and top-K.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldbpp_bench::setup::{bench_opts, build_db, load_static, VARIANTS};
+use ldbpp_common::json::Value;
+use std::hint::black_box;
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup_userid");
+    group.sample_size(20);
+    for kind in VARIANTS {
+        let db = build_db(kind, bench_opts());
+        let tweets = load_static(&db, 5000, 11);
+        let users: Vec<String> = tweets.iter().map(|t| t.user.clone()).collect();
+        for k in [Some(1usize), Some(10), None] {
+            let label = format!(
+                "{}_k{}",
+                kind.name(),
+                k.map(|v| v.to_string()).unwrap_or("all".into())
+            );
+            let mut i = 0usize;
+            group.bench_function(BenchmarkId::from_parameter(label), |b| {
+                b.iter(|| {
+                    i = (i + 997) % users.len();
+                    black_box(
+                        db.lookup("UserID", &Value::str(users[i].clone()), k)
+                            .unwrap(),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup);
+criterion_main!(benches);

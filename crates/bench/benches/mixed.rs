@@ -1,0 +1,57 @@
+//! Criterion bench for Figure 12: mixed-workload throughput per variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldbpp_bench::setup::{bench_opts, doc_of, VARIANTS_NO_EAGER};
+use ldbpp_common::json::Value;
+use ldbpp_core::{SecondaryDb, SecondaryDbOptions};
+use ldbpp_lsm::env::MemEnv;
+use ldbpp_workload::{MixedKind, MixedWorkload, Operation, SeedStats};
+use std::hint::black_box;
+
+fn bench_mixed(c: &mut Criterion) {
+    for mixed in [MixedKind::WriteHeavy, MixedKind::ReadHeavy, MixedKind::UpdateHeavy] {
+        let mut group = c.benchmark_group(format!("mixed_{}", mixed.name()));
+        group.sample_size(10);
+        for kind in VARIANTS_NO_EAGER {
+            group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+                b.iter_batched(
+                    || {
+                        let db = SecondaryDb::open(
+                            MemEnv::new(),
+                            "db",
+                            SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+                            &[("UserID", kind)],
+                        )
+                        .unwrap();
+                        let workload =
+                            MixedWorkload::new(mixed, SeedStats::compact(), 3000, Some(10), 3);
+                        (db, workload)
+                    },
+                    |(db, mut workload)| {
+                        for _ in 0..3000 {
+                            match workload.next_op() {
+                                Operation::Put(t) | Operation::Update(t) => {
+                                    db.put(&t.id, &doc_of(&t)).unwrap();
+                                }
+                                Operation::Get { key } => {
+                                    black_box(db.get(&key).unwrap());
+                                }
+                                Operation::LookupUser { user, k } => {
+                                    black_box(
+                                        db.lookup("UserID", &Value::str(user), k).unwrap(),
+                                    );
+                                }
+                                _ => {}
+                            }
+                        }
+                    },
+                    criterion::BatchSize::PerIteration,
+                )
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for Figures 10(b,c)/11(b,c): RANGELOOKUP latency by
+//! selectivity on both attributes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldbpp_bench::setup::{bench_opts, build_db, load_static, VARIANTS_NO_EAGER};
+use ldbpp_common::json::Value;
+use std::hint::black_box;
+
+fn bench_range_users(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rangelookup_userid_10users");
+    group.sample_size(10);
+    for kind in VARIANTS_NO_EAGER {
+        let db = build_db(kind, bench_opts());
+        let _ = load_static(&db, 5000, 13);
+        let mut start = 0usize;
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                start = (start + 17) % 100;
+                let lo = format!("u{start:07}");
+                let hi = format!("u{:07}", start + 9);
+                black_box(
+                    db.range_lookup("UserID", &Value::str(lo), &Value::str(hi), Some(10))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rangelookup_creationtime_1min");
+    group.sample_size(10);
+    for kind in VARIANTS_NO_EAGER {
+        let db = build_db(kind, bench_opts());
+        let tweets = load_static(&db, 5000, 13);
+        let t0 = tweets[0].creation_time;
+        let t1 = tweets.last().unwrap().creation_time;
+        let mut offset = 0i64;
+        group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
+            b.iter(|| {
+                offset = (offset + 37) % (t1 - t0).max(1);
+                let lo = t0 + offset;
+                black_box(
+                    db.range_lookup(
+                        "CreationTime",
+                        &Value::Int(lo),
+                        &Value::Int(lo + 59),
+                        Some(10),
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_users, bench_range_time);
+criterion_main!(benches);

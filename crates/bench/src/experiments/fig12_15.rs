@@ -1,0 +1,136 @@
+//! Figures 12–15: Mixed workloads — overall mean time per operation over
+//! time (Fig 12) and cumulative disk I/O decomposed into compaction, GET
+//! and LOOKUP (Figs 13, 14, 15 for the write-, read- and update-heavy
+//! mixes).
+
+use crate::harness::{fnum, Series};
+use crate::setup::{bench_opts, bench_stats, doc_of, Scale, VARIANTS_NO_EAGER};
+use ldbpp_common::json::Value;
+use ldbpp_core::{IndexKind, SecondaryDb, SecondaryDbOptions};
+use ldbpp_lsm::env::MemEnv;
+use ldbpp_workload::{MixedKind, MixedWorkload, Operation};
+use std::time::Instant;
+
+const WINDOWS: usize = 10;
+
+/// Per-window measurements for one (workload, variant) run.
+fn run_one(kind: IndexKind, mixed: MixedKind, scale: Scale, series: &mut Series) {
+    // Only the UserID attribute is indexed and queried (per the paper).
+    let db = SecondaryDb::open(
+        MemEnv::new(),
+        "db",
+        SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+        &[("UserID", kind)],
+    )
+    .unwrap();
+    let mut workload = MixedWorkload::new(mixed, bench_stats(), scale.mixed_ops, Some(10), scale.seed);
+    let window = (scale.mixed_ops / WINDOWS).max(1);
+
+    let mut done = 0usize;
+    let mut cum_get_blocks = 0u64;
+    let mut cum_lookup_blocks = 0u64;
+    while done < scale.mixed_ops {
+        let start = Instant::now();
+        let mut window_ops = 0usize;
+        for _ in 0..window.min(scale.mixed_ops - done) {
+            let op = workload.next_op();
+            match op {
+                Operation::Put(t) | Operation::Update(t) => {
+                    db.put(&t.id, &doc_of(&t)).unwrap();
+                }
+                Operation::Get { key } => {
+                    let before = db.primary_io().block_reads;
+                    let _ = db.get(&key).unwrap();
+                    cum_get_blocks += db.primary_io().block_reads - before;
+                }
+                Operation::LookupUser { user, k } => {
+                    let before = db.primary_io().block_reads + db.index_io().block_reads;
+                    let _ = db.lookup("UserID", &Value::str(user), k).unwrap();
+                    cum_lookup_blocks +=
+                        db.primary_io().block_reads + db.index_io().block_reads - before;
+                }
+                _ => {}
+            }
+            window_ops += 1;
+            done += 1;
+        }
+        let mean_us = start.elapsed().as_secs_f64() * 1e6 / window_ops.max(1) as f64;
+        let p = db.primary_io();
+        let i = db.index_io();
+        let cum_compaction = p.compaction_io_blocks()
+            + p.flush_blocks_written
+            + i.compaction_io_blocks()
+            + i.flush_blocks_written;
+        series.push(vec![
+            mixed.name().to_string(),
+            kind.name().to_string(),
+            done.to_string(),
+            fnum(mean_us),
+            cum_compaction.to_string(),
+            cum_get_blocks.to_string(),
+            cum_lookup_blocks.to_string(),
+        ]);
+    }
+}
+
+/// The full Mixed sweep (Figures 12–15 in one table).
+pub fn run(scale: Scale) -> Series {
+    let mut series = Series::new(
+        "fig12_15",
+        "Mixed workloads: mean op latency and cumulative I/O (compaction / GET / LOOKUP)",
+        &[
+            "workload",
+            "variant",
+            "ops",
+            "mean_op_us",
+            "cum_compaction_blocks",
+            "cum_get_blocks",
+            "cum_lookup_blocks",
+        ],
+    );
+    for mixed in [MixedKind::WriteHeavy, MixedKind::ReadHeavy, MixedKind::UpdateHeavy] {
+        for kind in VARIANTS_NO_EAGER {
+            run_one(kind, mixed, scale, &mut series);
+        }
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn last_row<'a>(s: &'a Series, workload: &str, variant: &str) -> &'a Vec<String> {
+        s.rows
+            .iter()
+            .rfind(|r| r[0] == workload && r[1] == variant)
+            .unwrap()
+    }
+
+    #[test]
+    fn mixed_shapes() {
+        let s = run(Scale::smoke());
+        // Every (workload, variant) pair produced samples and did work.
+        for workload in ["write-heavy", "read-heavy", "update-heavy"] {
+            for variant in ["Embedded", "Lazy", "Composite"] {
+                let row = last_row(&s, workload, variant);
+                let compaction: u64 = row[4].parse().unwrap();
+                assert!(compaction > 0, "{workload}/{variant} compacted");
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_lookup_io_exceeds_standalone_in_read_heavy() {
+        let s = run(Scale::smoke());
+        let lookup_blocks = |variant: &str| -> f64 {
+            last_row(&s, "read-heavy", variant)[6].parse().unwrap()
+        };
+        let emb = lookup_blocks("Embedded");
+        let lazy = lookup_blocks("Lazy");
+        assert!(
+            emb >= lazy,
+            "Embedded lookup I/O ({emb}) ≥ Lazy ({lazy}) on non-time-correlated attr"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 7: rank-frequency distribution of the UserID attribute in the
+//! (synthetic stand-in for the) seed dataset.
+
+use crate::harness::Series;
+use crate::setup::{bench_stats, Scale};
+use ldbpp_workload::TweetGenerator;
+use std::collections::HashMap;
+
+/// Generate the dataset and report tweets-per-user by user rank.
+pub fn run(scale: Scale) -> Series {
+    let mut generator = TweetGenerator::new(bench_stats(), scale.tweets, scale.seed);
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for _ in 0..scale.tweets {
+        let t = generator.next_tweet();
+        *counts.entry(t.user).or_insert(0) += 1;
+    }
+    let mut freqs: Vec<u64> = counts.values().copied().collect();
+    freqs.sort_unstable_by(|a, b| b.cmp(a));
+
+    let mut series = Series::new(
+        "fig7",
+        "UserID rank-frequency distribution (seed model)",
+        &["user_rank", "tweets"],
+    );
+    // Log-spaced ranks, like the paper's log-log plot.
+    let mut rank = 1usize;
+    while rank <= freqs.len() {
+        series.push(vec![rank.to_string(), freqs[rank - 1].to_string()]);
+        rank = (rank * 2).max(rank + 1);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_is_heavy_tailed() {
+        let s = run(Scale::smoke());
+        assert!(s.rows.len() > 3);
+        let first: f64 = s.rows.first().unwrap()[1].parse().unwrap();
+        let last: f64 = s.rows.last().unwrap()[1].parse().unwrap();
+        assert!(
+            first > 20.0 * last,
+            "head {first} should dwarf tail {last}"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Figure 8: overhead of each index variant on basic operations —
+//! (a) database size, (b) PUT cost decomposed per index, (c) GET latency.
+
+use crate::harness::{fnum, LatencyStats, Series};
+use crate::setup::{bench_opts, bench_stats, doc_of, Scale, VARIANTS};
+use ldbpp_core::{IndexKind, SecondaryDb, SecondaryDbOptions};
+use ldbpp_lsm::env::MemEnv;
+use ldbpp_workload::{StaticQueries, TweetGenerator};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn open_variant(kind: Option<IndexKind>) -> SecondaryDb {
+    let specs: Vec<(&str, IndexKind)> = match kind {
+        None => vec![("UserID", IndexKind::None), ("CreationTime", IndexKind::None)],
+        Some(k) => vec![("UserID", k), ("CreationTime", k)],
+    };
+    SecondaryDb::open(
+        MemEnv::new(),
+        "db",
+        SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+        &specs,
+    )
+    .unwrap()
+}
+
+/// Figure 8(a): primary-table and per-index sizes after the static load.
+pub fn size(scale: Scale) -> Series {
+    let mut series = Series::new(
+        "fig8a",
+        "database size after static load (bytes)",
+        &["variant", "primary", "UserID_index", "CreationTime_index", "total"],
+    );
+    for kind in std::iter::once(None).chain(VARIANTS.into_iter().map(Some)) {
+        let db = open_variant(kind);
+        let mut generator = TweetGenerator::new(bench_stats(), scale.tweets, scale.seed);
+        for _ in 0..scale.tweets {
+            let t = generator.next_tweet();
+            db.put(&t.id, &doc_of(&t)).unwrap();
+        }
+        db.flush().unwrap();
+        let per_attr: std::collections::HashMap<String, u64> =
+            db.index_bytes_by_attr().into_iter().collect();
+        let name = kind.map(|k| k.name()).unwrap_or("NoIndex");
+        series.push(vec![
+            name.to_string(),
+            db.primary_bytes().to_string(),
+            per_attr.get("UserID").copied().unwrap_or(0).to_string(),
+            per_attr.get("CreationTime").copied().unwrap_or(0).to_string(),
+            db.total_bytes().to_string(),
+        ]);
+    }
+    series
+}
+
+/// Figure 8(b): mean PUT latency decomposed into primary-table time and
+/// each index's overhead (isolated by differencing single-index builds, as
+/// in the paper).
+pub fn put_performance(scale: Scale) -> Series {
+    let mut series = Series::new(
+        "fig8b",
+        "PUT cost decomposition (mean µs/op)",
+        &["variant", "primary_us", "CreationTime_index_us", "UserID_index_us", "total_us"],
+    );
+
+    let time_load = |specs: &[(&str, IndexKind)]| -> f64 {
+        let db = SecondaryDb::open(
+            MemEnv::new(),
+            "db",
+            SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+            specs,
+        )
+        .unwrap();
+        let mut generator = TweetGenerator::new(bench_stats(), scale.tweets, scale.seed);
+        let mut lat = LatencyStats::new();
+        for _ in 0..scale.tweets {
+            let t = generator.next_tweet();
+            let doc = doc_of(&t);
+            lat.time(|| db.put(&t.id, &doc).unwrap());
+        }
+        lat.mean_us()
+    };
+
+    let baseline = time_load(&[]);
+    for kind in VARIANTS {
+        let with_ct = time_load(&[("CreationTime", kind)]);
+        let with_both = time_load(&[("CreationTime", kind), ("UserID", kind)]);
+        let ct_cost = (with_ct - baseline).max(0.0);
+        let uid_cost = (with_both - with_ct).max(0.0);
+        series.push(vec![
+            kind.name().to_string(),
+            fnum(baseline),
+            fnum(ct_cost),
+            fnum(uid_cost),
+            fnum(with_both),
+        ]);
+    }
+    series.push(vec![
+        "NoIndex".to_string(),
+        fnum(baseline),
+        "0".to_string(),
+        "0".to_string(),
+        fnum(baseline),
+    ]);
+    series
+}
+
+/// Figure 8(c): mean GET latency per variant on the static dataset.
+pub fn get_performance(scale: Scale) -> Series {
+    let mut series = Series::new(
+        "fig8c",
+        "GET latency on static data (mean µs/op)",
+        &["variant", "get_us", "block_reads_per_get"],
+    );
+    for kind in std::iter::once(None).chain(VARIANTS.into_iter().map(Some)) {
+        let db = open_variant(kind);
+        let tweets = crate::setup::load_static(&db, scale.tweets, scale.seed);
+        let mut queries = StaticQueries::new(&bench_stats(), &tweets, scale.seed + 1);
+        let mut lat = LatencyStats::new();
+        let before = db.primary_io();
+        let mut rng = StdRng::seed_from_u64(scale.seed + 2);
+        for _ in 0..scale.gets {
+            let op = queries.get();
+            if let ldbpp_workload::Operation::Get { key } = op {
+                // Sprinkle a few misses like a real workload.
+                let key = if rng.random::<f64>() < 0.05 {
+                    format!("missing{key}")
+                } else {
+                    key
+                };
+                lat.time(|| db.get(&key).unwrap());
+            }
+        }
+        let reads = db.primary_io().since(&before).block_reads as f64 / scale.gets as f64;
+        let name = kind.map(|k| k.name()).unwrap_or("NoIndex");
+        series.push(vec![name.to_string(), fnum(lat.mean_us()), fnum(reads)]);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_is_most_space_efficient_index() {
+        let s = size(Scale::smoke());
+        let total = |v: &str| s.value(|r| r[0] == v, "total").unwrap();
+        let noindex = total("NoIndex");
+        let embedded = total("Embedded");
+        let lazy = total("Lazy");
+        let composite = total("Composite");
+        // Embedded ≈ NoIndex (filters only), stand-alone pay extra tables.
+        assert!(embedded < lazy, "embedded {embedded} < lazy {lazy}");
+        assert!(embedded < composite);
+        assert!(embedded < noindex * 1.25);
+        // Stand-alone index tables are non-trivial.
+        let uid = s.value(|r| r[0] == "Lazy", "UserID_index").unwrap();
+        assert!(uid > 0.0);
+        let uid_e = s.value(|r| r[0] == "Embedded", "UserID_index").unwrap();
+        assert_eq!(uid_e, 0.0);
+    }
+
+    #[test]
+    fn gets_unaffected_by_index_choice() {
+        let s = get_performance(Scale::smoke());
+        let reads = |v: &str| s.value(|r| r[0] == v, "block_reads_per_get").unwrap();
+        // "All the index variants have identical GET performance."
+        let all = [
+            reads("NoIndex"),
+            reads("Embedded"),
+            reads("Eager"),
+            reads("Lazy"),
+            reads("Composite"),
+        ];
+        for pair in all.windows(2) {
+            assert!(
+                (pair[0] - pair[1]).abs() < 0.5,
+                "GET block reads should match: {all:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Tables 3 and 5: measured I/O against the analytical cost models.
+
+use crate::harness::{fnum, Series};
+use crate::setup::{bench_opts, bench_stats, load_static, Scale};
+use ldbpp_common::json::Value;
+use ldbpp_core::cost;
+use ldbpp_core::{IndexKind, SecondaryDb, SecondaryDbOptions};
+use ldbpp_lsm::env::MemEnv;
+use ldbpp_workload::{Operation, StaticQueries};
+
+fn open(kind: IndexKind) -> SecondaryDb {
+    SecondaryDb::open(
+        MemEnv::new(),
+        "db",
+        SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+        &[("UserID", kind), ("CreationTime", kind)],
+    )
+    .unwrap()
+}
+
+/// Table 3: Embedded-Index LOOKUP cost — measured blocks per lookup vs the
+/// `(K+ε) + fp·Σblocks` model.
+pub fn tab3(scale: Scale) -> Series {
+    let mut series = Series::new(
+        "tab3",
+        "Embedded Index: measured vs modelled LOOKUP block reads",
+        &[
+            "topk", "measured_blocks_per_op", "model_upper_bound", "within_model",
+            "bloom_checks_per_op", "total_blocks",
+        ],
+    );
+    let db = open(IndexKind::Embedded);
+    let tweets = load_static(&db, scale.tweets, scale.seed);
+    let version = db.primary().current_version();
+    let total_blocks: u64 = version
+        .files
+        .iter()
+        .flatten()
+        .map(|f| f.num_blocks)
+        .sum();
+    let fp = cost::bloom_fp_rate(bench_opts().bloom_bits_per_key as f64);
+
+    for k in [Some(1usize), Some(10), None] {
+        let mut queries = StaticQueries::new(&bench_stats(), &tweets, scale.seed + 3);
+        let before = db.primary_io();
+        let mut matched = 0usize;
+        let n = scale.lookups;
+        for _ in 0..n {
+            if let Operation::LookupUser { user, .. } = queries.lookup_user(k) {
+                matched += db.lookup("UserID", &Value::str(user), k).unwrap().len();
+            }
+        }
+        let io = db.primary_io().since(&before);
+        let measured = io.block_reads as f64 / n as f64;
+        // Model: K' matched blocks + epsilon (end-of-level scan slack,
+        // bounded here by matched count) + fp · total blocks.
+        let kprime = matched as f64 / n as f64;
+        let model = kprime + kprime + fp * total_blocks as f64 + 1.0;
+        series.push(vec![
+            k.map(|v| v.to_string()).unwrap_or("all".into()),
+            fnum(measured),
+            fnum(model),
+            (measured <= model * 2.0).to_string(),
+            fnum(io.bloom_checks as f64 / n as f64),
+            total_blocks.to_string(),
+        ]);
+    }
+    series
+}
+
+/// Table 5: stand-alone index I/O — index reads per LOOKUP and measured
+/// write amplification vs the WAMF model.
+pub fn tab5(scale: Scale) -> Series {
+    let mut series = Series::new(
+        "tab5",
+        "Stand-alone indexes: lookup reads and write amplification vs model",
+        &[
+            "variant",
+            "index_reads_per_lookup",
+            "model_index_reads",
+            "data_reads_per_lookup",
+            "index_write_bytes_per_put",
+            "model_wamf",
+            "levels",
+        ],
+    );
+    for (kind, model_kind) in [
+        (IndexKind::EagerStandalone, cost::StandaloneKind::Eager),
+        (IndexKind::LazyStandalone, cost::StandaloneKind::Lazy),
+        (IndexKind::CompositeStandalone, cost::StandaloneKind::Composite),
+    ] {
+        let db = open(kind);
+        let tweets = load_static(&db, scale.tweets, scale.seed);
+        db.flush().unwrap();
+
+        // Write cost of the UserID index table, normalized per PUT: total
+        // physical bytes (WAL + flush + compaction). Eager's lists make
+        // this balloon — its WAL already carries the whole rewritten list
+        // every time — which is exactly the paper's WAMF effect.
+        let stats = db.index_stats_of("UserID").unwrap().snapshot();
+        let physical =
+            stats.wal_bytes_written + stats.flush_bytes_written + stats.compaction_bytes_written;
+        let write_bytes_per_put = physical as f64 / scale.tweets as f64;
+
+        // Model inputs.
+        let levels = {
+            // Count populated levels of the UserID index table via its size
+            // footprint (approximate: derive from primary's shape).
+            let v = db.primary().current_version();
+            v.deepest_populated() as u64
+        };
+        let avg_list = bench_stats().avg_tweets_per_user;
+        let model_wamf = match model_kind {
+            cost::StandaloneKind::Eager => cost::wamf_eager(avg_list, levels),
+            _ => cost::wamf_lazy(levels) as f64,
+        };
+
+        // Lookup I/O split between index table and data table.
+        let mut queries = StaticQueries::new(&bench_stats(), &tweets, scale.seed + 4);
+        let idx_before = db.index_io();
+        let data_before = db.primary_io();
+        let n = scale.lookups;
+        for _ in 0..n {
+            if let Operation::LookupUser { user, .. } = queries.lookup_user(Some(10)) {
+                let _ = db.lookup("UserID", &Value::str(user), Some(10)).unwrap();
+            }
+        }
+        let idx_reads =
+            db.index_io().since(&idx_before).block_reads as f64 / n as f64;
+        let data_reads =
+            db.primary_io().since(&data_before).block_reads as f64 / n as f64;
+        let (_, model_idx) = cost::standalone_lookup_reads(model_kind, 10, levels);
+
+        series.push(vec![
+            kind.name().to_string(),
+            fnum(idx_reads),
+            fnum(model_idx as f64),
+            fnum(data_reads),
+            fnum(write_bytes_per_put),
+            fnum(model_wamf),
+            levels.to_string(),
+        ]);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab3_measured_within_model() {
+        let s = tab3(Scale::smoke());
+        for row in &s.rows {
+            assert_eq!(row[3], "true", "measured within model bound: {row:?}");
+        }
+    }
+
+    #[test]
+    fn tab5_eager_wamf_dominates() {
+        let s = tab5(Scale::smoke());
+        let wb = |v: &str| s.value(|r| r[0] == v, "index_write_bytes_per_put").unwrap();
+        assert!(
+            wb("Eager") > 2.0 * wb("Lazy"),
+            "Eager write bytes/put {} ≫ Lazy {}",
+            wb("Eager"),
+            wb("Lazy")
+        );
+        // Eager answers lookups from fewer index reads than Lazy/Composite
+        // (one list read vs per-level probing).
+        let idx = |v: &str| s.value(|r| r[0] == v, "index_reads_per_lookup").unwrap();
+        assert!(idx("Eager") <= idx("Lazy") + 0.5);
+    }
+}

@@ -1,0 +1,254 @@
+//! Measurement and reporting plumbing shared by all experiments.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Latency samples with the paper's box-plot summary (quartiles +
+/// whiskers, Figure 10/11 style).
+#[derive(Debug, Default, Clone)]
+pub struct LatencyStats {
+    samples_us: Vec<f64>,
+}
+
+impl LatencyStats {
+    /// Empty collection.
+    pub fn new() -> LatencyStats {
+        LatencyStats::default()
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: Duration) {
+        self.samples_us.push(d.as_secs_f64() * 1e6);
+    }
+
+    /// Time a closure and record it, passing its output through.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(start.elapsed());
+        out
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Mean in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us.iter().sum::<f64>() / self.samples_us.len() as f64
+    }
+
+    fn percentile(sorted: &[f64], p: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = (p * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// `(min, p25, median, p75, max, mean)` in microseconds — the
+    /// box-and-whisker numbers of Figures 10 and 11.
+    pub fn summary(&self) -> BoxSummary {
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        BoxSummary {
+            min: sorted.first().copied().unwrap_or(0.0),
+            p25: Self::percentile(&sorted, 0.25),
+            median: Self::percentile(&sorted, 0.50),
+            p75: Self::percentile(&sorted, 0.75),
+            max: sorted.last().copied().unwrap_or(0.0),
+            mean: self.mean_us(),
+        }
+    }
+}
+
+/// Box-plot summary in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxSummary {
+    pub min: f64,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+/// One output table: a named grid of rows, printable and TSV-serializable.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Experiment id, e.g. `fig10a`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Series {
+    /// New empty series.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> Series {
+        Series {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Vec<String>) {
+        debug_assert_eq!(row.len(), self.headers.len());
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Render as TSV (headers + rows).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        out
+    }
+
+    /// Write `results/<id>.tsv` under `dir`, returning the path.
+    pub fn write_tsv(&self, dir: &str) -> std::io::Result<String> {
+        std::fs::create_dir_all(dir)?;
+        let path = format!("{dir}/{}.tsv", self.id);
+        std::fs::write(&path, self.to_tsv())?;
+        Ok(path)
+    }
+
+    /// Look up a numeric cell by row predicate and column name — used by
+    /// tests asserting qualitative shapes.
+    pub fn value(&self, row_match: impl Fn(&[String]) -> bool, column: &str) -> Option<f64> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        self.rows
+            .iter()
+            .find(|r| row_match(r))
+            .and_then(|r| r[col].parse().ok())
+    }
+}
+
+/// Format a float compactly for table cells.
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_summary() {
+        let mut s = LatencyStats::new();
+        for us in [10u64, 20, 30, 40, 50] {
+            s.record(Duration::from_micros(us));
+        }
+        let b = s.summary();
+        assert_eq!(b.min.round() as u64, 10);
+        assert_eq!(b.median.round() as u64, 30);
+        assert_eq!(b.max.round() as u64, 50);
+        assert_eq!(b.mean.round() as u64, 30);
+        assert!(b.p25 <= b.median && b.median <= b.p75);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn empty_stats_dont_panic() {
+        let s = LatencyStats::new();
+        assert!(s.is_empty());
+        let b = s.summary();
+        assert_eq!(b.mean, 0.0);
+    }
+
+    #[test]
+    fn time_records() {
+        let mut s = LatencyStats::new();
+        let v = s.time(|| 42);
+        assert_eq!(v, 42);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn series_render_and_query() {
+        let mut s = Series::new("figX", "demo", &["variant", "value"]);
+        s.push(vec!["Embedded".into(), "12.5".into()]);
+        s.push(vec!["Lazy".into(), "99".into()]);
+        let table = s.to_table();
+        assert!(table.contains("figX"));
+        assert!(table.contains("Embedded"));
+        let tsv = s.to_tsv();
+        assert_eq!(tsv.lines().count(), 3);
+        assert_eq!(s.value(|r| r[0] == "Lazy", "value"), Some(99.0));
+        assert_eq!(s.value(|r| r[0] == "Nope", "value"), None);
+    }
+
+    #[test]
+    fn write_tsv_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("ldbpp-tsv-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = Series::new("unit_tsv", "demo", &["a", "b"]);
+        s.push(vec!["1".into(), "x".into()]);
+        let path = s.write_tsv(dir.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a\tb\n1\tx\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1234.6), "1235");
+        assert_eq!(fnum(42.25), "42.2");
+        assert_eq!(fnum(1.23456), "1.235");
+    }
+}

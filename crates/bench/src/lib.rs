@@ -1,0 +1,25 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§5 and Appendix C).
+//!
+//! Each experiment in [`experiments`] prints the same rows/series the paper
+//! reports and returns them as structured [`harness::Series`] values; the
+//! `repro` binary drives them and writes TSV files under `results/`.
+//!
+//! Absolute numbers differ from the paper (we run at reduced scale against
+//! an instrumented in-memory environment, not a 3 TB HDD over a month), but
+//! the *shapes* — who wins, by what rough factor, where the crossovers sit
+//! — are the reproduction targets; see `EXPERIMENTS.md`.
+
+pub mod harness;
+pub mod setup;
+
+pub mod experiments {
+    //! One module per paper artifact.
+    pub mod appendix_c;
+    pub mod fig10_11;
+    pub mod fig12_15;
+    pub mod fig7;
+    pub mod fig8;
+    pub mod fig9;
+    pub mod tables;
+}

@@ -1,0 +1,217 @@
+//! LevelDB-style integer encodings.
+//!
+//! Fixed-width little-endian 32/64-bit encodings plus the 7-bit-per-byte
+//! varint encodings used pervasively in block, table and log formats.
+
+use crate::error::{Error, Result};
+
+/// Append a little-endian u32.
+pub fn put_fixed32(dst: &mut Vec<u8>, v: u32) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian u64.
+pub fn put_fixed64(dst: &mut Vec<u8>, v: u64) {
+    dst.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Decode a little-endian u32 from the start of `src`.
+///
+/// Panics if `src` is shorter than 4 bytes; use at call sites that have
+/// already validated lengths.
+pub fn decode_fixed32(src: &[u8]) -> u32 {
+    u32::from_le_bytes(src[..4].try_into().unwrap())
+}
+
+/// Decode a little-endian u64 from the start of `src`.
+pub fn decode_fixed64(src: &[u8]) -> u64 {
+    u64::from_le_bytes(src[..8].try_into().unwrap())
+}
+
+/// Append a varint-encoded u32.
+pub fn put_varint32(dst: &mut Vec<u8>, v: u32) {
+    put_varint64(dst, v as u64)
+}
+
+/// Append a varint-encoded u64.
+pub fn put_varint64(dst: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        dst.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    dst.push(v as u8);
+}
+
+/// Number of bytes `put_varint64` would emit for `v`.
+pub fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
+/// Decode a varint u64 from the start of `src`.
+///
+/// Returns the value and the number of bytes consumed.
+pub fn get_varint64(src: &[u8]) -> Result<(u64, usize)> {
+    let mut result: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &b) in src.iter().enumerate() {
+        if shift > 63 {
+            return Err(Error::corruption("varint64 overflow"));
+        }
+        result |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok((result, i + 1));
+        }
+        shift += 7;
+    }
+    Err(Error::corruption("truncated varint64"))
+}
+
+/// Decode a varint u32 from the start of `src`.
+pub fn get_varint32(src: &[u8]) -> Result<(u32, usize)> {
+    let (v, n) = get_varint64(src)?;
+    if v > u32::MAX as u64 {
+        return Err(Error::corruption("varint32 overflow"));
+    }
+    Ok((v as u32, n))
+}
+
+/// Append a length-prefixed (varint32) byte slice.
+pub fn put_length_prefixed(dst: &mut Vec<u8>, slice: &[u8]) {
+    put_varint32(dst, slice.len() as u32);
+    dst.extend_from_slice(slice);
+}
+
+/// Decode a length-prefixed slice from the start of `src`.
+///
+/// Returns the slice and total bytes consumed (prefix + payload).
+pub fn get_length_prefixed(src: &[u8]) -> Result<(&[u8], usize)> {
+    let (len, n) = get_varint32(src)?;
+    let end = n + len as usize;
+    if src.len() < end {
+        return Err(Error::corruption("truncated length-prefixed slice"));
+    }
+    Ok((&src[n..end], end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_fixed32(&mut buf, 0xdead_beef);
+        put_fixed64(&mut buf, 0x0123_4567_89ab_cdef);
+        assert_eq!(decode_fixed32(&buf), 0xdead_beef);
+        assert_eq!(decode_fixed64(&buf[4..]), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        // Encoded sizes at the 7-bit boundaries.
+        for (v, len) in [
+            (0u64, 1usize),
+            (127, 1),
+            (128, 2),
+            (16383, 2),
+            (16384, 3),
+            (u32::MAX as u64, 5),
+            (u64::MAX, 10),
+        ] {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            assert_eq!(buf.len(), len, "encoded length of {v}");
+            assert_eq!(varint_len(v), len);
+            let (dec, n) = get_varint64(&buf).unwrap();
+            assert_eq!((dec, n), (v, len));
+        }
+    }
+
+    #[test]
+    fn varint32_rejects_overflow() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, u32::MAX as u64 + 1);
+        assert!(get_varint32(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_varint_is_corruption() {
+        let mut buf = Vec::new();
+        put_varint64(&mut buf, 300);
+        buf.pop();
+        assert!(get_varint64(&buf).unwrap_err().is_corruption());
+        assert!(get_varint64(&[]).is_err());
+    }
+
+    #[test]
+    fn malicious_varint_overflow() {
+        // 11 continuation bytes exceed a u64's 63-bit shift budget.
+        let buf = [0xffu8; 11];
+        assert!(get_varint64(&buf).unwrap_err().is_corruption());
+    }
+
+    #[test]
+    fn length_prefixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"hello");
+        put_length_prefixed(&mut buf, b"");
+        put_length_prefixed(&mut buf, &[0u8; 200]);
+        let (s, n) = get_length_prefixed(&buf).unwrap();
+        assert_eq!(s, b"hello");
+        let (s2, n2) = get_length_prefixed(&buf[n..]).unwrap();
+        assert_eq!(s2, b"");
+        let (s3, _) = get_length_prefixed(&buf[n + n2..]).unwrap();
+        assert_eq!(s3, &[0u8; 200]);
+    }
+
+    #[test]
+    fn length_prefixed_truncated() {
+        let mut buf = Vec::new();
+        put_length_prefixed(&mut buf, b"hello");
+        assert!(get_length_prefixed(&buf[..3]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_varint_roundtrip(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            put_varint64(&mut buf, v);
+            let (dec, n) = get_varint64(&buf).unwrap();
+            prop_assert_eq!(dec, v);
+            prop_assert_eq!(n, buf.len());
+            prop_assert_eq!(varint_len(v), buf.len());
+        }
+
+        #[test]
+        fn prop_length_prefixed_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let mut buf = Vec::new();
+            put_length_prefixed(&mut buf, &data);
+            let (s, n) = get_length_prefixed(&buf).unwrap();
+            prop_assert_eq!(s, &data[..]);
+            prop_assert_eq!(n, buf.len());
+        }
+
+        #[test]
+        fn prop_varint_ordering_preserves_stream(vs in proptest::collection::vec(any::<u64>(), 0..64)) {
+            // A stream of varints decodes back to the same sequence.
+            let mut buf = Vec::new();
+            for &v in &vs {
+                put_varint64(&mut buf, v);
+            }
+            let mut off = 0;
+            let mut out = Vec::new();
+            while off < buf.len() {
+                let (v, n) = get_varint64(&buf[off..]).unwrap();
+                out.push(v);
+                off += n;
+            }
+            prop_assert_eq!(out, vs);
+        }
+    }
+}

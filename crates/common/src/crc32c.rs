@@ -1,0 +1,107 @@
+//! CRC32C (Castagnoli) with LevelDB's mask/unmask scheme.
+//!
+//! Log records and table footers are protected by CRC32C. LevelDB
+//! additionally *masks* stored CRCs so that computing the CRC of a string
+//! that itself contains embedded CRCs does not degrade the checksum; we
+//! reproduce that behaviour bit-for-bit.
+
+/// The Castagnoli polynomial, reflected.
+const POLY: u32 = 0x82f6_3b78;
+
+/// Lazily-built 8-entry-per-byte lookup table (slicing-by-1; plenty fast for
+/// the block sizes we checksum).
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            }
+            *entry = crc;
+        }
+        t
+    })
+}
+
+/// Compute the CRC32C of `data`.
+pub fn crc32c(data: &[u8]) -> u32 {
+    extend(0, data)
+}
+
+/// Extend a running CRC32C with more data.
+pub fn extend(crc: u32, data: &[u8]) -> u32 {
+    let t = table();
+    let mut c = !crc;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+const MASK_DELTA: u32 = 0xa282_ead8;
+
+/// Mask a CRC prior to storage (LevelDB trick).
+pub fn mask(crc: u32) -> u32 {
+    (crc.rotate_right(15)).wrapping_add(MASK_DELTA)
+}
+
+/// Undo [`mask`].
+pub fn unmask(masked: u32) -> u32 {
+    masked.wrapping_sub(MASK_DELTA).rotate_left(15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // RFC 3720 / iSCSI test vectors for CRC32C.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+        assert_eq!(crc32c(&[0xffu8; 32]), 0x62a8_ab43);
+        let ascending: Vec<u8> = (0u8..32).collect();
+        assert_eq!(crc32c(&ascending), 0x46dd_794e);
+        let descending: Vec<u8> = (0u8..32).rev().collect();
+        assert_eq!(crc32c(&descending), 0x113f_db5c);
+    }
+
+    #[test]
+    fn standard_check_value() {
+        // The canonical "123456789" check value for CRC-32C.
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+    }
+
+    #[test]
+    fn extend_equals_whole() {
+        let data = b"hello world, this is leveldb++";
+        let whole = crc32c(data);
+        let split = extend(crc32c(&data[..10]), &data[10..]);
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn mask_roundtrip_and_differs() {
+        let crc = crc32c(b"foo");
+        assert_ne!(mask(crc), crc);
+        assert_eq!(unmask(mask(crc)), crc);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mask_roundtrip(v in any::<u32>()) {
+            prop_assert_eq!(unmask(mask(v)), v);
+        }
+
+        #[test]
+        fn prop_extend_split(data in proptest::collection::vec(any::<u8>(), 0..256), split in 0usize..256) {
+            let split = split.min(data.len());
+            let whole = crc32c(&data);
+            let halves = extend(crc32c(&data[..split]), &data[split..]);
+            prop_assert_eq!(whole, halves);
+        }
+    }
+}

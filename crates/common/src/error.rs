@@ -1,0 +1,121 @@
+//! Error and result types shared across the workspace.
+
+use std::fmt;
+
+/// The error type used throughout LevelDB++.
+///
+/// Mirrors the `Status` categories of LevelDB: every fallible public
+/// operation in the storage engine and index layers returns one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A requested key (or file) does not exist.
+    NotFound(String),
+    /// Stored data failed validation (bad magic, CRC mismatch, truncated
+    /// block, malformed JSON, ...).
+    Corruption(String),
+    /// The operation is not supported in the current configuration, e.g.
+    /// a `LOOKUP` on an attribute that has no index.
+    NotSupported(String),
+    /// The caller passed an argument that can never be valid, e.g. an empty
+    /// key or an inverted range.
+    InvalidArgument(String),
+    /// An underlying I/O operation failed.
+    Io(String),
+}
+
+impl Error {
+    /// True if this error is [`Error::NotFound`].
+    pub fn is_not_found(&self) -> bool {
+        matches!(self, Error::NotFound(_))
+    }
+
+    /// True if this error is [`Error::Corruption`].
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, Error::Corruption(_))
+    }
+
+    /// Convenience constructor for [`Error::Corruption`].
+    pub fn corruption(msg: impl Into<String>) -> Self {
+        Error::Corruption(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::InvalidArgument`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        Error::InvalidArgument(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::NotFound`].
+    pub fn not_found(msg: impl Into<String>) -> Self {
+        Error::NotFound(msg.into())
+    }
+
+    /// Convenience constructor for [`Error::NotSupported`].
+    pub fn not_supported(msg: impl Into<String>) -> Self {
+        Error::NotSupported(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Corruption(m) => write!(f, "corruption: {m}"),
+            Error::NotSupported(m) => write!(f, "not supported: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+            Error::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            Error::NotFound(e.to_string())
+        } else {
+            Error::Io(e.to_string())
+        }
+    }
+}
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_category() {
+        assert_eq!(
+            Error::NotFound("k1".into()).to_string(),
+            "not found: k1"
+        );
+        assert_eq!(
+            Error::corruption("bad magic").to_string(),
+            "corruption: bad magic"
+        );
+        assert_eq!(
+            Error::invalid("empty key").to_string(),
+            "invalid argument: empty key"
+        );
+        assert_eq!(Error::Io("disk".into()).to_string(), "io error: disk");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Error::not_found("x").is_not_found());
+        assert!(!Error::corruption("x").is_not_found());
+        assert!(Error::corruption("x").is_corruption());
+        assert!(!Error::not_found("x").is_corruption());
+    }
+
+    #[test]
+    fn from_io_error_maps_not_found() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(Error::from(io).is_not_found());
+        let io = std::io::Error::other("boom");
+        assert!(matches!(Error::from(io), Error::Io(_)));
+    }
+}

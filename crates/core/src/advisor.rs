@@ -1,0 +1,230 @@
+//! Index-selection strategy — the paper's Figure 2 and "Summary of
+//! Results", encoded as an executable decision procedure.
+//!
+//! The paper's guidance:
+//! * **Embedded** when the attribute is time-correlated (zone maps prune
+//!   well), when space is a concern (e.g. a local store on a mobile
+//!   device), or when the workload has few secondary lookups (< 5 %) and is
+//!   write-heavy (> 50 %).
+//! * Among the Stand-Alone indexes, **Composite** wins for small-top-K
+//!   lookups (social feeds), **Lazy** when queries have no top-K limit
+//!   (analytics / group-by), and **Eager** "shows exponential write costs
+//!   and is not suitable for any workloads".
+
+use crate::indexes::IndexKind;
+
+/// A description of the expected workload on one indexed attribute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Fraction of all operations that are writes (PUT/DEL), in `[0, 1]`.
+    pub write_fraction: f64,
+    /// Fraction of all operations that are secondary lookups
+    /// (LOOKUP + RANGELOOKUP), in `[0, 1]`.
+    pub lookup_fraction: f64,
+    /// Whether the attribute's values correlate with insertion time (e.g.
+    /// a creation timestamp or monotonically assigned id).
+    pub time_correlated: bool,
+    /// Whether storage space is a first-order constraint.
+    pub space_constrained: bool,
+    /// Whether lookups ask for a small top-K (`Some(k)` with small `k`)
+    /// rather than full result sets.
+    pub small_top_k: bool,
+}
+
+impl WorkloadProfile {
+    /// A neutral starting profile (mixed workload, no special traits).
+    pub fn balanced() -> WorkloadProfile {
+        WorkloadProfile {
+            write_fraction: 0.5,
+            lookup_fraction: 0.1,
+            time_correlated: false,
+            space_constrained: false,
+            small_top_k: true,
+        }
+    }
+}
+
+/// The advisor's verdict with its reasoning chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// The suggested index technique.
+    pub kind: IndexKind,
+    /// Human-readable justification (one line per decision taken).
+    pub reasons: Vec<String>,
+}
+
+/// Recommend an index technique per the paper's Figure 2.
+///
+/// ```
+/// use ldbpp_core::advisor::{recommend, WorkloadProfile};
+/// use ldbpp_core::IndexKind;
+///
+/// let rec = recommend(&WorkloadProfile {
+///     time_correlated: true,
+///     ..WorkloadProfile::balanced()
+/// });
+/// assert_eq!(rec.kind, IndexKind::Embedded);
+/// ```
+pub fn recommend(profile: &WorkloadProfile) -> Recommendation {
+    let mut reasons = Vec::new();
+
+    if profile.time_correlated {
+        reasons.push(
+            "attribute is time-correlated: zone maps prune most files, so the \
+             Embedded Index matches stand-alone lookup speed at no space cost"
+                .to_string(),
+        );
+        return Recommendation {
+            kind: IndexKind::Embedded,
+            reasons,
+        };
+    }
+    if profile.space_constrained {
+        reasons.push(
+            "space is constrained: the Embedded Index adds no separate table"
+                .to_string(),
+        );
+        return Recommendation {
+            kind: IndexKind::Embedded,
+            reasons,
+        };
+    }
+    if profile.lookup_fraction < 0.05 && profile.write_fraction > 0.5 {
+        reasons.push(format!(
+            "write-heavy ({}% writes) with rare lookups ({}%): the Embedded \
+             Index's zero-maintenance writes dominate",
+            (profile.write_fraction * 100.0).round(),
+            (profile.lookup_fraction * 100.0).round()
+        ));
+        return Recommendation {
+            kind: IndexKind::Embedded,
+            reasons,
+        };
+    }
+
+    reasons.push(
+        "lookup-significant workload: stand-alone indexes answer from a \
+         dedicated table"
+            .to_string(),
+    );
+    if profile.small_top_k {
+        reasons.push(
+            "queries want a small top-K: Lazy stops at the first level holding \
+             K results, beating Composite's full-level traversal"
+                .to_string(),
+        );
+        Recommendation {
+            kind: IndexKind::LazyStandalone,
+            reasons,
+        }
+    } else {
+        reasons.push(
+            "queries return unbounded result sets: Composite avoids Lazy's \
+             posting-list parsing CPU at equal I/O"
+                .to_string(),
+        );
+        Recommendation {
+            kind: IndexKind::CompositeStandalone,
+            reasons,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_correlated_gets_embedded() {
+        let p = WorkloadProfile {
+            time_correlated: true,
+            ..WorkloadProfile::balanced()
+        };
+        assert_eq!(recommend(&p).kind, IndexKind::Embedded);
+    }
+
+    #[test]
+    fn space_constrained_gets_embedded() {
+        let p = WorkloadProfile {
+            space_constrained: true,
+            ..WorkloadProfile::balanced()
+        };
+        assert_eq!(recommend(&p).kind, IndexKind::Embedded);
+    }
+
+    #[test]
+    fn sensor_network_profile_gets_embedded() {
+        // The paper's example: write-heavy sensor ingest with rare lookups.
+        let p = WorkloadProfile {
+            write_fraction: 0.8,
+            lookup_fraction: 0.04,
+            time_correlated: false,
+            space_constrained: false,
+            small_top_k: true,
+        };
+        let r = recommend(&p);
+        assert_eq!(r.kind, IndexKind::Embedded);
+        assert!(r.reasons[0].contains("write-heavy"));
+    }
+
+    #[test]
+    fn social_feed_profile_gets_lazy() {
+        // "much more reads than writes in Facebook and Twitter ... an ideal
+        // index to store user posts which is sensitive to top-k".
+        let p = WorkloadProfile {
+            write_fraction: 0.2,
+            lookup_fraction: 0.3,
+            time_correlated: false,
+            space_constrained: false,
+            small_top_k: true,
+        };
+        assert_eq!(recommend(&p).kind, IndexKind::LazyStandalone);
+    }
+
+    #[test]
+    fn analytics_profile_gets_composite() {
+        // "Composite is a good solution for general analytics platforms
+        // where one may group by year or department".
+        let p = WorkloadProfile {
+            write_fraction: 0.3,
+            lookup_fraction: 0.4,
+            time_correlated: false,
+            space_constrained: false,
+            small_top_k: false,
+        };
+        assert_eq!(recommend(&p).kind, IndexKind::CompositeStandalone);
+    }
+
+    #[test]
+    fn eager_is_never_recommended() {
+        // "Eager Index shows exponential write costs and is not suitable
+        // for any workloads."
+        for wf in [0.0, 0.3, 0.6, 0.9] {
+            for lf in [0.0, 0.1, 0.5] {
+                for tc in [false, true] {
+                    for sc in [false, true] {
+                        for tk in [false, true] {
+                            let p = WorkloadProfile {
+                                write_fraction: wf,
+                                lookup_fraction: lf,
+                                time_correlated: tc,
+                                space_constrained: sc,
+                                small_top_k: tk,
+                            };
+                            assert_ne!(recommend(&p).kind, IndexKind::EagerStandalone);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reasons_are_informative() {
+        let r = recommend(&WorkloadProfile::balanced());
+        assert!(!r.reasons.is_empty());
+        for reason in &r.reasons {
+            assert!(reason.len() > 20);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The record model: JSON documents with typed secondary attributes.
+//!
+//! As in the paper, "the secondary attributes and their values are stored
+//! inside the value of an entry, which may be in JSON format:
+//! `v = {A1: val(A1), …, Al: val(Al)}`".
+
+use ldbpp_common::json::Value;
+use ldbpp_common::{Error, Result};
+use ldbpp_lsm::attr::{AttrExtractor, AttrValue};
+
+/// A JSON-object record value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Document(Value);
+
+impl Document {
+    /// An empty document (`{}`).
+    pub fn new() -> Document {
+        Document(Value::object(Vec::<(String, Value)>::new()))
+    }
+
+    /// Wrap an existing JSON value; must be an object.
+    pub fn from_value(v: Value) -> Result<Document> {
+        match v {
+            Value::Object(_) => Ok(Document(v)),
+            other => Err(Error::invalid(format!(
+                "document must be a JSON object, got {other}"
+            ))),
+        }
+    }
+
+    /// Parse serialized bytes into a document.
+    pub fn parse(bytes: &[u8]) -> Result<Document> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| Error::corruption("document is not UTF-8"))?;
+        Document::from_value(Value::parse(text)?)
+    }
+
+    /// Set a field.
+    pub fn set(&mut self, key: impl Into<String>, value: Value) -> &mut Self {
+        self.0.insert(key, value);
+        self
+    }
+
+    /// Get a field.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.0.get(key)
+    }
+
+    /// The typed secondary-attribute value of a field, if it is a string or
+    /// integer (other JSON types are not indexable).
+    pub fn attr(&self, key: &str) -> Option<AttrValue> {
+        match self.0.get(key)? {
+            Value::Str(s) => Some(AttrValue::str(s.clone())),
+            Value::Int(i) => Some(AttrValue::Int(*i)),
+            _ => None,
+        }
+    }
+
+    /// Serialize to JSON bytes (the stored record value).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_json().into_bytes()
+    }
+
+    /// The underlying JSON value.
+    pub fn as_value(&self) -> &Value {
+        &self.0
+    }
+}
+
+impl Default for Document {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Display for Document {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Extracts [`AttrValue`]s from serialized documents — plugged into the
+/// primary table's builder so the Embedded Index's per-block filters are
+/// computed at SSTable-build time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JsonAttrExtractor;
+
+impl AttrExtractor for JsonAttrExtractor {
+    fn extract(&self, attr: &str, value: &[u8]) -> Option<AttrValue> {
+        Document::parse(value).ok()?.attr(attr)
+    }
+
+    fn extract_many(&self, attrs: &[String], value: &[u8]) -> Vec<Option<AttrValue>> {
+        // Parse the record once for all attributes.
+        match Document::parse(value) {
+            Ok(doc) => attrs.iter().map(|a| doc.attr(a)).collect(),
+            Err(_) => vec![None; attrs.len()],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_serialize() {
+        let mut d = Document::new();
+        d.set("UserID", Value::str("u1"))
+            .set("CreationTime", Value::Int(1234))
+            .set("Text", Value::str("hello"));
+        let bytes = d.to_bytes();
+        let back = Document::parse(&bytes).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.attr("UserID"), Some(AttrValue::str("u1")));
+        assert_eq!(back.attr("CreationTime"), Some(AttrValue::Int(1234)));
+        assert_eq!(back.attr("Missing"), None);
+    }
+
+    #[test]
+    fn non_scalar_attrs_not_indexable() {
+        let mut d = Document::new();
+        d.set("Tags", Value::Array(vec![Value::str("a")]));
+        d.set("Score", Value::Float(1.5));
+        assert_eq!(d.attr("Tags"), None);
+        assert_eq!(d.attr("Score"), None);
+    }
+
+    #[test]
+    fn rejects_non_objects() {
+        assert!(Document::from_value(Value::Int(3)).is_err());
+        assert!(Document::parse(b"[1,2]").is_err());
+        assert!(Document::parse(b"not json").is_err());
+        assert!(Document::parse(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn extractor_matches_doc_attr() {
+        let mut d = Document::new();
+        d.set("UserID", Value::str("u9"));
+        let bytes = d.to_bytes();
+        assert_eq!(
+            JsonAttrExtractor.extract("UserID", &bytes),
+            Some(AttrValue::str("u9"))
+        );
+        assert_eq!(JsonAttrExtractor.extract("Nope", &bytes), None);
+        assert_eq!(JsonAttrExtractor.extract("UserID", b"garbage"), None);
+    }
+}

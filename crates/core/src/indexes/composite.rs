@@ -1,0 +1,179 @@
+//! The Composite stand-alone index (paper §4.2).
+//!
+//! Each index entry's key is `encode_composite(secondary) ‖ primary_key`;
+//! the value stores only the sequence number. A secondary lookup is a
+//! prefix range scan. Because compaction picks files round-robin by key
+//! range, composite entries for one secondary key are *not* time-ordered
+//! across levels, so lookups must traverse every level before top-K can be
+//! decided — the paper's explanation for Composite losing to Lazy at small
+//! top-K.
+
+use crate::doc::Document;
+use crate::indexes::{fetch_if_valid, IndexKind, LookupHit, SecondaryIndex};
+use ldbpp_common::coding::{decode_fixed64, put_fixed64};
+use ldbpp_common::Result;
+use ldbpp_lsm::attr::AttrValue;
+use ldbpp_lsm::db::{Db, DbOptions};
+use ldbpp_lsm::env::{Env, IoStats};
+use std::sync::Arc;
+
+/// Stand-alone composite-key index.
+pub struct CompositeIndex {
+    attr: String,
+    table: Arc<Db>,
+}
+
+impl CompositeIndex {
+    /// Open the index table under `path`.
+    pub fn open(
+        env: Arc<dyn Env>,
+        path: &str,
+        attr: &str,
+        base: &DbOptions,
+    ) -> Result<CompositeIndex> {
+        let opts = DbOptions {
+            indexed_attrs: Vec::new(),
+            extractor: None,
+            merge_operator: None,
+            ..base.clone()
+        };
+        Ok(CompositeIndex {
+            attr: attr.to_string(),
+            table: Arc::new(Db::open(env, path, opts)?),
+        })
+    }
+
+    /// The underlying index table (exposed for experiments).
+    pub fn table(&self) -> &Arc<Db> {
+        &self.table
+    }
+
+    fn composite_key(value: &AttrValue, pk: &[u8]) -> Vec<u8> {
+        let mut key = value.encode_composite();
+        key.extend_from_slice(pk);
+        key
+    }
+
+    /// Scan index entries with `lo ≤ secondary ≤ hi`, returning
+    /// `(secondary, pk, seq)` candidates from **all** levels.
+    fn scan(&self, lo: &AttrValue, hi: &AttrValue) -> Result<Vec<(AttrValue, Vec<u8>, u64)>> {
+        let mut out = Vec::new();
+        let mut it = self.table.resolved_iter()?;
+        it.seek(&lo.encode_composite());
+        while let Some((key, _seq, value)) = it.next_entry()? {
+            let (av, pk) = AttrValue::decode_composite(&key)?;
+            if av > *hi {
+                break;
+            }
+            if value.len() != 8 {
+                continue; // malformed entry; skip defensively
+            }
+            out.push((av, pk.to_vec(), decode_fixed64(&value)));
+        }
+        Ok(out)
+    }
+
+    fn resolve(
+        &self,
+        primary: &Db,
+        mut candidates: Vec<(AttrValue, Vec<u8>, u64)>,
+        k: Option<usize>,
+        pred: impl Fn(&Document) -> bool,
+    ) -> Result<Vec<LookupHit>> {
+        // Unlike Lazy, the candidates only become time-ordered after the
+        // full scan; sort by recency, then validate until K hits. A pk can
+        // appear under several attribute values (stale composite entries
+        // from updates); only its newest candidate may produce a hit.
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.2));
+        let mut hits = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for (_av, pk, seq) in candidates {
+            if k.is_some_and(|k| hits.len() >= k) {
+                break;
+            }
+            if !seen.insert(pk.clone()) {
+                continue;
+            }
+            if let Some(doc) = fetch_if_valid(primary, &pk, &pred)? {
+                hits.push(LookupHit { key: pk, seq, doc });
+            }
+        }
+        Ok(hits)
+    }
+}
+
+impl SecondaryIndex for CompositeIndex {
+    fn attr(&self) -> &str {
+        &self.attr
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::CompositeStandalone
+    }
+
+    fn on_put(&self, _primary: &Db, pk: &[u8], doc: &Document, seq: u64) -> Result<()> {
+        let Some(value) = doc.attr(&self.attr) else {
+            return Ok(());
+        };
+        let mut seq_bytes = Vec::with_capacity(8);
+        put_fixed64(&mut seq_bytes, seq);
+        self.table
+            .put(&Self::composite_key(&value, pk), &seq_bytes)?;
+        Ok(())
+    }
+
+    fn on_delete(
+        &self,
+        _primary: &Db,
+        pk: &[u8],
+        old_doc: Option<&Document>,
+        _seq: u64,
+    ) -> Result<()> {
+        // "A DEL operation inserts the composite key with a deletion marker
+        // in [the] index table": an LSM tombstone on the composite key.
+        let Some(value) = old_doc.and_then(|d| d.attr(&self.attr)) else {
+            return Ok(());
+        };
+        self.table.delete(&Self::composite_key(&value, pk))?;
+        Ok(())
+    }
+
+    fn lookup(&self, primary: &Db, value: &AttrValue, k: Option<usize>) -> Result<Vec<LookupHit>> {
+        let candidates = self.scan(value, value)?;
+        self.resolve(primary, candidates, k, |d| {
+            d.attr(&self.attr).as_ref() == Some(value)
+        })
+    }
+
+    fn range_lookup(
+        &self,
+        primary: &Db,
+        lo: &AttrValue,
+        hi: &AttrValue,
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>> {
+        let candidates = self.scan(lo, hi)?;
+        let (lo, hi) = (lo.clone(), hi.clone());
+        self.resolve(primary, candidates, k, move |d| match d.attr(&self.attr) {
+            Some(v) => lo <= v && v <= hi,
+            None => false,
+        })
+    }
+
+    fn table_bytes(&self) -> u64 {
+        self.table.table_bytes()
+    }
+
+    fn index_stats(&self) -> Option<Arc<IoStats>> {
+        Some(self.table.stats())
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.table.flush()
+    }
+
+    fn needs_backfill(&self) -> bool {
+        // Never written: no sequence was ever assigned to this table.
+        self.table.last_sequence() == 0
+    }
+}

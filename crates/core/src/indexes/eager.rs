@@ -1,0 +1,197 @@
+//! The Eager stand-alone index (paper §4.1.1).
+//!
+//! A separate LSM table maps each attribute value to its full posting list.
+//! Every PUT does a read-modify-write of that list ("first reads the
+//! current postings list of a_i, adds k to the list and writes back the
+//! updated list") — which is why the paper finds its write amplification
+//! explodes (`WAMF = PL_S · 2·(N+1)·(L−1)`).
+
+use crate::doc::Document;
+use crate::indexes::posting::{decode_postings, encode_postings, fold_postings, Posting};
+use crate::indexes::{fetch_if_valid, IndexKind, LookupHit, SecondaryIndex};
+use crate::topk::TopK;
+use ldbpp_common::Result;
+use ldbpp_lsm::attr::AttrValue;
+use ldbpp_lsm::db::{Db, DbOptions};
+use ldbpp_lsm::env::{Env, IoStats};
+use std::sync::Arc;
+
+/// Stand-alone posting-list index with eager (in-place) updates.
+pub struct EagerIndex {
+    attr: String,
+    table: Arc<Db>,
+}
+
+impl EagerIndex {
+    /// Open the index table under `path` (its own LSM tree).
+    pub fn open(env: Arc<dyn Env>, path: &str, attr: &str, base: &DbOptions) -> Result<EagerIndex> {
+        let opts = DbOptions {
+            indexed_attrs: Vec::new(),
+            extractor: None,
+            merge_operator: None,
+            ..base.clone()
+        };
+        Ok(EagerIndex {
+            attr: attr.to_string(),
+            table: Arc::new(Db::open(env, path, opts)?),
+        })
+    }
+
+    /// The underlying index table (exposed for experiments).
+    pub fn table(&self) -> &Arc<Db> {
+        &self.table
+    }
+
+    fn read_modify_write(
+        &self,
+        value: &AttrValue,
+        update: impl FnOnce(Vec<Posting>) -> Vec<Posting>,
+    ) -> Result<()> {
+        let key = value.encode();
+        let current = match self.table.get(&key)? {
+            Some(bytes) => decode_postings(&bytes)?,
+            None => Vec::new(),
+        };
+        let updated = update(current);
+        self.table.put(&key, &encode_postings(&updated)?)?;
+        Ok(())
+    }
+
+    /// Scan index-table keys in `[lo, hi]`, yielding `(value, postings)`.
+    fn scan_range(&self, lo: &AttrValue, hi: &AttrValue) -> Result<Vec<(AttrValue, Vec<Posting>)>> {
+        let mut out = Vec::new();
+        let mut it = self.table.resolved_iter()?;
+        it.seek(&lo.encode());
+        while let Some((key, _seq, value)) = it.next_entry()? {
+            let av = AttrValue::decode(&key)?;
+            if av > *hi {
+                break;
+            }
+            out.push((av, decode_postings(&value)?));
+        }
+        Ok(out)
+    }
+}
+
+impl SecondaryIndex for EagerIndex {
+    fn attr(&self) -> &str {
+        &self.attr
+    }
+
+    fn kind(&self) -> IndexKind {
+        IndexKind::EagerStandalone
+    }
+
+    fn on_put(&self, _primary: &Db, pk: &[u8], doc: &Document, seq: u64) -> Result<()> {
+        let Some(value) = doc.attr(&self.attr) else {
+            return Ok(());
+        };
+        let entry = Posting::insert(pk.to_vec(), seq);
+        self.read_modify_write(&value, move |current| {
+            // Keep at most one entry per primary key (the new one).
+            fold_postings(&[vec![entry], current], true)
+        })
+    }
+
+    fn on_delete(
+        &self,
+        _primary: &Db,
+        pk: &[u8],
+        old_doc: Option<&Document>,
+        _seq: u64,
+    ) -> Result<()> {
+        // Eager updates can physically remove the key from the list.
+        let Some(value) = old_doc.and_then(|d| d.attr(&self.attr)) else {
+            return Ok(());
+        };
+        self.read_modify_write(&value, |mut current| {
+            current.retain(|p| p.pk != pk);
+            current
+        })
+    }
+
+    fn lookup(&self, primary: &Db, value: &AttrValue, k: Option<usize>) -> Result<Vec<LookupHit>> {
+        // One read suffices: the newest list shadows all older ones
+        // (Algorithm 2).
+        let postings = match self.table.get(&value.encode())? {
+            Some(bytes) => decode_postings(&bytes)?,
+            None => return Ok(Vec::new()),
+        };
+        let mut hits = Vec::new();
+        for p in postings {
+            if p.deleted {
+                continue;
+            }
+            if let Some(doc) =
+                fetch_if_valid(primary, &p.pk, |d| d.attr(&self.attr).as_ref() == Some(value))?
+            {
+                hits.push(LookupHit {
+                    key: p.pk,
+                    seq: p.seq,
+                    doc,
+                });
+                if Some(hits.len()) == k {
+                    break;
+                }
+            }
+        }
+        Ok(hits)
+    }
+
+    fn range_lookup(
+        &self,
+        primary: &Db,
+        lo: &AttrValue,
+        hi: &AttrValue,
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>> {
+        // Collect the K-prefix of each matching list into a min-heap keyed
+        // by sequence number (Algorithm: "retrieve K most recent primary
+        // keys from the posting list ... add to the min-heap").
+        let mut candidates: TopK<Vec<u8>> = TopK::new(None);
+        for (_value, postings) in self.scan_range(lo, hi)? {
+            for p in postings.iter().take(k.unwrap_or(usize::MAX)) {
+                if !p.deleted {
+                    candidates.add(p.seq, p.pk.clone());
+                }
+            }
+        }
+        let in_range = |d: &Document| match d.attr(&self.attr) {
+            Some(v) => *lo <= v && v <= *hi,
+            None => false,
+        };
+        let mut hits = Vec::new();
+        // A pk can appear under several attribute values (stale entries
+        // from updates); only its newest candidate may produce a hit.
+        let mut seen = std::collections::HashSet::new();
+        for (seq, pk) in candidates.into_sorted() {
+            if Some(hits.len()) == k {
+                break;
+            }
+            if !seen.insert(pk.clone()) {
+                continue;
+            }
+            if let Some(doc) = fetch_if_valid(primary, &pk, in_range)? {
+                hits.push(LookupHit { key: pk, seq, doc });
+            }
+        }
+        Ok(hits)
+    }
+
+    fn table_bytes(&self) -> u64 {
+        self.table.table_bytes()
+    }
+
+    fn index_stats(&self) -> Option<Arc<IoStats>> {
+        Some(self.table.stats())
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.table.flush()
+    }
+
+    fn needs_backfill(&self) -> bool {
+        // Never written: no sequence was ever assigned to this table.
+        self.table.last_sequence() == 0
+    }
+}

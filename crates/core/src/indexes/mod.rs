@@ -1,0 +1,151 @@
+//! The secondary-index implementations and their shared plumbing.
+
+mod composite;
+mod eager;
+mod embedded;
+mod lazy;
+mod posting;
+
+pub use composite::CompositeIndex;
+pub use eager::EagerIndex;
+pub use embedded::{EmbeddedIndex, EmbeddedValidation};
+pub use lazy::{LazyIndex, PostingListMerge};
+pub use posting::{decode_postings, encode_postings, Posting};
+
+use crate::doc::Document;
+use ldbpp_common::Result;
+use ldbpp_lsm::attr::AttrValue;
+use ldbpp_lsm::db::Db;
+use ldbpp_lsm::env::IoStats;
+use std::sync::Arc;
+
+/// Which secondary-index technique an attribute uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// No index: LOOKUP/RANGELOOKUP fall back to a full scan.
+    None,
+    /// Per-block bloom filters + zone maps embedded in the primary table
+    /// (paper §3).
+    Embedded,
+    /// Stand-alone posting-list table, read-modify-write per write (§4.1.1).
+    EagerStandalone,
+    /// Stand-alone posting-list table, append-only fragments merged during
+    /// compaction (§4.1.2).
+    LazyStandalone,
+    /// Stand-alone `(secondary ‖ primary)` composite-key table (§4.2).
+    CompositeStandalone,
+}
+
+impl IndexKind {
+    /// Human-readable name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexKind::None => "NoIndex",
+            IndexKind::Embedded => "Embedded",
+            IndexKind::EagerStandalone => "Eager",
+            IndexKind::LazyStandalone => "Lazy",
+            IndexKind::CompositeStandalone => "Composite",
+        }
+    }
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad` (not `write_str`) so width/alignment format specs work.
+        f.pad(self.name())
+    }
+}
+
+/// One result of a LOOKUP / RANGELOOKUP: the record plus its insertion
+/// sequence number (the recency key for top-K).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LookupHit {
+    /// Primary key.
+    pub key: Vec<u8>,
+    /// Sequence number the record was written at.
+    pub seq: u64,
+    /// The record.
+    pub doc: Document,
+}
+
+/// The common interface all four index implementations provide.
+///
+/// `on_put` / `on_delete` run inside the write path after the primary-table
+/// write; `seq` is the sequence number the primary write was assigned, so
+/// postings and composite entries carry the global recency clock.
+pub trait SecondaryIndex: Send + Sync {
+    /// The indexed attribute.
+    fn attr(&self) -> &str;
+    /// Which technique this is.
+    fn kind(&self) -> IndexKind;
+    /// Maintain the index for a PUT of `doc` at `pk`.
+    fn on_put(&self, primary: &Db, pk: &[u8], doc: &Document, seq: u64) -> Result<()>;
+    /// Maintain the index for a DEL of `pk` whose latest record was
+    /// `old_doc` (None when the key did not exist).
+    fn on_delete(&self, primary: &Db, pk: &[u8], old_doc: Option<&Document>, seq: u64)
+        -> Result<()>;
+    /// `LOOKUP(A, a, K)`: the K most recent valid records with
+    /// `val(A) = a` (K = None ⇒ all).
+    fn lookup(
+        &self,
+        primary: &Db,
+        value: &AttrValue,
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>>;
+    /// `RANGELOOKUP(A, a, b, K)`: the K most recent valid records with
+    /// `a ≤ val(A) ≤ b`.
+    fn range_lookup(
+        &self,
+        primary: &Db,
+        lo: &AttrValue,
+        hi: &AttrValue,
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>>;
+    /// Bytes of any stand-alone index table (0 for the Embedded Index).
+    fn table_bytes(&self) -> u64;
+    /// I/O counters of the stand-alone index table, if one exists.
+    fn index_stats(&self) -> Option<Arc<IoStats>>;
+    /// Flush any stand-alone index table's memtable.
+    fn flush(&self) -> Result<()>;
+    /// Notification that the primary memtable was flushed (generation
+    /// counter); the Embedded Index resets its memtable-side B-tree.
+    fn on_primary_mem_flush(&self, _generation: u64) {}
+    /// True when the index's persistent structure has never been written
+    /// and should be rebuilt from the primary table (see
+    /// [`crate::SecondaryDb::backfill_indexes`]).
+    fn needs_backfill(&self) -> bool {
+        false
+    }
+}
+
+/// Fetch `pk` from the primary table and keep it only if `pred` holds on
+/// the parsed document — the stand-alone indexes' validity check ("we make
+/// sure val(A_i) = a for each entry ... as there could be invalid keys in
+/// the postings list caused by updates on the data table").
+pub(crate) fn fetch_if_valid(
+    primary: &Db,
+    pk: &[u8],
+    pred: impl Fn(&Document) -> bool,
+) -> Result<Option<Document>> {
+    match primary.get(pk)? {
+        None => Ok(None),
+        Some(bytes) => {
+            let doc = Document::parse(&bytes)?;
+            Ok(if pred(&doc) { Some(doc) } else { None })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(IndexKind::Embedded.name(), "Embedded");
+        assert_eq!(IndexKind::EagerStandalone.to_string(), "Eager");
+        assert_eq!(IndexKind::LazyStandalone.name(), "Lazy");
+        assert_eq!(IndexKind::CompositeStandalone.name(), "Composite");
+        assert_eq!(IndexKind::None.name(), "NoIndex");
+    }
+}

@@ -1,0 +1,198 @@
+//! Posting lists serialized as JSON arrays (paper §4.1: "Posting lists can
+//! be serialized as a single JSON array").
+//!
+//! Each entry is `[pk, seq]` for an insertion or `[pk, seq, 1]` for a
+//! deletion marker ("DEL ... maintains a deletion marker which is used
+//! during merge in compaction to remove the deleted entry"). Lists are kept
+//! ordered by sequence number, newest first, so a top-K read needs only a
+//! K-prefix.
+
+use ldbpp_common::json::Value;
+use ldbpp_common::{Error, Result};
+
+/// One posting-list entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// Primary key (UTF-8; posting-list indexes require text keys).
+    pub pk: Vec<u8>,
+    /// Sequence number of the write that created this entry.
+    pub seq: u64,
+    /// True for deletion markers.
+    pub deleted: bool,
+}
+
+impl Posting {
+    /// An insertion entry.
+    pub fn insert(pk: impl Into<Vec<u8>>, seq: u64) -> Posting {
+        Posting {
+            pk: pk.into(),
+            seq,
+            deleted: false,
+        }
+    }
+
+    /// A deletion marker.
+    pub fn delete(pk: impl Into<Vec<u8>>, seq: u64) -> Posting {
+        Posting {
+            pk: pk.into(),
+            seq,
+            deleted: true,
+        }
+    }
+}
+
+/// Serialize a posting list to its JSON representation.
+pub fn encode_postings(list: &[Posting]) -> Result<Vec<u8>> {
+    let mut items = Vec::with_capacity(list.len());
+    for p in list {
+        let pk = std::str::from_utf8(&p.pk).map_err(|_| {
+            Error::invalid("posting-list indexes require UTF-8 primary keys")
+        })?;
+        let mut entry = vec![Value::str(pk), Value::Int(p.seq as i64)];
+        if p.deleted {
+            entry.push(Value::Int(1));
+        }
+        items.push(Value::Array(entry));
+    }
+    Ok(Value::Array(items).to_json().into_bytes())
+}
+
+/// Parse a JSON posting list.
+pub fn decode_postings(bytes: &[u8]) -> Result<Vec<Posting>> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| Error::corruption("posting list not UTF-8"))?;
+    let value = Value::parse(text)?;
+    let items = value
+        .as_array()
+        .ok_or_else(|| Error::corruption("posting list not an array"))?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let entry = item
+            .as_array()
+            .ok_or_else(|| Error::corruption("posting entry not an array"))?;
+        if entry.len() < 2 || entry.len() > 3 {
+            return Err(Error::corruption("posting entry arity"));
+        }
+        let pk = entry[0]
+            .as_str()
+            .ok_or_else(|| Error::corruption("posting pk not a string"))?;
+        let seq = entry[1]
+            .as_int()
+            .ok_or_else(|| Error::corruption("posting seq not an int"))?;
+        if seq < 0 {
+            return Err(Error::corruption("negative posting seq"));
+        }
+        let deleted = match entry.get(2) {
+            None => false,
+            Some(v) => v.as_int() == Some(1),
+        };
+        out.push(Posting {
+            pk: pk.as_bytes().to_vec(),
+            seq: seq as u64,
+            deleted,
+        });
+    }
+    Ok(out)
+}
+
+/// Fold several posting lists, **newest list first**, into one list sorted
+/// newest-first with one entry per primary key (the newest wins). When
+/// `keep_markers` is false, deletion markers are dropped from the output
+/// (safe once nothing older can exist underneath).
+pub fn fold_postings(lists: &[Vec<Posting>], keep_markers: bool) -> Vec<Posting> {
+    let mut out: Vec<Posting> = Vec::new();
+    let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    for list in lists {
+        for p in list {
+            if seen.insert(p.pk.clone()) {
+                out.push(p.clone());
+            }
+        }
+    }
+    out.sort_by_key(|p| std::cmp::Reverse(p.seq));
+    if !keep_markers {
+        out.retain(|p| !p.deleted);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let list = vec![
+            Posting::insert("t9", 9),
+            Posting::insert("t5", 5),
+            Posting::delete("t3", 3),
+        ];
+        let bytes = encode_postings(&list).unwrap();
+        assert_eq!(
+            std::str::from_utf8(&bytes).unwrap(),
+            r#"[["t9",9],["t5",5],["t3",3,1]]"#
+        );
+        assert_eq!(decode_postings(&bytes).unwrap(), list);
+    }
+
+    #[test]
+    fn empty_list() {
+        let bytes = encode_postings(&[]).unwrap();
+        assert_eq!(decode_postings(&bytes).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn rejects_non_utf8_pk() {
+        assert!(encode_postings(&[Posting::insert(vec![0xff, 0xfe], 1)]).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            &b"{}"[..],
+            b"[1]",
+            b"[[1,2]]",
+            b"[[\"pk\"]]",
+            b"[[\"pk\",\"x\"]]",
+            b"[[\"pk\",-4]]",
+            b"[[\"pk\",1,2,3]]",
+        ] {
+            assert!(decode_postings(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn fold_newest_wins_per_pk() {
+        let newer = vec![Posting::insert("a", 9), Posting::insert("b", 8)];
+        let older = vec![Posting::insert("a", 3), Posting::insert("c", 2)];
+        let folded = fold_postings(&[newer, older], true);
+        assert_eq!(
+            folded,
+            vec![
+                Posting::insert("a", 9),
+                Posting::insert("b", 8),
+                Posting::insert("c", 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn fold_deletion_markers() {
+        let newer = vec![Posting::delete("a", 9)];
+        let older = vec![Posting::insert("a", 3), Posting::insert("b", 2)];
+        let kept = fold_postings(&[newer.clone(), older.clone()], true);
+        assert_eq!(kept, vec![Posting::delete("a", 9), Posting::insert("b", 2)]);
+        let dropped = fold_postings(&[newer, older], false);
+        assert_eq!(dropped, vec![Posting::insert("b", 2)]);
+    }
+
+    #[test]
+    fn fold_reinsert_after_delete() {
+        // pk re-inserted after deletion: the newest (insert) wins.
+        let newest = vec![Posting::insert("a", 15)];
+        let middle = vec![Posting::delete("a", 10)];
+        let oldest = vec![Posting::insert("a", 5)];
+        let folded = fold_postings(&[newest, middle, oldest], true);
+        assert_eq!(folded, vec![Posting::insert("a", 15)]);
+    }
+}

@@ -1,0 +1,508 @@
+//! The unified database facade: LevelDB++.
+//!
+//! A [`SecondaryDb`] is a primary LSM table plus, per indexed attribute,
+//! one of the paper's index techniques. It exposes exactly the paper's
+//! operation set (Table 1): `GET`, `PUT`, `DEL`, `LOOKUP(A, a, K)` and
+//! `RANGELOOKUP(A, a, b, K)`.
+
+use crate::doc::{Document, JsonAttrExtractor};
+use crate::indexes::{
+    CompositeIndex, EagerIndex, EmbeddedIndex, EmbeddedValidation, IndexKind, LazyIndex,
+    LookupHit, SecondaryIndex,
+};
+use crate::topk::TopK;
+use ldbpp_common::json::Value;
+use ldbpp_common::{Error, Result};
+use ldbpp_lsm::attr::AttrValue;
+use ldbpp_lsm::db::{Db, DbOptions};
+use ldbpp_lsm::env::{Env, IoSnapshot, MemEnv};
+use std::sync::Arc;
+
+/// Configuration for a [`SecondaryDb`].
+#[derive(Clone, Debug, Default)]
+pub struct SecondaryDbOptions {
+    /// Sizing/compression options applied to the primary table and (unless
+    /// overridden) every stand-alone index table.
+    pub base: DbOptions,
+    /// Validation mode for Embedded indexes (ablation knob; the default
+    /// GetLite-with-confirmation is both exact and cheap).
+    pub embedded_validation: EmbeddedValidation,
+}
+
+
+/// Convert a JSON scalar to a typed attribute value.
+pub fn attr_from_json(v: &Value) -> Result<AttrValue> {
+    match v {
+        Value::Str(s) => Ok(AttrValue::str(s.clone())),
+        Value::Int(i) => Ok(AttrValue::Int(*i)),
+        other => Err(Error::invalid(format!(
+            "attribute values must be strings or integers, got {other}"
+        ))),
+    }
+}
+
+/// A key-value store with secondary indexes — the paper's LevelDB++.
+///
+/// ```
+/// use ldbpp_core::{Document, IndexKind, SecondaryDb};
+/// use ldbpp_common::json::Value;
+/// use ldbpp_lsm::db::DbOptions;
+///
+/// let db = SecondaryDb::open_in_memory(
+///     DbOptions::small(),
+///     &[("UserID", IndexKind::CompositeStandalone)],
+/// ).unwrap();
+///
+/// let mut doc = Document::new();
+/// doc.set("UserID", Value::str("alice"));
+/// db.put("t1", &doc).unwrap();
+///
+/// let hits = db.lookup("UserID", &Value::str("alice"), None).unwrap();
+/// assert_eq!(hits[0].key, b"t1");
+/// assert!(db.get("t1").unwrap().is_some());
+/// db.delete("t1").unwrap();
+/// assert!(db.get("t1").unwrap().is_none());
+/// ```
+pub struct SecondaryDb {
+    primary: Arc<Db>,
+    indexes: Vec<Box<dyn SecondaryIndex>>,
+    /// Attributes declared with [`IndexKind::None`] (full-scan fallback).
+    unindexed: Vec<String>,
+}
+
+impl SecondaryDb {
+    /// Open a database at `name` with the given per-attribute indexes.
+    pub fn open(
+        env: Arc<dyn Env>,
+        name: &str,
+        opts: SecondaryDbOptions,
+        specs: &[(&str, IndexKind)],
+    ) -> Result<SecondaryDb> {
+        let mut primary_opts = opts.base.clone();
+        let embedded_attrs: Vec<String> = specs
+            .iter()
+            .filter(|(_, k)| *k == IndexKind::Embedded)
+            .map(|(a, _)| a.to_string())
+            .collect();
+        if !embedded_attrs.is_empty() {
+            primary_opts.indexed_attrs = embedded_attrs;
+            primary_opts.extractor = Some(Arc::new(JsonAttrExtractor));
+        }
+        let primary = Arc::new(Db::open(Arc::clone(&env), name, primary_opts)?);
+
+        let mut indexes: Vec<Box<dyn SecondaryIndex>> = Vec::new();
+        let mut unindexed = Vec::new();
+        for (attr, kind) in specs {
+            let path = format!("{name}_idx_{attr}");
+            match kind {
+                IndexKind::None => unindexed.push(attr.to_string()),
+                IndexKind::Embedded => indexes.push(Box::new(EmbeddedIndex::with_validation(
+                    attr,
+                    opts.embedded_validation,
+                ))),
+                IndexKind::EagerStandalone => indexes.push(Box::new(EagerIndex::open(
+                    Arc::clone(&env),
+                    &path,
+                    attr,
+                    &opts.base,
+                )?)),
+                IndexKind::LazyStandalone => indexes.push(Box::new(LazyIndex::open(
+                    Arc::clone(&env),
+                    &path,
+                    attr,
+                    &opts.base,
+                )?)),
+                IndexKind::CompositeStandalone => indexes.push(Box::new(CompositeIndex::open(
+                    Arc::clone(&env),
+                    &path,
+                    attr,
+                    &opts.base,
+                )?)),
+            }
+        }
+        Ok(SecondaryDb {
+            primary,
+            indexes,
+            unindexed,
+        })
+    }
+
+    /// Open in a fresh in-memory environment (tests, examples, benches).
+    pub fn open_in_memory(base: DbOptions, specs: &[(&str, IndexKind)]) -> Result<SecondaryDb> {
+        SecondaryDb::open(
+            MemEnv::new(),
+            "db",
+            SecondaryDbOptions {
+                base,
+                ..Default::default()
+            },
+            specs,
+        )
+    }
+
+    /// The primary table.
+    pub fn primary(&self) -> &Arc<Db> {
+        &self.primary
+    }
+
+    /// The index handling `attr`, if any.
+    fn index_for(&self, attr: &str) -> Option<&dyn SecondaryIndex> {
+        self.indexes
+            .iter()
+            .map(|b| b.as_ref())
+            .find(|i| i.attr() == attr)
+    }
+
+    /// Which technique indexes `attr`.
+    pub fn index_kind(&self, attr: &str) -> IndexKind {
+        match self.index_for(attr) {
+            Some(i) => i.kind(),
+            None => IndexKind::None,
+        }
+    }
+
+    // -- Table 1 operations --------------------------------------------------
+
+    /// `PUT(k, v)`: write (or overwrite) a record and maintain every index.
+    pub fn put(&self, pk: impl AsRef<[u8]>, doc: &Document) -> Result<u64> {
+        let pk = pk.as_ref();
+        if pk.is_empty() {
+            return Err(Error::invalid("empty primary key"));
+        }
+        // Reject inputs an index would later refuse *before* the primary
+        // write, so a failed put never leaves the primary and its indexes
+        // divergent (posting-list indexes serialize keys into JSON).
+        let needs_text_pk = self.indexes.iter().any(|i| {
+            matches!(
+                i.kind(),
+                IndexKind::EagerStandalone | IndexKind::LazyStandalone
+            )
+        });
+        if needs_text_pk && std::str::from_utf8(pk).is_err() {
+            return Err(Error::invalid(
+                "posting-list indexes require UTF-8 primary keys",
+            ));
+        }
+        let seq = self.primary.put(pk, &doc.to_bytes())?;
+        for index in &self.indexes {
+            index.on_put(&self.primary, pk, doc, seq)?;
+        }
+        Ok(seq)
+    }
+
+    /// `DEL(k)`: delete a record and maintain every index.
+    pub fn delete(&self, pk: impl AsRef<[u8]>) -> Result<()> {
+        let pk = pk.as_ref();
+        // Stand-alone indexes need the old record to find which posting
+        // list / composite key to mark; the Embedded Index does not (its
+        // validity checks absorb stale entries), keeping its DEL at a
+        // single write as in the paper's Table 3.
+        let needs_old = self
+            .indexes
+            .iter()
+            .any(|i| i.kind() != IndexKind::Embedded);
+        let old_doc = if needs_old {
+            match self.primary.get(pk)? {
+                Some(bytes) => Some(Document::parse(&bytes)?),
+                None => None,
+            }
+        } else {
+            None
+        };
+        let seq = self.primary.delete(pk)?;
+        for index in &self.indexes {
+            index.on_delete(&self.primary, pk, old_doc.as_ref(), seq)?;
+        }
+        Ok(())
+    }
+
+    /// `GET(k)`: fetch a record by primary key.
+    pub fn get(&self, pk: impl AsRef<[u8]>) -> Result<Option<Document>> {
+        match self.primary.get(pk.as_ref())? {
+            Some(bytes) => Ok(Some(Document::parse(&bytes)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// `LOOKUP(A, a, K)`: the K most recent records with `val(A) = a`.
+    pub fn lookup(&self, attr: &str, value: &Value, k: Option<usize>) -> Result<Vec<LookupHit>> {
+        self.lookup_attr(attr, &attr_from_json(value)?, k)
+    }
+
+    /// Typed variant of [`SecondaryDb::lookup`].
+    pub fn lookup_attr(
+        &self,
+        attr: &str,
+        value: &AttrValue,
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>> {
+        match self.index_for(attr) {
+            Some(index) => index.lookup(&self.primary, value, k),
+            None if self.unindexed.iter().any(|a| a == attr) => {
+                self.full_scan_on(attr, |v| v == value, k)
+            }
+            None => Err(Error::not_supported(format!(
+                "no index declared on attribute '{attr}'"
+            ))),
+        }
+    }
+
+    /// `RANGELOOKUP(A, a, b, K)`: the K most recent records with
+    /// `a ≤ val(A) ≤ b`.
+    pub fn range_lookup(
+        &self,
+        attr: &str,
+        lo: &Value,
+        hi: &Value,
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>> {
+        self.range_lookup_attr(attr, &attr_from_json(lo)?, &attr_from_json(hi)?, k)
+    }
+
+    /// Typed variant of [`SecondaryDb::range_lookup`].
+    pub fn range_lookup_attr(
+        &self,
+        attr: &str,
+        lo: &AttrValue,
+        hi: &AttrValue,
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>> {
+        if lo > hi {
+            return Err(Error::invalid("inverted range"));
+        }
+        match self.index_for(attr) {
+            Some(index) => index.range_lookup(&self.primary, lo, hi, k),
+            None if self.unindexed.iter().any(|a| a == attr) => {
+                let (lo, hi) = (lo.clone(), hi.clone());
+                let attr = attr.to_string();
+                self.full_scan_on(&attr, move |v| lo <= *v && *v <= hi, k)
+            }
+            None => Err(Error::not_supported(format!(
+                "no index declared on attribute '{attr}'"
+            ))),
+        }
+    }
+
+    /// Range scan over **primary keys** in `[lo, hi]` (inclusive),
+    /// newest-version-resolved, in key order — LevelDB's range-query API
+    /// surfaced through the facade (the Eager index uses it internally for
+    /// RANGELOOKUP).
+    pub fn scan_primary(
+        &self,
+        lo: impl AsRef<[u8]>,
+        hi: impl AsRef<[u8]>,
+        limit: Option<usize>,
+    ) -> Result<Vec<(Vec<u8>, Document)>> {
+        let (lo, hi) = (lo.as_ref(), hi.as_ref());
+        if lo > hi {
+            return Err(Error::invalid("inverted range"));
+        }
+        let mut it = self.primary.resolved_iter()?;
+        it.seek(lo);
+        let mut out = Vec::new();
+        while let Some((key, _seq, bytes)) = it.next_entry()? {
+            if key.as_slice() > hi {
+                break;
+            }
+            out.push((key, Document::parse(&bytes)?));
+            if limit.is_some_and(|l| out.len() >= l) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Conjunctive multi-attribute lookup: the K most recent records
+    /// matching **all** of the given `(attribute, value)` equality
+    /// predicates — the multi-dimensional search the paper cites HyperDex
+    /// and Innesto for, expressed over this engine's per-attribute indexes.
+    ///
+    /// Strategy: probe the indexed attribute expected to be most selective
+    /// (the first indexed one given), then filter its hits on the remaining
+    /// predicates — a standard index-intersection plan specialized to one
+    /// driving index.
+    pub fn lookup_all(
+        &self,
+        predicates: &[(&str, Value)],
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>> {
+        if predicates.is_empty() {
+            return Err(Error::invalid("lookup_all needs at least one predicate"));
+        }
+        // Driving attribute: the first with a real index.
+        let driver = predicates
+            .iter()
+            .position(|(attr, _)| self.index_for(attr).is_some())
+            .unwrap_or(0);
+        let (driver_attr, driver_value) = &predicates[driver];
+        let rest: Vec<(&str, AttrValue)> = predicates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != driver)
+            .map(|(_, (attr, value))| Ok((*attr, attr_from_json(value)?)))
+            .collect::<Result<_>>()?;
+
+        // Over-fetch from the driving index, filter, repeat with a larger
+        // K until satisfied or exhausted.
+        let mut fetch = k.map(|k| (k * 4).max(16));
+        loop {
+            let hits = self.lookup(driver_attr, driver_value, fetch)?;
+            let exhausted = fetch.is_none() || hits.len() < fetch.unwrap();
+            let filtered: Vec<LookupHit> = hits
+                .into_iter()
+                .filter(|h| {
+                    rest.iter()
+                        .all(|(attr, want)| h.doc.attr(attr).as_ref() == Some(want))
+                })
+                .collect();
+            if k.is_none() || filtered.len() >= k.unwrap() || exhausted {
+                let mut filtered = filtered;
+                filtered.truncate(k.unwrap_or(usize::MAX));
+                return Ok(filtered);
+            }
+            fetch = Some(fetch.unwrap() * 4);
+        }
+    }
+
+    /// The NoIndex baseline: scan the entire primary table.
+    fn full_scan_on(
+        &self,
+        attr: &str,
+        pred: impl Fn(&AttrValue) -> bool,
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>> {
+        let mut heap: TopK<(Vec<u8>, Document)> = TopK::new(k);
+        let mut it = self.primary.resolved_iter()?;
+        it.seek_to_first();
+        while let Some((pk, seq, bytes)) = it.next_entry()? {
+            let Ok(doc) = Document::parse(&bytes) else {
+                continue;
+            };
+            if let Some(v) = doc.attr(attr) {
+                if pred(&v) {
+                    heap.add(seq, (pk, doc));
+                }
+            }
+        }
+        Ok(heap
+            .into_sorted()
+            .into_iter()
+            .map(|(seq, (key, doc))| LookupHit { key, seq, doc })
+            .collect())
+    }
+
+    // -- maintenance & accounting ---------------------------------------------
+
+    /// Build indexes that were declared after data already existed.
+    ///
+    /// Two cases are handled:
+    ///
+    /// * **Stand-alone indexes whose tables have never been written** are
+    ///   populated by scanning every live primary record and replaying
+    ///   `on_put` with the record's original sequence number (so recency
+    ///   ordering is preserved). The operation is idempotent — postings
+    ///   and composite entries dedup by primary key.
+    /// * **Embedded attributes missing from existing SSTables** trigger a
+    ///   major compaction of the primary table, which rewrites every file
+    ///   with the now-declared per-block filters and zone maps.
+    ///
+    /// Returns the number of records replayed into stand-alone indexes.
+    pub fn backfill_indexes(&self) -> Result<usize> {
+        // Embedded: any file missing the attribute's file-level zone map
+        // predates the declaration.
+        let embedded_attrs: Vec<&str> = self
+            .indexes
+            .iter()
+            .filter(|i| i.kind() == IndexKind::Embedded)
+            .map(|i| i.attr())
+            .collect();
+        if !embedded_attrs.is_empty() {
+            let version = self.primary.current_version();
+            let stale = version.files.iter().flatten().any(|f| {
+                embedded_attrs
+                    .iter()
+                    .any(|attr| f.file_zone(attr).is_none())
+            });
+            if stale {
+                self.primary.major_compact()?;
+            }
+        }
+
+        let to_fill: Vec<&dyn SecondaryIndex> = self
+            .indexes
+            .iter()
+            .map(|b| b.as_ref())
+            .filter(|i| i.needs_backfill())
+            .collect();
+        if to_fill.is_empty() {
+            return Ok(0);
+        }
+        let mut it = self.primary.resolved_iter()?;
+        it.seek_to_first();
+        let mut replayed = 0usize;
+        while let Some((pk, seq, bytes)) = it.next_entry()? {
+            let Ok(doc) = Document::parse(&bytes) else {
+                continue;
+            };
+            for index in &to_fill {
+                index.on_put(&self.primary, &pk, &doc, seq)?;
+            }
+            replayed += 1;
+        }
+        Ok(replayed)
+    }
+
+    /// Flush the primary memtable and every stand-alone index table.
+    pub fn flush(&self) -> Result<()> {
+        self.primary.flush()?;
+        for index in &self.indexes {
+            index.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Bytes of live SSTables in the primary table.
+    pub fn primary_bytes(&self) -> u64 {
+        self.primary.table_bytes()
+    }
+
+    /// Bytes of live SSTables across all stand-alone index tables.
+    pub fn index_bytes(&self) -> u64 {
+        self.indexes.iter().map(|i| i.table_bytes()).sum()
+    }
+
+    /// Total database size (primary + indexes).
+    pub fn total_bytes(&self) -> u64 {
+        self.primary_bytes() + self.index_bytes()
+    }
+
+    /// Per-attribute stand-alone index table sizes (embedded attrs report 0).
+    pub fn index_bytes_by_attr(&self) -> Vec<(String, u64)> {
+        self.indexes
+            .iter()
+            .map(|i| (i.attr().to_string(), i.table_bytes()))
+            .collect()
+    }
+
+    /// The I/O counters of one attribute's stand-alone index table.
+    pub fn index_stats_of(&self, attr: &str) -> Option<Arc<ldbpp_lsm::env::IoStats>> {
+        self.index_for(attr).and_then(|i| i.index_stats())
+    }
+
+    /// Combined I/O snapshot of every stand-alone index table.
+    pub fn index_io(&self) -> IoSnapshot {
+        let mut total = IoSnapshot::default();
+        for index in &self.indexes {
+            if let Some(stats) = index.index_stats() {
+                total = total + stats.snapshot();
+            }
+        }
+        total
+    }
+
+    /// I/O snapshot of the primary table.
+    pub fn primary_io(&self) -> IoSnapshot {
+        self.primary.stats().snapshot()
+    }
+}
+

@@ -1,0 +1,154 @@
+//! The top-K min-heap of the paper's Algorithm 1.
+//!
+//! "To efficiently compute the top-k entries, we maintain a min-heap
+//! ordered by the sequence number": the heap keeps the K most-recent
+//! candidates; a new candidate replaces the root only if it is newer.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// A bounded min-heap keeping the `k` entries with the largest sequence
+/// numbers (`k = None` ⇒ unbounded, the paper's "no limit on top-k").
+#[derive(Debug)]
+pub struct TopK<T> {
+    k: Option<usize>,
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    items: Vec<Option<(u64, T)>>,
+    evicted: usize,
+}
+
+impl<T> TopK<T> {
+    /// A heap bounded at `k` entries (`None` = unbounded).
+    pub fn new(k: Option<usize>) -> TopK<T> {
+        TopK {
+            k,
+            heap: BinaryHeap::new(),
+            items: Vec::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing has been added.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True once `k` entries are held (never true when unbounded).
+    pub fn is_full(&self) -> bool {
+        match self.k {
+            Some(k) => self.heap.len() >= k,
+            None => false,
+        }
+    }
+
+    /// Would a candidate with sequence `seq` be admitted right now?
+    ///
+    /// The paper's Algorithm 1 check: admitted if the heap is not full, or
+    /// if `seq` is newer than the oldest retained entry. Calling this
+    /// before the (possibly expensive) validity check saves work.
+    pub fn would_admit(&self, seq: u64) -> bool {
+        if !self.is_full() {
+            return true;
+        }
+        match self.heap.peek() {
+            Some(Reverse((min_seq, _))) => seq > *min_seq,
+            None => false, // only reachable with k = 0
+        }
+    }
+
+    /// Offer a candidate; returns true if it was admitted.
+    pub fn add(&mut self, seq: u64, item: T) -> bool {
+        if !self.would_admit(seq) {
+            return false;
+        }
+        if self.is_full() {
+            if let Some(Reverse((_, idx))) = self.heap.pop() {
+                self.items[idx as usize] = None;
+                self.evicted += 1;
+            }
+        }
+        let idx = self.items.len() as u64;
+        self.items.push(Some((seq, item)));
+        self.heap.push(Reverse((seq, idx)));
+        true
+    }
+
+    /// Number of admitted candidates later displaced by newer ones.
+    pub fn evicted(&self) -> usize {
+        self.evicted
+    }
+
+    /// Drain into a list ordered newest-first.
+    pub fn into_sorted(self) -> Vec<(u64, T)> {
+        let mut out: Vec<(u64, T)> = self.items.into_iter().flatten().collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_newest() {
+        let mut h = TopK::new(Some(3));
+        for seq in [5u64, 1, 9, 3, 7, 2] {
+            h.add(seq, format!("v{seq}"));
+        }
+        let out = h.into_sorted();
+        let seqs: Vec<u64> = out.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![9, 7, 5]);
+        assert_eq!(out[0].1, "v9");
+    }
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut h = TopK::new(None);
+        for seq in 0..100u64 {
+            assert!(h.add(seq, seq));
+        }
+        assert!(!h.is_full());
+        assert_eq!(h.len(), 100);
+        let out = h.into_sorted();
+        assert_eq!(out.first().unwrap().0, 99);
+        assert_eq!(out.last().unwrap().0, 0);
+    }
+
+    #[test]
+    fn would_admit_respects_bound() {
+        let mut h = TopK::new(Some(2));
+        assert!(h.would_admit(0));
+        h.add(10, ());
+        h.add(20, ());
+        assert!(h.is_full());
+        assert!(!h.would_admit(5));
+        assert!(!h.would_admit(10), "ties lose to incumbents");
+        assert!(h.would_admit(15));
+        assert!(h.add(15, ()));
+        assert_eq!(h.evicted(), 1);
+        let seqs: Vec<u64> = h.into_sorted().iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![20, 15]);
+    }
+
+    #[test]
+    fn rejected_candidates_not_stored() {
+        let mut h = TopK::new(Some(1));
+        h.add(9, "keep");
+        assert!(!h.add(3, "drop"));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.into_sorted(), vec![(9, "keep")]);
+    }
+
+    #[test]
+    fn zero_k_accepts_nothing() {
+        let mut h = TopK::new(Some(0));
+        assert!(!h.add(5, ()));
+        assert!(h.is_empty());
+    }
+}

@@ -1,0 +1,370 @@
+//! Secondary-attribute values and extraction.
+//!
+//! The Embedded Index attaches bloom filters and zone maps for *secondary
+//! attributes* to every data block. The storage engine itself is agnostic to
+//! the record format: callers supply an [`AttrExtractor`] that pulls typed
+//! attribute values out of a record's value bytes (the core crate implements
+//! one over the JSON document model).
+//!
+//! [`AttrValue`] has a total order (integers before strings) and an
+//! **order-preserving byte encoding** — the Composite stand-alone index
+//! concatenates this encoding with the primary key so that a plain
+//! byte-ordered range scan is a prefix scan on the secondary key.
+
+use ldbpp_common::{Error, Result};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A typed secondary-attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AttrValue {
+    /// 64-bit signed integer attribute (e.g. `CreationTime`).
+    Int(i64),
+    /// String attribute (e.g. `UserID`).
+    Str(String),
+}
+
+impl AttrValue {
+    /// Shorthand string constructor.
+    pub fn str(s: impl Into<String>) -> Self {
+        AttrValue::Str(s.into())
+    }
+
+    /// The bytes hashed into secondary bloom filters.
+    ///
+    /// Uses the order-preserving encoding so that equal values hash equally
+    /// regardless of how they were constructed.
+    pub fn filter_bytes(&self) -> Vec<u8> {
+        self.encode()
+    }
+
+    /// Order-preserving byte encoding.
+    ///
+    /// Layout: a type tag (`0x01` int, `0x02` string) followed by the
+    /// payload. Integers are big-endian with the sign bit flipped so that
+    /// unsigned byte comparison matches signed integer order; strings are
+    /// raw UTF-8. Byte-wise comparison of two encodings orders exactly like
+    /// [`Ord`] on `AttrValue` (ints sort before strings).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            AttrValue::Int(i) => {
+                let mut out = Vec::with_capacity(9);
+                out.push(0x01);
+                out.extend_from_slice(&((*i as u64) ^ (1u64 << 63)).to_be_bytes());
+                out
+            }
+            AttrValue::Str(s) => {
+                let mut out = Vec::with_capacity(1 + s.len());
+                out.push(0x02);
+                out.extend_from_slice(s.as_bytes());
+                out
+            }
+        }
+    }
+
+    /// Order-preserving, **self-terminating** encoding for use as the
+    /// prefix of a composite key (`secondary ‖ primary`, the paper's
+    /// Composite stand-alone index).
+    ///
+    /// Plain [`AttrValue::encode`] is not prefix-free for strings ("u1" is
+    /// a prefix of "u10", so their composite entries would interleave), so
+    /// here string payloads escape `0x00 → 0x00 0xFF` and terminate with
+    /// `0x00 0x01`. Integers are fixed-width and need no terminator. The
+    /// encoding remains order-preserving.
+    pub fn encode_composite(&self) -> Vec<u8> {
+        match self {
+            AttrValue::Int(_) => self.encode(),
+            AttrValue::Str(s) => {
+                let bytes = s.as_bytes();
+                let mut out = Vec::with_capacity(bytes.len() + 3);
+                out.push(0x02);
+                for &b in bytes {
+                    out.push(b);
+                    if b == 0x00 {
+                        out.push(0xff);
+                    }
+                }
+                out.push(0x00);
+                out.push(0x01);
+                out
+            }
+        }
+    }
+
+    /// Parse a composite key `encode_composite(attr) ‖ primary_key`,
+    /// returning the attribute value and the primary-key remainder.
+    pub fn decode_composite(bytes: &[u8]) -> Result<(AttrValue, &[u8])> {
+        match bytes.first() {
+            Some(0x01) => {
+                if bytes.len() < 9 {
+                    return Err(Error::corruption("short composite int"));
+                }
+                let raw = u64::from_be_bytes(bytes[1..9].try_into().unwrap());
+                Ok((AttrValue::Int((raw ^ (1u64 << 63)) as i64), &bytes[9..]))
+            }
+            Some(0x02) => {
+                let mut s = Vec::new();
+                let mut i = 1;
+                loop {
+                    let Some(&b) = bytes.get(i) else {
+                        return Err(Error::corruption("unterminated composite string"));
+                    };
+                    if b == 0x00 {
+                        match bytes.get(i + 1) {
+                            Some(0xff) => {
+                                s.push(0x00);
+                                i += 2;
+                            }
+                            Some(0x01) => {
+                                let s = String::from_utf8(s)
+                                    .map_err(|_| Error::corruption("bad composite utf8"))?;
+                                return Ok((AttrValue::Str(s), &bytes[i + 2..]));
+                            }
+                            _ => return Err(Error::corruption("bad composite escape")),
+                        }
+                    } else {
+                        s.push(b);
+                        i += 1;
+                    }
+                }
+            }
+            _ => Err(Error::corruption("bad composite type tag")),
+        }
+    }
+
+    /// Decode an encoding produced by [`AttrValue::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<AttrValue> {
+        match bytes.first() {
+            Some(0x01) => {
+                if bytes.len() != 9 {
+                    return Err(Error::corruption("bad int attr encoding"));
+                }
+                let raw = u64::from_be_bytes(bytes[1..9].try_into().unwrap());
+                Ok(AttrValue::Int((raw ^ (1u64 << 63)) as i64))
+            }
+            Some(0x02) => {
+                let s = std::str::from_utf8(&bytes[1..])
+                    .map_err(|_| Error::corruption("bad str attr encoding"))?;
+                Ok(AttrValue::Str(s.to_string()))
+            }
+            _ => Err(Error::corruption("bad attr type tag")),
+        }
+    }
+}
+
+impl PartialOrd for AttrValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AttrValue {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (AttrValue::Int(a), AttrValue::Int(b)) => a.cmp(b),
+            (AttrValue::Str(a), AttrValue::Str(b)) => a.cmp(b),
+            (AttrValue::Int(_), AttrValue::Str(_)) => Ordering::Less,
+            (AttrValue::Str(_), AttrValue::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Extracts secondary-attribute values from record value bytes.
+///
+/// Called by the table builder for every record added to a data block so the
+/// Embedded Index's per-block filters can be computed at SSTable-build time
+/// (and hence never need updating — SSTables are immutable).
+pub trait AttrExtractor: Send + Sync {
+    /// Extract the value of attribute `attr` from the record's raw value.
+    ///
+    /// Returns `None` when the record has no such attribute (the record then
+    /// simply does not participate in that attribute's filters).
+    fn extract(&self, attr: &str, value: &[u8]) -> Option<AttrValue>;
+
+    /// Extract several attributes at once. The default delegates to
+    /// [`AttrExtractor::extract`] per attribute; implementations whose
+    /// decoding dominates (e.g. JSON parsing) should override this to
+    /// decode the record once — the table builder calls it for every
+    /// record on every flush and compaction.
+    fn extract_many(&self, attrs: &[String], value: &[u8]) -> Vec<Option<AttrValue>> {
+        attrs.iter().map(|a| self.extract(a, value)).collect()
+    }
+}
+
+/// An extractor that never finds attributes; used when a table carries no
+/// embedded secondary metadata.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoAttrs;
+
+impl AttrExtractor for NoAttrs {
+    fn extract(&self, _attr: &str, _value: &[u8]) -> Option<AttrValue> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_roundtrip() {
+        for v in [
+            AttrValue::Int(0),
+            AttrValue::Int(i64::MIN),
+            AttrValue::Int(i64::MAX),
+            AttrValue::Int(-1),
+            AttrValue::str(""),
+            AttrValue::str("user42"),
+            AttrValue::str("ünïcode"),
+        ] {
+            assert_eq!(AttrValue::decode(&v.encode()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn int_encoding_orders_like_ints() {
+        let vals = [i64::MIN, -100, -1, 0, 1, 99, i64::MAX];
+        for w in vals.windows(2) {
+            let a = AttrValue::Int(w[0]).encode();
+            let b = AttrValue::Int(w[1]).encode();
+            assert!(a < b, "{} should encode below {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn cross_type_ordering() {
+        assert!(AttrValue::Int(i64::MAX) < AttrValue::str(""));
+        assert!(AttrValue::Int(i64::MAX).encode() < AttrValue::str("").encode());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(AttrValue::decode(&[]).is_err());
+        assert!(AttrValue::decode(&[0x03, 1, 2]).is_err());
+        assert!(AttrValue::decode(&[0x01, 1, 2]).is_err()); // short int
+        assert!(AttrValue::decode(&[0x02, 0xff, 0xfe]).is_err()); // bad utf8
+    }
+
+    #[test]
+    fn filter_bytes_equal_for_equal_values() {
+        assert_eq!(
+            AttrValue::str("u1").filter_bytes(),
+            AttrValue::Str("u1".to_string()).filter_bytes()
+        );
+        assert_ne!(
+            AttrValue::str("1").filter_bytes(),
+            AttrValue::Int(1).filter_bytes()
+        );
+    }
+
+    #[test]
+    fn no_attrs_extractor() {
+        assert!(NoAttrs.extract("UserID", b"{}").is_none());
+    }
+
+    fn arb_attr() -> impl Strategy<Value = AttrValue> {
+        prop_oneof![
+            any::<i64>().prop_map(AttrValue::Int),
+            "[a-zA-Z0-9]{0,24}".prop_map(AttrValue::Str),
+        ]
+    }
+
+    #[test]
+    fn composite_roundtrip_with_pk() {
+        for v in [
+            AttrValue::Int(-5),
+            AttrValue::Int(i64::MAX),
+            AttrValue::str("u1"),
+            AttrValue::str(""),
+            AttrValue::str("has\0nul"),
+        ] {
+            let mut key = v.encode_composite();
+            key.extend_from_slice(b"tweet42");
+            let (got, pk) = AttrValue::decode_composite(&key).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(pk, b"tweet42");
+        }
+    }
+
+    #[test]
+    fn composite_prefixes_do_not_collide() {
+        // "u1" + pk must never parse as belonging to "u10".
+        let mut k1 = AttrValue::str("u1").encode_composite();
+        k1.extend_from_slice(b"zzz");
+        let (a, _) = AttrValue::decode_composite(&k1).unwrap();
+        assert_eq!(a, AttrValue::str("u1"));
+        let p10 = AttrValue::str("u10").encode_composite();
+        assert!(!k1.starts_with(&p10));
+        assert!(!p10.starts_with(&AttrValue::str("u1").encode_composite()));
+    }
+
+    #[test]
+    fn composite_groups_are_contiguous() {
+        // All composite keys for one attr sort together: no key of another
+        // attr falls between two keys of the same attr.
+        let attrs = ["u1", "u10", "u1\u{0}x", "u2", ""];
+        let pks = ["a", "z", "m"];
+        let mut keys: Vec<(Vec<u8>, String)> = Vec::new();
+        for a in attrs {
+            for p in pks {
+                let mut k = AttrValue::str(a).encode_composite();
+                k.extend_from_slice(p.as_bytes());
+                keys.push((k, a.to_string()));
+            }
+        }
+        keys.sort();
+        let order: Vec<&String> = keys.iter().map(|(_, a)| a).collect();
+        let mut seen = Vec::new();
+        for a in order {
+            if seen.last() != Some(&a) {
+                assert!(!seen.contains(&a), "attr {a:?} split into two groups");
+                seen.push(a);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_composite_rejects_garbage() {
+        assert!(AttrValue::decode_composite(&[]).is_err());
+        assert!(AttrValue::decode_composite(&[0x09]).is_err());
+        assert!(AttrValue::decode_composite(&[0x01, 1]).is_err());
+        assert!(AttrValue::decode_composite(&[0x02, b'a']).is_err()); // unterminated
+        assert!(AttrValue::decode_composite(&[0x02, 0x00, 0x07]).is_err()); // bad escape
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(v in arb_attr()) {
+            prop_assert_eq!(AttrValue::decode(&v.encode()).unwrap(), v);
+        }
+
+        #[test]
+        fn prop_encoding_is_order_preserving(a in arb_attr(), b in arb_attr()) {
+            prop_assert_eq!(a.encode().cmp(&b.encode()), a.cmp(&b));
+        }
+
+        #[test]
+        fn prop_composite_roundtrip(v in arb_attr(), pk in proptest::collection::vec(any::<u8>(), 0..16)) {
+            let mut key = v.encode_composite();
+            key.extend_from_slice(&pk);
+            let (got, rest) = AttrValue::decode_composite(&key).unwrap();
+            prop_assert_eq!(got, v);
+            prop_assert_eq!(rest, &pk[..]);
+        }
+
+        #[test]
+        fn prop_composite_order_preserving(a in arb_attr(), b in arb_attr()) {
+            prop_assert_eq!(a.encode_composite().cmp(&b.encode_composite()), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! SSTable data blocks with prefix compression and restart points.
+//!
+//! Entries are `(shared, non_shared, value_len, key_delta, value)` with a
+//! restart point (full key) every `restart_interval` entries; the block
+//! ends with the restart offsets and their count. Identical to LevelDB's
+//! block format, which makes seek-within-block a binary search over the
+//! restart array followed by a short linear scan.
+
+use ldbpp_common::coding::{decode_fixed32, get_varint32, put_fixed32, put_varint32};
+use ldbpp_common::{Error, Result};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Builds one block.
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    restarts: Vec<u32>,
+    restart_interval: usize,
+    counter: usize,
+    last_key: Vec<u8>,
+    entries: usize,
+}
+
+impl BlockBuilder {
+    /// New builder with a restart point every `restart_interval` entries.
+    pub fn new(restart_interval: usize) -> BlockBuilder {
+        BlockBuilder {
+            buf: Vec::new(),
+            restarts: vec![0],
+            restart_interval: restart_interval.max(1),
+            counter: 0,
+            last_key: Vec::new(),
+            entries: 0,
+        }
+    }
+
+    /// Append an entry. Keys must be added in strictly increasing order
+    /// (by whatever comparator the caller uses — the builder only does
+    /// byte-prefix sharing, not comparisons).
+    pub fn add(&mut self, key: &[u8], value: &[u8]) {
+        let mut shared = 0usize;
+        if self.counter < self.restart_interval {
+            let max = self.last_key.len().min(key.len());
+            while shared < max && self.last_key[shared] == key[shared] {
+                shared += 1;
+            }
+        } else {
+            self.restarts.push(self.buf.len() as u32);
+            self.counter = 0;
+        }
+        put_varint32(&mut self.buf, shared as u32);
+        put_varint32(&mut self.buf, (key.len() - shared) as u32);
+        put_varint32(&mut self.buf, value.len() as u32);
+        self.buf.extend_from_slice(&key[shared..]);
+        self.buf.extend_from_slice(value);
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.counter += 1;
+        self.entries += 1;
+    }
+
+    /// Current serialized size (including the restart trailer).
+    pub fn size_estimate(&self) -> usize {
+        self.buf.len() + self.restarts.len() * 4 + 4
+    }
+
+    /// Number of entries added.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// True if nothing was added.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// The last key added (full copy kept by the builder).
+    pub fn last_key(&self) -> &[u8] {
+        &self.last_key
+    }
+
+    /// Serialize and reset.
+    pub fn finish(&mut self) -> Vec<u8> {
+        let mut out = std::mem::take(&mut self.buf);
+        for r in &self.restarts {
+            put_fixed32(&mut out, *r);
+        }
+        put_fixed32(&mut out, self.restarts.len() as u32);
+        self.restarts.clear();
+        self.restarts.push(0);
+        self.counter = 0;
+        self.last_key.clear();
+        self.entries = 0;
+        out
+    }
+}
+
+/// An immutable, parsed block.
+pub struct Block {
+    data: Vec<u8>,
+    restarts_offset: usize,
+    num_restarts: usize,
+}
+
+impl Block {
+    /// Wrap decoded block contents.
+    pub fn new(data: Vec<u8>) -> Result<Arc<Block>> {
+        if data.len() < 4 {
+            return Err(Error::corruption("block too small"));
+        }
+        let num_restarts = decode_fixed32(&data[data.len() - 4..]) as usize;
+        let max_restarts = (data.len() - 4) / 4;
+        if num_restarts > max_restarts {
+            return Err(Error::corruption("bad restart count"));
+        }
+        let restarts_offset = data.len() - 4 - num_restarts * 4;
+        Ok(Arc::new(Block {
+            data,
+            restarts_offset,
+            num_restarts,
+        }))
+    }
+
+    /// Size of the underlying buffer.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    fn restart_point(&self, i: usize) -> usize {
+        decode_fixed32(&self.data[self.restarts_offset + i * 4..]) as usize
+    }
+
+    /// Iterate the block with a custom comparator for seeks.
+    pub fn iter(self: &Arc<Block>, cmp: fn(&[u8], &[u8]) -> Ordering) -> BlockIter {
+        BlockIter {
+            block: Arc::clone(self),
+            cmp,
+            offset: 0,
+            key: Vec::new(),
+            value_range: (0, 0),
+            valid: false,
+        }
+    }
+}
+
+/// Iterator over a block's entries.
+pub struct BlockIter {
+    block: Arc<Block>,
+    cmp: fn(&[u8], &[u8]) -> Ordering,
+    /// Offset of the *next* entry to parse.
+    offset: usize,
+    key: Vec<u8>,
+    value_range: (usize, usize),
+    valid: bool,
+}
+
+impl BlockIter {
+    /// Position before the first entry and advance onto it.
+    pub fn seek_to_first(&mut self) {
+        self.offset = 0;
+        self.key.clear();
+        self.valid = false;
+        self.parse_next();
+    }
+
+    /// Position at the first entry with key >= `target` (per the
+    /// comparator).
+    pub fn seek(&mut self, target: &[u8]) {
+        // Binary search restart points for the last restart whose key < target.
+        let (mut lo, mut hi) = (0usize, self.block.num_restarts.saturating_sub(1));
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            let off = self.block.restart_point(mid);
+            match self.key_at_restart(off) {
+                Some(k) if (self.cmp)(&k, target) == Ordering::Less => lo = mid,
+                _ => hi = mid - 1,
+            }
+        }
+        self.offset = if self.block.num_restarts == 0 {
+            self.block.restarts_offset
+        } else {
+            self.block.restart_point(lo)
+        };
+        self.key.clear();
+        self.valid = false;
+        // Linear scan forward.
+        loop {
+            if !self.parse_next() {
+                return;
+            }
+            if (self.cmp)(&self.key, target) != Ordering::Less {
+                return;
+            }
+        }
+    }
+
+    fn key_at_restart(&self, offset: usize) -> Option<Vec<u8>> {
+        let data = &self.block.data[..self.block.restarts_offset];
+        if offset >= data.len() {
+            return None;
+        }
+        let (shared, n1) = get_varint32(&data[offset..]).ok()?;
+        if shared != 0 {
+            return None; // restart entries always store the full key
+        }
+        let (non_shared, n2) = get_varint32(&data[offset + n1..]).ok()?;
+        let (_vlen, n3) = get_varint32(&data[offset + n1 + n2..]).ok()?;
+        let kstart = offset + n1 + n2 + n3;
+        data.get(kstart..kstart + non_shared as usize)
+            .map(|s| s.to_vec())
+    }
+
+    /// Parse the entry at `self.offset`; returns false at end of block.
+    fn parse_next(&mut self) -> bool {
+        let data = &self.block.data[..self.block.restarts_offset];
+        if self.offset >= data.len() {
+            self.valid = false;
+            return false;
+        }
+        let parsed = (|| -> Result<()> {
+            let (shared, n1) = get_varint32(&data[self.offset..])?;
+            let (non_shared, n2) = get_varint32(&data[self.offset + n1..])?;
+            let (vlen, n3) = get_varint32(&data[self.offset + n1 + n2..])?;
+            let kstart = self.offset + n1 + n2 + n3;
+            let kend = kstart + non_shared as usize;
+            let vend = kend + vlen as usize;
+            if shared as usize > self.key.len() || vend > data.len() {
+                return Err(Error::corruption("block entry out of bounds"));
+            }
+            self.key.truncate(shared as usize);
+            self.key.extend_from_slice(&data[kstart..kend]);
+            self.value_range = (kend, vend);
+            self.offset = vend;
+            Ok(())
+        })();
+        self.valid = parsed.is_ok();
+        self.valid
+    }
+
+    /// Whether the iterator points at an entry.
+    pub fn valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Advance to the next entry.
+    pub fn next(&mut self) {
+        debug_assert!(self.valid);
+        self.parse_next();
+    }
+
+    /// Current key.
+    pub fn key(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.key
+    }
+
+    /// Current value.
+    pub fn value(&self) -> &[u8] {
+        debug_assert!(self.valid);
+        &self.block.data[self.value_range.0..self.value_range.1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn build(entries: &[(&[u8], &[u8])], interval: usize) -> Arc<Block> {
+        let mut b = BlockBuilder::new(interval);
+        for (k, v) in entries {
+            b.add(k, v);
+        }
+        Block::new(b.finish()).unwrap()
+    }
+
+    fn collect(block: &Arc<Block>) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut it = block.iter(Ord::cmp);
+        it.seek_to_first();
+        let mut out = Vec::new();
+        while it.valid() {
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        out
+    }
+
+    #[test]
+    fn empty_block() {
+        let block = build(&[], 16);
+        let mut it = block.iter(Ord::cmp);
+        it.seek_to_first();
+        assert!(!it.valid());
+        it.seek(b"x");
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn roundtrip_with_prefix_sharing() {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..100)
+            .map(|i| (format!("user{i:04}").into_bytes(), format!("val{i}").into_bytes()))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        let block = build(&refs, 8);
+        assert_eq!(collect(&block), entries);
+    }
+
+    #[test]
+    fn seek_finds_exact_and_successor() {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..50)
+            .map(|i| (format!("k{:03}", i * 2).into_bytes(), vec![i as u8]))
+            .collect();
+        let refs: Vec<(&[u8], &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        let block = build(&refs, 4);
+        let mut it = block.iter(Ord::cmp);
+        // Exact key.
+        it.seek(b"k020");
+        assert!(it.valid());
+        assert_eq!(it.key(), b"k020");
+        // Between keys: lands on successor.
+        it.seek(b"k021");
+        assert!(it.valid());
+        assert_eq!(it.key(), b"k022");
+        // Before the first key.
+        it.seek(b"a");
+        assert!(it.valid());
+        assert_eq!(it.key(), b"k000");
+        // Past the last key.
+        it.seek(b"z");
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn restart_interval_one() {
+        let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..20).map(|i| (vec![b'a' + i], vec![i])).collect();
+        let refs: Vec<(&[u8], &[u8])> = entries
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        let block = build(&refs, 1);
+        assert_eq!(collect(&block), entries);
+    }
+
+    #[test]
+    fn builder_reset_after_finish() {
+        let mut b = BlockBuilder::new(4);
+        b.add(b"a", b"1");
+        assert_eq!(b.entries(), 1);
+        assert!(!b.is_empty());
+        let first = b.finish();
+        assert!(b.is_empty());
+        b.add(b"b", b"2");
+        let second = b.finish();
+        let blk1 = Block::new(first).unwrap();
+        let blk2 = Block::new(second).unwrap();
+        assert_eq!(collect(&blk1), vec![(b"a".to_vec(), b"1".to_vec())]);
+        assert_eq!(collect(&blk2), vec![(b"b".to_vec(), b"2".to_vec())]);
+    }
+
+    #[test]
+    fn corrupt_blocks_rejected() {
+        assert!(Block::new(vec![]).is_err());
+        assert!(Block::new(vec![0xff, 0xff, 0xff, 0xff]).is_err());
+    }
+
+    #[test]
+    fn size_estimate_tracks_growth() {
+        let mut b = BlockBuilder::new(16);
+        let s0 = b.size_estimate();
+        b.add(b"key", b"value");
+        assert!(b.size_estimate() > s0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_roundtrip_and_seek(
+            keys in proptest::collection::btree_set("[a-m]{1,12}", 1..80),
+            interval in 1usize..20)
+        {
+            let entries: Vec<(Vec<u8>, Vec<u8>)> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| (k.clone().into_bytes(), format!("v{i}").into_bytes()))
+                .collect();
+            let refs: Vec<(&[u8], &[u8])> = entries
+                .iter()
+                .map(|(k, v)| (k.as_slice(), v.as_slice()))
+                .collect();
+            let block = build(&refs, interval);
+            prop_assert_eq!(collect(&block), entries.clone());
+
+            // Seek to each key lands exactly on it.
+            let mut it = block.iter(Ord::cmp);
+            for (k, v) in &entries {
+                it.seek(k);
+                prop_assert!(it.valid());
+                prop_assert_eq!(it.key(), &k[..]);
+                prop_assert_eq!(it.value(), &v[..]);
+            }
+        }
+
+        #[test]
+        fn prop_seek_is_lower_bound(
+            keys in proptest::collection::btree_set("[a-m]{1,6}", 1..40),
+            target in "[a-n]{1,6}")
+        {
+            let entries: Vec<Vec<u8>> = keys.iter().map(|k| k.clone().into_bytes()).collect();
+            let refs: Vec<(&[u8], &[u8])> =
+                entries.iter().map(|k| (k.as_slice(), &b""[..])).collect();
+            let block = build(&refs, 3);
+            let mut it = block.iter(Ord::cmp);
+            it.seek(target.as_bytes());
+            let expected = entries.iter().find(|k| k.as_slice() >= target.as_bytes());
+            match expected {
+                Some(k) => {
+                    prop_assert!(it.valid());
+                    prop_assert_eq!(it.key(), &k[..]);
+                }
+                None => prop_assert!(!it.valid()),
+            }
+        }
+    }
+}

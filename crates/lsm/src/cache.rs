@@ -1,0 +1,311 @@
+//! A sharded-free LRU cache.
+//!
+//! Used for the table cache (open SSTable readers — LevelDB's
+//! `max_open_files`) and, when configured, as a block cache that stands in
+//! for the OS buffer cache in the paper's Mixed-workload experiments
+//! (Figure 12's inflection point is a buffer-cache effect).
+//!
+//! Implementation: `HashMap` keyed lookups over an intrusive doubly-linked
+//! list held in a slab of nodes (index links, no unsafe).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+struct Node<K, V> {
+    key: K,
+    value: V,
+    charge: usize,
+    prev: usize,
+    next: usize,
+}
+
+/// A capacity-bounded LRU cache.
+///
+/// Capacity is expressed in *charge units* (bytes for block caches, entry
+/// count for table caches — callers pick the unit via the `charge` argument
+/// to [`LruCache::insert`]).
+pub struct LruCache<K, V> {
+    map: HashMap<K, usize>,
+    slab: Vec<Node<K, V>>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+    used: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// New cache with the given total charge capacity.
+    pub fn new(capacity: usize) -> LruCache<K, V> {
+        LruCache {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+            used: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Total charge of cached entries.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// (hits, misses) since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Fetch a value, marking it most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                self.detach(idx);
+                self.attach_front(idx);
+                Some(self.slab[idx].value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching recency or hit counters.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|&idx| &self.slab[idx].value)
+    }
+
+    /// Insert (or replace) an entry with the given charge, evicting LRU
+    /// entries as needed. Entries larger than the whole capacity are not
+    /// cached.
+    pub fn insert(&mut self, key: K, value: V, charge: usize) {
+        if charge > self.capacity {
+            self.remove(&key);
+            return;
+        }
+        if let Some(&idx) = self.map.get(&key) {
+            self.used = self.used - self.slab[idx].charge + charge;
+            self.slab[idx].value = value;
+            self.slab[idx].charge = charge;
+            self.detach(idx);
+            self.attach_front(idx);
+        } else {
+            let node = Node {
+                key: key.clone(),
+                value,
+                charge,
+                prev: NIL,
+                next: NIL,
+            };
+            let idx = match self.free.pop() {
+                Some(i) => {
+                    self.slab[i] = node;
+                    i
+                }
+                None => {
+                    self.slab.push(node);
+                    self.slab.len() - 1
+                }
+            };
+            self.map.insert(key, idx);
+            self.attach_front(idx);
+            self.used += charge;
+        }
+        self.evict_to_fit();
+    }
+
+    fn evict_to_fit(&mut self) {
+        while self.used > self.capacity && self.tail != NIL {
+            let victim = self.tail;
+            self.detach(victim);
+            let k = self.slab[victim].key.clone();
+            self.used -= self.slab[victim].charge;
+            self.map.remove(&k);
+            self.free.push(victim);
+        }
+    }
+
+    /// Remove an entry if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = self.map.remove(key)?;
+        self.detach(idx);
+        self.used -= self.slab[idx].charge;
+        self.free.push(idx);
+        Some(self.slab[idx].value.clone())
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get() {
+        let mut c: LruCache<u32, String> = LruCache::new(100);
+        c.insert(1, "one".into(), 10);
+        c.insert(2, "two".into(), 10);
+        assert_eq!(c.get(&1), Some("one".into()));
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.used(), 20);
+    }
+
+    #[test]
+    fn evicts_lru_order() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        c.insert(1, 10, 1);
+        c.insert(2, 20, 1);
+        c.insert(3, 30, 1);
+        // Touch 1 so 2 becomes LRU.
+        c.get(&1);
+        c.insert(4, 40, 1);
+        assert_eq!(c.get(&2), None, "2 was LRU and must be evicted");
+        assert!(c.get(&1).is_some());
+        assert!(c.get(&3).is_some());
+        assert!(c.get(&4).is_some());
+    }
+
+    #[test]
+    fn charge_based_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(100);
+        c.insert(1, 1, 60);
+        c.insert(2, 2, 60); // 120 > 100 → evict 1
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(2));
+        assert_eq!(c.used(), 60);
+    }
+
+    #[test]
+    fn oversized_entry_not_cached() {
+        let mut c: LruCache<u32, u32> = LruCache::new(10);
+        c.insert(1, 1, 11);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn replace_updates_charge() {
+        let mut c: LruCache<u32, u32> = LruCache::new(100);
+        c.insert(1, 1, 30);
+        c.insert(1, 2, 50);
+        assert_eq!(c.used(), 50);
+        assert_eq!(c.get(&1), Some(2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut c: LruCache<u32, u32> = LruCache::new(100);
+        c.insert(1, 1, 10);
+        c.insert(2, 2, 10);
+        assert_eq!(c.remove(&1), Some(1));
+        assert_eq!(c.remove(&1), None);
+        assert_eq!(c.used(), 10);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn slab_reuse_after_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        for i in 0..100 {
+            c.insert(i, i, 1);
+        }
+        assert!(c.slab.len() <= 4, "slab should recycle nodes");
+        assert_eq!(c.len(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_capacity_invariant(ops in proptest::collection::vec(
+            (0u8..20, 1usize..8), 1..200))
+        {
+            let mut c: LruCache<u8, usize> = LruCache::new(16);
+            for (k, charge) in ops {
+                c.insert(k, charge, charge);
+                prop_assert!(c.used() <= 16);
+                // Recompute used from the map for consistency.
+                let sum: usize = c.map.values().map(|&i| c.slab[i].charge).sum();
+                prop_assert_eq!(sum, c.used());
+            }
+        }
+
+        #[test]
+        fn prop_get_returns_last_insert(ops in proptest::collection::vec(
+            (0u8..5, 0u32..100), 1..100))
+        {
+            // Capacity large enough that nothing evicts: cache must behave
+            // like a map.
+            let mut c: LruCache<u8, u32> = LruCache::new(1_000_000);
+            let mut model = std::collections::HashMap::new();
+            for (k, v) in ops {
+                c.insert(k, v, 1);
+                model.insert(k, v);
+            }
+            for (k, v) in model {
+                prop_assert_eq!(c.get(&k), Some(v));
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Block compression.
+//!
+//! The paper runs LevelDB with Snappy block compression by default and
+//! repeats key experiments uncompressed (Appendix C.2). Snappy itself is a
+//! C++ library outside our dependency budget, so we implement **snaplite**,
+//! a small byte-oriented LZ77 compressor in the same spirit: greedy
+//! hash-table match finding, literals + back-reference copies, varint
+//! lengths, no entropy coding. Like Snappy it prioritizes speed and
+//! simplicity over ratio, which preserves the experiment-relevant
+//! behaviour: blocks shrink (JSON bodies compress well) and decompression
+//! adds CPU to the read path.
+//!
+//! Stream layout: varint uncompressed length, then tagged ops:
+//! * literal: `0x00 | varint len | bytes`
+//! * copy:    `0x01 | varint len | varint distance`
+
+use ldbpp_common::coding::{get_varint64, put_varint64};
+use ldbpp_common::{Error, Result};
+
+/// Compression selector stored in each block trailer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Compression {
+    /// Store blocks raw.
+    None,
+    /// Compress with [`compress`] (snaplite).
+    #[default]
+    Snaplite,
+}
+
+impl Compression {
+    /// Trailer byte.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Compression::None => 0,
+            Compression::Snaplite => 1,
+        }
+    }
+
+    /// Decode a trailer byte.
+    pub fn from_u8(b: u8) -> Result<Compression> {
+        match b {
+            0 => Ok(Compression::None),
+            1 => Ok(Compression::Snaplite),
+            _ => Err(Error::corruption(format!("bad compression tag {b}"))),
+        }
+    }
+}
+
+const MIN_MATCH: usize = 4;
+const MAX_DISTANCE: usize = 1 << 16;
+const HASH_BITS: u32 = 14;
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes(data[..4].try_into().unwrap());
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input` with snaplite.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    put_varint64(&mut out, input.len() as u64);
+    if input.is_empty() {
+        return out;
+    }
+
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+
+    while pos + MIN_MATCH <= input.len() {
+        let h = hash4(&input[pos..]);
+        let candidate = table[h];
+        table[h] = pos;
+        if candidate != usize::MAX
+            && pos - candidate <= MAX_DISTANCE
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH]
+        {
+            // Extend the match.
+            let mut len = MIN_MATCH;
+            while pos + len < input.len()
+                && input[candidate + len] == input[pos + len]
+            {
+                len += 1;
+            }
+            emit_literal(&mut out, &input[literal_start..pos]);
+            emit_copy(&mut out, len, pos - candidate);
+            pos += len;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    emit_literal(&mut out, &input[literal_start..]);
+    out
+}
+
+fn emit_literal(out: &mut Vec<u8>, lit: &[u8]) {
+    if lit.is_empty() {
+        return;
+    }
+    out.push(0x00);
+    put_varint64(out, lit.len() as u64);
+    out.extend_from_slice(lit);
+}
+
+fn emit_copy(out: &mut Vec<u8>, len: usize, distance: usize) {
+    out.push(0x01);
+    put_varint64(out, len as u64);
+    put_varint64(out, distance as u64);
+}
+
+/// Decompress a snaplite stream.
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>> {
+    let (expected_len, mut pos) = get_varint64(input)?;
+    if expected_len > (1 << 32) {
+        return Err(Error::corruption("snaplite length implausible"));
+    }
+    let expected_len = expected_len as usize;
+    // A valid stream cannot expand more than ~256× per input byte (copy ops
+    // are ≥ 3 bytes encoding ≥ 4 output bytes each), but guard allocation on
+    // the declared length only after sanity-checking it against the input.
+    let mut out = Vec::with_capacity(expected_len.min(1 << 22));
+    while pos < input.len() {
+        let tag = input[pos];
+        pos += 1;
+        match tag {
+            0x00 => {
+                let (len, n) = get_varint64(&input[pos..])?;
+                pos += n;
+                let len = len as usize;
+                if pos + len > input.len() {
+                    return Err(Error::corruption("snaplite literal past end"));
+                }
+                out.extend_from_slice(&input[pos..pos + len]);
+                pos += len;
+            }
+            0x01 => {
+                let (len, n) = get_varint64(&input[pos..])?;
+                pos += n;
+                let (dist, n2) = get_varint64(&input[pos..])?;
+                pos += n2;
+                let (len, dist) = (len as usize, dist as usize);
+                if dist == 0 || dist > out.len() {
+                    return Err(Error::corruption("snaplite bad copy distance"));
+                }
+                if len > expected_len - out.len() {
+                    return Err(Error::corruption("snaplite copy overruns output"));
+                }
+                // Overlapping copies are legal (RLE-style); copy byte-wise.
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+            _ => return Err(Error::corruption(format!("snaplite bad tag {tag}"))),
+        }
+        if out.len() > expected_len {
+            return Err(Error::corruption("snaplite output overrun"));
+        }
+    }
+    if out.len() != expected_len {
+        return Err(Error::corruption(format!(
+            "snaplite length mismatch: got {} want {}",
+            out.len(),
+            expected_len
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_roundtrip() {
+        let c = compress(b"");
+        assert_eq!(decompress(&c).unwrap(), b"");
+    }
+
+    #[test]
+    fn simple_roundtrip() {
+        let data = b"hello world hello world hello world";
+        let c = compress(data);
+        assert_eq!(decompress(&c).unwrap(), data);
+        assert!(c.len() < data.len(), "repetitive data should shrink");
+    }
+
+    #[test]
+    fn json_tweets_compress_well() {
+        // Simulated paper workload: repetitive JSON structure.
+        let mut data = Vec::new();
+        for i in 0..50 {
+            data.extend_from_slice(
+                format!(
+                    r#"{{"UserID":"u{}","Text":"some tweet body text here","CreationTime":{}}}"#,
+                    i % 7,
+                    1_528_070_000 + i
+                )
+                .as_bytes(),
+            );
+        }
+        let c = compress(&data);
+        assert!(
+            (c.len() as f64) < 0.6 * data.len() as f64,
+            "ratio {}/{}",
+            c.len(),
+            data.len()
+        );
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_roundtrips() {
+        // Pseudo-random bytes: no matches, pure literal passthrough.
+        let mut x = 0x12345678u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_overlapping_copy() {
+        let data = vec![7u8; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 100);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let c = compress(b"abcdabcdabcdabcd");
+        // Bad tag.
+        let mut bad = c.clone();
+        let idx = 1; // first op tag position (after 1-byte varint length)
+        bad[idx] = 0x7f;
+        assert!(decompress(&bad).is_err());
+        // Truncation.
+        assert!(decompress(&c[..c.len() - 1]).is_err());
+        // Length mismatch.
+        let mut bad2 = c.clone();
+        bad2[0] = bad2[0].wrapping_add(1);
+        assert!(decompress(&bad2).is_err());
+    }
+
+    #[test]
+    fn compression_tag_roundtrip() {
+        for c in [Compression::None, Compression::Snaplite] {
+            assert_eq!(Compression::from_u8(c.to_u8()).unwrap(), c);
+        }
+        assert!(Compression::from_u8(9).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn prop_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_roundtrip_low_entropy(data in proptest::collection::vec(0u8..4, 0..8192)) {
+            let c = compress(&data);
+            prop_assert_eq!(decompress(&c).unwrap(), data);
+        }
+
+        #[test]
+        fn prop_decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decompress(&data);
+        }
+    }
+}

@@ -1,0 +1,1115 @@
+//! The database: write path, read path, flushes and compactions.
+//!
+//! Single-writer, synchronous engine: a write that fills the memtable
+//! flushes it to L0 inline, and a flush that tips a level over its target
+//! runs the compaction inline. This mirrors the paper's choice of
+//! single-threaded LevelDB — per-operation costs are directly attributable,
+//! which is what its experiments measure.
+
+use crate::cache::LruCache;
+use crate::compaction::{pick_compaction, resolve_key_run_with_snapshot, CompactionJob, RunEntry};
+use crate::env::{Env, IoStats};
+use crate::ikey::{self, InternalKey, ValueType};
+use crate::iterator::{DbIterator, MergingIterator, VecIterator};
+use crate::memtable::MemTable;
+use crate::merge::MergeOperatorRef;
+pub use crate::options::DbOptions;
+use crate::table::{BlockCache, ReadPurpose, Table, TableBuilder};
+use crate::version::{
+    current_file_name, log_file_name, table_file_name, FileMetaData, Version, VersionEdit,
+    VersionSet,
+};
+use crate::wal::{LogReader, LogWriter};
+use crate::write_batch::WriteBatch;
+use ldbpp_common::{Error, Result};
+use parking_lot::Mutex;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+/// Identifies where a key's entries came from, in newest-to-oldest order:
+/// the memtable, then each L0 file (newest file first), then each level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySource {
+    /// The active memtable.
+    Mem,
+    /// An L0 file (by file number).
+    L0File(u64),
+    /// A level ≥ 1.
+    Level(usize),
+}
+
+struct DbInner {
+    mem: MemTable,
+    wal: Option<LogWriter>,
+    versions: VersionSet,
+    tables: LruCache<u64, Arc<Table>>,
+    mem_generation: u64,
+}
+
+/// A LevelDB-style LSM key-value store.
+///
+/// ```
+/// use ldbpp_lsm::db::{Db, DbOptions};
+///
+/// let db = Db::open_in_memory(DbOptions::small()).unwrap();
+/// db.put(b"k", b"v").unwrap();
+/// assert_eq!(db.get(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+/// db.delete(b"k").unwrap();
+/// assert_eq!(db.get(b"k").unwrap(), None);
+/// ```
+pub struct Db {
+    name: String,
+    opts: DbOptions,
+    env: Arc<dyn Env>,
+    stats: Arc<IoStats>,
+    block_cache: Option<BlockCache>,
+    inner: Mutex<DbInner>,
+    /// Pinned snapshot sequences → pin count. Compactions preserve every
+    /// version at or below the largest pinned sequence.
+    pinned: Arc<Mutex<std::collections::BTreeMap<u64, usize>>>,
+}
+
+impl Db {
+    /// Open (creating or recovering) a database at `name` within `env`.
+    pub fn open(env: Arc<dyn Env>, name: &str, opts: DbOptions) -> Result<Db> {
+        env.mkdir_all(name)?;
+        let stats = IoStats::new();
+        let block_cache: Option<BlockCache> = if opts.block_cache_bytes > 0 {
+            Some(Arc::new(Mutex::new(LruCache::new(opts.block_cache_bytes))))
+        } else {
+            None
+        };
+
+        let preexisting = env.exists(&current_file_name(name));
+        let mut versions = if preexisting {
+            VersionSet::recover(Arc::clone(&env), name, opts.num_levels)?
+        } else {
+            VersionSet::create(Arc::clone(&env), name, opts.num_levels)?
+        };
+
+        let mut mem = MemTable::new();
+        let mut mem_generation = 0;
+        let tables = LruCache::new(opts.table_cache_entries.max(16));
+
+        // Replay WAL files at or after the recorded log number.
+        if preexisting {
+            let mut log_numbers: Vec<u64> = env
+                .list(name)?
+                .iter()
+                .filter_map(|f| f.strip_suffix(".log").and_then(|n| n.parse::<u64>().ok()))
+                .filter(|n| *n >= versions.log_number)
+                .collect();
+            log_numbers.sort_unstable();
+            for number in log_numbers {
+                let data = env.read_all(&log_file_name(name, number))?;
+                let mut reader = LogReader::new(&data);
+                while let Some(record) = reader.read_record()? {
+                    let (seq, ops) = WriteBatch::decode(&record)?;
+                    for (i, op) in ops.iter().enumerate() {
+                        mem.add(seq + i as u64, op.vtype, &op.key, &op.value);
+                    }
+                    let end_seq = seq + ops.len().max(1) as u64 - 1;
+                    if end_seq > versions.last_sequence {
+                        versions.last_sequence = end_seq;
+                    }
+                    if mem.approximate_bytes() >= opts.write_buffer_size {
+                        flush_memtable_impl(
+                            &opts, &env, &stats, name, &mut versions, &mut mem, None,
+                        )?;
+                        mem_generation += 1;
+                    }
+                }
+            }
+            if !mem.is_empty() {
+                flush_memtable_impl(&opts, &env, &stats, name, &mut versions, &mut mem, None)?;
+                mem_generation += 1;
+            }
+        }
+
+        // Fresh WAL.
+        let wal = if opts.wal_enabled {
+            let log_number = versions.new_file_number();
+            let wal = LogWriter::new(env.new_writable(&log_file_name(name, log_number))?);
+            versions.log_and_apply(VersionEdit {
+                log_number: Some(log_number),
+                ..Default::default()
+            })?;
+            Some(wal)
+        } else {
+            None
+        };
+
+        let db = Db {
+            name: name.to_string(),
+            opts,
+            env,
+            stats,
+            block_cache,
+            inner: Mutex::new(DbInner {
+                mem,
+                wal,
+                versions,
+                tables,
+                mem_generation,
+            }),
+            pinned: Arc::new(Mutex::new(std::collections::BTreeMap::new())),
+        };
+        db.remove_obsolete_files(&mut db.inner.lock());
+        Ok(db)
+    }
+
+    /// Convenience: open in a fresh in-memory environment.
+    pub fn open_in_memory(opts: DbOptions) -> Result<Db> {
+        Db::open(crate::env::MemEnv::new(), "db", opts)
+    }
+
+    /// The configuration this database was opened with.
+    pub fn options(&self) -> &DbOptions {
+        &self.opts
+    }
+
+    /// I/O counters for this database instance.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The most recently assigned sequence number.
+    pub fn last_sequence(&self) -> u64 {
+        self.inner.lock().versions.last_sequence
+    }
+
+    /// Bumped every time the memtable is flushed (callers maintaining
+    /// memtable-side indexes use this to know when to reset them).
+    pub fn mem_generation(&self) -> u64 {
+        self.inner.lock().mem_generation
+    }
+
+    /// Total bytes of live SSTables.
+    pub fn table_bytes(&self) -> u64 {
+        self.inner.lock().versions.current().total_bytes()
+    }
+
+    /// The current version (file layout snapshot).
+    pub fn current_version(&self) -> Arc<Version> {
+        self.inner.lock().versions.current()
+    }
+
+    /// Per-level file counts, for diagnostics.
+    pub fn level_file_counts(&self) -> Vec<usize> {
+        let v = self.current_version();
+        v.files.iter().map(|f| f.len()).collect()
+    }
+
+    // -- write path ---------------------------------------------------------
+
+    /// Insert or overwrite `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<u64> {
+        let mut batch = WriteBatch::new();
+        batch.put(key, value);
+        self.write(&mut batch)
+    }
+
+    /// Delete `key` (writes a tombstone).
+    pub fn delete(&self, key: &[u8]) -> Result<u64> {
+        let mut batch = WriteBatch::new();
+        batch.delete(key);
+        self.write(&mut batch)
+    }
+
+    /// Append a merge operand for `key` (requires a configured
+    /// [`crate::merge::MergeOperator`]).
+    pub fn merge(&self, key: &[u8], operand: &[u8]) -> Result<u64> {
+        let mut batch = WriteBatch::new();
+        batch.merge(key, operand);
+        self.write(&mut batch)
+    }
+
+    /// Apply a batch atomically. Returns the sequence number of its first
+    /// operation.
+    pub fn write(&self, batch: &mut WriteBatch) -> Result<u64> {
+        if batch.is_empty() {
+            return Err(Error::invalid("empty write batch"));
+        }
+        let mut inner = self.inner.lock();
+        self.make_room(&mut inner)?;
+        let start_seq = inner.versions.last_sequence + 1;
+        if ikey::MAX_SEQUENCE - start_seq < batch.count() as u64 {
+            return Err(Error::invalid("sequence space exhausted"));
+        }
+        let payload_len = {
+            let payload = batch.encode(start_seq);
+            if let Some(wal) = inner.wal.as_mut() {
+                wal.add_record(payload)?;
+            }
+            payload.len()
+        };
+        if inner.wal.is_some() {
+            IoStats::add(&self.stats.wal_bytes_written, payload_len as u64);
+        }
+        let ops = batch.ops()?;
+        for (i, op) in ops.iter().enumerate() {
+            inner
+                .mem
+                .add(start_seq + i as u64, op.vtype, &op.key, &op.value);
+        }
+        inner.versions.last_sequence = start_seq + ops.len() as u64 - 1;
+        Ok(start_seq)
+    }
+
+    /// Flush the memtable to L0 (then run any due compactions, unless
+    /// `auto_compact` is off).
+    pub fn flush(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.flush_memtable(&mut inner)?;
+        if self.opts.auto_compact {
+            self.run_compactions(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Run compactions until no level is over threshold (normally invoked
+    /// automatically by writes).
+    pub fn compact(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.run_compactions(&mut inner)
+    }
+
+    /// Major compaction: flush the memtable and push every level's data
+    /// down until it all rests in the deepest populated level, rewriting
+    /// every SSTable along the way.
+    ///
+    /// Useful for (a) reclaiming all shadowed versions and tombstones at
+    /// once, and (b) re-materializing tables under the *current* options —
+    /// e.g. after declaring a new Embedded-Index attribute on an existing
+    /// database, a major compaction rebuilds every file with the new
+    /// per-block filters and zone maps.
+    pub fn major_compact(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        self.flush_memtable(&mut inner)?;
+        for level in 0..self.opts.num_levels - 1 {
+            let version = inner.versions.current();
+            let inputs_lo = version.files[level].clone();
+            if inputs_lo.is_empty() {
+                continue;
+            }
+            let lo = inputs_lo
+                .iter()
+                .map(|f| ikey::user_key(&f.smallest).to_vec())
+                .min()
+                .unwrap();
+            let hi = inputs_lo
+                .iter()
+                .map(|f| ikey::user_key(&f.largest).to_vec())
+                .max()
+                .unwrap();
+            let inputs_hi = version.overlapping_files(level + 1, &lo, &hi);
+            let job = CompactionJob {
+                level,
+                inputs_lo,
+                inputs_hi,
+            };
+            self.do_compaction(&mut inner, job)?;
+        }
+        Ok(())
+    }
+
+    fn make_room(&self, inner: &mut DbInner) -> Result<()> {
+        if inner.mem.approximate_bytes() >= self.opts.write_buffer_size {
+            self.flush_memtable(inner)?;
+            if self.opts.auto_compact {
+                self.run_compactions(inner)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_memtable(&self, inner: &mut DbInner) -> Result<()> {
+        if inner.mem.is_empty() {
+            return Ok(());
+        }
+        let old_log = inner.versions.log_number;
+        let new_wal = if self.opts.wal_enabled {
+            let number = inner.versions.new_file_number();
+            let wal = LogWriter::new(
+                self.env
+                    .new_writable(&log_file_name(&self.name, number))?,
+            );
+            Some((number, wal))
+        } else {
+            None
+        };
+        let mut mem = std::mem::take(&mut inner.mem);
+        flush_memtable_impl(
+            &self.opts,
+            &self.env,
+            &self.stats,
+            &self.name,
+            &mut inner.versions,
+            &mut mem,
+            new_wal.as_ref().map(|(n, _)| *n),
+        )?;
+        inner.wal = new_wal.map(|(_, w)| w);
+        inner.mem_generation += 1;
+        if self.opts.wal_enabled {
+            let _ = self.env.remove(&log_file_name(&self.name, old_log));
+        }
+        Ok(())
+    }
+
+    fn run_compactions(&self, inner: &mut DbInner) -> Result<()> {
+        loop {
+            let version = inner.versions.current();
+            let Some(job) =
+                pick_compaction(&self.opts, &version, &inner.versions.compact_pointer)
+            else {
+                return Ok(());
+            };
+            self.do_compaction(inner, job)?;
+        }
+    }
+
+    fn do_compaction(&self, inner: &mut DbInner, job: CompactionJob) -> Result<()> {
+        let output_level = job.output_level();
+        let version = inner.versions.current();
+
+        let mut children: Vec<Box<dyn DbIterator>> = Vec::new();
+        for f in job.all_inputs() {
+            let table = self.open_table_locked(inner, f)?;
+            children.push(Box::new(table.iter(ReadPurpose::Compaction)));
+        }
+        let mut merged = MergingIterator::new(children);
+        merged.seek_to_first();
+
+        let merge_op = self.opts.merge_operator.clone();
+        let snapshot_boundary = self.snapshot_boundary();
+        let mut outputs: Vec<(u64, crate::table::TableMeta)> = Vec::new();
+        let mut builder: Option<(u64, TableBuilder)> = None;
+        let mut run_key: Vec<u8> = Vec::new();
+        let mut run: Vec<RunEntry> = Vec::new();
+
+        let emit_run = |inner: &mut DbInner,
+                            builder: &mut Option<(u64, TableBuilder)>,
+                            outputs: &mut Vec<(u64, crate::table::TableMeta)>,
+                            key: &[u8],
+                            run: &[RunEntry]|
+         -> Result<()> {
+            if run.is_empty() {
+                return Ok(());
+            }
+            let is_base = version.is_base_level_for_key(output_level, key);
+            let resolved = resolve_key_run_with_snapshot(
+                key,
+                run,
+                is_base,
+                merge_op.as_deref(),
+                snapshot_boundary,
+            );
+            if resolved.is_empty() {
+                return Ok(());
+            }
+            // Rotate output files only between user keys so a key's entries
+            // never straddle files within a level.
+            if let Some((_, b)) = builder.as_ref() {
+                if b.estimated_size() >= self.opts.max_file_size as u64 {
+                    let (number, b) = builder.take().unwrap();
+                    outputs.push((number, b.finish()?));
+                }
+            }
+            if builder.is_none() {
+                let number = inner.versions.new_file_number();
+                let file = self
+                    .env
+                    .new_writable(&table_file_name(&self.name, number))?;
+                *builder = Some((number, TableBuilder::new(&self.opts, file)));
+            }
+            let (_, b) = builder.as_mut().unwrap();
+            for (vtype, seq, value) in &resolved {
+                b.add(&InternalKey::new(key, *seq, *vtype).0, value)?;
+            }
+            Ok(())
+        };
+
+        while merged.valid() {
+            let (user_key, seq, vtype) = ikey::parse_internal_key(merged.key())?;
+            if user_key != run_key.as_slice() {
+                let prev_key = std::mem::replace(&mut run_key, user_key.to_vec());
+                let prev_run = std::mem::take(&mut run);
+                emit_run(inner, &mut builder, &mut outputs, &prev_key, &prev_run)?;
+            }
+            run.push((vtype, seq, merged.value().to_vec()));
+            merged.next();
+        }
+        let prev_key = std::mem::take(&mut run_key);
+        let prev_run = std::mem::take(&mut run);
+        emit_run(inner, &mut builder, &mut outputs, &prev_key, &prev_run)?;
+        if let Some((number, b)) = builder.take() {
+            if b.num_entries() > 0 {
+                outputs.push((number, b.finish()?));
+            } else {
+                let _ = self.env.remove(&table_file_name(&self.name, number));
+            }
+        }
+
+        // Install the result.
+        let mut edit = VersionEdit::default();
+        for f in job.all_inputs() {
+            let level = if job.inputs_lo.iter().any(|x| x.number == f.number) {
+                job.level
+            } else {
+                output_level
+            };
+            edit.delete_file(level, f.number);
+        }
+        let mut written_bytes = 0u64;
+        let mut written_blocks = 0u64;
+        for (number, meta) in &outputs {
+            written_bytes += meta.file_size;
+            written_blocks += meta.num_blocks;
+            edit.add_file(
+                output_level,
+                FileMetaData {
+                    number: *number,
+                    file_size: meta.file_size,
+                    num_entries: meta.num_entries,
+                    num_blocks: meta.num_blocks,
+                    smallest: meta.smallest.clone(),
+                    largest: meta.largest.clone(),
+                    sec_file_zones: meta.sec_file_zones.clone(),
+                },
+            );
+        }
+        if let Some(largest) = job
+            .inputs_lo
+            .iter()
+            .map(|f| f.largest.clone())
+            .max_by(|a, b| ikey::compare_internal(a, b))
+        {
+            edit.compact_pointers.push((job.level, largest));
+        }
+        IoStats::add(&self.stats.compaction_bytes_written, written_bytes);
+        IoStats::add(&self.stats.compaction_blocks_written, written_blocks);
+        IoStats::add(&self.stats.compactions, 1);
+        inner.versions.log_and_apply(edit)?;
+
+        // Drop the inputs.
+        for f in job.all_inputs() {
+            inner.tables.remove(&f.number);
+            let _ = self.env.remove(&table_file_name(&self.name, f.number));
+        }
+        Ok(())
+    }
+
+    fn remove_obsolete_files(&self, inner: &mut DbInner) {
+        let live: std::collections::HashSet<u64> =
+            inner.versions.live_files().into_iter().collect();
+        let Ok(names) = self.env.list(&self.name) else {
+            return;
+        };
+        for fname in names {
+            if let Some(numtext) = fname.strip_suffix(".ldb") {
+                if let Ok(number) = numtext.parse::<u64>() {
+                    if !live.contains(&number) {
+                        inner.tables.remove(&number);
+                        let _ = self.env.remove(&format!("{}/{}", self.name, fname));
+                    }
+                }
+            } else if let Some(numtext) = fname.strip_suffix(".log") {
+                if let Ok(number) = numtext.parse::<u64>() {
+                    if number < inner.versions.log_number {
+                        let _ = self.env.remove(&format!("{}/{}", self.name, fname));
+                    }
+                }
+            }
+        }
+    }
+
+    // -- read path ----------------------------------------------------------
+
+    fn open_table_locked(
+        &self,
+        inner: &mut DbInner,
+        meta: &FileMetaData,
+    ) -> Result<Arc<Table>> {
+        if let Some(t) = inner.tables.get(&meta.number) {
+            return Ok(t);
+        }
+        let file = self
+            .env
+            .open_random(&table_file_name(&self.name, meta.number))?;
+        let table = Table::open(
+            file,
+            meta.number,
+            Arc::clone(&self.stats),
+            self.block_cache.clone(),
+        )?;
+        inner.tables.insert(meta.number, Arc::clone(&table), 1);
+        Ok(table)
+    }
+
+    /// Open (via the table cache) the reader for a live file.
+    pub fn open_table(&self, meta: &FileMetaData) -> Result<Arc<Table>> {
+        self.open_table_locked(&mut self.inner.lock(), meta)
+    }
+
+    /// Point lookup on the primary key.
+    ///
+    /// Walks sources newest-to-oldest and stops at the first `Value` or
+    /// `Deletion`; merge operands encountered on the way are folded onto
+    /// whatever base is found (or onto nothing).
+    pub fn get(&self, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
+        enum Outcome {
+            Found(Vec<u8>),
+            Deleted,
+        }
+        let mut operands: Vec<Vec<u8>> = Vec::new(); // newest first
+        let mut outcome: Option<Outcome> = None;
+        self.fold_key_sources(user_key, |_, entries| {
+            for (vtype, value, _seq) in entries {
+                match vtype {
+                    ValueType::Value => {
+                        outcome = Some(Outcome::Found(value.clone()));
+                        return ControlFlow::Break(());
+                    }
+                    ValueType::Deletion => {
+                        outcome = Some(Outcome::Deleted);
+                        return ControlFlow::Break(());
+                    }
+                    ValueType::Merge => operands.push(value.clone()),
+                }
+            }
+            ControlFlow::Continue(())
+        })?;
+        if operands.is_empty() {
+            return Ok(match outcome {
+                Some(Outcome::Found(v)) => Some(v),
+                _ => None,
+            });
+        }
+        let Some(op) = &self.opts.merge_operator else {
+            return Err(Error::not_supported(
+                "merge entries present but no merge operator configured",
+            ));
+        };
+        operands.reverse(); // oldest first
+        let refs: Vec<&[u8]> = operands.iter().map(|o| o.as_slice()).collect();
+        let base = match &outcome {
+            Some(Outcome::Found(v)) => Some(v.as_slice()),
+            _ => None,
+        };
+        Ok(Some(op.full_merge(user_key, base, &refs)))
+    }
+
+    /// The sequence number a read started now would observe — usable later
+    /// with [`Db::get_at`] for repeatable (snapshot) reads.
+    pub fn snapshot_seq(&self) -> u64 {
+        self.last_sequence()
+    }
+
+    /// Pin the current state: while the returned handle is alive,
+    /// compactions preserve every version at or below its sequence, so
+    /// [`Db::get_at`] against it is exact no matter how much churn and
+    /// compaction happens afterwards. Dropping the handle releases the
+    /// guarantee (space is reclaimed by later compactions).
+    pub fn pin_snapshot(&self) -> SnapshotHandle {
+        let seq = self.last_sequence();
+        *self.pinned.lock().entry(seq).or_insert(0) += 1;
+        SnapshotHandle {
+            seq,
+            registry: Arc::clone(&self.pinned),
+        }
+    }
+
+    fn snapshot_boundary(&self) -> Option<u64> {
+        self.pinned.lock().keys().next_back().copied()
+    }
+
+    /// Point lookup as of an earlier snapshot sequence: returns the value
+    /// `user_key` had when [`Db::snapshot_seq`] returned `snapshot`.
+    ///
+    /// Note: snapshots are best-effort across compactions — the engine
+    /// keeps no snapshot list, so versions older than `snapshot` may have
+    /// been compacted away; in that case the newest surviving version at or
+    /// below `snapshot` is returned. Within the memtable and unrelated
+    /// levels the read is exact, which covers the read-your-writes and
+    /// repeatable-read patterns tests rely on.
+    pub fn get_at(&self, user_key: &[u8], snapshot: u64) -> Result<Option<Vec<u8>>> {
+        enum Outcome {
+            Found(Vec<u8>),
+            Deleted,
+        }
+        let mut operands: Vec<Vec<u8>> = Vec::new();
+        let mut outcome: Option<Outcome> = None;
+        self.fold_key_sources_at(user_key, Some(snapshot), |_, entries| {
+            for (vtype, value, _seq) in entries {
+                match vtype {
+                    ValueType::Value => {
+                        outcome = Some(Outcome::Found(value.clone()));
+                        return ControlFlow::Break(());
+                    }
+                    ValueType::Deletion => {
+                        outcome = Some(Outcome::Deleted);
+                        return ControlFlow::Break(());
+                    }
+                    ValueType::Merge => operands.push(value.clone()),
+                }
+            }
+            ControlFlow::Continue(())
+        })?;
+        if operands.is_empty() {
+            return Ok(match outcome {
+                Some(Outcome::Found(v)) => Some(v),
+                _ => None,
+            });
+        }
+        let Some(op) = &self.opts.merge_operator else {
+            return Err(Error::not_supported(
+                "merge entries present but no merge operator configured",
+            ));
+        };
+        operands.reverse();
+        let refs: Vec<&[u8]> = operands.iter().map(|o| o.as_slice()).collect();
+        let base = match &outcome {
+            Some(Outcome::Found(v)) => Some(v.as_slice()),
+            _ => None,
+        };
+        Ok(Some(op.full_merge(user_key, base, &refs)))
+    }
+
+    /// A human-readable summary of the tree shape and I/O counters —
+    /// LevelDB's `GetProperty("leveldb.stats")` equivalent.
+    pub fn debug_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let inner = self.inner.lock();
+        let version = inner.versions.current();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "seq={} mem={}B gen={}",
+            inner.versions.last_sequence,
+            inner.mem.approximate_bytes(),
+            inner.mem_generation
+        );
+        for (level, files) in version.files.iter().enumerate() {
+            if files.is_empty() {
+                continue;
+            }
+            let bytes: u64 = files.iter().map(|f| f.file_size).sum();
+            let entries: u64 = files.iter().map(|f| f.num_entries).sum();
+            let _ = writeln!(
+                out,
+                "L{level}: {} files, {} B, {} entries",
+                files.len(),
+                bytes,
+                entries
+            );
+        }
+        let s = self.stats.snapshot();
+        let _ = writeln!(
+            out,
+            "io: reads={} cache_hits={} flushes={} compactions={} compaction_io={}B wal={}B",
+            s.block_reads,
+            s.cache_hits,
+            s.flushes,
+            s.compactions,
+            s.compaction_bytes_read + s.compaction_bytes_written,
+            s.wal_bytes_written
+        );
+        out
+    }
+
+    /// Visit each source that may hold `user_key`, newest first, with the
+    /// entries found there (each newest-first). The closure may break to
+    /// stop early — this is how GET avoids touching deeper levels and how
+    /// the Lazy index stops once top-K is satisfied.
+    pub fn fold_key_sources<F>(&self, user_key: &[u8], visit: F) -> Result<()>
+    where
+        F: FnMut(KeySource, &[(ValueType, Vec<u8>, u64)]) -> ControlFlow<()>,
+    {
+        self.fold_key_sources_at(user_key, None, visit)
+    }
+
+    /// [`Db::fold_key_sources`] against an explicit snapshot sequence
+    /// (`None` = latest). Entries newer than the snapshot are invisible.
+    pub fn fold_key_sources_at<F>(
+        &self,
+        user_key: &[u8],
+        snapshot: Option<u64>,
+        mut visit: F,
+    ) -> Result<()>
+    where
+        F: FnMut(KeySource, &[(ValueType, Vec<u8>, u64)]) -> ControlFlow<()>,
+    {
+        let mut inner = self.inner.lock();
+        let snapshot = snapshot.unwrap_or(inner.versions.last_sequence);
+
+        let mem_entries: Vec<(ValueType, Vec<u8>, u64)> = inner
+            .mem
+            .entries_for(user_key, snapshot)
+            .map(|(t, v, s)| (t, v.to_vec(), s))
+            .collect();
+        if !mem_entries.is_empty() {
+            if let ControlFlow::Break(()) = visit(KeySource::Mem, &mem_entries) {
+                return Ok(());
+            }
+        }
+
+        let version = inner.versions.current();
+        // L0 files: already ordered newest-first in the version.
+        for f in version.files_for_key(0, user_key) {
+            let table = self.open_table_locked(&mut inner, &f)?;
+            let entries = table.entries_for(user_key, snapshot, ReadPurpose::Query)?;
+            if entries.is_empty() {
+                continue;
+            }
+            if let ControlFlow::Break(()) = visit(KeySource::L0File(f.number), &entries) {
+                return Ok(());
+            }
+        }
+        for level in 1..version.num_levels() {
+            for f in version.files_for_key(level, user_key) {
+                let table = self.open_table_locked(&mut inner, &f)?;
+                let entries = table.entries_for(user_key, snapshot, ReadPurpose::Query)?;
+                if entries.is_empty() {
+                    continue;
+                }
+                if let ControlFlow::Break(()) = visit(KeySource::Level(level), &entries) {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's `GetLite(k, currentLevel)`: does a (possibly newer)
+    /// version of `user_key` exist *above* `below_level`, judged purely
+    /// from in-memory metadata (memtable + index blocks + primary bloom
+    /// filters)? No data-block I/O. Bloom false positives make this
+    /// conservatively over-report presence.
+    pub fn get_lite(&self, user_key: &[u8], below_level: usize) -> bool {
+        let mut inner = self.inner.lock();
+        let snapshot = inner.versions.last_sequence;
+        if inner.mem.entries_for(user_key, snapshot).next().is_some() {
+            return true;
+        }
+        let version = inner.versions.current();
+        for level in 0..below_level.min(version.num_levels()) {
+            for f in version.files_for_key(level, user_key) {
+                match self.open_table_locked(&mut inner, &f) {
+                    Ok(table) => {
+                        if table.primary_may_contain(user_key) {
+                            return true;
+                        }
+                    }
+                    Err(_) => return true, // unreadable: fail safe
+                }
+            }
+        }
+        false
+    }
+
+    /// `GetLite` variant for candidates found in an L0 file: is there a
+    /// (possibly newer) version in the memtable or in an L0 file *newer
+    /// than* `file_number`? Metadata-only, like [`Db::get_lite`].
+    pub fn get_lite_l0(&self, user_key: &[u8], file_number: u64) -> bool {
+        let mut inner = self.inner.lock();
+        let snapshot = inner.versions.last_sequence;
+        if inner.mem.entries_for(user_key, snapshot).next().is_some() {
+            return true;
+        }
+        let version = inner.versions.current();
+        for f in version.files_for_key(0, user_key) {
+            if f.number <= file_number {
+                continue;
+            }
+            match self.open_table_locked(&mut inner, &f) {
+                Ok(table) => {
+                    if table.primary_may_contain(user_key) {
+                        return true;
+                    }
+                }
+                Err(_) => return true,
+            }
+        }
+        false
+    }
+
+    /// Type and sequence of the newest entry for `user_key` anywhere in
+    /// the store (reads data blocks like a GET, but stops at the first
+    /// entry found). Used to confirm `GetLite` positives exactly.
+    pub fn newest_meta(&self, user_key: &[u8]) -> Result<Option<(ValueType, u64)>> {
+        let mut newest = None;
+        self.fold_key_sources(user_key, |_, entries| {
+            if let Some((vtype, _, seq)) = entries.first() {
+                newest = Some((*vtype, *seq));
+            }
+            ControlFlow::Break(())
+        })?;
+        Ok(newest)
+    }
+
+    /// Newest memtable entry for `user_key` (type and sequence), if any —
+    /// used to validate candidates found by memtable-side secondary
+    /// indexes.
+    pub fn mem_newest(&self, user_key: &[u8]) -> Option<(ValueType, u64)> {
+        let inner = self.inner.lock();
+        let snapshot = inner.versions.last_sequence;
+        let newest = inner
+            .mem
+            .entries_for(user_key, snapshot)
+            .next()
+            .map(|(t, _, s)| (t, s));
+        newest
+    }
+
+    /// Snapshot of the memtable as sorted (internal key, value) pairs.
+    pub fn mem_snapshot(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let inner = self.inner.lock();
+        let mut it = inner.mem.iter();
+        it.seek_to_first();
+        let mut out = Vec::with_capacity(inner.mem.len());
+        while it.valid() {
+            out.push((it.key().to_vec(), it.value().to_vec()));
+            it.next();
+        }
+        out
+    }
+
+    /// One iterator per source (memtable, each L0 file newest-first, each
+    /// deeper level), in newest-to-oldest order — the paper's stand-alone
+    /// indexes scan "level by level".
+    pub fn source_iterators(&self) -> Result<Vec<(KeySource, Box<dyn DbIterator>)>> {
+        let mut inner = self.inner.lock();
+        let mut out: Vec<(KeySource, Box<dyn DbIterator>)> = Vec::new();
+        out.push((
+            KeySource::Mem,
+            Box::new(VecIterator::new({
+                let mut it = inner.mem.iter();
+                it.seek_to_first();
+                let mut v = Vec::with_capacity(inner.mem.len());
+                while it.valid() {
+                    v.push((it.key().to_vec(), it.value().to_vec()));
+                    it.next();
+                }
+                v
+            })),
+        ));
+        let version = inner.versions.current();
+        for f in &version.files[0] {
+            let table = self.open_table_locked(&mut inner, f)?;
+            out.push((
+                KeySource::L0File(f.number),
+                Box::new(table.iter(ReadPurpose::Query)),
+            ));
+        }
+        for level in 1..version.num_levels() {
+            if version.files[level].is_empty() {
+                continue;
+            }
+            // Levels ≥ 1 are sorted and disjoint: a concatenating iterator
+            // binary-searches the file list on seek, touching one file per
+            // level (the paper's per-level cost model).
+            let mut tables = Vec::with_capacity(version.files[level].len());
+            let mut largests = Vec::with_capacity(version.files[level].len());
+            for f in &version.files[level] {
+                tables.push(self.open_table_locked(&mut inner, f)?);
+                largests.push(f.largest.clone());
+            }
+            out.push((
+                KeySource::Level(level),
+                Box::new(crate::table::ConcatIter::new(
+                    tables,
+                    largests,
+                    ReadPurpose::Query,
+                )),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// A resolved iterator over the whole database: yields each live user
+    /// key's newest value (tombstones skipped, merge operands folded).
+    pub fn resolved_iter(&self) -> Result<ResolvedIter> {
+        let sources = self.source_iterators()?;
+        let children: Vec<Box<dyn DbIterator>> =
+            sources.into_iter().map(|(_, it)| it).collect();
+        Ok(ResolvedIter {
+            it: MergingIterator::new(children),
+            merge_op: self.opts.merge_operator.clone(),
+            positioned: false,
+        })
+    }
+}
+
+/// A pinned snapshot (see [`Db::pin_snapshot`]). Dropping it unpins.
+pub struct SnapshotHandle {
+    seq: u64,
+    registry: Arc<Mutex<std::collections::BTreeMap<u64, usize>>>,
+}
+
+impl SnapshotHandle {
+    /// The pinned sequence number; pass to [`Db::get_at`] or
+    /// [`Db::fold_key_sources_at`].
+    pub fn sequence(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl Drop for SnapshotHandle {
+    fn drop(&mut self) {
+        let mut reg = self.registry.lock();
+        if let Some(count) = reg.get_mut(&self.seq) {
+            *count -= 1;
+            if *count == 0 {
+                reg.remove(&self.seq);
+            }
+        }
+    }
+}
+
+fn flush_memtable_impl(
+    opts: &DbOptions,
+    env: &Arc<dyn Env>,
+    stats: &Arc<IoStats>,
+    name: &str,
+    versions: &mut VersionSet,
+    mem: &mut MemTable,
+    new_log_number: Option<u64>,
+) -> Result<()> {
+    if mem.is_empty() {
+        return Ok(());
+    }
+    let number = versions.new_file_number();
+    let file = env.new_writable(&table_file_name(name, number))?;
+    let mut builder = TableBuilder::new(opts, file);
+    let mut it = mem.iter();
+    it.seek_to_first();
+    while it.valid() {
+        builder.add(it.key(), it.value())?;
+        it.next();
+    }
+    let meta = builder.finish()?;
+    IoStats::add(&stats.flush_bytes_written, meta.file_size);
+    IoStats::add(&stats.flush_blocks_written, meta.num_blocks);
+    IoStats::add(&stats.flushes, 1);
+    let mut edit = VersionEdit {
+        log_number: new_log_number,
+        ..Default::default()
+    };
+    edit.add_file(
+        0,
+        FileMetaData {
+            number,
+            file_size: meta.file_size,
+            num_entries: meta.num_entries,
+            num_blocks: meta.num_blocks,
+            smallest: meta.smallest,
+            largest: meta.largest,
+            sec_file_zones: meta.sec_file_zones,
+        },
+    );
+    versions.log_and_apply(edit)?;
+    *mem = MemTable::new();
+    Ok(())
+}
+
+/// One live entry from a [`ResolvedIter`]: `(user_key, seq, value)`.
+pub type ResolvedEntry = (Vec<u8>, u64, Vec<u8>);
+
+/// Iterator yielding `(user_key, seq, value)` for each live key.
+pub struct ResolvedIter {
+    it: MergingIterator,
+    merge_op: Option<MergeOperatorRef>,
+    positioned: bool,
+}
+
+impl ResolvedIter {
+    /// Position at the first live entry ≥ `user_key`.
+    pub fn seek(&mut self, user_key: &[u8]) {
+        self.it
+            .seek(&InternalKey::for_seek(user_key, ikey::MAX_SEQUENCE).0);
+        self.positioned = true;
+    }
+
+    /// Position at the first live entry.
+    pub fn seek_to_first(&mut self) {
+        self.it.seek_to_first();
+        self.positioned = true;
+    }
+
+    /// The next live `(user_key, newest_seq, value)`.
+    pub fn next_entry(&mut self) -> Result<Option<ResolvedEntry>> {
+        assert!(self.positioned, "seek before iterating");
+        while self.it.valid() {
+            let (user_key, newest_seq, newest_type) =
+                ikey::parse_internal_key(self.it.key())?;
+            let user_key = user_key.to_vec();
+
+            match newest_type {
+                ValueType::Value => {
+                    let value = self.it.value().to_vec();
+                    self.skip_rest_of_key(&user_key)?;
+                    return Ok(Some((user_key, newest_seq, value)));
+                }
+                ValueType::Deletion => {
+                    self.skip_rest_of_key(&user_key)?;
+                    continue;
+                }
+                ValueType::Merge => {
+                    // Collect operands down to a base or the end of the run.
+                    let mut operands: Vec<Vec<u8>> = vec![self.it.value().to_vec()];
+                    let mut base: Option<Vec<u8>> = None;
+                    self.it.next();
+                    while self.it.valid() {
+                        let (uk, _seq, vt) = ikey::parse_internal_key(self.it.key())?;
+                        if uk != user_key.as_slice() {
+                            break;
+                        }
+                        match vt {
+                            ValueType::Merge => operands.push(self.it.value().to_vec()),
+                            ValueType::Value => {
+                                base = Some(self.it.value().to_vec());
+                                self.it.next();
+                                break;
+                            }
+                            ValueType::Deletion => {
+                                self.it.next();
+                                break;
+                            }
+                        }
+                        self.it.next();
+                    }
+                    self.skip_rest_of_key(&user_key)?;
+                    let Some(op) = &self.merge_op else {
+                        return Err(Error::not_supported(
+                            "merge entries present but no merge operator configured",
+                        ));
+                    };
+                    operands.reverse();
+                    let refs: Vec<&[u8]> = operands.iter().map(|o| o.as_slice()).collect();
+                    let folded = op.full_merge(&user_key, base.as_deref(), &refs);
+                    return Ok(Some((user_key, newest_seq, folded)));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn skip_rest_of_key(&mut self, user_key: &[u8]) -> Result<()> {
+        // After handling the newest entry, discard older versions. For
+        // Value/Deletion the iterator still sits on the handled entry.
+        if self.it.valid() {
+            let (uk, _, _) = ikey::parse_internal_key(self.it.key())?;
+            if uk != user_key {
+                return Ok(());
+            }
+        }
+        while self.it.valid() {
+            let (uk, _, _) = ikey::parse_internal_key(self.it.key())?;
+            if uk != user_key {
+                break;
+            }
+            self.it.next();
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,627 @@
+//! Storage abstraction and I/O accounting.
+//!
+//! Everything the engine persists goes through an [`Env`], mirroring
+//! LevelDB's `Env` so that tests and experiments can run against an
+//! in-memory filesystem ([`MemEnv`]) while production uses real files
+//! ([`DiskEnv`]).
+//!
+//! [`IoStats`] is the instrument panel for the paper's experiments: each
+//! [`crate::db::Db`] owns one and bumps the counters for block reads, cache
+//! hits, compaction and flush I/O, WAL bytes, bloom-filter probes and
+//! zone-map prunes. Stand-alone index tables are separate `Db` instances, so
+//! data-table and index-table I/O are naturally separable as in the paper's
+//! Tables 3 and 5.
+
+use ldbpp_common::{Error, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A file being appended to (WAL, SSTable under construction, MANIFEST).
+pub trait WritableFile: Send {
+    /// Append bytes to the end of the file.
+    fn append(&mut self, data: &[u8]) -> Result<()>;
+    /// Flush buffered data to durable storage (no-op for [`MemEnv`]).
+    fn sync(&mut self) -> Result<()>;
+    /// Bytes written so far.
+    fn len(&self) -> u64;
+    /// True if nothing has been written.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A completed, immutable file read at arbitrary offsets (SSTables).
+pub trait RandomAccessFile: Send + Sync {
+    /// Read exactly `len` bytes starting at `offset`.
+    fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>>;
+    /// Total file size in bytes.
+    fn size(&self) -> u64;
+}
+
+/// The storage environment: a minimal filesystem interface.
+pub trait Env: Send + Sync {
+    /// Create (or truncate) a file for appending.
+    fn new_writable(&self, path: &str) -> Result<Box<dyn WritableFile>>;
+    /// Open an existing file for random-access reads.
+    fn open_random(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>>;
+    /// Read an entire file into memory (logs, MANIFEST, CURRENT).
+    fn read_all(&self, path: &str) -> Result<Vec<u8>>;
+    /// Atomically create a file with the given contents (CURRENT pointer).
+    fn write_all(&self, path: &str, data: &[u8]) -> Result<()>;
+    /// Delete a file.
+    fn remove(&self, path: &str) -> Result<()>;
+    /// Rename a file (used for atomic MANIFEST swaps).
+    fn rename(&self, from: &str, to: &str) -> Result<()>;
+    /// Whether a file exists.
+    fn exists(&self, path: &str) -> bool;
+    /// List file names (not paths) under a directory.
+    fn list(&self, dir: &str) -> Result<Vec<String>>;
+    /// Size of a file in bytes.
+    fn file_size(&self, path: &str) -> Result<u64>;
+    /// Create a directory (and parents). No-op if present.
+    fn mkdir_all(&self, dir: &str) -> Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// I/O statistics
+// ---------------------------------------------------------------------------
+
+/// Category of a counted I/O or filter event. Useful for labelling report
+/// rows; the raw counters below are the primary interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoCategory {
+    /// Data-block read in service of a query (GET/LOOKUP/scan).
+    QueryBlockRead,
+    /// Block read during compaction.
+    CompactionRead,
+    /// Block written during compaction.
+    CompactionWrite,
+    /// Block written during a memtable flush.
+    FlushWrite,
+    /// WAL append.
+    WalWrite,
+}
+
+/// Cumulative I/O and filter-probe counters for one table (one `Db`).
+///
+/// All counters are monotonically increasing; [`IoStats::snapshot`] captures
+/// a point-in-time copy so experiments can difference two snapshots around a
+/// phase.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Data blocks fetched from storage for queries (excludes cache hits).
+    pub block_reads: AtomicU64,
+    /// Bytes fetched for those block reads.
+    pub block_read_bytes: AtomicU64,
+    /// Query block requests served by the block cache.
+    pub cache_hits: AtomicU64,
+    /// Blocks read by compactions.
+    pub compaction_blocks_read: AtomicU64,
+    /// Bytes read by compactions.
+    pub compaction_bytes_read: AtomicU64,
+    /// Blocks written by compactions.
+    pub compaction_blocks_written: AtomicU64,
+    /// Bytes written by compactions.
+    pub compaction_bytes_written: AtomicU64,
+    /// Blocks written by memtable flushes.
+    pub flush_blocks_written: AtomicU64,
+    /// Bytes written by memtable flushes.
+    pub flush_bytes_written: AtomicU64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes_written: AtomicU64,
+    /// Bloom-filter membership probes (CPU cost tracker — the paper notes
+    /// this cost "cannot be neglected" for the Embedded Index).
+    pub bloom_checks: AtomicU64,
+    /// Probes answered "definitely absent".
+    pub bloom_negatives: AtomicU64,
+    /// Blocks skipped thanks to zone maps.
+    pub zonemap_prunes: AtomicU64,
+    /// Whole files skipped thanks to file-level zone maps.
+    pub file_zonemap_prunes: AtomicU64,
+    /// Number of compactions run.
+    pub compactions: AtomicU64,
+    /// Number of memtable flushes.
+    pub flushes: AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    pub block_reads: u64,
+    pub block_read_bytes: u64,
+    pub cache_hits: u64,
+    pub compaction_blocks_read: u64,
+    pub compaction_bytes_read: u64,
+    pub compaction_blocks_written: u64,
+    pub compaction_bytes_written: u64,
+    pub flush_blocks_written: u64,
+    pub flush_bytes_written: u64,
+    pub wal_bytes_written: u64,
+    pub bloom_checks: u64,
+    pub bloom_negatives: u64,
+    pub zonemap_prunes: u64,
+    pub file_zonemap_prunes: u64,
+    pub compactions: u64,
+    pub flushes: u64,
+}
+
+impl IoSnapshot {
+    /// Total blocks touched by compaction (read + written) — the paper's
+    /// "cumulative I/O cost for compaction" metric.
+    pub fn compaction_io_blocks(&self) -> u64 {
+        self.compaction_blocks_read + self.compaction_blocks_written
+    }
+
+    /// Total bytes physically written (flush + compaction + WAL) — the
+    /// numerator of write amplification.
+    pub fn bytes_written(&self) -> u64 {
+        self.flush_bytes_written + self.compaction_bytes_written + self.wal_bytes_written
+    }
+
+    /// Counter-wise difference (`self - earlier`).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            block_reads: self.block_reads - earlier.block_reads,
+            block_read_bytes: self.block_read_bytes - earlier.block_read_bytes,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            compaction_blocks_read: self.compaction_blocks_read - earlier.compaction_blocks_read,
+            compaction_bytes_read: self.compaction_bytes_read - earlier.compaction_bytes_read,
+            compaction_blocks_written: self.compaction_blocks_written
+                - earlier.compaction_blocks_written,
+            compaction_bytes_written: self.compaction_bytes_written
+                - earlier.compaction_bytes_written,
+            flush_blocks_written: self.flush_blocks_written - earlier.flush_blocks_written,
+            flush_bytes_written: self.flush_bytes_written - earlier.flush_bytes_written,
+            wal_bytes_written: self.wal_bytes_written - earlier.wal_bytes_written,
+            bloom_checks: self.bloom_checks - earlier.bloom_checks,
+            bloom_negatives: self.bloom_negatives - earlier.bloom_negatives,
+            zonemap_prunes: self.zonemap_prunes - earlier.zonemap_prunes,
+            file_zonemap_prunes: self.file_zonemap_prunes - earlier.file_zonemap_prunes,
+            compactions: self.compactions - earlier.compactions,
+            flushes: self.flushes - earlier.flushes,
+        }
+    }
+}
+
+impl std::ops::Add for IoSnapshot {
+    type Output = IoSnapshot;
+
+    /// Counter-wise sum — kept next to [`IoSnapshot::since`] so a new
+    /// counter field is added to both or neither.
+    fn add(self, b: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            block_reads: self.block_reads + b.block_reads,
+            block_read_bytes: self.block_read_bytes + b.block_read_bytes,
+            cache_hits: self.cache_hits + b.cache_hits,
+            compaction_blocks_read: self.compaction_blocks_read + b.compaction_blocks_read,
+            compaction_bytes_read: self.compaction_bytes_read + b.compaction_bytes_read,
+            compaction_blocks_written: self.compaction_blocks_written
+                + b.compaction_blocks_written,
+            compaction_bytes_written: self.compaction_bytes_written + b.compaction_bytes_written,
+            flush_blocks_written: self.flush_blocks_written + b.flush_blocks_written,
+            flush_bytes_written: self.flush_bytes_written + b.flush_bytes_written,
+            wal_bytes_written: self.wal_bytes_written + b.wal_bytes_written,
+            bloom_checks: self.bloom_checks + b.bloom_checks,
+            bloom_negatives: self.bloom_negatives + b.bloom_negatives,
+            zonemap_prunes: self.zonemap_prunes + b.zonemap_prunes,
+            file_zonemap_prunes: self.file_zonemap_prunes + b.file_zonemap_prunes,
+            compactions: self.compactions + b.compactions,
+            flushes: self.flushes + b.flushes,
+        }
+    }
+}
+
+impl IoStats {
+    /// New zeroed counters.
+    pub fn new() -> Arc<IoStats> {
+        Arc::new(IoStats::default())
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            block_reads: self.block_reads.load(Ordering::Relaxed),
+            block_read_bytes: self.block_read_bytes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            compaction_blocks_read: self.compaction_blocks_read.load(Ordering::Relaxed),
+            compaction_bytes_read: self.compaction_bytes_read.load(Ordering::Relaxed),
+            compaction_blocks_written: self.compaction_blocks_written.load(Ordering::Relaxed),
+            compaction_bytes_written: self.compaction_bytes_written.load(Ordering::Relaxed),
+            flush_blocks_written: self.flush_blocks_written.load(Ordering::Relaxed),
+            flush_bytes_written: self.flush_bytes_written.load(Ordering::Relaxed),
+            wal_bytes_written: self.wal_bytes_written.load(Ordering::Relaxed),
+            bloom_checks: self.bloom_checks.load(Ordering::Relaxed),
+            bloom_negatives: self.bloom_negatives.load(Ordering::Relaxed),
+            zonemap_prunes: self.zonemap_prunes.load(Ordering::Relaxed),
+            file_zonemap_prunes: self.file_zonemap_prunes.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bump a counter by `n` (relaxed; counters are advisory).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemEnv
+// ---------------------------------------------------------------------------
+
+type MemFile = Arc<RwLock<Vec<u8>>>;
+
+/// An in-memory filesystem.
+///
+/// Used by unit tests, integration tests and — following the paper's focus
+/// on *block-access counts* as the robust metric — by the experiment
+/// harness, where it removes physical-disk variance from measurements.
+#[derive(Default)]
+pub struct MemEnv {
+    files: RwLock<HashMap<String, MemFile>>,
+}
+
+impl MemEnv {
+    /// Create an empty in-memory filesystem.
+    pub fn new() -> Arc<MemEnv> {
+        Arc::new(MemEnv::default())
+    }
+
+    /// Total bytes stored across all files (database "size on disk").
+    pub fn total_bytes(&self) -> u64 {
+        self.files
+            .read()
+            .values()
+            .map(|f| f.read().len() as u64)
+            .sum()
+    }
+
+    fn get(&self, path: &str) -> Result<MemFile> {
+        self.files
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| Error::not_found(path.to_string()))
+    }
+}
+
+struct MemWritable {
+    file: MemFile,
+}
+
+impl WritableFile for MemWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.file.write().extend_from_slice(data);
+        Ok(())
+    }
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
+    fn len(&self) -> u64 {
+        self.file.read().len() as u64
+    }
+}
+
+struct MemRandom {
+    file: MemFile,
+}
+
+impl RandomAccessFile for MemRandom {
+    fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let data = self.file.read();
+        let start = offset as usize;
+        let end = start + len;
+        if end > data.len() {
+            return Err(Error::corruption(format!(
+                "read past EOF: {}..{} of {}",
+                start,
+                end,
+                data.len()
+            )));
+        }
+        Ok(data[start..end].to_vec())
+    }
+    fn size(&self) -> u64 {
+        self.file.read().len() as u64
+    }
+}
+
+impl Env for MemEnv {
+    fn new_writable(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        let file: MemFile = Arc::new(RwLock::new(Vec::new()));
+        self.files.write().insert(path.to_string(), file.clone());
+        Ok(Box::new(MemWritable { file }))
+    }
+
+    fn open_random(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        Ok(Arc::new(MemRandom { file: self.get(path)? }))
+    }
+
+    fn read_all(&self, path: &str) -> Result<Vec<u8>> {
+        Ok(self.get(path)?.read().clone())
+    }
+
+    fn write_all(&self, path: &str, data: &[u8]) -> Result<()> {
+        self.files
+            .write()
+            .insert(path.to_string(), Arc::new(RwLock::new(data.to_vec())));
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        self.files
+            .write()
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| Error::not_found(path.to_string()))
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        let mut files = self.files.write();
+        let f = files
+            .remove(from)
+            .ok_or_else(|| Error::not_found(from.to_string()))?;
+        files.insert(to.to_string(), f);
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(path)
+    }
+
+    fn list(&self, dir: &str) -> Result<Vec<String>> {
+        let prefix = if dir.is_empty() || dir.ends_with('/') {
+            dir.to_string()
+        } else {
+            format!("{dir}/")
+        };
+        let files = self.files.read();
+        let mut names: Vec<String> = files
+            .keys()
+            .filter_map(|k| k.strip_prefix(&prefix))
+            .filter(|rest| !rest.is_empty() && !rest.contains('/'))
+            .map(str::to_string)
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        Ok(self.get(path)?.read().len() as u64)
+    }
+
+    fn mkdir_all(&self, _dir: &str) -> Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DiskEnv
+// ---------------------------------------------------------------------------
+
+/// The real-filesystem environment.
+#[derive(Default)]
+pub struct DiskEnv;
+
+impl DiskEnv {
+    /// Create a disk environment.
+    pub fn new() -> Arc<DiskEnv> {
+        Arc::new(DiskEnv)
+    }
+}
+
+struct DiskWritable {
+    file: std::io::BufWriter<std::fs::File>,
+    written: u64,
+}
+
+impl WritableFile for DiskWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.file.write_all(data)?;
+        self.written += data.len() as u64;
+        Ok(())
+    }
+    fn sync(&mut self) -> Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+        Ok(())
+    }
+    fn len(&self) -> u64 {
+        self.written
+    }
+}
+
+impl Drop for DiskWritable {
+    fn drop(&mut self) {
+        let _ = self.file.flush();
+    }
+}
+
+struct DiskRandom {
+    file: parking_lot::Mutex<std::fs::File>,
+    size: u64,
+}
+
+impl RandomAccessFile for DiskRandom {
+    fn read(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+    fn size(&self) -> u64 {
+        self.size
+    }
+}
+
+impl Env for DiskEnv {
+    fn new_writable(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(Box::new(DiskWritable {
+            file: std::io::BufWriter::new(file),
+            written: 0,
+        }))
+    }
+
+    fn open_random(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        let file = std::fs::File::open(path)?;
+        let size = file.metadata()?.len();
+        Ok(Arc::new(DiskRandom {
+            file: parking_lot::Mutex::new(file),
+            size,
+        }))
+    }
+
+    fn read_all(&self, path: &str) -> Result<Vec<u8>> {
+        Ok(std::fs::read(path)?)
+    }
+
+    fn write_all(&self, path: &str, data: &[u8]) -> Result<()> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        // Write to a temp file then rename for atomicity.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, data)?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        std::fs::remove_file(path)?;
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        std::fs::rename(from, to)?;
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        std::path::Path::new(path).exists()
+    }
+
+    fn list(&self, dir: &str) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                names.push(name.to_string());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn mkdir_all(&self, dir: &str) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_env(env: &dyn Env, root: &str) {
+        env.mkdir_all(root).unwrap();
+        let path = format!("{root}/a.txt");
+
+        // Write via writable file.
+        let mut w = env.new_writable(&path).unwrap();
+        w.append(b"hello ").unwrap();
+        w.append(b"world").unwrap();
+        w.sync().unwrap();
+        assert_eq!(w.len(), 11);
+        drop(w);
+
+        assert!(env.exists(&path));
+        assert_eq!(env.file_size(&path).unwrap(), 11);
+        assert_eq!(env.read_all(&path).unwrap(), b"hello world");
+
+        // Random access.
+        let r = env.open_random(&path).unwrap();
+        assert_eq!(r.size(), 11);
+        assert_eq!(r.read(6, 5).unwrap(), b"world");
+        assert!(r.read(8, 10).is_err());
+
+        // write_all + rename + list + remove.
+        let p2 = format!("{root}/b.txt");
+        env.write_all(&p2, b"two").unwrap();
+        let p3 = format!("{root}/c.txt");
+        env.rename(&p2, &p3).unwrap();
+        assert!(!env.exists(&p2));
+        assert_eq!(env.read_all(&p3).unwrap(), b"two");
+
+        let names = env.list(root).unwrap();
+        assert_eq!(names, vec!["a.txt".to_string(), "c.txt".to_string()]);
+
+        env.remove(&p3).unwrap();
+        assert!(!env.exists(&p3));
+        assert!(env.read_all(&p3).is_err());
+    }
+
+    #[test]
+    fn memenv_basic() {
+        let env = MemEnv::new();
+        exercise_env(env.as_ref(), "db");
+        assert_eq!(env.total_bytes(), 11);
+    }
+
+    #[test]
+    fn diskenv_basic() {
+        let dir = std::env::temp_dir().join(format!("ldbpp-env-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let env = DiskEnv::new();
+        exercise_env(env.as_ref(), dir.to_str().unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memenv_overwrite_on_create() {
+        let env = MemEnv::new();
+        let mut w = env.new_writable("f").unwrap();
+        w.append(b"aaaa").unwrap();
+        drop(w);
+        let w2 = env.new_writable("f").unwrap();
+        assert_eq!(w2.len(), 0);
+        assert!(w2.is_empty());
+    }
+
+    #[test]
+    fn memenv_list_is_shallow() {
+        let env = MemEnv::new();
+        env.write_all("db/a", b"1").unwrap();
+        env.write_all("db/sub/b", b"2").unwrap();
+        env.write_all("other/c", b"3").unwrap();
+        assert_eq!(env.list("db").unwrap(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn iostats_snapshot_and_diff() {
+        let stats = IoStats::new();
+        IoStats::add(&stats.block_reads, 5);
+        IoStats::add(&stats.wal_bytes_written, 100);
+        let s1 = stats.snapshot();
+        assert_eq!(s1.block_reads, 5);
+        IoStats::add(&stats.block_reads, 2);
+        IoStats::add(&stats.compaction_blocks_read, 3);
+        IoStats::add(&stats.compaction_blocks_written, 4);
+        let s2 = stats.snapshot();
+        let d = s2.since(&s1);
+        assert_eq!(d.block_reads, 2);
+        assert_eq!(d.compaction_io_blocks(), 7);
+        assert_eq!(s2.bytes_written(), 100);
+    }
+}

@@ -1,0 +1,341 @@
+//! Bloom filters and the per-block filter block format.
+//!
+//! LevelDB++ attaches one bloom filter **per data block** — for the primary
+//! key and for each indexed secondary attribute (the Embedded Index of the
+//! paper, §3). The filter for a block is computed when the SSTable is
+//! built, and all filters are held in memory at read time, converting disk
+//! scans into in-memory filter probes.
+//!
+//! The bloom filter uses the standard double-hashing construction
+//! (Kirsch–Mitzenmacher) with `k = bits_per_key · ln 2` probes, matching
+//! the analysis in the paper's Appendix A.3 (minimal false-positive rate
+//! `2^(−m/S·ln 2)`).
+
+use ldbpp_common::coding::{decode_fixed32, put_fixed32};
+use ldbpp_common::{Error, Result};
+
+/// Builds and probes bloom filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BloomPolicy {
+    bits_per_key: usize,
+    k: usize,
+}
+
+impl BloomPolicy {
+    /// A policy with the given bits-per-key budget.
+    ///
+    /// The probe count is clamped to `[1, 30]` as in LevelDB.
+    pub fn new(bits_per_key: usize) -> BloomPolicy {
+        let k = ((bits_per_key as f64) * 0.69) as usize; // ln 2 ≈ 0.69
+        BloomPolicy {
+            bits_per_key,
+            k: k.clamp(1, 30),
+        }
+    }
+
+    /// Bits-per-key budget this policy was built with.
+    pub fn bits_per_key(&self) -> usize {
+        self.bits_per_key
+    }
+
+    /// Expected false-positive rate at this configuration (`(1/2)^k` at the
+    /// optimal fill; the paper's `2^(−m/S ln 2)`).
+    pub fn expected_fp_rate(&self) -> f64 {
+        0.5f64.powi(self.k as i32)
+    }
+
+    /// Build a filter over `keys`; appends nothing if `keys` is empty
+    /// (an empty filter matches nothing).
+    pub fn create_filter(&self, keys: &[&[u8]]) -> Vec<u8> {
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let bits = (keys.len() * self.bits_per_key).max(64);
+        let bytes = bits.div_ceil(8);
+        let bits = bytes * 8;
+        let mut filter = vec![0u8; bytes + 1];
+        filter[bytes] = self.k as u8;
+        for key in keys {
+            let mut h = bloom_hash(key);
+            let delta = h.rotate_right(17);
+            for _ in 0..self.k {
+                let bit = (h as usize) % bits;
+                filter[bit / 8] |= 1 << (bit % 8);
+                h = h.wrapping_add(delta);
+            }
+        }
+        filter
+    }
+
+    /// Probe a filter created by [`BloomPolicy::create_filter`].
+    pub fn may_contain(filter: &[u8], key: &[u8]) -> bool {
+        if filter.len() < 2 {
+            return false; // empty filter: definitely absent
+        }
+        let bytes = filter.len() - 1;
+        let bits = bytes * 8;
+        let k = filter[bytes] as usize;
+        if k > 30 {
+            // Reserved for future encodings: err on the safe side.
+            return true;
+        }
+        let mut h = bloom_hash(key);
+        let delta = h.rotate_right(17);
+        for _ in 0..k {
+            let bit = (h as usize) % bits;
+            if filter[bit / 8] & (1 << (bit % 8)) == 0 {
+                return false;
+            }
+            h = h.wrapping_add(delta);
+        }
+        true
+    }
+}
+
+/// LevelDB's bloom hash (a Murmur-like 32-bit hash).
+fn bloom_hash(data: &[u8]) -> u32 {
+    const SEED: u32 = 0xbc9f_1d34;
+    const M: u32 = 0xc6a4_a793;
+    let n = data.len();
+    let mut h = SEED ^ (n as u32).wrapping_mul(M);
+    let mut chunks = data.chunks_exact(4);
+    for w in &mut chunks {
+        h = h.wrapping_add(u32::from_le_bytes(w.try_into().unwrap()));
+        h = h.wrapping_mul(M);
+        h ^= h >> 16;
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut tail = 0u32;
+        for (i, &b) in rest.iter().enumerate() {
+            tail |= (b as u32) << (8 * i);
+        }
+        h = h.wrapping_add(tail);
+        h = h.wrapping_mul(M);
+        h ^= h >> 24;
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Filter block: one bloom filter per data block
+// ---------------------------------------------------------------------------
+
+/// Builds the per-block filter section of an SSTable.
+///
+/// Layout: `[filter 0][filter 1]…[offset array: fixed32 × (n+1)][n: fixed32]`.
+/// `offset[i]..offset[i+1]` is the filter for data block `i`.
+#[derive(Debug, Default)]
+pub struct FilterBlockBuilder {
+    filters: Vec<u8>,
+    offsets: Vec<u32>,
+}
+
+impl FilterBlockBuilder {
+    /// New empty builder.
+    pub fn new() -> FilterBlockBuilder {
+        FilterBlockBuilder::default()
+    }
+
+    /// Append the filter for the next data block (may be empty).
+    pub fn add_filter(&mut self, filter: &[u8]) {
+        self.offsets.push(self.filters.len() as u32);
+        self.filters.extend_from_slice(filter);
+    }
+
+    /// Number of filters added.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True if no filters were added.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Serialize the filter block.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.offsets.push(self.filters.len() as u32);
+        let mut out = self.filters;
+        for off in &self.offsets {
+            put_fixed32(&mut out, *off);
+        }
+        put_fixed32(&mut out, (self.offsets.len() - 1) as u32);
+        out
+    }
+}
+
+/// Reads a serialized filter block.
+#[derive(Debug, Clone)]
+pub struct FilterBlockReader {
+    data: Vec<u8>,
+    offsets_start: usize,
+    count: usize,
+}
+
+impl FilterBlockReader {
+    /// Parse a filter block produced by [`FilterBlockBuilder::finish`].
+    pub fn new(data: Vec<u8>) -> Result<FilterBlockReader> {
+        if data.len() < 4 {
+            return Err(Error::corruption("filter block too small"));
+        }
+        let count = decode_fixed32(&data[data.len() - 4..]) as usize;
+        let offsets_len = (count + 1) * 4;
+        if data.len() < 4 + offsets_len {
+            return Err(Error::corruption("filter block offsets truncated"));
+        }
+        let offsets_start = data.len() - 4 - offsets_len;
+        Ok(FilterBlockReader {
+            data,
+            offsets_start,
+            count,
+        })
+    }
+
+    /// Number of per-block filters.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if the block holds no filters.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw filter for data block `i`.
+    pub fn filter(&self, i: usize) -> Result<&[u8]> {
+        if i >= self.count {
+            return Err(Error::invalid(format!("filter index {i} of {}", self.count)));
+        }
+        let at = self.offsets_start + i * 4;
+        let start = decode_fixed32(&self.data[at..]) as usize;
+        let end = decode_fixed32(&self.data[at + 4..]) as usize;
+        if start > end || end > self.offsets_start {
+            return Err(Error::corruption("filter block bad offsets"));
+        }
+        Ok(&self.data[start..end])
+    }
+
+    /// Probe block `i`'s filter for `key`.
+    pub fn may_contain(&self, i: usize, key: &[u8]) -> bool {
+        match self.filter(i) {
+            Ok(f) => BloomPolicy::may_contain(f, key),
+            Err(_) => true, // corrupt filter: fail open
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let policy = BloomPolicy::new(10);
+        let keys: Vec<Vec<u8>> = (0..1000).map(|i| format!("key{i}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let filter = policy.create_filter(&refs);
+        for k in &keys {
+            assert!(BloomPolicy::may_contain(&filter, k));
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_near_theory() {
+        let policy = BloomPolicy::new(10);
+        let keys: Vec<Vec<u8>> = (0..10_000).map(|i| format!("key{i}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let filter = policy.create_filter(&refs);
+        let mut fp = 0;
+        let probes = 10_000;
+        for i in 0..probes {
+            if BloomPolicy::may_contain(&filter, format!("absent{i}").as_bytes()) {
+                fp += 1;
+            }
+        }
+        let rate = fp as f64 / probes as f64;
+        // 10 bits/key ⇒ ~1% theoretical; allow generous headroom.
+        assert!(rate < 0.03, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn fp_rate_improves_with_more_bits() {
+        let keys: Vec<Vec<u8>> = (0..5000).map(|i| format!("key{i}").into_bytes()).collect();
+        let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+        let mut rates = Vec::new();
+        for bits in [4usize, 8, 16] {
+            let filter = BloomPolicy::new(bits).create_filter(&refs);
+            let fp = (0..5000)
+                .filter(|i| BloomPolicy::may_contain(&filter, format!("no{i}").as_bytes()))
+                .count();
+            rates.push(fp as f64 / 5000.0);
+        }
+        assert!(rates[0] > rates[1] && rates[1] > rates[2], "{rates:?}");
+    }
+
+    #[test]
+    fn empty_filter_matches_nothing() {
+        let policy = BloomPolicy::new(10);
+        let filter = policy.create_filter(&[]);
+        assert!(filter.is_empty());
+        assert!(!BloomPolicy::may_contain(&filter, b"anything"));
+    }
+
+    #[test]
+    fn expected_fp_rate_monotone() {
+        assert!(
+            BloomPolicy::new(20).expected_fp_rate() < BloomPolicy::new(10).expected_fp_rate()
+        );
+        assert!(BloomPolicy::new(10).bits_per_key() == 10);
+    }
+
+    #[test]
+    fn filter_block_roundtrip() {
+        let policy = BloomPolicy::new(10);
+        let mut builder = FilterBlockBuilder::new();
+        let block_keys: Vec<Vec<Vec<u8>>> = (0..5)
+            .map(|b| (0..20).map(|i| format!("b{b}k{i}").into_bytes()).collect())
+            .collect();
+        for keys in &block_keys {
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            builder.add_filter(&policy.create_filter(&refs));
+        }
+        // Block with no keys.
+        builder.add_filter(&[]);
+        let data = builder.finish();
+        let reader = FilterBlockReader::new(data).unwrap();
+        assert_eq!(reader.len(), 6);
+        for (b, keys) in block_keys.iter().enumerate() {
+            for k in keys {
+                assert!(reader.may_contain(b, k), "block {b}");
+            }
+        }
+        assert!(!reader.may_contain(5, b"b0k0"));
+        assert!(reader.filter(6).is_err());
+    }
+
+    #[test]
+    fn filter_block_corruption() {
+        assert!(FilterBlockReader::new(vec![]).is_err());
+        assert!(FilterBlockReader::new(vec![9, 0, 0, 0]).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_no_false_negatives(
+            keys in proptest::collection::hash_set(
+                proptest::collection::vec(any::<u8>(), 1..24), 1..200),
+            bits in 2usize..20)
+        {
+            let keys: Vec<Vec<u8>> = keys.into_iter().collect();
+            let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+            let filter = BloomPolicy::new(bits).create_filter(&refs);
+            for k in &keys {
+                prop_assert!(BloomPolicy::may_contain(&filter, k));
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Internal keys: `user_key ‖ (seq << 8 | type)`.
+//!
+//! Every record in the memtable and in SSTables is keyed by an *internal
+//! key*: the user key followed by an 8-byte little-endian trailer packing a
+//! 56-bit sequence number and a one-byte [`ValueType`]. Internal keys order
+//! by user key ascending, then sequence number **descending** (newest
+//! first), then type descending — exactly LevelDB's `InternalKeyComparator`.
+//!
+//! Sequence numbers are the global insertion clock the paper relies on for
+//! top-K recency ordering ("LevelDB assigns an auto-increment sequence
+//! number to each entry at insertion, which we use to perform time ordering
+//! within a level").
+
+use ldbpp_common::coding::{decode_fixed64, put_fixed64};
+use ldbpp_common::{Error, Result};
+use std::cmp::Ordering;
+
+/// Maximum representable sequence number (56 bits).
+pub const MAX_SEQUENCE: u64 = (1 << 56) - 1;
+
+/// The kind of a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum ValueType {
+    /// Tombstone: deletes any older record with the same user key.
+    Deletion = 0,
+    /// A full value: shadows any older record with the same user key.
+    Value = 1,
+    /// A merge operand (RocksDB-style); folded by the table's
+    /// [`crate::merge::MergeOperator`]. Used by the Lazy stand-alone index
+    /// for posting-list fragments.
+    Merge = 2,
+}
+
+impl ValueType {
+    /// Decode from the trailer byte.
+    pub fn from_u8(b: u8) -> Result<ValueType> {
+        match b {
+            0 => Ok(ValueType::Deletion),
+            1 => Ok(ValueType::Value),
+            2 => Ok(ValueType::Merge),
+            _ => Err(Error::corruption(format!("bad value type {b}"))),
+        }
+    }
+}
+
+/// Value type used when seeking: the highest type sorts first for a given
+/// sequence number.
+pub const TYPE_FOR_SEEK: ValueType = ValueType::Merge;
+
+/// Pack a sequence number and type into the 8-byte trailer value.
+pub fn pack_seq_type(seq: u64, vtype: ValueType) -> u64 {
+    debug_assert!(seq <= MAX_SEQUENCE);
+    (seq << 8) | vtype as u64
+}
+
+/// An owned internal key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct InternalKey(pub Vec<u8>);
+
+impl InternalKey {
+    /// Build an internal key from parts.
+    pub fn new(user_key: &[u8], seq: u64, vtype: ValueType) -> InternalKey {
+        let mut buf = Vec::with_capacity(user_key.len() + 8);
+        buf.extend_from_slice(user_key);
+        put_fixed64(&mut buf, pack_seq_type(seq, vtype));
+        InternalKey(buf)
+    }
+
+    /// The largest possible internal key for `user_key` (sorts before all
+    /// real entries for that key) — used as a seek target.
+    pub fn for_seek(user_key: &[u8], seq: u64) -> InternalKey {
+        InternalKey::new(user_key, seq, TYPE_FOR_SEEK)
+    }
+
+    /// Borrow the raw encoded bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Decompose into (user_key, seq, type).
+    pub fn parse(&self) -> Result<(&[u8], u64, ValueType)> {
+        parse_internal_key(&self.0)
+    }
+}
+
+/// Split an encoded internal key into (user_key, seq, type).
+pub fn parse_internal_key(ikey: &[u8]) -> Result<(&[u8], u64, ValueType)> {
+    if ikey.len() < 8 {
+        return Err(Error::corruption("internal key too short"));
+    }
+    let (user, trailer) = ikey.split_at(ikey.len() - 8);
+    let packed = decode_fixed64(trailer);
+    let vtype = ValueType::from_u8((packed & 0xff) as u8)?;
+    Ok((user, packed >> 8, vtype))
+}
+
+/// The user-key prefix of an encoded internal key.
+pub fn user_key(ikey: &[u8]) -> &[u8] {
+    debug_assert!(ikey.len() >= 8);
+    &ikey[..ikey.len() - 8]
+}
+
+/// The sequence number of an encoded internal key.
+pub fn sequence_of(ikey: &[u8]) -> u64 {
+    debug_assert!(ikey.len() >= 8);
+    decode_fixed64(&ikey[ikey.len() - 8..]) >> 8
+}
+
+/// Compare two encoded internal keys: user key ascending, then sequence
+/// descending, then type descending.
+pub fn compare_internal(a: &[u8], b: &[u8]) -> Ordering {
+    let (ua, ub) = (user_key(a), user_key(b));
+    match ua.cmp(ub) {
+        Ordering::Equal => {
+            let ta = decode_fixed64(&a[a.len() - 8..]);
+            let tb = decode_fixed64(&b[b.len() - 8..]);
+            // Larger (seq, type) sorts first.
+            tb.cmp(&ta)
+        }
+        ord => ord,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_parse() {
+        let ik = InternalKey::new(b"user1", 42, ValueType::Value);
+        let (uk, seq, vt) = ik.parse().unwrap();
+        assert_eq!(uk, b"user1");
+        assert_eq!(seq, 42);
+        assert_eq!(vt, ValueType::Value);
+    }
+
+    #[test]
+    fn ordering_user_key_then_seq_desc() {
+        let a = InternalKey::new(b"a", 5, ValueType::Value);
+        let a_newer = InternalKey::new(b"a", 9, ValueType::Value);
+        let b = InternalKey::new(b"b", 1, ValueType::Value);
+        assert_eq!(compare_internal(&a_newer.0, &a.0), Ordering::Less);
+        assert_eq!(compare_internal(&a.0, &b.0), Ordering::Less);
+        assert_eq!(compare_internal(&a.0, &a.0), Ordering::Equal);
+    }
+
+    #[test]
+    fn seek_key_sorts_before_equal_seq_entries() {
+        // At the same seq, higher type sorts first, so a seek key with
+        // TYPE_FOR_SEEK=Merge compares <= any entry at that seq.
+        let seek = InternalKey::for_seek(b"k", 7);
+        let val = InternalKey::new(b"k", 7, ValueType::Value);
+        let del = InternalKey::new(b"k", 7, ValueType::Deletion);
+        assert_ne!(compare_internal(&seek.0, &val.0), Ordering::Greater);
+        assert_ne!(compare_internal(&val.0, &del.0), Ordering::Greater);
+    }
+
+    #[test]
+    fn type_decode() {
+        assert_eq!(ValueType::from_u8(0).unwrap(), ValueType::Deletion);
+        assert_eq!(ValueType::from_u8(1).unwrap(), ValueType::Value);
+        assert_eq!(ValueType::from_u8(2).unwrap(), ValueType::Merge);
+        assert!(ValueType::from_u8(3).is_err());
+    }
+
+    #[test]
+    fn short_key_is_corruption() {
+        assert!(parse_internal_key(b"abc").is_err());
+    }
+
+    #[test]
+    fn helpers() {
+        let ik = InternalKey::new(b"zebra", 123456, ValueType::Merge);
+        assert_eq!(user_key(&ik.0), b"zebra");
+        assert_eq!(sequence_of(&ik.0), 123456);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(key in proptest::collection::vec(any::<u8>(), 0..40),
+                          seq in 0u64..MAX_SEQUENCE,
+                          t in 0u8..3) {
+            let vt = ValueType::from_u8(t).unwrap();
+            let ik = InternalKey::new(&key, seq, vt);
+            let (uk, s, v) = ik.parse().unwrap();
+            prop_assert_eq!(uk, &key[..]);
+            prop_assert_eq!(s, seq);
+            prop_assert_eq!(v, vt);
+        }
+
+        #[test]
+        fn prop_ordering_matches_semantics(
+            k1 in proptest::collection::vec(any::<u8>(), 0..8),
+            k2 in proptest::collection::vec(any::<u8>(), 0..8),
+            s1 in 0u64..1000, s2 in 0u64..1000)
+        {
+            let a = InternalKey::new(&k1, s1, ValueType::Value);
+            let b = InternalKey::new(&k2, s2, ValueType::Value);
+            let expected = k1.cmp(&k2).then(s2.cmp(&s1));
+            prop_assert_eq!(compare_internal(&a.0, &b.0), expected);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! A LevelDB-style LSM storage engine, extended for secondary indexing.
+//!
+//! This crate is the storage substrate of the LevelDB++ reproduction. It is
+//! a from-scratch, single-node, leveled LSM tree modelled closely on Google
+//! LevelDB:
+//!
+//! * [`memtable`] — an insertion-only skiplist keyed by *internal keys*
+//!   (`user_key ‖ seq ‖ type`).
+//! * [`wal`] — the 32 KiB-block write-ahead log format with CRC32C record
+//!   framing and crash recovery.
+//! * [`block`] / [`table`] — SSTables: prefix-compressed data blocks with
+//!   restart points, per-block primary-key bloom filters, and — the paper's
+//!   Embedded Index — per-block **secondary-attribute bloom filters and zone
+//!   maps** plus file-level zone maps.
+//! * [`version`] — MANIFEST-backed version sets with leveled file metadata.
+//! * [`compaction`] — synchronous leveled compaction (L0 file-count trigger,
+//!   10× level sizing, round-robin file pick) with a RocksDB-style
+//!   [`merge::MergeOperator`] hook used by the Lazy stand-alone index to
+//!   merge posting-list fragments.
+//! * [`mod@env`] — pluggable storage ([`env::MemEnv`], [`env::DiskEnv`]) with
+//!   fine-grained I/O accounting ([`env::IoStats`]) so experiments can
+//!   report block-access counts exactly as the paper does.
+//!
+//! The engine is deliberately synchronous and deterministic (the paper chose
+//! single-threaded LevelDB "so we can easily isolate and explain the
+//! performance differences of the various indexing methods").
+
+pub mod attr;
+pub mod block;
+pub mod cache;
+pub mod compaction;
+pub mod compress;
+pub mod db;
+pub mod env;
+pub mod filter;
+pub mod ikey;
+pub mod iterator;
+pub mod memtable;
+pub mod merge;
+pub mod options;
+pub mod table;
+pub mod version;
+pub mod wal;
+pub mod write_batch;
+pub mod zonemap;
+
+pub use attr::{AttrExtractor, AttrValue};
+pub use db::{Db, DbOptions};
+pub use env::{DiskEnv, Env, IoStats, MemEnv};
+pub use ikey::{InternalKey, ValueType};
+pub use iterator::DbIterator;
+pub use merge::MergeOperator;

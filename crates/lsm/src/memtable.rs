@@ -1,0 +1,402 @@
+//! The in-memory write buffer: an insertion-only skiplist over internal
+//! keys.
+//!
+//! Mirrors LevelDB's `MemTable`: entries are never deleted or overwritten —
+//! an update is simply a new entry at a higher sequence number, a delete is
+//! a tombstone entry. The skiplist is index-based (nodes live in a `Vec`
+//! arena and link by `u32` index) so it is safe Rust with no unsafe pointer
+//! juggling, while preserving the O(log n) insert/seek of the classic
+//! structure.
+
+use crate::ikey::{compare_internal, pack_seq_type, parse_internal_key, ValueType};
+use ldbpp_common::coding::put_fixed64;
+use ldbpp_common::Result;
+use std::cmp::Ordering;
+
+const MAX_HEIGHT: usize = 12;
+const BRANCHING: u32 = 4;
+
+struct Node {
+    /// Encoded internal key.
+    key: Vec<u8>,
+    /// Record value (empty for tombstones).
+    value: Vec<u8>,
+    /// next[i] = arena index of the next node at level i (u32::MAX = nil).
+    next: [u32; MAX_HEIGHT],
+}
+
+const NIL: u32 = u32::MAX;
+
+/// An insertion-only skiplist memtable.
+pub struct MemTable {
+    arena: Vec<Node>,
+    /// Index of the head sentinel (always 0).
+    max_height: usize,
+    /// Approximate memory usage in bytes.
+    approx_bytes: usize,
+    /// Cheap xorshift state for randomized heights (deterministic seed so
+    /// runs are reproducible).
+    rng_state: u64,
+    /// Number of real entries.
+    len: usize,
+}
+
+impl Default for MemTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemTable {
+    /// Create an empty memtable.
+    pub fn new() -> MemTable {
+        let head = Node {
+            key: Vec::new(),
+            value: Vec::new(),
+            next: [NIL; MAX_HEIGHT],
+        };
+        MemTable {
+            arena: vec![head],
+            max_height: 1,
+            approx_bytes: 0,
+            rng_state: 0x9e37_79b9_7f4a_7c15,
+            len: 0,
+        }
+    }
+
+    /// Number of entries (including tombstones and shadowed versions).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries have been added.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    fn random_height(&mut self) -> usize {
+        // xorshift64*
+        let mut h = 1;
+        loop {
+            self.rng_state ^= self.rng_state << 13;
+            self.rng_state ^= self.rng_state >> 7;
+            self.rng_state ^= self.rng_state << 17;
+            if h < MAX_HEIGHT && self.rng_state.is_multiple_of(BRANCHING as u64) {
+                h += 1;
+            } else {
+                break;
+            }
+        }
+        h
+    }
+
+    /// Insert an entry. `seq` must be greater than any previously inserted
+    /// sequence number for correct shadowing semantics (the write path
+    /// guarantees this).
+    pub fn add(&mut self, seq: u64, vtype: ValueType, user_key: &[u8], value: &[u8]) {
+        let mut ikey = Vec::with_capacity(user_key.len() + 8);
+        ikey.extend_from_slice(user_key);
+        put_fixed64(&mut ikey, pack_seq_type(seq, vtype));
+        self.approx_bytes += ikey.len() + value.len() + std::mem::size_of::<Node>();
+        self.len += 1;
+
+        let height = self.random_height();
+        if height > self.max_height {
+            self.max_height = height;
+        }
+
+        // Find the insertion point at each level.
+        let mut prev = [0u32; MAX_HEIGHT];
+        let mut x = 0u32; // head
+        for level in (0..self.max_height).rev() {
+            loop {
+                let nxt = self.arena[x as usize].next[level];
+                if nxt != NIL
+                    && compare_internal(&self.arena[nxt as usize].key, &ikey) == Ordering::Less
+                {
+                    x = nxt;
+                } else {
+                    break;
+                }
+            }
+            prev[level] = x;
+        }
+
+        let new_idx = self.arena.len() as u32;
+        let mut node = Node {
+            key: ikey,
+            value: value.to_vec(),
+            next: [NIL; MAX_HEIGHT],
+        };
+        for (level, p) in prev.iter().enumerate().take(height) {
+            node.next[level] = self.arena[*p as usize].next[level];
+        }
+        self.arena.push(node);
+        for (level, p) in prev.iter().enumerate().take(height) {
+            self.arena[*p as usize].next[level] = new_idx;
+        }
+    }
+
+    /// Index of the first node whose key is >= `ikey` (NIL if none).
+    fn find_greater_or_equal(&self, ikey: &[u8]) -> u32 {
+        let mut x = 0u32;
+        let mut level = self.max_height - 1;
+        loop {
+            let nxt = self.arena[x as usize].next[level];
+            if nxt != NIL
+                && compare_internal(&self.arena[nxt as usize].key, ikey) == Ordering::Less
+            {
+                x = nxt;
+            } else if level == 0 {
+                return nxt;
+            } else {
+                level -= 1;
+            }
+        }
+    }
+
+    /// Look up the newest entry for `user_key` visible at `snapshot_seq`.
+    ///
+    /// Returns `None` if the key has no entry at all;
+    /// `Some((vtype, value, seq))` for the newest visible entry (the caller
+    /// interprets tombstones and merge operands).
+    pub fn get<'a>(
+        &'a self,
+        user_key: &'a [u8],
+        snapshot_seq: u64,
+    ) -> Option<(ValueType, &'a [u8], u64)> {
+        let mut hits = self.entries_for(user_key, snapshot_seq);
+        hits.next()
+    }
+
+    /// All entries for `user_key` visible at `snapshot_seq`, newest first.
+    ///
+    /// Needed for merge-operand collection: a key may have several live
+    /// merge records in the same memtable.
+    pub fn entries_for<'a>(
+        &'a self,
+        user_key: &'a [u8],
+        snapshot_seq: u64,
+    ) -> impl Iterator<Item = (ValueType, &'a [u8], u64)> + 'a {
+        let mut probe = Vec::with_capacity(user_key.len() + 8);
+        probe.extend_from_slice(user_key);
+        put_fixed64(&mut probe, pack_seq_type(snapshot_seq, ValueType::Merge));
+        let mut idx = self.find_greater_or_equal(&probe);
+        std::iter::from_fn(move || {
+            while idx != NIL {
+                let node = &self.arena[idx as usize];
+                let (uk, seq, vtype) = parse_internal_key(&node.key).ok()?;
+                if uk != user_key {
+                    return None;
+                }
+                idx = node.next[0];
+                if seq <= snapshot_seq {
+                    return Some((vtype, node.value.as_slice(), seq));
+                }
+            }
+            None
+        })
+    }
+
+    /// An iterator over all entries in internal-key order.
+    pub fn iter(&self) -> MemIter<'_> {
+        MemIter {
+            mem: self,
+            idx: NIL,
+        }
+    }
+}
+
+/// Iterator over memtable entries in internal-key order.
+pub struct MemIter<'a> {
+    mem: &'a MemTable,
+    idx: u32,
+}
+
+impl<'a> MemIter<'a> {
+    /// Position at the first entry.
+    pub fn seek_to_first(&mut self) {
+        self.idx = self.mem.arena[0].next[0];
+    }
+
+    /// Position at the first entry with internal key >= `ikey`.
+    pub fn seek(&mut self, ikey: &[u8]) {
+        self.idx = self.mem.find_greater_or_equal(ikey);
+    }
+
+    /// Whether the iterator points at an entry.
+    pub fn valid(&self) -> bool {
+        self.idx != NIL
+    }
+
+    /// Advance to the next entry.
+    pub fn next(&mut self) {
+        debug_assert!(self.valid());
+        self.idx = self.mem.arena[self.idx as usize].next[0];
+    }
+
+    /// The current encoded internal key.
+    pub fn key(&self) -> &'a [u8] {
+        &self.mem.arena[self.idx as usize].key
+    }
+
+    /// The current value.
+    pub fn value(&self) -> &'a [u8] {
+        &self.mem.arena[self.idx as usize].value
+    }
+
+    /// Parse the current entry into (user_key, seq, type, value).
+    pub fn entry(&self) -> Result<(&'a [u8], u64, ValueType, &'a [u8])> {
+        let (uk, seq, vt) = parse_internal_key(self.key())?;
+        Ok((uk, seq, vt, self.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn get_returns_newest_version() {
+        let mut m = MemTable::new();
+        m.add(1, ValueType::Value, b"k", b"v1");
+        m.add(2, ValueType::Value, b"k", b"v2");
+        m.add(3, ValueType::Value, b"other", b"x");
+        let (vt, v, seq) = m.get(b"k", u64::MAX >> 8).unwrap();
+        assert_eq!((vt, v, seq), (ValueType::Value, &b"v2"[..], 2));
+    }
+
+    #[test]
+    fn snapshot_visibility() {
+        let mut m = MemTable::new();
+        m.add(1, ValueType::Value, b"k", b"v1");
+        m.add(5, ValueType::Value, b"k", b"v5");
+        let (_, v, _) = m.get(b"k", 4).unwrap();
+        assert_eq!(v, b"v1");
+        let (_, v, _) = m.get(b"k", 5).unwrap();
+        assert_eq!(v, b"v5");
+        assert!(m.get(b"k", 0).is_none());
+    }
+
+    #[test]
+    fn tombstones_are_visible_entries() {
+        let mut m = MemTable::new();
+        m.add(1, ValueType::Value, b"k", b"v1");
+        m.add(2, ValueType::Deletion, b"k", b"");
+        let (vt, _, _) = m.get(b"k", 100).unwrap();
+        assert_eq!(vt, ValueType::Deletion);
+    }
+
+    #[test]
+    fn entries_for_returns_all_newest_first() {
+        let mut m = MemTable::new();
+        m.add(1, ValueType::Merge, b"u1", b"[\"t1\"]");
+        m.add(2, ValueType::Merge, b"u1", b"[\"t2\"]");
+        m.add(3, ValueType::Merge, b"u2", b"[\"t3\"]");
+        let seqs: Vec<u64> = m.entries_for(b"u1", 100).map(|(_, _, s)| s).collect();
+        assert_eq!(seqs, vec![2, 1]);
+    }
+
+    #[test]
+    fn iter_in_internal_key_order() {
+        let mut m = MemTable::new();
+        m.add(1, ValueType::Value, b"b", b"1");
+        m.add(2, ValueType::Value, b"a", b"2");
+        m.add(3, ValueType::Value, b"c", b"3");
+        m.add(4, ValueType::Value, b"a", b"4");
+        let mut it = m.iter();
+        it.seek_to_first();
+        let mut keys = Vec::new();
+        while it.valid() {
+            let (uk, seq, _, _) = it.entry().unwrap();
+            keys.push((uk.to_vec(), seq));
+            it.next();
+        }
+        // 'a' entries: seq 4 then 2 (newest first), then b, then c.
+        assert_eq!(
+            keys,
+            vec![
+                (b"a".to_vec(), 4),
+                (b"a".to_vec(), 2),
+                (b"b".to_vec(), 1),
+                (b"c".to_vec(), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn iter_seek() {
+        let mut m = MemTable::new();
+        for (i, k) in [b"apple", b"berry", b"cherr"].iter().enumerate() {
+            m.add(i as u64 + 1, ValueType::Value, *k, b"v");
+        }
+        let mut it = m.iter();
+        it.seek(crate::ikey::InternalKey::for_seek(b"b", u64::MAX >> 8).as_bytes());
+        assert!(it.valid());
+        assert_eq!(crate::ikey::user_key(it.key()), b"berry");
+        it.seek(crate::ikey::InternalKey::for_seek(b"zzz", u64::MAX >> 8).as_bytes());
+        assert!(!it.valid());
+    }
+
+    #[test]
+    fn approximate_bytes_grows() {
+        let mut m = MemTable::new();
+        assert_eq!(m.approximate_bytes(), 0);
+        m.add(1, ValueType::Value, b"key", &[0u8; 100]);
+        assert!(m.approximate_bytes() >= 100);
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_iteration_sorted_and_complete(
+            keys in proptest::collection::vec("[a-f]{1,4}", 1..60)
+        ) {
+            let mut m = MemTable::new();
+            for (i, k) in keys.iter().enumerate() {
+                m.add(i as u64 + 1, ValueType::Value, k.as_bytes(), k.as_bytes());
+            }
+            let mut it = m.iter();
+            it.seek_to_first();
+            let mut seen = 0usize;
+            let mut prev: Option<Vec<u8>> = None;
+            while it.valid() {
+                let cur = it.key().to_vec();
+                if let Some(p) = &prev {
+                    prop_assert!(compare_internal(p, &cur) == Ordering::Less);
+                }
+                prev = Some(cur);
+                seen += 1;
+                it.next();
+            }
+            prop_assert_eq!(seen, keys.len());
+        }
+
+        #[test]
+        fn prop_get_matches_last_write(
+            ops in proptest::collection::vec(("[a-c]", "[a-z]{0,6}"), 1..80)
+        ) {
+            let mut m = MemTable::new();
+            let mut model = std::collections::HashMap::new();
+            for (i, (k, v)) in ops.iter().enumerate() {
+                m.add(i as u64 + 1, ValueType::Value, k.as_bytes(), v.as_bytes());
+                model.insert(k.clone(), v.clone());
+            }
+            for (k, v) in &model {
+                let (vt, got, _) = m.get(k.as_bytes(), u64::MAX >> 8).unwrap();
+                prop_assert_eq!(vt, ValueType::Value);
+                prop_assert_eq!(got, v.as_bytes());
+            }
+            prop_assert!(m.get(b"zzz-missing", u64::MAX >> 8).is_none());
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! RocksDB-style merge operator hook.
+//!
+//! The Lazy stand-alone index writes posting-list *fragments*:
+//! `PUT(a_i, [k])` appends a new operand instead of read-modify-writing the
+//! full list. Fragments for the same secondary key accumulate across levels
+//! and are folded (a) at query time by `Db::get`, and (b) physically during
+//! compaction — exactly the paper's "the old postings list of u is merged
+//! with (u,{t4}) later, during the periodic compaction phase".
+
+use std::sync::Arc;
+
+/// Folds merge operands for a table.
+///
+/// Operands are always presented **oldest first**. An associative operator
+/// (like posting-list union) may be folded incrementally at any level.
+pub trait MergeOperator: Send + Sync {
+    /// Fold `operands` on top of an optional base value into a full value.
+    ///
+    /// Called by `get` after collecting every visible operand, and by
+    /// compaction when operands meet a base `Value` record.
+    fn full_merge(&self, key: &[u8], base: Option<&[u8]>, operands: &[&[u8]]) -> Vec<u8>;
+
+    /// Combine adjacent operands into a single replacement operand during
+    /// compaction (no base value in sight). `at_bottom` is true when no
+    /// older data for `key` can exist below the compaction output — the
+    /// operator may then discard deletion markers it carries.
+    fn partial_merge(&self, key: &[u8], operands: &[&[u8]], at_bottom: bool) -> Vec<u8>;
+}
+
+/// A merge operator that concatenates operands byte-wise (test helper and
+/// simplest useful semantics).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConcatMerge;
+
+impl MergeOperator for ConcatMerge {
+    fn full_merge(&self, _key: &[u8], base: Option<&[u8]>, operands: &[&[u8]]) -> Vec<u8> {
+        let mut out = base.map(|b| b.to_vec()).unwrap_or_default();
+        for op in operands {
+            out.extend_from_slice(op);
+        }
+        out
+    }
+
+    fn partial_merge(&self, _key: &[u8], operands: &[&[u8]], _at_bottom: bool) -> Vec<u8> {
+        let mut out = Vec::new();
+        for op in operands {
+            out.extend_from_slice(op);
+        }
+        out
+    }
+}
+
+/// Shared handle to a merge operator.
+pub type MergeOperatorRef = Arc<dyn MergeOperator>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_full_merge() {
+        let m = ConcatMerge;
+        assert_eq!(m.full_merge(b"k", Some(b"a"), &[b"b", b"c"]), b"abc");
+        assert_eq!(m.full_merge(b"k", None, &[b"x"]), b"x");
+        assert_eq!(m.full_merge(b"k", None, &[]), b"");
+    }
+
+    #[test]
+    fn concat_partial_merge() {
+        let m = ConcatMerge;
+        assert_eq!(m.partial_merge(b"k", &[b"1", b"2", b"3"], false), b"123");
+        assert_eq!(m.partial_merge(b"k", &[], true), b"");
+    }
+}

@@ -1,0 +1,166 @@
+//! Database configuration.
+
+use crate::attr::AttrExtractor;
+use crate::compress::Compression;
+use crate::merge::MergeOperatorRef;
+use std::sync::Arc;
+
+/// Tuning knobs for a [`crate::db::Db`].
+///
+/// Defaults mirror LevelDB's production configuration; [`DbOptions::small`]
+/// scales every size down so unit tests and laptop-scale experiments still
+/// produce multi-level trees (the paper's behaviours — level-by-level scan
+/// costs, write amplification, compaction churn — all require several
+/// populated levels).
+#[derive(Clone)]
+pub struct DbOptions {
+    /// Target uncompressed size of a data block.
+    pub block_size: usize,
+    /// Restart point interval inside blocks.
+    pub restart_interval: usize,
+    /// Memtable size that triggers a flush to L0.
+    pub write_buffer_size: usize,
+    /// Target size of an SSTable produced by compaction.
+    pub max_file_size: usize,
+    /// Number of L0 files that triggers an L0→L1 compaction.
+    pub l0_compaction_trigger: usize,
+    /// Size ratio between adjacent levels (LevelDB uses 10).
+    pub level_size_multiplier: u64,
+    /// Target total bytes for level 1.
+    pub base_level_bytes: u64,
+    /// Maximum number of levels.
+    pub num_levels: usize,
+    /// Bloom filter budget, bits per key (paper default 10; Appendix C.1
+    /// sweeps 2–20).
+    pub bloom_bits_per_key: usize,
+    /// Block compression (paper default: Snappy → our snaplite).
+    pub compression: Compression,
+    /// Secondary attributes embedded into every SSTable (per-block blooms +
+    /// zone maps). Empty for plain tables and all stand-alone index tables.
+    pub indexed_attrs: Vec<String>,
+    /// Extracts attribute values from record values; required when
+    /// `indexed_attrs` is non-empty.
+    pub extractor: Option<Arc<dyn AttrExtractor>>,
+    /// Merge operator folding [`crate::ikey::ValueType::Merge`] operands
+    /// (used by Lazy stand-alone index tables).
+    pub merge_operator: Option<MergeOperatorRef>,
+    /// Block cache capacity in bytes (0 disables it — the paper's default).
+    pub block_cache_bytes: usize,
+    /// Max open table readers (LevelDB `max_open_files`; the paper sets it
+    /// large so all filter metadata stays resident).
+    pub table_cache_entries: usize,
+    /// Write WAL records for each write (disable only for bulk loads that
+    /// can be regenerated).
+    pub wal_enabled: bool,
+    /// Run due compactions inline with writes (the default, matching the
+    /// paper's synchronous single-threaded setup). When false, only
+    /// memtable flushes happen automatically and compactions wait for an
+    /// explicit [`crate::db::Db::compact`] — useful for bulk loads and for
+    /// experiments that want to observe a tree in a specific shape.
+    pub auto_compact: bool,
+}
+
+impl std::fmt::Debug for DbOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbOptions")
+            .field("block_size", &self.block_size)
+            .field("write_buffer_size", &self.write_buffer_size)
+            .field("max_file_size", &self.max_file_size)
+            .field("l0_compaction_trigger", &self.l0_compaction_trigger)
+            .field("level_size_multiplier", &self.level_size_multiplier)
+            .field("base_level_bytes", &self.base_level_bytes)
+            .field("num_levels", &self.num_levels)
+            .field("bloom_bits_per_key", &self.bloom_bits_per_key)
+            .field("compression", &self.compression)
+            .field("indexed_attrs", &self.indexed_attrs)
+            .field("block_cache_bytes", &self.block_cache_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for DbOptions {
+    fn default() -> Self {
+        DbOptions {
+            block_size: 4096,
+            restart_interval: 16,
+            write_buffer_size: 4 << 20,
+            max_file_size: 2 << 20,
+            l0_compaction_trigger: 4,
+            level_size_multiplier: 10,
+            base_level_bytes: 10 << 20,
+            num_levels: 7,
+            bloom_bits_per_key: 10,
+            compression: Compression::Snaplite,
+            indexed_attrs: Vec::new(),
+            extractor: None,
+            merge_operator: None,
+            block_cache_bytes: 0,
+            table_cache_entries: 30_000,
+            wal_enabled: true,
+            auto_compact: true,
+        }
+    }
+}
+
+impl DbOptions {
+    /// A configuration scaled down ~256× so tests and laptop experiments
+    /// build deep trees from tens of thousands of records.
+    pub fn small() -> DbOptions {
+        DbOptions {
+            block_size: 1024,
+            restart_interval: 16,
+            write_buffer_size: 16 << 10,
+            max_file_size: 8 << 10,
+            l0_compaction_trigger: 4,
+            level_size_multiplier: 10,
+            base_level_bytes: 64 << 10,
+            num_levels: 7,
+            bloom_bits_per_key: 10,
+            compression: Compression::Snaplite,
+            indexed_attrs: Vec::new(),
+            extractor: None,
+            merge_operator: None,
+            block_cache_bytes: 0,
+            table_cache_entries: 30_000,
+            wal_enabled: true,
+            auto_compact: true,
+        }
+    }
+
+    /// Maximum total bytes allowed in `level` before it is compaction
+    /// eligible (levels ≥ 1; L0 is triggered by file count).
+    pub fn max_bytes_for_level(&self, level: usize) -> u64 {
+        let mut bytes = self.base_level_bytes;
+        for _ in 1..level.max(1) {
+            bytes = bytes.saturating_mul(self.level_size_multiplier);
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_targets_grow_geometrically() {
+        let o = DbOptions::default();
+        assert_eq!(o.max_bytes_for_level(1), 10 << 20);
+        assert_eq!(o.max_bytes_for_level(2), 100 << 20);
+        assert_eq!(o.max_bytes_for_level(3), 1000 << 20);
+    }
+
+    #[test]
+    fn small_preset_is_small() {
+        let o = DbOptions::small();
+        assert!(o.write_buffer_size < DbOptions::default().write_buffer_size);
+        assert!(o.max_file_size <= o.write_buffer_size);
+    }
+
+    #[test]
+    fn debug_impl_renders() {
+        let o = DbOptions::small();
+        let s = format!("{o:?}");
+        assert!(s.contains("block_size"));
+    }
+}

@@ -1,0 +1,262 @@
+//! On-disk framing shared by the table builder and reader.
+
+use crate::compress::{self, Compression};
+use crate::env::{IoStats, RandomAccessFile, WritableFile};
+use ldbpp_common::coding::{get_varint64, put_fixed64, put_varint64};
+use ldbpp_common::{crc32c, Error, Result};
+
+/// Magic number terminating every SSTable.
+pub const TABLE_MAGIC: u64 = 0x4c44_4250_5053_5354; // "LDBPPSST"
+
+/// Fixed footer size: three max-length handles (2 × 10 bytes each) + magic.
+pub const FOOTER_SIZE: usize = 3 * 20 + 8;
+
+/// Per-block trailer: compression tag (1) + masked CRC32C (4).
+pub const BLOCK_TRAILER_SIZE: usize = 5;
+
+/// Why a block is being read — routes the I/O to the right counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadPurpose {
+    /// Serving a query (GET / LOOKUP / iterator).
+    Query,
+    /// Feeding a compaction.
+    Compaction,
+}
+
+/// Location of a block within the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct BlockHandle {
+    /// Byte offset of the block payload.
+    pub offset: u64,
+    /// Payload size (excluding the 5-byte trailer).
+    pub size: u64,
+}
+
+impl BlockHandle {
+    /// Append varint encoding.
+    pub fn encode_to(&self, dst: &mut Vec<u8>) {
+        put_varint64(dst, self.offset);
+        put_varint64(dst, self.size);
+    }
+
+    /// Decode, returning the handle and bytes consumed.
+    pub fn decode_from(src: &[u8]) -> Result<(BlockHandle, usize)> {
+        let (offset, n1) = get_varint64(src)?;
+        let (size, n2) = get_varint64(&src[n1..])?;
+        Ok((BlockHandle { offset, size }, n1 + n2))
+    }
+}
+
+/// The table footer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Footer {
+    /// Primary per-block bloom filter block.
+    pub filter_handle: BlockHandle,
+    /// Secondary attribute metadata block.
+    pub secmeta_handle: BlockHandle,
+    /// Index block.
+    pub index_handle: BlockHandle,
+}
+
+impl Footer {
+    /// Serialize to exactly [`FOOTER_SIZE`] bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FOOTER_SIZE);
+        self.filter_handle.encode_to(&mut out);
+        self.secmeta_handle.encode_to(&mut out);
+        self.index_handle.encode_to(&mut out);
+        out.resize(FOOTER_SIZE - 8, 0);
+        put_fixed64(&mut out, TABLE_MAGIC);
+        out
+    }
+
+    /// Parse a footer from the last [`FOOTER_SIZE`] bytes of a file.
+    pub fn decode(src: &[u8]) -> Result<Footer> {
+        if src.len() != FOOTER_SIZE {
+            return Err(Error::corruption("bad footer size"));
+        }
+        let magic = u64::from_le_bytes(src[FOOTER_SIZE - 8..].try_into().unwrap());
+        if magic != TABLE_MAGIC {
+            return Err(Error::corruption("bad table magic"));
+        }
+        let (filter_handle, n1) = BlockHandle::decode_from(src)?;
+        let (secmeta_handle, n2) = BlockHandle::decode_from(&src[n1..])?;
+        let (index_handle, _) = BlockHandle::decode_from(&src[n1 + n2..])?;
+        Ok(Footer {
+            filter_handle,
+            secmeta_handle,
+            index_handle,
+        })
+    }
+}
+
+/// Write one block (compressing if beneficial) and return its handle.
+///
+/// Returns `(handle, bytes_on_disk)`.
+pub fn write_block(
+    file: &mut dyn WritableFile,
+    contents: &[u8],
+    compression: Compression,
+) -> Result<(BlockHandle, u64)> {
+    let (payload, tag): (std::borrow::Cow<'_, [u8]>, Compression) = match compression {
+        Compression::None => (contents.into(), Compression::None),
+        Compression::Snaplite => {
+            let compressed = compress::compress(contents);
+            if compressed.len() < contents.len() {
+                (compressed.into(), Compression::Snaplite)
+            } else {
+                // Incompressible: store raw (Snappy-style bail-out).
+                (contents.into(), Compression::None)
+            }
+        }
+    };
+    let handle = BlockHandle {
+        offset: file.len(),
+        size: payload.len() as u64,
+    };
+    let crc = crc32c::extend(crc32c::crc32c(&payload), &[tag.to_u8()]);
+    file.append(&payload)?;
+    let mut trailer = [0u8; BLOCK_TRAILER_SIZE];
+    trailer[0] = tag.to_u8();
+    trailer[1..].copy_from_slice(&crc32c::mask(crc).to_le_bytes());
+    file.append(&trailer)?;
+    Ok((handle, payload.len() as u64 + BLOCK_TRAILER_SIZE as u64))
+}
+
+/// Read and verify a block's uncompressed contents.
+pub fn read_block_contents(
+    file: &dyn RandomAccessFile,
+    handle: BlockHandle,
+    stats: Option<(&IoStats, ReadPurpose)>,
+) -> Result<Vec<u8>> {
+    let raw = file.read(handle.offset, handle.size as usize + BLOCK_TRAILER_SIZE)?;
+    let (payload, trailer) = raw.split_at(handle.size as usize);
+    let tag = Compression::from_u8(trailer[0])?;
+    let stored = u32::from_le_bytes(trailer[1..5].try_into().unwrap());
+    let crc = crc32c::extend(crc32c::crc32c(payload), &[trailer[0]]);
+    if crc32c::unmask(stored) != crc {
+        return Err(Error::corruption("block checksum mismatch"));
+    }
+    if let Some((stats, purpose)) = stats {
+        match purpose {
+            ReadPurpose::Query => {
+                IoStats::add(&stats.block_reads, 1);
+                IoStats::add(&stats.block_read_bytes, raw.len() as u64);
+            }
+            ReadPurpose::Compaction => {
+                IoStats::add(&stats.compaction_blocks_read, 1);
+                IoStats::add(&stats.compaction_bytes_read, raw.len() as u64);
+            }
+        }
+    }
+    match tag {
+        Compression::None => Ok(payload.to_vec()),
+        Compression::Snaplite => compress::decompress(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Env, MemEnv};
+
+    #[test]
+    fn handle_roundtrip() {
+        let h = BlockHandle {
+            offset: 123_456_789,
+            size: 4096,
+        };
+        let mut buf = Vec::new();
+        h.encode_to(&mut buf);
+        let (h2, n) = BlockHandle::decode_from(&buf).unwrap();
+        assert_eq!(h2, h);
+        assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn footer_roundtrip() {
+        let f = Footer {
+            filter_handle: BlockHandle { offset: 1, size: 2 },
+            secmeta_handle: BlockHandle { offset: 3, size: 4 },
+            index_handle: BlockHandle {
+                offset: u64::MAX / 2,
+                size: 77,
+            },
+        };
+        let enc = f.encode();
+        assert_eq!(enc.len(), FOOTER_SIZE);
+        assert_eq!(Footer::decode(&enc).unwrap(), f);
+    }
+
+    #[test]
+    fn footer_rejects_bad_magic() {
+        let f = Footer {
+            filter_handle: BlockHandle::default(),
+            secmeta_handle: BlockHandle::default(),
+            index_handle: BlockHandle::default(),
+        };
+        let mut enc = f.encode();
+        enc[FOOTER_SIZE - 1] ^= 0xff;
+        assert!(Footer::decode(&enc).is_err());
+        assert!(Footer::decode(&enc[..10]).is_err());
+    }
+
+    #[test]
+    fn block_write_read_roundtrip() {
+        let env = MemEnv::new();
+        for compression in [Compression::None, Compression::Snaplite] {
+            let mut w = env.new_writable("t").unwrap();
+            let contents = b"abcabcabcabcabc-block-contents".repeat(10);
+            let (h, on_disk) = write_block(w.as_mut(), &contents, compression).unwrap();
+            drop(w);
+            assert_eq!(h.offset, 0);
+            assert!(on_disk >= h.size + BLOCK_TRAILER_SIZE as u64);
+            let r = env.open_random("t").unwrap();
+            let stats = IoStats::new();
+            let got = read_block_contents(
+                r.as_ref(),
+                h,
+                Some((&stats, ReadPurpose::Query)),
+            )
+            .unwrap();
+            assert_eq!(got, contents);
+            assert_eq!(stats.snapshot().block_reads, 1);
+        }
+    }
+
+    #[test]
+    fn compression_actually_shrinks() {
+        let env = MemEnv::new();
+        let mut w = env.new_writable("t").unwrap();
+        let contents = b"json json json json json".repeat(100);
+        let (h, _) = write_block(w.as_mut(), &contents, Compression::Snaplite).unwrap();
+        assert!(h.size < contents.len() as u64 / 2);
+    }
+
+    #[test]
+    fn corrupt_block_detected() {
+        let env = MemEnv::new();
+        let mut w = env.new_writable("t").unwrap();
+        let (h, _) = write_block(w.as_mut(), b"payload-bytes", Compression::None).unwrap();
+        drop(w);
+        let mut data = env.read_all("t").unwrap();
+        data[3] ^= 0x01;
+        env.write_all("t", &data).unwrap();
+        let r = env.open_random("t").unwrap();
+        assert!(read_block_contents(r.as_ref(), h, None).is_err());
+    }
+
+    #[test]
+    fn compaction_reads_counted_separately() {
+        let env = MemEnv::new();
+        let mut w = env.new_writable("t").unwrap();
+        let (h, _) = write_block(w.as_mut(), b"zzz", Compression::None).unwrap();
+        drop(w);
+        let r = env.open_random("t").unwrap();
+        let stats = IoStats::new();
+        read_block_contents(r.as_ref(), h, Some((&stats, ReadPurpose::Compaction))).unwrap();
+        let s = stats.snapshot();
+        assert_eq!(s.block_reads, 0);
+        assert_eq!(s.compaction_blocks_read, 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! SSTables: immutable sorted tables with embedded secondary metadata.
+//!
+//! File layout (offsets grow downward):
+//!
+//! ```text
+//! ┌──────────────────────────────┐
+//! │ data block 0                 │  prefix-compressed entries + trailer
+//! │ …                            │  (compression tag + masked CRC32C)
+//! │ data block N-1               │
+//! ├──────────────────────────────┤
+//! │ primary filter block         │  per-block bloom filters on user keys
+//! ├──────────────────────────────┤
+//! │ secondary meta block         │  per indexed attribute:
+//! │                              │    per-block bloom filters
+//! │                              │    per-block zone maps
+//! ├──────────────────────────────┤
+//! │ index block                  │  last-internal-key → block handle
+//! ├──────────────────────────────┤
+//! │ footer (fixed size + magic)  │
+//! └──────────────────────────────┘
+//! ```
+//!
+//! The primary filter, secondary meta and index blocks are loaded into
+//! memory when a table is opened — matching the paper's setup where "most
+//! of the bloom filters and other metadata can reside in memory", so
+//! secondary lookups scan in-memory filters and only touch disk for data
+//! blocks that pass.
+
+mod builder;
+mod format;
+mod reader;
+#[cfg(test)]
+mod tests;
+
+pub use builder::{TableBuilder, TableMeta};
+pub use format::{BlockHandle, Footer, ReadPurpose, FOOTER_SIZE, TABLE_MAGIC};
+pub use reader::{BlockCache, ConcatIter, Table, TableIter};

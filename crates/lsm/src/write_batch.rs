@@ -1,0 +1,219 @@
+//! Atomic write batches.
+//!
+//! A `WriteBatch` serializes a group of PUT/DEL/MERGE operations into one
+//! WAL record and one memtable application, with consecutive sequence
+//! numbers. Encoding mirrors LevelDB: `seq(8) count(4)` header followed by
+//! tagged, length-prefixed records.
+
+use crate::ikey::ValueType;
+use ldbpp_common::coding::{
+    decode_fixed32, decode_fixed64, get_length_prefixed, put_fixed32, put_fixed64,
+    put_length_prefixed,
+};
+use ldbpp_common::{Error, Result};
+
+const HEADER: usize = 12;
+
+/// A reusable batch of writes applied atomically.
+#[derive(Debug, Clone)]
+pub struct WriteBatch {
+    rep: Vec<u8>,
+    count: u32,
+}
+
+impl Default for WriteBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> WriteBatch {
+        WriteBatch {
+            rep: vec![0u8; HEADER],
+            count: 0,
+        }
+    }
+
+    /// Queue a PUT.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.rep.push(ValueType::Value as u8);
+        put_length_prefixed(&mut self.rep, key);
+        put_length_prefixed(&mut self.rep, value);
+        self.count += 1;
+    }
+
+    /// Queue a DEL.
+    pub fn delete(&mut self, key: &[u8]) {
+        self.rep.push(ValueType::Deletion as u8);
+        put_length_prefixed(&mut self.rep, key);
+        self.count += 1;
+    }
+
+    /// Queue a MERGE operand.
+    pub fn merge(&mut self, key: &[u8], operand: &[u8]) {
+        self.rep.push(ValueType::Merge as u8);
+        put_length_prefixed(&mut self.rep, key);
+        put_length_prefixed(&mut self.rep, operand);
+        self.count += 1;
+    }
+
+    /// Number of queued operations.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// True if no operations are queued.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Remove all operations.
+    pub fn clear(&mut self) {
+        self.rep.truncate(HEADER);
+        self.rep[..HEADER].fill(0);
+        self.count = 0;
+    }
+
+    /// Approximate serialized size.
+    pub fn byte_size(&self) -> usize {
+        self.rep.len()
+    }
+
+    /// Stamp the starting sequence number and return the WAL payload.
+    pub fn encode(&mut self, seq: u64) -> &[u8] {
+        let mut head = Vec::with_capacity(HEADER);
+        put_fixed64(&mut head, seq);
+        put_fixed32(&mut head, self.count);
+        self.rep[..HEADER].copy_from_slice(&head);
+        &self.rep
+    }
+
+    /// Decode a WAL payload into `(start_seq, ops)`.
+    pub fn decode(payload: &[u8]) -> Result<(u64, Vec<BatchOp>)> {
+        if payload.len() < HEADER {
+            return Err(Error::corruption("write batch too small"));
+        }
+        let seq = decode_fixed64(&payload[..8]);
+        let count = decode_fixed32(&payload[8..12]) as usize;
+        let mut ops = Vec::with_capacity(count);
+        let mut pos = HEADER;
+        for _ in 0..count {
+            if pos >= payload.len() {
+                return Err(Error::corruption("write batch truncated"));
+            }
+            let tag = ValueType::from_u8(payload[pos])?;
+            pos += 1;
+            let (key, n) = get_length_prefixed(&payload[pos..])?;
+            pos += n;
+            let value = match tag {
+                ValueType::Deletion => Vec::new(),
+                _ => {
+                    let (v, n) = get_length_prefixed(&payload[pos..])?;
+                    pos += n;
+                    v.to_vec()
+                }
+            };
+            ops.push(BatchOp {
+                vtype: tag,
+                key: key.to_vec(),
+                value,
+            });
+        }
+        if pos != payload.len() {
+            return Err(Error::corruption("write batch trailing bytes"));
+        }
+        Ok((seq, ops))
+    }
+
+    /// Iterate the queued operations without consuming the batch.
+    pub fn ops(&self) -> Result<Vec<BatchOp>> {
+        // The in-place header is only stamped by `encode`; decode from a
+        // copy with the current count filled in (sequence is irrelevant).
+        let mut rep = self.rep.clone();
+        let mut head = Vec::with_capacity(HEADER);
+        put_fixed64(&mut head, 0);
+        put_fixed32(&mut head, self.count);
+        rep[..HEADER].copy_from_slice(&head);
+        Ok(WriteBatch::decode(&rep)?.1)
+    }
+}
+
+/// One decoded operation from a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOp {
+    /// PUT / DEL / MERGE.
+    pub vtype: ValueType,
+    /// User key.
+    pub key: Vec<u8>,
+    /// Value or merge operand (empty for DEL).
+    pub value: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut b = WriteBatch::new();
+        b.put(b"k1", b"v1");
+        b.delete(b"k2");
+        b.merge(b"k3", b"[\"t1\"]");
+        assert_eq!(b.count(), 3);
+        let payload = b.encode(100).to_vec();
+        let (seq, ops) = WriteBatch::decode(&payload).unwrap();
+        assert_eq!(seq, 100);
+        assert_eq!(
+            ops,
+            vec![
+                BatchOp { vtype: ValueType::Value, key: b"k1".to_vec(), value: b"v1".to_vec() },
+                BatchOp { vtype: ValueType::Deletion, key: b"k2".to_vec(), value: vec![] },
+                BatchOp { vtype: ValueType::Merge, key: b"k3".to_vec(), value: b"[\"t1\"]".to_vec() },
+            ]
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.encode(1).len(), HEADER);
+    }
+
+    #[test]
+    fn empty_payload_rejected() {
+        assert!(WriteBatch::decode(&[]).is_err());
+        assert!(WriteBatch::decode(&[0u8; 11]).is_err());
+    }
+
+    #[test]
+    fn truncated_ops_rejected() {
+        let mut b = WriteBatch::new();
+        b.put(b"key", b"value");
+        let payload = b.encode(1).to_vec();
+        assert!(WriteBatch::decode(&payload[..payload.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut b = WriteBatch::new();
+        b.put(b"key", b"value");
+        let mut payload = b.encode(1).to_vec();
+        payload.push(0);
+        assert!(WriteBatch::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn ops_view() {
+        let mut b = WriteBatch::new();
+        b.put(b"a", b"1");
+        b.delete(b"b");
+        let ops = b.ops().unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[1].vtype, ValueType::Deletion);
+    }
+}

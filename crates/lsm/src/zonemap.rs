@@ -1,0 +1,314 @@
+//! Zone maps: per-block and per-file min/max of attribute values.
+//!
+//! The Embedded Index keeps, for each indexed secondary attribute, the
+//! minimum and maximum value occurring in every data block (block-level
+//! zone maps) and in the whole SSTable (file-level zone maps, kept in the
+//! version metadata so whole files can be pruned without opening them).
+//! The paper notes its zone maps are finer-grained than AsterixDB's, which
+//! only keeps file-level min/max.
+
+use crate::attr::AttrValue;
+use ldbpp_common::coding::{get_length_prefixed, get_varint32, put_length_prefixed, put_varint32};
+use ldbpp_common::{Error, Result};
+
+/// The min/max envelope of one attribute over one extent (block or file).
+///
+/// `None` means the extent contained no value for the attribute — such an
+/// extent never overlaps any query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ZoneEntry {
+    /// Inclusive bounds, or `None` when the extent holds no values.
+    pub bounds: Option<(AttrValue, AttrValue)>,
+}
+
+impl ZoneEntry {
+    /// An empty envelope.
+    pub fn new() -> ZoneEntry {
+        ZoneEntry::default()
+    }
+
+    /// Extend the envelope with one value.
+    pub fn update(&mut self, v: &AttrValue) {
+        match &mut self.bounds {
+            None => self.bounds = Some((v.clone(), v.clone())),
+            Some((lo, hi)) => {
+                if v < lo {
+                    *lo = v.clone();
+                }
+                if v > hi {
+                    *hi = v.clone();
+                }
+            }
+        }
+    }
+
+    /// Merge another envelope into this one.
+    pub fn merge(&mut self, other: &ZoneEntry) {
+        if let Some((lo, hi)) = &other.bounds {
+            self.update(lo);
+            self.update(hi);
+        }
+    }
+
+    /// May the extent contain `v`?
+    pub fn may_contain(&self, v: &AttrValue) -> bool {
+        match &self.bounds {
+            None => false,
+            Some((lo, hi)) => lo <= v && v <= hi,
+        }
+    }
+
+    /// May the extent intersect the inclusive range `[a, b]`?
+    pub fn overlaps(&self, a: &AttrValue, b: &AttrValue) -> bool {
+        match &self.bounds {
+            None => false,
+            Some((lo, hi)) => !(hi < a || b < lo),
+        }
+    }
+
+    /// Serialize: `0x00` for empty, `0x01 lo hi` otherwise (length-prefixed
+    /// order-preserving encodings).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match &self.bounds {
+            None => out.push(0),
+            Some((lo, hi)) => {
+                out.push(1);
+                put_length_prefixed(out, &lo.encode());
+                put_length_prefixed(out, &hi.encode());
+            }
+        }
+    }
+
+    /// Decode one entry, returning it and the bytes consumed.
+    pub fn decode(data: &[u8]) -> Result<(ZoneEntry, usize)> {
+        match data.first() {
+            Some(0) => Ok((ZoneEntry::new(), 1)),
+            Some(1) => {
+                let (lo, n1) = get_length_prefixed(&data[1..])?;
+                let (hi, n2) = get_length_prefixed(&data[1 + n1..])?;
+                let lo = AttrValue::decode(lo)?;
+                let hi = AttrValue::decode(hi)?;
+                if hi < lo {
+                    return Err(Error::corruption("zone map lo > hi"));
+                }
+                Ok((
+                    ZoneEntry {
+                        bounds: Some((lo, hi)),
+                    },
+                    1 + n1 + n2,
+                ))
+            }
+            _ => Err(Error::corruption("bad zone entry tag")),
+        }
+    }
+}
+
+/// Per-block zone maps for one attribute over one SSTable.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// `blocks[i]` is the envelope of data block `i`.
+    pub blocks: Vec<ZoneEntry>,
+}
+
+impl ZoneMap {
+    /// New empty map.
+    pub fn new() -> ZoneMap {
+        ZoneMap::default()
+    }
+
+    /// Append the envelope of the next data block.
+    pub fn push(&mut self, entry: ZoneEntry) {
+        self.blocks.push(entry);
+    }
+
+    /// Number of blocks covered.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if no blocks are covered.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The file-level envelope (union of all block envelopes).
+    pub fn file_entry(&self) -> ZoneEntry {
+        let mut e = ZoneEntry::new();
+        for b in &self.blocks {
+            e.merge(b);
+        }
+        e
+    }
+
+    /// Serialize the whole map.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_varint32(&mut out, self.blocks.len() as u32);
+        for b in &self.blocks {
+            b.encode(&mut out);
+        }
+        out
+    }
+
+    /// Parse a serialized map.
+    pub fn decode(data: &[u8]) -> Result<ZoneMap> {
+        let (count, mut pos) = get_varint32(data)?;
+        let mut blocks = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let (e, n) = ZoneEntry::decode(&data[pos..])?;
+            pos += n;
+            blocks.push(e);
+        }
+        if pos != data.len() {
+            return Err(Error::corruption("zone map trailing bytes"));
+        }
+        Ok(ZoneMap { blocks })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn iv(i: i64) -> AttrValue {
+        AttrValue::Int(i)
+    }
+
+    #[test]
+    fn update_and_query() {
+        let mut e = ZoneEntry::new();
+        assert!(!e.may_contain(&iv(5)));
+        e.update(&iv(10));
+        e.update(&iv(3));
+        e.update(&iv(7));
+        assert!(e.may_contain(&iv(3)));
+        assert!(e.may_contain(&iv(10)));
+        assert!(e.may_contain(&iv(5)));
+        assert!(!e.may_contain(&iv(2)));
+        assert!(!e.may_contain(&iv(11)));
+    }
+
+    #[test]
+    fn overlaps_edges() {
+        let mut e = ZoneEntry::new();
+        e.update(&iv(10));
+        e.update(&iv(20));
+        assert!(e.overlaps(&iv(20), &iv(30)));
+        assert!(e.overlaps(&iv(0), &iv(10)));
+        assert!(e.overlaps(&iv(12), &iv(15)));
+        assert!(e.overlaps(&iv(0), &iv(100)));
+        assert!(!e.overlaps(&iv(0), &iv(9)));
+        assert!(!e.overlaps(&iv(21), &iv(30)));
+        assert!(!ZoneEntry::new().overlaps(&iv(0), &iv(100)));
+    }
+
+    #[test]
+    fn merge_envelopes() {
+        let mut a = ZoneEntry::new();
+        a.update(&iv(5));
+        let mut b = ZoneEntry::new();
+        b.update(&iv(1));
+        b.update(&iv(9));
+        a.merge(&b);
+        assert_eq!(a.bounds, Some((iv(1), iv(9))));
+        let mut c = ZoneEntry::new();
+        c.merge(&ZoneEntry::new());
+        assert_eq!(c.bounds, None);
+    }
+
+    #[test]
+    fn string_zones() {
+        let mut e = ZoneEntry::new();
+        e.update(&AttrValue::str("banana"));
+        e.update(&AttrValue::str("apple"));
+        assert!(e.may_contain(&AttrValue::str("avocado")));
+        assert!(!e.may_contain(&AttrValue::str("cherry")));
+        // Integers sort below all strings.
+        assert!(!e.may_contain(&iv(5)));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m = ZoneMap::new();
+        let mut e1 = ZoneEntry::new();
+        e1.update(&iv(1));
+        e1.update(&iv(5));
+        m.push(e1);
+        m.push(ZoneEntry::new());
+        let mut e3 = ZoneEntry::new();
+        e3.update(&AttrValue::str("x"));
+        m.push(e3);
+        let enc = m.encode();
+        assert_eq!(ZoneMap::decode(&enc).unwrap(), m);
+    }
+
+    #[test]
+    fn file_entry_unions_blocks() {
+        let mut m = ZoneMap::new();
+        let mut e1 = ZoneEntry::new();
+        e1.update(&iv(10));
+        m.push(e1);
+        let mut e2 = ZoneEntry::new();
+        e2.update(&iv(-3));
+        m.push(e2);
+        m.push(ZoneEntry::new());
+        assert_eq!(m.file_entry().bounds, Some((iv(-3), iv(10))));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ZoneMap::decode(&[]).is_err());
+        assert!(ZoneEntry::decode(&[7]).is_err());
+        // lo > hi
+        let mut out = vec![1];
+        put_length_prefixed(&mut out, &iv(9).encode());
+        put_length_prefixed(&mut out, &iv(1).encode());
+        assert!(ZoneEntry::decode(&out).is_err());
+        // trailing bytes
+        let mut m = ZoneMap::new();
+        m.push(ZoneEntry::new());
+        let mut enc = m.encode();
+        enc.push(0);
+        assert!(ZoneMap::decode(&enc).is_err());
+    }
+
+    fn arb_attr() -> impl Strategy<Value = AttrValue> {
+        prop_oneof![
+            any::<i64>().prop_map(AttrValue::Int),
+            "[a-z]{0,12}".prop_map(AttrValue::Str),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn prop_zone_contains_all_updates(vals in proptest::collection::vec(arb_attr(), 1..50)) {
+            let mut e = ZoneEntry::new();
+            for v in &vals {
+                e.update(v);
+            }
+            for v in &vals {
+                prop_assert!(e.may_contain(v));
+            }
+            let min = vals.iter().min().unwrap();
+            let max = vals.iter().max().unwrap();
+            prop_assert_eq!(e.bounds.clone(), Some((min.clone(), max.clone())));
+        }
+
+        #[test]
+        fn prop_map_roundtrip(blockvals in proptest::collection::vec(
+            proptest::collection::vec(arb_attr(), 0..8), 0..12))
+        {
+            let mut m = ZoneMap::new();
+            for vals in &blockvals {
+                let mut e = ZoneEntry::new();
+                for v in vals {
+                    e.update(v);
+                }
+                m.push(e);
+            }
+            prop_assert_eq!(ZoneMap::decode(&m.encode()).unwrap(), m);
+        }
+    }
+}

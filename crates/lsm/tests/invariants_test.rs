@@ -1,0 +1,171 @@
+//! Structural invariants of the LSM tree after arbitrary workloads:
+//! level ordering, file disjointness, key placement, and metadata
+//! consistency — the properties every read-path shortcut relies on.
+
+use ldbpp_lsm::db::{Db, DbOptions};
+use ldbpp_lsm::env::MemEnv;
+use ldbpp_lsm::ikey;
+use ldbpp_lsm::iterator::DbIterator;
+use ldbpp_lsm::table::ReadPurpose;
+use ldbpp_lsm::version::table_file_name;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn tiny_opts() -> DbOptions {
+    DbOptions {
+        block_size: 512,
+        write_buffer_size: 4 << 10,
+        max_file_size: 2 << 10,
+        base_level_bytes: 16 << 10,
+        ..DbOptions::small()
+    }
+}
+
+/// Check every structural invariant we rely on.
+fn check_invariants(db: &Db) {
+    let version = db.current_version();
+
+    for (level, files) in version.files.iter().enumerate() {
+        // Per-file: smallest ≤ largest, metadata consistent with contents.
+        for f in files {
+            assert!(
+                ikey::compare_internal(&f.smallest, &f.largest).is_le(),
+                "L{level} file {} has inverted bounds",
+                f.number
+            );
+            let table = db.open_table(f).unwrap();
+            assert_eq!(table.num_blocks() as u64, f.num_blocks, "block count");
+            let mut it = table.iter(ReadPurpose::Query);
+            it.seek_to_first();
+            let mut entries = 0u64;
+            let mut prev: Option<Vec<u8>> = None;
+            let mut first: Option<Vec<u8>> = None;
+            let mut last: Option<Vec<u8>> = None;
+            while it.valid() {
+                if let Some(p) = &prev {
+                    assert!(
+                        ikey::compare_internal(p, it.key()).is_lt(),
+                        "entries sorted within file"
+                    );
+                }
+                first.get_or_insert_with(|| it.key().to_vec());
+                last = Some(it.key().to_vec());
+                prev = Some(it.key().to_vec());
+                entries += 1;
+                it.next();
+            }
+            assert_eq!(entries, f.num_entries, "entry count");
+            assert_eq!(first.as_deref(), Some(f.smallest.as_slice()), "smallest");
+            assert_eq!(last.as_deref(), Some(f.largest.as_slice()), "largest");
+        }
+
+        // Levels ≥ 1: files sorted and pairwise disjoint by user key; no
+        // user key straddles two files.
+        if level >= 1 {
+            for w in files.windows(2) {
+                let prev_hi = ikey::user_key(&w[0].largest);
+                let next_lo = ikey::user_key(&w[1].smallest);
+                assert!(
+                    prev_hi < next_lo,
+                    "L{level}: files {} and {} overlap or touch ({:?} !< {:?})",
+                    w[0].number,
+                    w[1].number,
+                    String::from_utf8_lossy(prev_hi),
+                    String::from_utf8_lossy(next_lo)
+                );
+            }
+        }
+    }
+
+    // Within each level (and the memtable), entries for one user key have
+    // strictly decreasing sequence numbers as we go deeper in the tree.
+    // Spot-check through the read path: fold_key_sources yields sources
+    // newest-first with per-source newest-first entries.
+    // (Exercised heavily elsewhere; here we verify no file claims a key
+    // outside its bounds via files_for_key.)
+    for files in version.files.iter().skip(1) {
+        for f in files {
+            let lo = ikey::user_key(&f.smallest).to_vec();
+            let hits = version.files_for_key(
+                version
+                    .files
+                    .iter()
+                    .position(|lv| lv.iter().any(|x| x.number == f.number))
+                    .unwrap(),
+                &lo,
+            );
+            assert!(hits.iter().any(|x| x.number == f.number));
+        }
+    }
+
+    // Live files on "disk" exactly match the version (no leaks, no holes).
+}
+
+#[test]
+fn invariants_after_sequential_load() {
+    let db = Db::open_in_memory(tiny_opts()).unwrap();
+    for i in 0..4000usize {
+        db.put(format!("key{i:06}").as_bytes(), format!("v{i}").as_bytes())
+            .unwrap();
+    }
+    db.flush().unwrap();
+    check_invariants(&db);
+}
+
+#[test]
+fn invariants_after_random_churn() {
+    let env = MemEnv::new();
+    let db = Db::open(env.clone(), "db", tiny_opts()).unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..6000 {
+        let k = format!("key{:04}", rng.random_range(0..800usize));
+        match rng.random_range(0..10u8) {
+            0..=6 => {
+                let len = rng.random_range(0..120usize);
+                db.put(k.as_bytes(), &vec![b'x'; len]).unwrap();
+            }
+            7..=8 => {
+                db.delete(k.as_bytes()).unwrap();
+            }
+            _ => db.flush().unwrap(),
+        }
+    }
+    db.flush().unwrap();
+    check_invariants(&db);
+
+    // Env ↔ version consistency: each live table exists; no orphan tables.
+    let version = db.current_version();
+    let mut live: Vec<u64> = version
+        .files
+        .iter()
+        .flatten()
+        .map(|f| f.number)
+        .collect();
+    live.sort_unstable();
+    for number in &live {
+        assert!(
+            ldbpp_lsm::env::Env::exists(env.as_ref(), &table_file_name("db", *number)),
+            "live file {number} missing from env"
+        );
+    }
+    let mut on_disk: Vec<u64> = ldbpp_lsm::env::Env::list(env.as_ref(), "db")
+        .unwrap()
+        .into_iter()
+        .filter_map(|f| f.strip_suffix(".ldb").and_then(|n| n.parse().ok()))
+        .collect();
+    on_disk.sort_unstable();
+    assert_eq!(on_disk, live, "orphan or missing table files");
+}
+
+#[test]
+fn invariants_survive_reopen() {
+    let env = MemEnv::new();
+    {
+        let db = Db::open(env.clone(), "db", tiny_opts()).unwrap();
+        for i in 0..3000usize {
+            db.put(format!("k{i:05}").as_bytes(), b"value").unwrap();
+        }
+    }
+    let db = Db::open(env.clone(), "db", tiny_opts()).unwrap();
+    check_invariants(&db);
+}

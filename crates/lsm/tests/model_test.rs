@@ -1,0 +1,185 @@
+//! Property-based model checking of the whole engine: arbitrary operation
+//! sequences (put / delete / merge / flush / compact / reopen) must match a
+//! brute-force reference model.
+
+use ldbpp_lsm::db::{Db, DbOptions};
+use ldbpp_lsm::env::MemEnv;
+use ldbpp_lsm::merge::ConcatMerge;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    Merge(u8, Vec<u8>),
+    Flush,
+    Compact,
+    Reopen,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => any::<u8>().prop_map(Op::Delete),
+        3 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 1..10))
+            .prop_map(|(k, v)| Op::Merge(k, v)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn key(k: u8) -> Vec<u8> {
+    format!("key{k:03}").into_bytes()
+}
+
+fn tiny_opts() -> DbOptions {
+    DbOptions {
+        block_size: 256,
+        write_buffer_size: 2 << 10,
+        max_file_size: 1 << 10,
+        base_level_bytes: 8 << 10,
+        merge_operator: Some(Arc::new(ConcatMerge)),
+        ..DbOptions::small()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn db_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let env = MemEnv::new();
+        let mut db = Db::open(env.clone(), "db", tiny_opts()).unwrap();
+        // Model: key -> Some(value) for live, None for deleted/absent.
+        let mut model: HashMap<u8, Option<Vec<u8>>> = HashMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(&key(*k), v).unwrap();
+                    model.insert(*k, Some(v.clone()));
+                }
+                Op::Delete(k) => {
+                    db.delete(&key(*k)).unwrap();
+                    model.insert(*k, None);
+                }
+                Op::Merge(k, operand) => {
+                    db.merge(&key(*k), operand).unwrap();
+                    let slot = model.entry(*k).or_insert(None);
+                    match slot {
+                        Some(existing) => existing.extend_from_slice(operand),
+                        None => *slot = Some(operand.clone()),
+                    }
+                }
+                Op::Flush => db.flush().unwrap(),
+                Op::Compact => db.compact().unwrap(),
+                Op::Reopen => {
+                    drop(db);
+                    db = Db::open(env.clone(), "db", tiny_opts()).unwrap();
+                }
+            }
+        }
+
+        for (k, want) in &model {
+            let got = db.get(&key(*k)).unwrap();
+            prop_assert_eq!(&got, want, "key {}", k);
+        }
+        // Untouched keys stay absent.
+        prop_assert_eq!(db.get(b"never-written").unwrap(), None);
+
+        // The resolved iterator agrees with the model's live set.
+        let mut it = db.resolved_iter().unwrap();
+        it.seek_to_first();
+        let mut live_from_iter = HashMap::new();
+        while let Some((uk, _seq, value)) = it.next_entry().unwrap() {
+            live_from_iter.insert(uk, value);
+        }
+        let live_from_model: HashMap<Vec<u8>, Vec<u8>> = model
+            .iter()
+            .filter_map(|(k, v)| v.clone().map(|v| (key(*k), v)))
+            .collect();
+        prop_assert_eq!(live_from_iter, live_from_model);
+    }
+}
+
+mod snapshot_model {
+    use super::*;
+    use ldbpp_lsm::db::SnapshotHandle;
+
+    #[derive(Debug, Clone)]
+    enum SnapOp {
+        Put(u8, Vec<u8>),
+        Delete(u8),
+        Flush,
+        Compact,
+        Pin,
+        UnpinOldest,
+    }
+
+    fn arb_snap_op() -> impl Strategy<Value = SnapOp> {
+        prop_oneof![
+            6 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..30))
+                .prop_map(|(k, v)| SnapOp::Put(k, v)),
+            2 => any::<u8>().prop_map(SnapOp::Delete),
+            1 => Just(SnapOp::Flush),
+            1 => Just(SnapOp::Compact),
+            1 => Just(SnapOp::Pin),
+            1 => Just(SnapOp::UnpinOldest),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Pinned snapshots read their exact historical state regardless of
+        /// interleaved churn, flushes and compactions.
+        #[test]
+        fn pinned_reads_match_history(
+            ops in proptest::collection::vec(arb_snap_op(), 1..120)
+        ) {
+            type Frozen = HashMap<u8, Option<Vec<u8>>>;
+            let db = Db::open_in_memory(tiny_opts()).unwrap();
+            let mut live: Frozen = HashMap::new();
+            // (handle, frozen copy of `live` at pin time)
+            let mut pins: Vec<(SnapshotHandle, Frozen)> = Vec::new();
+
+            for op in &ops {
+                match op {
+                    SnapOp::Put(k, v) => {
+                        db.put(&key(*k), v).unwrap();
+                        live.insert(*k, Some(v.clone()));
+                    }
+                    SnapOp::Delete(k) => {
+                        db.delete(&key(*k)).unwrap();
+                        live.insert(*k, None);
+                    }
+                    SnapOp::Flush => db.flush().unwrap(),
+                    SnapOp::Compact => db.major_compact().unwrap(),
+                    SnapOp::Pin => pins.push((db.pin_snapshot(), live.clone())),
+                    SnapOp::UnpinOldest => {
+                        if !pins.is_empty() {
+                            pins.remove(0);
+                        }
+                    }
+                }
+            }
+            db.major_compact().unwrap();
+
+            // Every still-pinned snapshot sees its frozen state.
+            for (handle, frozen) in &pins {
+                for (k, want) in frozen {
+                    let got = db.get_at(&key(*k), handle.sequence()).unwrap();
+                    prop_assert_eq!(&got, want, "pinned @{} key {}", handle.sequence(), k);
+                }
+            }
+            // And the live view is current.
+            for (k, want) in &live {
+                prop_assert_eq!(&db.get(&key(*k)).unwrap(), want, "live key {}", k);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Twitter-like dataset and operation workload generators.
+//!
+//! Reimplements the paper's open-source workload generator (its citation \[30\]): a
+//! synthetic tweet stream whose attribute-value distributions follow a seed
+//! dataset's statistics, plus *Static* and *Mixed* operation workloads
+//! (§5.1).
+//!
+//! We do not have the paper's 10 GB seed crawl (8 M geotagged tweets
+//! collected over three weeks via the Twitter Streaming API — not
+//! redistributable), so [`seed::SeedStats`] bakes in the published
+//! statistics: ~30 tweets per user on average, ~35 tweets per second,
+//! ~550 bytes per tweet, and the heavy-tailed user rank-frequency curve of
+//! the paper's Figure 7. Every generator is deterministic given a seed.
+
+pub mod ops;
+pub mod seed;
+pub mod tweets;
+pub mod ycsb;
+pub mod zipf;
+
+pub use ops::{MixedKind, MixedWorkload, Operation, StaticQueries};
+pub use seed::SeedStats;
+pub use tweets::{Tweet, TweetGenerator};
+pub use ycsb::{YcsbKind, YcsbOp, YcsbWorkload};
+pub use zipf::Zipf;

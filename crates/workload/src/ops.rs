@@ -1,0 +1,335 @@
+//! Operation workloads: Static query phases and Mixed streams (§5.1).
+//!
+//! "The Static one first does all the insertions, builds the indexes and
+//! then performs queries on the static data. ... In contrast, Mixed has
+//! continuous data arrivals, interleaved with queries on primary and
+//! secondary attributes." Query conditions are drawn from the data's own
+//! value distributions (heavy users are queried more often, like real
+//! feeds).
+
+use crate::seed::SeedStats;
+use crate::tweets::{Tweet, TweetGenerator};
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One operation of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operation {
+    /// Insert a fresh record.
+    Put(Tweet),
+    /// Overwrite an existing primary key (the Mixed workloads' "Update").
+    Update(Tweet),
+    /// Primary-key read.
+    Get { key: String },
+    /// `LOOKUP(UserID, user, k)`.
+    LookupUser { user: String, k: Option<usize> },
+    /// `RANGELOOKUP(UserID, lo, hi, k)` spanning `span` users.
+    RangeUsers {
+        lo: String,
+        hi: String,
+        k: Option<usize>,
+    },
+    /// `RANGELOOKUP(CreationTime, lo, hi, k)` spanning minutes.
+    RangeTime { lo: i64, hi: i64, k: Option<usize> },
+}
+
+/// Draws query operations against an already-loaded Static dataset.
+pub struct StaticQueries {
+    tweets_loaded: usize,
+    user_pool: usize,
+    users: Zipf,
+    time_range: (i64, i64),
+    rng: StdRng,
+}
+
+impl StaticQueries {
+    /// Query generator over `loaded` tweets (the insert phase's output).
+    pub fn new(stats: &SeedStats, loaded: &[Tweet], seed: u64) -> StaticQueries {
+        assert!(!loaded.is_empty());
+        let user_pool = stats.user_pool(loaded.len());
+        StaticQueries {
+            tweets_loaded: loaded.len(),
+            user_pool,
+            users: Zipf::new(user_pool, stats.user_zipf_exponent),
+            time_range: (
+                loaded.first().unwrap().creation_time,
+                loaded.last().unwrap().creation_time,
+            ),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A GET on a uniformly random existing key.
+    pub fn get(&mut self) -> Operation {
+        let i = self.rng.random_range(0..self.tweets_loaded);
+        Operation::Get {
+            key: format!("t{i:09}"),
+        }
+    }
+
+    /// A LOOKUP on a user drawn from the posting-frequency distribution.
+    pub fn lookup_user(&mut self, k: Option<usize>) -> Operation {
+        let rank = self.users.sample(&mut self.rng);
+        Operation::LookupUser {
+            user: TweetGenerator::user_id(rank),
+            k,
+        }
+    }
+
+    /// A RANGELOOKUP over `span` consecutive user ids.
+    pub fn range_users(&mut self, span: usize, k: Option<usize>) -> Operation {
+        let span = span.min(self.user_pool).max(1);
+        let start = self
+            .rng
+            .random_range(0..self.user_pool.saturating_sub(span - 1).max(1));
+        Operation::RangeUsers {
+            lo: TweetGenerator::user_id(start),
+            hi: TweetGenerator::user_id(start + span - 1),
+            k,
+        }
+    }
+
+    /// A RANGELOOKUP over `minutes` of CreationTime.
+    pub fn range_time(&mut self, minutes: i64, k: Option<usize>) -> Operation {
+        self.range_time_span(minutes * 60, k)
+    }
+
+    /// A RANGELOOKUP over a fraction of the dataset's total time span —
+    /// lets experiments keep the paper's *selectivity* (fraction of
+    /// records) constant across dataset scales.
+    pub fn range_time_fraction(&mut self, fraction: f64, k: Option<usize>) -> Operation {
+        let (t0, t1) = self.time_range;
+        let span = (((t1 - t0) as f64 * fraction) as i64).max(1);
+        self.range_time_span(span, k)
+    }
+
+    /// A RANGELOOKUP over `span` seconds of CreationTime.
+    pub fn range_time_span(&mut self, span: i64, k: Option<usize>) -> Operation {
+        let (t0, t1) = self.time_range;
+        let lo = if t1 - span > t0 {
+            self.rng.random_range(t0..=(t1 - span))
+        } else {
+            t0
+        };
+        Operation::RangeTime {
+            lo,
+            hi: lo + span - 1,
+            k,
+        }
+    }
+}
+
+/// Mixed workload presets from Table 7(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixedKind {
+    /// 80 % PUT · 15 % GET · 5 % LOOKUP · 0 % updates.
+    WriteHeavy,
+    /// 20 % PUT · 70 % GET · 10 % LOOKUP · 0 % updates.
+    ReadHeavy,
+    /// 40 % PUT · 15 % GET · 5 % LOOKUP · 40 % of PUTs are updates.
+    UpdateHeavy,
+}
+
+impl MixedKind {
+    /// `(put, get, lookup, update)` fractions.
+    pub fn ratios(self) -> (f64, f64, f64, f64) {
+        match self {
+            MixedKind::WriteHeavy => (0.80, 0.15, 0.05, 0.0),
+            MixedKind::ReadHeavy => (0.20, 0.70, 0.10, 0.0),
+            MixedKind::UpdateHeavy => (0.40, 0.15, 0.05, 0.40),
+        }
+    }
+
+    /// Label used in experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            MixedKind::WriteHeavy => "write-heavy",
+            MixedKind::ReadHeavy => "read-heavy",
+            MixedKind::UpdateHeavy => "update-heavy",
+        }
+    }
+}
+
+/// A continuous stream of interleaved operations.
+pub struct MixedWorkload {
+    kind: MixedKind,
+    generator: TweetGenerator,
+    inserted: usize,
+    lookup_k: Option<usize>,
+    rng: StdRng,
+    users: Zipf,
+}
+
+impl MixedWorkload {
+    /// A mixed stream expected to run for about `expected_ops` operations
+    /// (sizes the user pool).
+    pub fn new(
+        kind: MixedKind,
+        stats: SeedStats,
+        expected_ops: usize,
+        lookup_k: Option<usize>,
+        seed: u64,
+    ) -> MixedWorkload {
+        let (put, _, _, update) = kind.ratios();
+        let expected_tweets = ((expected_ops as f64) * (put + update)).ceil() as usize;
+        let pool = stats.user_pool(expected_tweets.max(1));
+        MixedWorkload {
+            kind,
+            generator: TweetGenerator::new(stats.clone(), expected_tweets.max(1), seed),
+            inserted: 0,
+            lookup_k,
+            rng: StdRng::seed_from_u64(seed ^ 0x5eed),
+            users: Zipf::new(pool, stats.user_zipf_exponent),
+        }
+    }
+
+    /// Which preset this stream follows.
+    pub fn kind(&self) -> MixedKind {
+        self.kind
+    }
+
+    /// The next operation (None only before the first insert for
+    /// read-type draws, in which case a Put is substituted).
+    pub fn next_op(&mut self) -> Operation {
+        let (put, get, lookup, update) = self.kind.ratios();
+        let total = put + get + lookup + update;
+        let x: f64 = self.rng.random::<f64>() * total;
+        if x < put || self.inserted == 0 {
+            let t = self.generator.next_tweet();
+            self.inserted += 1;
+            Operation::Put(t)
+        } else if x < put + update {
+            // Re-insert an existing primary key with fresh content.
+            let i = self.rng.random_range(0..self.inserted);
+            let mut t = self.generator.next_tweet();
+            t.id = format!("t{i:09}");
+            Operation::Update(t)
+        } else if x < put + update + get {
+            let i = self.rng.random_range(0..self.inserted);
+            Operation::Get {
+                key: format!("t{i:09}"),
+            }
+        } else {
+            let rank = self.users.sample(&mut self.rng);
+            Operation::LookupUser {
+                user: TweetGenerator::user_id(rank),
+                k: self.lookup_k,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(n: usize) -> Vec<Tweet> {
+        TweetGenerator::new(SeedStats::default(), n, 1).take(n)
+    }
+
+    #[test]
+    fn static_queries_reference_loaded_data() {
+        let tweets = load(500);
+        let mut q = StaticQueries::new(&SeedStats::default(), &tweets, 2);
+        for _ in 0..100 {
+            match q.get() {
+                Operation::Get { key } => {
+                    let i: usize = key[1..].parse().unwrap();
+                    assert!(i < 500);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match q.lookup_user(Some(10)) {
+            Operation::LookupUser { user, k } => {
+                assert!(user.starts_with('u'));
+                assert_eq!(k, Some(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_queries_have_requested_spans() {
+        let tweets = load(2000);
+        let mut q = StaticQueries::new(&SeedStats::default(), &tweets, 3);
+        match q.range_users(10, None) {
+            Operation::RangeUsers { lo, hi, .. } => {
+                let a: usize = lo[1..].parse().unwrap();
+                let b: usize = hi[1..].parse().unwrap();
+                assert_eq!(b - a + 1, 10);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match q.range_time(5, Some(7)) {
+            Operation::RangeTime { lo, hi, k } => {
+                assert_eq!(hi - lo + 1, 300);
+                assert_eq!(k, Some(7));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mixed_ratios_approximately_hold() {
+        for kind in [
+            MixedKind::WriteHeavy,
+            MixedKind::ReadHeavy,
+            MixedKind::UpdateHeavy,
+        ] {
+            let mut w = MixedWorkload::new(kind, SeedStats::default(), 10_000, Some(10), 5);
+            let mut counts = [0usize; 4];
+            for _ in 0..10_000 {
+                match w.next_op() {
+                    Operation::Put(_) => counts[0] += 1,
+                    Operation::Get { .. } => counts[1] += 1,
+                    Operation::LookupUser { .. } => counts[2] += 1,
+                    Operation::Update(_) => counts[3] += 1,
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            let (put, get, lookup, update) = kind.ratios();
+            let tol = 0.02 * 10_000.0;
+            assert!((counts[0] as f64 - put * 10_000.0).abs() < tol, "{kind:?} put");
+            assert!((counts[1] as f64 - get * 10_000.0).abs() < tol, "{kind:?} get");
+            assert!(
+                (counts[2] as f64 - lookup * 10_000.0).abs() < tol,
+                "{kind:?} lookup"
+            );
+            assert!(
+                (counts[3] as f64 - update * 10_000.0).abs() < tol,
+                "{kind:?} update"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_reads_only_touch_inserted_keys() {
+        let mut w = MixedWorkload::new(MixedKind::ReadHeavy, SeedStats::default(), 2000, None, 6);
+        let mut max_inserted = 0usize;
+        for _ in 0..2000 {
+            match w.next_op() {
+                Operation::Put(t) => {
+                    let i: usize = t.id[1..].parse().unwrap();
+                    assert_eq!(i, max_inserted, "fresh ids are sequential");
+                    max_inserted += 1;
+                }
+                Operation::Get { key } | Operation::Update(Tweet { id: key, .. }) => {
+                    let i: usize = key[1..].parse().unwrap();
+                    assert!(i < max_inserted);
+                }
+                Operation::LookupUser { .. } => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn update_heavy_emits_updates() {
+        let mut w =
+            MixedWorkload::new(MixedKind::UpdateHeavy, SeedStats::default(), 1000, Some(5), 7);
+        let has_update = (0..1000).any(|_| matches!(w.next_op(), Operation::Update(_)));
+        assert!(has_update);
+    }
+}

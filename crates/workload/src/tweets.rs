@@ -1,0 +1,200 @@
+//! The synthetic tweet stream.
+//!
+//! Mirrors the paper's dataset generator: user ids follow the seed
+//! rank-frequency distribution (heavy users get more synthetic tweets),
+//! `CreationTime` advances with a uniformly drawn number of tweets per
+//! second (making it time-correlated), and a filler body gives records a
+//! realistic size.
+
+use crate::seed::SeedStats;
+use crate::zipf::Zipf;
+use ldbpp_common::json::Value;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One generated record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tweet {
+    /// Primary key, `t{counter:09}` — monotonically increasing like a real
+    /// tweet id.
+    pub id: String,
+    /// Secondary attribute `UserID` (`u{rank:07}`).
+    pub user: String,
+    /// Secondary attribute `CreationTime` (epoch seconds, time-correlated).
+    pub creation_time: i64,
+    /// Body text (filler; never indexed, only there for realistic record
+    /// sizes, as in the paper).
+    pub text: String,
+}
+
+impl Tweet {
+    /// The JSON document stored as the record value.
+    pub fn document(&self) -> ldbpp_common::json::Value {
+        Value::object([
+            ("UserID", Value::str(self.user.clone())),
+            ("CreationTime", Value::Int(self.creation_time)),
+            ("Text", Value::str(self.text.clone())),
+        ])
+    }
+}
+
+/// Deterministic synthetic tweet stream.
+///
+/// ```
+/// use ldbpp_workload::{SeedStats, TweetGenerator};
+///
+/// let mut g = TweetGenerator::new(SeedStats::default(), 1000, 42);
+/// let t = g.next_tweet();
+/// assert!(t.id.starts_with('t'));
+/// assert!(t.user.starts_with('u'));
+/// ```
+pub struct TweetGenerator {
+    stats: SeedStats,
+    users: Zipf,
+    rng: StdRng,
+    counter: u64,
+    current_second: i64,
+    remaining_this_second: u32,
+    body_len: usize,
+}
+
+impl TweetGenerator {
+    /// A generator for approximately `num_tweets` records (fixes the user
+    /// pool size), seeded deterministically.
+    pub fn new(stats: SeedStats, num_tweets: usize, seed: u64) -> TweetGenerator {
+        let pool = stats.user_pool(num_tweets);
+        // JSON overhead + ids + timestamp ≈ 90 bytes; the body makes up the
+        // rest of the target record size.
+        let body_len = stats.avg_tweet_bytes.saturating_sub(90).max(8);
+        TweetGenerator {
+            users: Zipf::new(pool, stats.user_zipf_exponent),
+            current_second: stats.start_time,
+            remaining_this_second: 0,
+            stats,
+            rng: StdRng::seed_from_u64(seed),
+            counter: 0,
+            body_len,
+        }
+    }
+
+    /// Number of distinct users in the pool.
+    pub fn user_pool(&self) -> usize {
+        self.users.n()
+    }
+
+    /// The user id string for a rank.
+    pub fn user_id(rank: usize) -> String {
+        format!("u{rank:07}")
+    }
+
+    /// Draw a user rank from the seed distribution.
+    pub fn sample_user_rank(&mut self) -> usize {
+        self.users.sample(&mut self.rng)
+    }
+
+    /// Generate the next tweet.
+    pub fn next_tweet(&mut self) -> Tweet {
+        while self.remaining_this_second == 0 {
+            // "The number of tweets per second is selected based on a
+            // uniform distribution with minimum 0 and maximum equal to two
+            // times the average."
+            let max = (2.0 * self.stats.avg_tweets_per_second) as u32;
+            self.remaining_this_second = self.rng.random_range(0..=max);
+            self.current_second += 1;
+        }
+        self.remaining_this_second -= 1;
+
+        let rank = self.users.sample(&mut self.rng);
+        let id = format!("t{:09}", self.counter);
+        self.counter += 1;
+        let mut text = String::with_capacity(self.body_len);
+        for _ in 0..self.body_len {
+            let c = b'a' + self.rng.random_range(0..26u8);
+            text.push(c as char);
+        }
+        Tweet {
+            id,
+            user: Self::user_id(rank),
+            creation_time: self.current_second,
+            text,
+        }
+    }
+
+    /// Generate a batch of tweets.
+    pub fn take(&mut self, n: usize) -> Vec<Tweet> {
+        (0..n).map(|_| self.next_tweet()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_monotone_and_unique() {
+        let mut g = TweetGenerator::new(SeedStats::default(), 1000, 1);
+        let tweets = g.take(1000);
+        for w in tweets.windows(2) {
+            assert!(w[0].id < w[1].id);
+            assert!(w[0].creation_time <= w[1].creation_time);
+        }
+    }
+
+    #[test]
+    fn creation_time_is_time_correlated() {
+        let mut g = TweetGenerator::new(SeedStats::default(), 5000, 2);
+        let tweets = g.take(5000);
+        // Spearman-ish check: insertion order vs CreationTime order agree.
+        let mut inversions = 0usize;
+        for w in tweets.windows(2) {
+            if w[1].creation_time < w[0].creation_time {
+                inversions += 1;
+            }
+        }
+        assert_eq!(inversions, 0);
+        // And time actually advances at roughly the configured rate.
+        let span = tweets.last().unwrap().creation_time - tweets[0].creation_time;
+        let rate = 5000.0 / span.max(1) as f64;
+        assert!((rate - 35.0).abs() < 10.0, "tweets/sec ≈ {rate}");
+    }
+
+    #[test]
+    fn user_distribution_is_heavy_tailed() {
+        let mut g = TweetGenerator::new(SeedStats::default(), 30_000, 3);
+        let tweets = g.take(30_000);
+        let mut counts = std::collections::HashMap::new();
+        for t in &tweets {
+            *counts.entry(t.user.clone()).or_insert(0usize) += 1;
+        }
+        let mut freqs: Vec<usize> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        // Top user posts far more than the median user (Figure 7 shape).
+        let median = freqs[freqs.len() / 2];
+        assert!(
+            freqs[0] > median * 10,
+            "top {} vs median {median}",
+            freqs[0]
+        );
+        // Average tweets/user in the right ballpark.
+        let avg = 30_000.0 / counts.len() as f64;
+        assert!(avg > 15.0, "avg tweets/user {avg}");
+    }
+
+    #[test]
+    fn record_size_near_target() {
+        let mut g = TweetGenerator::new(SeedStats::default(), 100, 4);
+        let t = g.next_tweet();
+        let bytes = t.document().to_json().len();
+        assert!(
+            (450..=650).contains(&bytes),
+            "record size {bytes} should be near 550"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<Tweet> = TweetGenerator::new(SeedStats::default(), 100, 9).take(50);
+        let b: Vec<Tweet> = TweetGenerator::new(SeedStats::default(), 100, 9).take(50);
+        assert_eq!(a, b);
+    }
+}

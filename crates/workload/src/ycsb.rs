@@ -1,0 +1,263 @@
+//! YCSB-style core workloads A–F.
+//!
+//! The paper motivates its own generator by noting that YCSB "does not
+//! allow fine-grained control of the ratio of queries on primary to
+//! secondary attributes" — but the standard YCSB mixes remain the lingua
+//! franca for primary-key evaluation, so we provide them too. Key choice
+//! uses the usual Zipfian request distribution (workload D uses
+//! "latest").
+
+use crate::tweets::{Tweet, TweetGenerator};
+use crate::zipf::Zipf;
+use crate::SeedStats;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One YCSB-style operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum YcsbOp {
+    /// Read one record by key.
+    Read { key: String },
+    /// Overwrite one record.
+    Update(Tweet),
+    /// Insert a new record.
+    Insert(Tweet),
+    /// Short primary-key range scan starting at `start`.
+    Scan { start: String, len: usize },
+    /// Read-modify-write of one record.
+    ReadModifyWrite(Tweet),
+}
+
+/// The six standard core workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum YcsbKind {
+    /// 50 % read / 50 % update, zipfian.
+    A,
+    /// 95 % read / 5 % update, zipfian.
+    B,
+    /// 100 % read, zipfian.
+    C,
+    /// 95 % read / 5 % insert, latest-skewed reads.
+    D,
+    /// 95 % scan / 5 % insert, zipfian start keys.
+    E,
+    /// 50 % read / 50 % read-modify-write, zipfian.
+    F,
+}
+
+impl YcsbKind {
+    /// Workload label ("A".."F").
+    pub fn name(self) -> &'static str {
+        match self {
+            YcsbKind::A => "A",
+            YcsbKind::B => "B",
+            YcsbKind::C => "C",
+            YcsbKind::D => "D",
+            YcsbKind::E => "E",
+            YcsbKind::F => "F",
+        }
+    }
+}
+
+/// Generates a YCSB-style stream over an initially loaded keyspace.
+pub struct YcsbWorkload {
+    kind: YcsbKind,
+    generator: TweetGenerator,
+    /// Keys `t000000000..t{loaded}` exist.
+    loaded: usize,
+    keys: Zipf,
+    rng: StdRng,
+    max_scan_len: usize,
+}
+
+impl YcsbWorkload {
+    /// A workload over `record_count` preloaded records (insert them first
+    /// with [`YcsbWorkload::load_phase`]).
+    pub fn new(kind: YcsbKind, record_count: usize, seed: u64) -> YcsbWorkload {
+        assert!(record_count > 0);
+        YcsbWorkload {
+            kind,
+            generator: TweetGenerator::new(SeedStats::compact(), record_count * 2, seed),
+            loaded: 0,
+            keys: Zipf::new(record_count, 0.99), // classic YCSB zipfian θ
+            rng: StdRng::seed_from_u64(seed ^ 0x9c5b),
+            max_scan_len: 100,
+        }
+    }
+
+    /// The insert phase: `n` fresh records to load before running the mix.
+    pub fn load_phase(&mut self, n: usize) -> Vec<Tweet> {
+        let out = self.generator.take(n);
+        self.loaded += n;
+        out
+    }
+
+    fn zipf_key(&mut self) -> String {
+        // Zipf rank 0 = hottest; map onto the loaded keyspace.
+        let rank = self.keys.sample(&mut self.rng) % self.loaded.max(1);
+        format!("t{rank:09}")
+    }
+
+    fn latest_key(&mut self) -> String {
+        // "Latest" distribution: zipfian over recency.
+        let back = self.keys.sample(&mut self.rng) % self.loaded.max(1);
+        format!("t{:09}", self.loaded - 1 - back)
+    }
+
+    fn updated_tweet(&mut self, key: String) -> Tweet {
+        let mut t = self.generator.next_tweet();
+        t.id = key;
+        t
+    }
+
+    /// Next operation of the mix. Call after at least one `load_phase`.
+    pub fn next_op(&mut self) -> YcsbOp {
+        assert!(self.loaded > 0, "run load_phase first");
+        let x: f64 = self.rng.random();
+        match self.kind {
+            YcsbKind::A => {
+                if x < 0.5 {
+                    YcsbOp::Read { key: self.zipf_key() }
+                } else {
+                    let key = self.zipf_key();
+                    YcsbOp::Update(self.updated_tweet(key))
+                }
+            }
+            YcsbKind::B => {
+                if x < 0.95 {
+                    YcsbOp::Read { key: self.zipf_key() }
+                } else {
+                    let key = self.zipf_key();
+                    YcsbOp::Update(self.updated_tweet(key))
+                }
+            }
+            YcsbKind::C => YcsbOp::Read { key: self.zipf_key() },
+            YcsbKind::D => {
+                if x < 0.95 {
+                    YcsbOp::Read { key: self.latest_key() }
+                } else {
+                    let t = self.generator.next_tweet();
+                    self.loaded += 1;
+                    YcsbOp::Insert(t)
+                }
+            }
+            YcsbKind::E => {
+                if x < 0.95 {
+                    let len = self.rng.random_range(1..=self.max_scan_len);
+                    YcsbOp::Scan { start: self.zipf_key(), len }
+                } else {
+                    let t = self.generator.next_tweet();
+                    self.loaded += 1;
+                    YcsbOp::Insert(t)
+                }
+            }
+            YcsbKind::F => {
+                if x < 0.5 {
+                    YcsbOp::Read { key: self.zipf_key() }
+                } else {
+                    let key = self.zipf_key();
+                    YcsbOp::ReadModifyWrite(self.updated_tweet(key))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix_counts(kind: YcsbKind, n: usize) -> (usize, usize, usize, usize, usize) {
+        let mut w = YcsbWorkload::new(kind, 1000, 3);
+        w.load_phase(1000);
+        let (mut r, mut u, mut i, mut s, mut rmw) = (0, 0, 0, 0, 0);
+        for _ in 0..n {
+            match w.next_op() {
+                YcsbOp::Read { .. } => r += 1,
+                YcsbOp::Update(_) => u += 1,
+                YcsbOp::Insert(_) => i += 1,
+                YcsbOp::Scan { .. } => s += 1,
+                YcsbOp::ReadModifyWrite(_) => rmw += 1,
+            }
+        }
+        (r, u, i, s, rmw)
+    }
+
+    #[test]
+    fn workload_mixes_match_spec() {
+        let n = 20_000;
+        let (r, u, _, _, _) = mix_counts(YcsbKind::A, n);
+        assert!((r as f64 / n as f64 - 0.5).abs() < 0.02, "A reads {r}");
+        assert!((u as f64 / n as f64 - 0.5).abs() < 0.02);
+
+        let (r, u, _, _, _) = mix_counts(YcsbKind::B, n);
+        assert!((r as f64 / n as f64 - 0.95).abs() < 0.01, "B reads {r}");
+        assert!(u > 0);
+
+        let (r, _, _, _, _) = mix_counts(YcsbKind::C, n);
+        assert_eq!(r, n, "C is read-only");
+
+        let (_, _, i, s, _) = mix_counts(YcsbKind::E, n);
+        assert!((s as f64 / n as f64 - 0.95).abs() < 0.01, "E scans {s}");
+        assert!(i > 0);
+
+        let (r, _, _, _, rmw) = mix_counts(YcsbKind::F, n);
+        assert!((r as f64 / n as f64 - 0.5).abs() < 0.02, "F reads {r}");
+        assert!(rmw > 0);
+    }
+
+    #[test]
+    fn reads_target_loaded_keys_and_are_skewed() {
+        let mut w = YcsbWorkload::new(YcsbKind::C, 500, 7);
+        w.load_phase(500);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            if let YcsbOp::Read { key } = w.next_op() {
+                let idx: usize = key[1..].parse().unwrap();
+                assert!(idx < 500);
+                *counts.entry(idx).or_insert(0usize) += 1;
+            }
+        }
+        let hottest = counts.values().max().unwrap();
+        let avg = 20_000 / 500;
+        assert!(*hottest > avg * 5, "zipfian skew expected: {hottest} vs {avg}");
+    }
+
+    #[test]
+    fn d_reads_skew_to_latest() {
+        let mut w = YcsbWorkload::new(YcsbKind::D, 1000, 11);
+        w.load_phase(1000);
+        let mut newest_third = 0usize;
+        let mut reads = 0usize;
+        for _ in 0..10_000 {
+            if let YcsbOp::Read { key } = w.next_op() {
+                let idx: usize = key[1..].parse().unwrap();
+                reads += 1;
+                if idx >= 667 {
+                    newest_third += 1;
+                }
+            }
+        }
+        assert!(
+            newest_third as f64 / reads as f64 > 0.8,
+            "latest-skew: {newest_third}/{reads}"
+        );
+    }
+
+    #[test]
+    fn inserts_extend_keyspace() {
+        let mut w = YcsbWorkload::new(YcsbKind::D, 100, 13);
+        let loaded = w.load_phase(100);
+        assert_eq!(loaded.len(), 100);
+        let mut inserted = Vec::new();
+        for _ in 0..2000 {
+            if let YcsbOp::Insert(t) = w.next_op() {
+                inserted.push(t.id.clone());
+            }
+        }
+        assert!(!inserted.is_empty());
+        for w in inserted.windows(2) {
+            assert!(w[0] < w[1], "insert keys monotone");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Zipf-distributed sampling over ranks `0..n`.
+//!
+//! The seed dataset's user rank-frequency curve (paper Figure 7) is a
+//! classic heavy-tailed power law; we sample user ranks from a truncated
+//! Zipf distribution with a precomputed CDF and binary search. `rand_distr`
+//! is outside the approved dependency set, so this is implemented in-house.
+
+use rand::RngExt;
+
+/// A truncated Zipf distribution over `0..n` with exponent `s`:
+/// `P(rank = i) ∝ 1 / (i + 1)^s`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler. Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+
+    /// Draw a rank.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mass_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.n(), 100);
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(500));
+    }
+
+    #[test]
+    fn empirical_matches_pmf() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for i in [0usize, 1, 5, 20] {
+            let emp = counts[i] as f64 / n as f64;
+            let want = z.pmf(i);
+            assert!(
+                (emp - want).abs() < 0.01,
+                "rank {i}: empirical {emp} vs pmf {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(100, 1.2);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

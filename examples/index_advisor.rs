@@ -1,0 +1,112 @@
+//! The index advisor — the paper's Figure 2 decision strategy, executable.
+//!
+//! Describes a few application workloads, asks the advisor which index
+//! technique to use, then *verifies the advice empirically* by running the
+//! workload against every technique and comparing cost.
+//!
+//! ```text
+//! cargo run --release --example index_advisor
+//! ```
+
+use leveldbpp::advisor::{recommend, WorkloadProfile};
+use leveldbpp::workload::{MixedKind, MixedWorkload, Operation, SeedStats};
+use leveldbpp::{DbOptions, Document, IndexKind, SecondaryDb, Value};
+use std::time::Instant;
+
+fn run_workload(kind: IndexKind, mixed: MixedKind, ops: usize) -> (f64, u64) {
+    let db = SecondaryDb::open_in_memory(DbOptions::small(), &[("UserID", kind)]).unwrap();
+    let mut workload = MixedWorkload::new(mixed, SeedStats::compact(), ops, Some(10), 99);
+    let start = Instant::now();
+    for _ in 0..ops {
+        match workload.next_op() {
+            Operation::Put(t) | Operation::Update(t) => {
+                let doc = Document::from_value(t.document()).unwrap();
+                db.put(&t.id, &doc).unwrap();
+            }
+            Operation::Get { key } => {
+                let _ = db.get(&key).unwrap();
+            }
+            Operation::LookupUser { user, k } => {
+                let _ = db.lookup("UserID", &Value::str(user), k).unwrap();
+            }
+            _ => {}
+        }
+    }
+    let us_per_op = start.elapsed().as_secs_f64() * 1e6 / ops as f64;
+    (us_per_op, db.total_bytes())
+}
+
+fn main() {
+    let scenarios = [
+        (
+            "sensor ingest (write-heavy, rare lookups)",
+            WorkloadProfile {
+                write_fraction: 0.8,
+                lookup_fraction: 0.04,
+                time_correlated: false,
+                space_constrained: false,
+                small_top_k: true,
+            },
+            Some(MixedKind::WriteHeavy),
+        ),
+        (
+            "social feed (read-heavy, small top-K)",
+            WorkloadProfile {
+                write_fraction: 0.2,
+                lookup_fraction: 0.10,
+                time_correlated: false,
+                space_constrained: false,
+                small_top_k: true,
+            },
+            Some(MixedKind::ReadHeavy),
+        ),
+        (
+            "time-series dashboard (time-correlated attribute)",
+            WorkloadProfile {
+                time_correlated: true,
+                ..WorkloadProfile::balanced()
+            },
+            None,
+        ),
+        (
+            "analytics export (unbounded group-by scans)",
+            WorkloadProfile {
+                write_fraction: 0.3,
+                lookup_fraction: 0.4,
+                time_correlated: false,
+                space_constrained: false,
+                small_top_k: false,
+            },
+            None,
+        ),
+    ];
+
+    for (name, profile, empirical) in scenarios {
+        let rec = recommend(&profile);
+        println!("\n### {name}");
+        println!("advisor says: {}", rec.kind);
+        for reason in &rec.reasons {
+            println!("  - {reason}");
+        }
+
+        if let Some(mixed) = empirical {
+            println!("  empirical check ({} mix, 12k ops):", mixed.name());
+            let mut best: Option<(IndexKind, f64)> = None;
+            for kind in [
+                IndexKind::Embedded,
+                IndexKind::LazyStandalone,
+                IndexKind::CompositeStandalone,
+            ] {
+                let (us, bytes) = run_workload(kind, mixed, 12_000);
+                println!("    {kind:<10} {us:>8.1} µs/op  {:>7} KiB", bytes / 1024);
+                if best.map(|(_, b)| us < b).unwrap_or(true) {
+                    best = Some((kind, us));
+                }
+            }
+            if let Some((winner, _)) = best {
+                println!("    fastest measured: {winner}");
+            }
+        }
+    }
+    println!();
+}

@@ -1,0 +1,73 @@
+//! Quickstart: open a LevelDB++ database, write JSON records, and query
+//! them by primary key, by a secondary attribute, and by attribute range.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use leveldbpp::{DbOptions, Document, IndexKind, SecondaryDb, Value};
+
+fn main() -> leveldbpp::Result<()> {
+    // A database with two secondary indexes, picking a different technique
+    // for each attribute: posting lists with lazy maintenance for UserID,
+    // and the zero-space Embedded Index (bloom filters + zone maps inside
+    // the primary SSTables) for the time-correlated CreationTime.
+    let db = SecondaryDb::open_in_memory(
+        DbOptions::small(),
+        &[
+            ("UserID", IndexKind::LazyStandalone),
+            ("CreationTime", IndexKind::Embedded),
+        ],
+    )?;
+
+    // PUT a few tweets.
+    for (id, user, time, text) in [
+        ("t1", "alice", 100, "hello world"),
+        ("t2", "bob", 105, "good morning"),
+        ("t3", "alice", 112, "another tweet"),
+        ("t4", "carol", 118, "rust is fun"),
+        ("t5", "alice", 125, "third one"),
+    ] {
+        let mut doc = Document::new();
+        doc.set("UserID", Value::str(user))
+            .set("CreationTime", Value::Int(time))
+            .set("Text", Value::str(text));
+        db.put(id, &doc)?;
+    }
+
+    // GET by primary key.
+    let t2 = db.get("t2")?.expect("t2 exists");
+    println!("GET t2             -> {t2}");
+
+    // Overwrite and delete behave like any LSM store.
+    let mut edited = db.get("t4")?.unwrap();
+    edited.set("Text", Value::str("rust is VERY fun"));
+    db.put("t4", &edited)?;
+    db.delete("t2")?;
+    assert!(db.get("t2")?.is_none());
+
+    // LOOKUP: the 2 most recent tweets by alice.
+    let hits = db.lookup("UserID", &Value::str("alice"), Some(2))?;
+    println!("LOOKUP alice top-2 ->");
+    for h in &hits {
+        println!("  {} (seq {}): {}", String::from_utf8_lossy(&h.key), h.seq, h.doc);
+    }
+    assert_eq!(hits.len(), 2);
+    assert_eq!(hits[0].key, b"t5");
+
+    // RANGELOOKUP on the time-correlated attribute: zone maps prune the
+    // scan down to the blocks that can overlap [110, 120].
+    let window = db.range_lookup("CreationTime", &Value::Int(110), &Value::Int(120), None)?;
+    println!("RANGELOOKUP CreationTime in [110, 120] ->");
+    for h in &window {
+        println!("  {}: {}", String::from_utf8_lossy(&h.key), h.doc);
+    }
+    assert_eq!(window.len(), 2); // t3 and t4 (t2 was deleted)
+
+    println!(
+        "sizes: primary {} B, index tables {} B",
+        db.primary_bytes(),
+        db.index_bytes()
+    );
+    Ok(())
+}

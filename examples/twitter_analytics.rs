@@ -1,0 +1,107 @@
+//! A social-feed + analytics scenario on a synthetic Twitter stream.
+//!
+//! The paper's motivating application: ingest a high-velocity tweet
+//! stream, then serve (a) "most recent posts by user X" feed queries
+//! (small top-K — where Lazy shines) and (b) unbounded time-window
+//! analytics (where zone maps on the Embedded CreationTime index prune
+//! nearly everything).
+//!
+//! ```text
+//! cargo run --release --example twitter_analytics
+//! ```
+
+use leveldbpp::workload::{SeedStats, TweetGenerator};
+use leveldbpp::{DbOptions, Document, IndexKind, SecondaryDb, Value};
+use std::time::Instant;
+
+fn main() -> leveldbpp::Result<()> {
+    const TWEETS: usize = 20_000;
+
+    let db = SecondaryDb::open_in_memory(
+        DbOptions::small(),
+        &[
+            ("UserID", IndexKind::LazyStandalone),
+            ("CreationTime", IndexKind::Embedded),
+        ],
+    )?;
+
+    // --- Ingest phase -----------------------------------------------------
+    let mut generator = TweetGenerator::new(SeedStats::compact(), TWEETS, 2024);
+    let start = Instant::now();
+    let mut heaviest_user = String::new();
+    let mut heaviest_count = 0usize;
+    let mut per_user = std::collections::HashMap::new();
+    let mut first_ts = None;
+    let mut last_ts = 0;
+    for _ in 0..TWEETS {
+        let t = generator.next_tweet();
+        let doc = Document::from_value(t.document())?;
+        db.put(&t.id, &doc)?;
+        let c = per_user.entry(t.user.clone()).or_insert(0usize);
+        *c += 1;
+        if *c > heaviest_count {
+            heaviest_count = *c;
+            heaviest_user = t.user.clone();
+        }
+        first_ts.get_or_insert(t.creation_time);
+        last_ts = t.creation_time;
+    }
+    let ingest = start.elapsed();
+    println!(
+        "ingested {TWEETS} tweets in {:.2}s ({:.0} ops/s), {} users, db {} KiB",
+        ingest.as_secs_f64(),
+        TWEETS as f64 / ingest.as_secs_f64(),
+        per_user.len(),
+        db.total_bytes() / 1024,
+    );
+
+    // --- Feed queries: top-10 latest posts of the heaviest poster ---------
+    let start = Instant::now();
+    let feed = db.lookup("UserID", &Value::str(heaviest_user.clone()), Some(10))?;
+    println!(
+        "\nfeed: latest 10 of {} ({} posts total) in {:?}:",
+        heaviest_user, heaviest_count, start.elapsed()
+    );
+    for h in feed.iter().take(3) {
+        let text = h.doc.get("Text").and_then(|t| t.as_str()).unwrap_or("");
+        println!("  {} @{}: {:.30}…", String::from_utf8_lossy(&h.key), h.seq, text);
+    }
+    assert_eq!(feed.len(), 10);
+    for w in feed.windows(2) {
+        assert!(w[0].seq > w[1].seq, "feed must be newest-first");
+    }
+
+    // --- Analytics: tweets-per-minute histogram over a window -------------
+    let t0 = first_ts.unwrap();
+    let window_lo = t0 + (last_ts - t0) / 3;
+    let window_hi = window_lo + 300; // five minutes
+    let start = Instant::now();
+    let hits = db.range_lookup(
+        "CreationTime",
+        &Value::Int(window_lo),
+        &Value::Int(window_hi),
+        None,
+    )?;
+    let mut histogram = std::collections::BTreeMap::new();
+    for h in &hits {
+        let ts = h.doc.get("CreationTime").unwrap().as_int().unwrap();
+        *histogram.entry((ts - window_lo) / 60).or_insert(0usize) += 1;
+    }
+    println!(
+        "\nanalytics: {} tweets in a 5-minute window (zone-map pruned scan, {:?}):",
+        hits.len(),
+        start.elapsed()
+    );
+    for (minute, count) in &histogram {
+        println!("  minute {minute}: {count} tweets {}", "#".repeat(count / 20 + 1));
+    }
+    assert!(!hits.is_empty());
+
+    // --- Moderation: delete a user's posts and verify they vanish ---------
+    let victim = feed[0].key.clone();
+    db.delete(&victim)?;
+    let after = db.lookup("UserID", &Value::str(heaviest_user), Some(10))?;
+    assert!(after.iter().all(|h| h.key != victim));
+    println!("\ndeleted {} — feed updated, all consistent", String::from_utf8_lossy(&victim));
+    Ok(())
+}

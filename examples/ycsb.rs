@@ -1,0 +1,68 @@
+//! Run the YCSB core workloads (A–F) against the store and report
+//! throughput — the standard primary-key benchmark the paper's generator
+//! extends with secondary-attribute control.
+//!
+//! ```text
+//! cargo run --release --example ycsb
+//! ```
+
+use leveldbpp::workload::{YcsbKind, YcsbOp, YcsbWorkload};
+use leveldbpp::{DbOptions, Document, IndexKind, SecondaryDb, Value};
+use std::time::Instant;
+
+fn main() -> leveldbpp::Result<()> {
+    const RECORDS: usize = 5_000;
+    const OPS: usize = 20_000;
+
+    println!("YCSB core workloads: {RECORDS} records, {OPS} ops each\n");
+    println!("{:<9} {:>12} {:>10}  note", "workload", "ops/sec", "µs/op");
+
+    for (kind, note) in [
+        (YcsbKind::A, "50/50 read/update, zipfian"),
+        (YcsbKind::B, "95/5 read/update"),
+        (YcsbKind::C, "read-only"),
+        (YcsbKind::D, "read-latest + inserts"),
+        (YcsbKind::E, "short scans + inserts"),
+        (YcsbKind::F, "read-modify-write"),
+    ] {
+        let db = SecondaryDb::open_in_memory(
+            DbOptions::small(),
+            &[("UserID", IndexKind::None)],
+        )?;
+        let mut workload = YcsbWorkload::new(kind, RECORDS, 7);
+        for t in workload.load_phase(RECORDS) {
+            db.put(&t.id, &Document::from_value(t.document())?)?;
+        }
+        db.flush()?;
+
+        let start = Instant::now();
+        for _ in 0..OPS {
+            match workload.next_op() {
+                YcsbOp::Read { key } => {
+                    db.get(&key)?;
+                }
+                YcsbOp::Update(t) | YcsbOp::Insert(t) => {
+                    db.put(&t.id, &Document::from_value(t.document())?)?;
+                }
+                YcsbOp::Scan { start, len } => {
+                    db.scan_primary(&start, "t999999999", Some(len))?;
+                }
+                YcsbOp::ReadModifyWrite(t) => {
+                    if let Some(mut doc) = db.get(&t.id)? {
+                        doc.set("Text", Value::str("rmw"));
+                        db.put(&t.id, &doc)?;
+                    }
+                }
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        println!(
+            "{:<9} {:>12.0} {:>10.1}  {}",
+            format!("YCSB-{}", kind.name()),
+            OPS as f64 / elapsed,
+            elapsed * 1e6 / OPS as f64,
+            note
+        );
+    }
+    Ok(())
+}

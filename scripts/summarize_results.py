@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Extract headline numbers from results/*.tsv for EXPERIMENTS.md."""
+import csv, pathlib
+
+R = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+def rows(name):
+    with open(R / f"{name}.tsv") as f:
+        return list(csv.DictReader(f, delimiter="\t"))
+
+def cell(name, match, col):
+    for r in rows(name):
+        if all(r[k] == v for k, v in match.items()):
+            return float(r[col])
+    raise KeyError((name, match, col))
+
+def main():
+    out = {}
+    for v in ["NoIndex", "Embedded", "Eager", "Lazy", "Composite"]:
+        out[f"fig8a_{v}_total"] = cell("fig8a", {"variant": v}, "total")
+        out[f"fig8b_{v}_total_us"] = cell("fig8b", {"variant": v}, "total_us")
+    reads = [cell("fig8c", {"variant": v}, "block_reads_per_get")
+             for v in ["NoIndex", "Embedded", "Eager", "Lazy", "Composite"]]
+    out["fig8c_reads_min"], out["fig8c_reads_max"] = min(reads), max(reads)
+    last = {}
+    for r in rows("fig9"):
+        last[(r["variant"], r["attr"])] = float(r["cum_index_io_blocks"])
+    for (v, a), val in last.items():
+        out[f"fig9_{v}_{a}"] = val
+    for v in ["NoIndex", "Embedded", "Lazy", "Composite"]:
+        for k in ["1", "10", "all"]:
+            out[f"fig10a_{v}_k{k}_median"] = cell(
+                "fig10a", {"variant": v, "topk": k}, "median_us")
+            out[f"fig10a_{v}_k{k}_blocks"] = cell(
+                "fig10a", {"variant": v, "topk": k}, "blocks_per_op")
+    for v in ["NoIndex", "Embedded", "Eager", "Lazy", "Composite"]:
+        for k in ["1", "all"]:
+            out[f"fig11bc_{v}_narrow_k{k}_blocks"] = cell(
+                "fig11bc", {"variant": v, "query": "range_narrow_0.5pct", "topk": k},
+                "blocks_per_op")
+    byvw = {}
+    for r in rows("fig12_15"):
+        byvw[(r["workload"], r["variant"])] = r
+    for (w, v), r in byvw.items():
+        out[f"fig12_{w}_{v}_mean_us"] = float(r["mean_op_us"])
+        out[f"fig13_{w}_{v}_compaction"] = float(r["cum_compaction_blocks"])
+        out[f"fig13_{w}_{v}_lookup"] = float(r["cum_lookup_blocks"])
+    for k in ["1", "10", "all"]:
+        out[f"tab3_k{k}_measured"] = cell("tab3", {"topk": k}, "measured_blocks_per_op")
+        out[f"tab3_k{k}_model"] = cell("tab3", {"topk": k}, "model_upper_bound")
+    for v in ["Eager", "Lazy", "Composite"]:
+        out[f"tab5_{v}_idx_reads"] = cell("tab5", {"variant": v}, "index_reads_per_lookup")
+        out[f"tab5_{v}_writebytes"] = cell("tab5", {"variant": v}, "index_write_bytes_per_put")
+    for b in ["2", "5", "10", "20"]:
+        out[f"appc1_{b}bits_blocks"] = cell("appc1", {"bits_per_key": b}, "blocks_per_op")
+    for v in ["Embedded", "Lazy"]:
+        for c in ["snaplite", "none"]:
+            out[f"appc2_{v}_{c}_bytes"] = cell(
+                "appc2", {"variant": v, "compression": c}, "total_bytes")
+    out["abl_zone_perblock"] = cell("abl_zonemap", {"granularity": "per-block"}, "blocks_per_op")
+    out["abl_zone_fileonly"] = cell(
+        "abl_zonemap", {"granularity": "file-level-only"}, "blocks_per_op")
+    for m in ["getlite_only", "getlite_confirmed", "full_get"]:
+        out[f"abl_getlite_{m}_blocks"] = cell("abl_getlite", {"mode": m}, "blocks_per_op")
+        out[f"abl_getlite_{m}_hits"] = cell("abl_getlite", {"mode": m}, "hits_per_op")
+    cache = rows("abl_cache")
+    out["abl_cache_first_hit"] = float(cache[1]["cache_hit_rate"])
+    out["abl_cache_last_hit"] = float(cache[-1]["cache_hit_rate"])
+    for k in sorted(out):
+        print(f"{k}\t{out[k]}")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,143 @@
+//! `ldbpp_tool` — inspect LevelDB++ databases on disk (the `ldb`-style
+//! companion every storage engine ships).
+//!
+//! ```text
+//! ldbpp_tool stats  <db-dir>             # tree shape + I/O-relevant metadata
+//! ldbpp_tool tables <db-dir>             # per-SSTable metadata incl. zone maps
+//! ldbpp_tool get    <db-dir> <key>       # point lookup
+//! ldbpp_tool scan   <db-dir> [prefix] [limit]
+//! ```
+//!
+//! Opens the database read-mostly (recovery runs as usual; no writes are
+//! issued).
+
+use leveldbpp::{Db, DbOptions, DiskEnv};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ldbpp_tool <stats|tables|get|scan> <db-dir> [args]\n\
+         \n\
+         stats  <db>            tree shape and counters\n\
+         tables <db>            per-file metadata (levels, ranges, zone maps)\n\
+         get    <db> <key>      point lookup\n\
+         scan   <db> [prefix] [limit=20]   range scan of live records"
+    );
+    std::process::exit(2);
+}
+
+fn open(dir: &str) -> Db {
+    // Refuse to "open" (i.e. create) a directory that is not a database —
+    // an inspection tool must never initialize state.
+    if !std::path::Path::new(dir).join("CURRENT").exists() {
+        eprintln!("{dir} is not a LevelDB++ database (no CURRENT file)");
+        std::process::exit(1);
+    }
+    match Db::open(DiskEnv::new(), dir, DbOptions::default()) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("failed to open {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => usage(),
+    };
+    match (cmd, rest) {
+        ("stats", [dir]) => {
+            let db = open(dir);
+            print!("{}", db.debug_summary());
+        }
+        ("tables", [dir]) => {
+            let db = open(dir);
+            let version = db.current_version();
+            for (level, files) in version.files.iter().enumerate() {
+                for f in files {
+                    let lo = String::from_utf8_lossy(ldbpp_lsm_user_key(&f.smallest)).to_string();
+                    let hi = String::from_utf8_lossy(ldbpp_lsm_user_key(&f.largest)).to_string();
+                    print!(
+                        "L{level} #{:06} {:>9}B {:>7} entries {:>5} blocks  [{lo} .. {hi}]",
+                        f.number, f.file_size, f.num_entries, f.num_blocks
+                    );
+                    for (attr, zone) in &f.sec_file_zones {
+                        match &zone.bounds {
+                            Some((a, b)) => print!("  {attr}:[{a}..{b}]"),
+                            None => print!("  {attr}:[]"),
+                        }
+                    }
+                    println!();
+                }
+            }
+        }
+        ("get", [dir, key]) => {
+            let db = open(dir);
+            match db.get(key.as_bytes()) {
+                Ok(Some(v)) => println!("{}", String::from_utf8_lossy(&v)),
+                Ok(None) => {
+                    eprintln!("(not found)");
+                    std::process::exit(1);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        ("scan", [dir, rest @ ..]) => {
+            let db = open(dir);
+            let prefix = rest.first().map(|s| s.as_bytes().to_vec()).unwrap_or_default();
+            let limit: usize = rest
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(20);
+            let mut it = match db.resolved_iter() {
+                Ok(it) => it,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            if prefix.is_empty() {
+                it.seek_to_first();
+            } else {
+                it.seek(&prefix);
+            }
+            let mut shown = 0;
+            loop {
+                match it.next_entry() {
+                    Ok(Some((key, seq, value))) => {
+                        if !prefix.is_empty() && !key.starts_with(&prefix) {
+                            break;
+                        }
+                        println!(
+                            "{} @{} {}",
+                            String::from_utf8_lossy(&key),
+                            seq,
+                            String::from_utf8_lossy(&value)
+                        );
+                        shown += 1;
+                        if shown >= limit {
+                            break;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            eprintln!("({shown} records)");
+        }
+        _ => usage(),
+    }
+}
+
+/// The user-key prefix of an encoded internal key (8-byte trailer).
+fn ldbpp_lsm_user_key(ikey: &[u8]) -> &[u8] {
+    &ikey[..ikey.len().saturating_sub(8)]
+}

@@ -1,0 +1,36 @@
+//! # LevelDB++ (Rust)
+//!
+//! A reproduction of *"A Comparative Study of Secondary Indexing Techniques
+//! in LSM-based NoSQL Databases"* (SIGMOD 2018): a LevelDB-style LSM
+//! key-value store extended with five secondary-indexing techniques —
+//! Embedded (bloom filters + zone maps), and Stand-Alone Eager / Lazy /
+//! Composite indexes.
+//!
+//! This facade crate re-exports the public API of the workspace crates.
+//! See [`SecondaryDb`] for the main entry point.
+//!
+//! ```
+//! use leveldbpp::{DbOptions, Document, IndexKind, SecondaryDb, Value};
+//!
+//! let db = SecondaryDb::open_in_memory(
+//!     DbOptions::small(),
+//!     &[("UserID", IndexKind::LazyStandalone)],
+//! ).unwrap();
+//!
+//! let mut doc = Document::new();
+//! doc.set("UserID", Value::str("u1"));
+//! doc.set("Text", Value::str("hello"));
+//! db.put("t1", &doc).unwrap();
+//!
+//! let hits = db.lookup("UserID", &Value::str("u1"), Some(10)).unwrap();
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(hits[0].key, b"t1");
+//! ```
+
+pub use ldbpp_common::{json::Value, Error, Result};
+pub use ldbpp_core::{
+    advisor, cost, Document, IndexKind, LookupHit, SecondaryDb, SecondaryDbOptions,
+};
+pub use ldbpp_lsm::db::{Db, DbOptions};
+pub use ldbpp_lsm::env::{DiskEnv, Env, IoCategory, IoStats, MemEnv};
+pub use ldbpp_workload as workload;

@@ -1,0 +1,373 @@
+//! Whole-system integration tests across crates, through the public
+//! `leveldbpp` facade.
+
+use leveldbpp::workload::{MixedKind, MixedWorkload, Operation, SeedStats, TweetGenerator};
+use leveldbpp::{
+    DbOptions, DiskEnv, Document, IndexKind, MemEnv, SecondaryDb, Value,
+};
+use std::collections::HashMap;
+
+fn opts() -> DbOptions {
+    DbOptions {
+        block_size: 512,
+        write_buffer_size: 8 << 10,
+        max_file_size: 4 << 10,
+        base_level_bytes: 32 << 10,
+        ..DbOptions::small()
+    }
+}
+
+#[test]
+fn workload_replay_consistency_all_kinds() {
+    // Replay the same mixed stream against all four index techniques and a
+    // brute-force model; all five views must agree at the end.
+    let mut dbs: Vec<(IndexKind, SecondaryDb)> = [
+        IndexKind::Embedded,
+        IndexKind::EagerStandalone,
+        IndexKind::LazyStandalone,
+        IndexKind::CompositeStandalone,
+    ]
+    .into_iter()
+    .map(|k| (k, SecondaryDb::open_in_memory(opts(), &[("UserID", k)]).unwrap()))
+    .collect();
+    let mut model: HashMap<String, String> = HashMap::new();
+
+    let mut workload = MixedWorkload::new(
+        MixedKind::UpdateHeavy,
+        SeedStats::compact(),
+        6_000,
+        Some(10),
+        77,
+    );
+    for _ in 0..6_000 {
+        let op = workload.next_op();
+        match &op {
+            Operation::Put(t) | Operation::Update(t) => {
+                let doc = Document::from_value(t.document()).unwrap();
+                for (_, db) in &mut dbs {
+                    db.put(&t.id, &doc).unwrap();
+                }
+                model.insert(t.id.clone(), t.user.clone());
+            }
+            _ => {}
+        }
+    }
+
+    // Distinct users with at least one tweet.
+    let mut per_user: HashMap<&String, usize> = HashMap::new();
+    for user in model.values() {
+        *per_user.entry(user).or_insert(0) += 1;
+    }
+    let mut checked = 0;
+    for (user, count) in per_user.iter().take(40) {
+        for (kind, db) in &dbs {
+            let hits = db.lookup("UserID", &Value::str((*user).clone()), None).unwrap();
+            assert_eq!(hits.len(), *count, "{kind}: user {user}");
+        }
+        checked += 1;
+    }
+    assert!(checked > 10);
+}
+
+#[test]
+fn durability_across_reopen_with_indexes() {
+    let dir = std::env::temp_dir().join(format!("ldbpp-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let env = DiskEnv::new();
+    let name = dir.join("db");
+    let name = name.to_str().unwrap().to_string();
+    let specs = [
+        ("UserID", IndexKind::LazyStandalone),
+        ("CreationTime", IndexKind::CompositeStandalone),
+    ];
+
+    let mut expected_u3 = 0usize;
+    {
+        let db = SecondaryDb::open(
+            env.clone(),
+            &name,
+            leveldbpp::SecondaryDbOptions { base: opts(), ..Default::default() },
+            &specs,
+        )
+        .unwrap();
+        let mut generator = TweetGenerator::new(SeedStats::compact(), 2_000, 5);
+        for _ in 0..2_000 {
+            let t = generator.next_tweet();
+            if t.user == "u0000003" {
+                expected_u3 += 1;
+            }
+            db.put(&t.id, &Document::from_value(t.document()).unwrap())
+                .unwrap();
+        }
+        // No flush: some state lives only in WALs.
+    }
+    {
+        let db = SecondaryDb::open(
+            env.clone(),
+            &name,
+            leveldbpp::SecondaryDbOptions { base: opts(), ..Default::default() },
+            &specs,
+        )
+        .unwrap();
+        let hits = db.lookup("UserID", &Value::str("u0000003"), None).unwrap();
+        assert_eq!(hits.len(), expected_u3, "lazy index recovered");
+        let t0 = hits.last().unwrap().doc.get("CreationTime").unwrap().as_int().unwrap();
+        let range = db
+            .range_lookup("CreationTime", &Value::Int(t0), &Value::Int(t0), None)
+            .unwrap();
+        assert!(!range.is_empty(), "composite index recovered");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn advisor_and_cost_are_wired_into_facade() {
+    use leveldbpp::advisor::{recommend, WorkloadProfile};
+    use leveldbpp::cost;
+    let rec = recommend(&WorkloadProfile::balanced());
+    assert_ne!(rec.kind, IndexKind::EagerStandalone);
+    assert!(cost::wamf_eager(30.0, 4) > cost::wamf_lazy(4) as f64);
+}
+
+#[test]
+fn io_accounting_is_visible_at_facade() {
+    let env = MemEnv::new();
+    let db = SecondaryDb::open(
+        env.clone(),
+        "db",
+        leveldbpp::SecondaryDbOptions { base: opts(), ..Default::default() },
+        &[("UserID", IndexKind::LazyStandalone)],
+    )
+    .unwrap();
+    let mut generator = TweetGenerator::new(SeedStats::compact(), 3_000, 9);
+    for _ in 0..3_000 {
+        let t = generator.next_tweet();
+        db.put(&t.id, &Document::from_value(t.document()).unwrap())
+            .unwrap();
+    }
+    db.flush().unwrap();
+    let p = db.primary_io();
+    let i = db.index_io();
+    assert!(p.flushes > 0 && p.wal_bytes_written > 0);
+    assert!(i.flushes > 0, "index table flushed too");
+    // Env-level accounting agrees the data exists on "disk".
+    assert!(env.total_bytes() > 0);
+    assert_eq!(db.total_bytes(), db.primary_bytes() + db.index_bytes());
+
+    let before = db.primary_io();
+    let _ = db.lookup("UserID", &Value::str("u0000000"), Some(5)).unwrap();
+    let after = db.primary_io().since(&before);
+    assert!(after.block_reads > 0, "validation GETs read primary blocks");
+}
+
+#[test]
+fn unicode_and_edge_documents_survive_the_stack() {
+    let db = SecondaryDb::open_in_memory(
+        opts(),
+        &[("UserID", IndexKind::CompositeStandalone)],
+    )
+    .unwrap();
+    let mut doc = Document::new();
+    doc.set("UserID", Value::str("ユーザー🙂"))
+        .set("Text", Value::str("emoji 😀 and \"quotes\" and \\ backslashes\n"));
+    db.put("t-unicode", &doc).unwrap();
+    // A user id containing a NUL byte exercises composite-key escaping.
+    let mut doc2 = Document::new();
+    doc2.set("UserID", Value::str("weird\u{0}user"));
+    db.put("t-nul", &doc2).unwrap();
+
+    let hits = db.lookup("UserID", &Value::str("ユーザー🙂"), None).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].doc, db.get("t-unicode").unwrap().unwrap());
+    let hits = db.lookup("UserID", &Value::str("weird\u{0}user"), None).unwrap();
+    assert_eq!(hits.len(), 1);
+}
+
+#[test]
+fn empty_key_rejected_and_errors_informative() {
+    let db = SecondaryDb::open_in_memory(opts(), &[("UserID", IndexKind::Embedded)]).unwrap();
+    let err = db.put("", &Document::new()).unwrap_err();
+    assert!(err.to_string().contains("empty"));
+    let err = db.lookup("Undeclared", &Value::str("x"), None).unwrap_err();
+    assert!(err.to_string().contains("Undeclared"));
+}
+
+#[test]
+fn integer_attributes_index_correctly_across_signs() {
+    let db = SecondaryDb::open_in_memory(
+        opts(),
+        &[("Score", IndexKind::CompositeStandalone)],
+    )
+    .unwrap();
+    for (i, score) in [-100i64, -1, 0, 1, 99, i64::MIN, i64::MAX].iter().enumerate() {
+        let mut doc = Document::new();
+        doc.set("Score", Value::Int(*score));
+        db.put(format!("k{i}"), &doc).unwrap();
+    }
+    let hits = db
+        .range_lookup("Score", &Value::Int(-1), &Value::Int(1), None)
+        .unwrap();
+    assert_eq!(hits.len(), 3);
+    let hits = db
+        .range_lookup("Score", &Value::Int(i64::MIN), &Value::Int(i64::MAX), None)
+        .unwrap();
+    assert_eq!(hits.len(), 7);
+}
+
+#[test]
+fn backfill_builds_late_declared_indexes() {
+    let env = MemEnv::new();
+    // Phase 1: write data with no indexes at all.
+    {
+        let db = SecondaryDb::open(
+            env.clone(),
+            "db",
+            leveldbpp::SecondaryDbOptions { base: opts(), ..Default::default() },
+            &[],
+        )
+        .unwrap();
+        let mut generator = TweetGenerator::new(SeedStats::compact(), 1500, 21);
+        for _ in 0..1500 {
+            let t = generator.next_tweet();
+            db.put(&t.id, &Document::from_value(t.document()).unwrap())
+                .unwrap();
+        }
+        db.flush().unwrap();
+    }
+    // Phase 2: reopen declaring indexes; they start empty.
+    let db = SecondaryDb::open(
+        env.clone(),
+        "db",
+        leveldbpp::SecondaryDbOptions { base: opts(), ..Default::default() },
+        &[
+            ("UserID", IndexKind::LazyStandalone),
+            ("CreationTime", IndexKind::Embedded),
+        ],
+    )
+    .unwrap();
+    assert!(db
+        .lookup("UserID", &Value::str("u0000000"), None)
+        .unwrap()
+        .is_empty());
+
+    let replayed = db.backfill_indexes().unwrap();
+    assert_eq!(replayed, 1500);
+
+    // Stand-alone index answers now, with correct recency ordering.
+    let hits = db.lookup("UserID", &Value::str("u0000000"), None).unwrap();
+    assert!(!hits.is_empty());
+    for w in hits.windows(2) {
+        assert!(w[0].seq > w[1].seq);
+    }
+    // Embedded attribute: files were rewritten with zone maps, so a narrow
+    // time range prunes.
+    let t0 = hits[0].doc.get("CreationTime").unwrap().as_int().unwrap();
+    let before = db.primary_io();
+    let window = db
+        .range_lookup("CreationTime", &Value::Int(t0), &Value::Int(t0), None)
+        .unwrap();
+    assert!(!window.is_empty());
+    let io = db.primary_io().since(&before);
+    assert!(
+        io.zonemap_prunes + io.file_zonemap_prunes > 0,
+        "rewritten tables must carry zone maps"
+    );
+
+    // Idempotent: a second backfill replays nothing new into indexes that
+    // are already populated.
+    let again = db.backfill_indexes().unwrap();
+    assert_eq!(again, 0);
+    let hits2 = db.lookup("UserID", &Value::str("u0000000"), None).unwrap();
+    assert_eq!(hits.len(), hits2.len());
+}
+
+#[test]
+fn major_compact_reclaims_shadowed_space() {
+    use leveldbpp::Db;
+    let db = Db::open(MemEnv::new(), "db", opts()).unwrap();
+    for round in 0..5 {
+        for i in 0..600usize {
+            db.put(
+                format!("k{i:04}").as_bytes(),
+                format!("round-{round}-{}", "x".repeat(40)).as_bytes(),
+            )
+            .unwrap();
+        }
+    }
+    db.flush().unwrap();
+    let before = db.table_bytes();
+    db.major_compact().unwrap();
+    let after = db.table_bytes();
+    assert!(
+        after < before,
+        "major compaction should drop shadowed versions: {before} -> {after}"
+    );
+    for i in (0..600usize).step_by(97) {
+        let v = db.get(format!("k{i:04}").as_bytes()).unwrap().unwrap();
+        assert!(v.starts_with(b"round-4-"));
+    }
+}
+
+#[test]
+fn ycsb_core_workloads_run_against_the_store() {
+    use leveldbpp::workload::{YcsbKind, YcsbOp, YcsbWorkload};
+    for kind in [YcsbKind::A, YcsbKind::D, YcsbKind::E, YcsbKind::F] {
+        let db = SecondaryDb::open_in_memory(opts(), &[("UserID", IndexKind::None)]).unwrap();
+        let mut w = YcsbWorkload::new(kind, 800, 17);
+        for t in w.load_phase(800) {
+            db.put(&t.id, &Document::from_value(t.document()).unwrap())
+                .unwrap();
+        }
+        let mut reads = 0usize;
+        for _ in 0..2500 {
+            match w.next_op() {
+                YcsbOp::Read { key } => {
+                    assert!(db.get(&key).unwrap().is_some(), "{kind:?}: {key}");
+                    reads += 1;
+                }
+                YcsbOp::Update(t) | YcsbOp::Insert(t) => {
+                    db.put(&t.id, &Document::from_value(t.document()).unwrap())
+                        .unwrap();
+                }
+                YcsbOp::Scan { start, len } => {
+                    let rows = db.scan_primary(&start, "t999999999", Some(len)).unwrap();
+                    assert!(rows.len() <= len);
+                }
+                YcsbOp::ReadModifyWrite(t) => {
+                    let mut doc = db.get(&t.id).unwrap().unwrap();
+                    doc.set("Text", Value::str("modified"));
+                    db.put(&t.id, &doc).unwrap();
+                }
+            }
+        }
+        if kind != YcsbKind::E {
+            assert!(reads > 0, "{kind:?}");
+        }
+    }
+}
+
+#[test]
+fn snapshot_pinning_through_the_facade() {
+    let db = SecondaryDb::open_in_memory(opts(), &[("UserID", IndexKind::LazyStandalone)])
+        .unwrap();
+    let mut doc = Document::new();
+    doc.set("UserID", Value::str("u1")).set("Rev", Value::Int(1));
+    db.put("k", &doc).unwrap();
+    let snap = db.primary().pin_snapshot();
+    doc.set("Rev", Value::Int(2));
+    db.put("k", &doc).unwrap();
+    // Churn + compact; pinned history must survive.
+    for i in 0..2000usize {
+        let mut d = Document::new();
+        d.set("UserID", Value::str(format!("u{}", i % 5)));
+        db.put(format!("fill{i:05}"), &d).unwrap();
+    }
+    db.primary().major_compact().unwrap();
+    let old = db.primary().get_at(b"k", snap.sequence()).unwrap().unwrap();
+    let old = Document::parse(&old).unwrap();
+    assert_eq!(old.get("Rev").unwrap().as_int(), Some(1));
+    assert_eq!(
+        db.get("k").unwrap().unwrap().get("Rev").unwrap().as_int(),
+        Some(2)
+    );
+}

@@ -172,6 +172,10 @@ impl SecondaryIndex for CompositeIndex {
         self.table.flush()
     }
 
+    fn wait_for_background_idle(&self) -> Result<()> {
+        self.table.wait_for_background_idle()
+    }
+
     fn needs_backfill(&self) -> bool {
         // Never written: no sequence was ever assigned to this table.
         self.table.last_sequence() == 0

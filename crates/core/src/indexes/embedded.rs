@@ -8,8 +8,10 @@
 //! already read while scanning its block).
 //!
 //! For the memtable, an in-memory B-tree on `(attr value, pk)` is
-//! maintained on every write and reset whenever the memtable flushes
-//! (SSTable filters take over from there).
+//! maintained on every write and pruned down to the still-in-memory
+//! entries whenever a memtable reaches L0 (SSTable filters take over from
+//! there; with background flushes the entries frozen in the immutable
+//! memtable stay until their flush installs).
 
 use crate::doc::Document;
 use crate::indexes::{IndexKind, LookupHit, SecondaryIndex};
@@ -93,7 +95,13 @@ impl EmbeddedIndex {
         let gen = primary.mem_generation();
         let mut mem = self.mem.lock();
         if mem.generation != gen {
-            mem.map.clear();
+            // Entries at or below the flushed watermark are covered by the
+            // SSTable-side filters now; anything newer is still in the
+            // active (or frozen) memtable and must be kept — with
+            // background flushes, writes keep landing while a freeze is in
+            // flight.
+            let flushed = primary.flushed_through();
+            mem.map.retain(|_, seq| *seq > flushed);
             mem.generation = gen;
         }
     }
@@ -329,10 +337,10 @@ impl SecondaryIndex for EmbeddedIndex {
         Ok(())
     }
 
-    fn on_primary_mem_flush(&self, generation: u64) {
+    fn on_primary_mem_flush(&self, generation: u64, flushed_through: u64) {
         let mut mem = self.mem.lock();
         if mem.generation != generation {
-            mem.map.clear();
+            mem.map.retain(|_, seq| *seq > flushed_through);
             mem.generation = generation;
         }
     }

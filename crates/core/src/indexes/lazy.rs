@@ -250,6 +250,10 @@ impl SecondaryIndex for LazyIndex {
         self.table.flush()
     }
 
+    fn wait_for_background_idle(&self) -> Result<()> {
+        self.table.wait_for_background_idle()
+    }
+
     fn needs_backfill(&self) -> bool {
         // Never written: no sequence was ever assigned to this table.
         self.table.last_sequence() == 0

@@ -107,9 +107,16 @@ pub trait SecondaryIndex: Send + Sync {
     fn index_stats(&self) -> Option<Arc<IoStats>>;
     /// Flush any stand-alone index table's memtable.
     fn flush(&self) -> Result<()>;
-    /// Notification that the primary memtable was flushed (generation
-    /// counter); the Embedded Index resets its memtable-side B-tree.
-    fn on_primary_mem_flush(&self, _generation: u64) {}
+    /// Block until any stand-alone index table's background worker is idle
+    /// (no-op for in-memory-only indexes and in foreground mode).
+    fn wait_for_background_idle(&self) -> Result<()> {
+        Ok(())
+    }
+    /// Notification that a primary memtable reached L0 (`generation` is
+    /// the new [`Db::mem_generation`], `flushed_through` the new
+    /// [`Db::flushed_through`] watermark); the Embedded Index prunes its
+    /// memtable-side B-tree down to the entries still in memory.
+    fn on_primary_mem_flush(&self, _generation: u64, _flushed_through: u64) {}
     /// True when the index's persistent structure has never been written
     /// and should be rebuilt from the primary table (see
     /// [`crate::SecondaryDb::backfill_indexes`]).

@@ -461,6 +461,18 @@ impl SecondaryDb {
         Ok(())
     }
 
+    /// With `background_work` enabled, block until the primary table and
+    /// every stand-alone index table have no pending background flush or
+    /// compaction (no-op otherwise). Call before measuring tree shapes or
+    /// byte counts so the numbers describe a settled database.
+    pub fn wait_for_background_idle(&self) -> Result<()> {
+        self.primary.wait_for_background_idle()?;
+        for index in &self.indexes {
+            index.wait_for_background_idle()?;
+        }
+        Ok(())
+    }
+
     /// Bytes of live SSTables in the primary table.
     pub fn primary_bytes(&self) -> u64 {
         self.primary.table_bytes()

@@ -1,10 +1,23 @@
 //! The database: write path, read path, flushes and compactions.
 //!
-//! Single-writer, synchronous engine: a write that fills the memtable
-//! flushes it to L0 inline, and a flush that tips a level over its target
-//! runs the compaction inline. This mirrors the paper's choice of
-//! single-threaded LevelDB — per-operation costs are directly attributable,
-//! which is what its experiments measure.
+//! Two execution modes share one engine:
+//!
+//! * **Foreground** (`background_work: false`, the default): a write that
+//!   fills the memtable flushes it to L0 inline, and a flush that tips a
+//!   level over its target runs the compaction inline. This mirrors the
+//!   paper's single-threaded LevelDB — per-operation costs are directly
+//!   attributable, which is what its experiments measure, and every run is
+//!   byte-for-byte deterministic.
+//! * **Background** (`background_work: true`): a full memtable is frozen
+//!   (`mem` → `imm`) and handed to a dedicated worker thread that flushes
+//!   it to L0 and runs any due compactions, so writes return after the WAL
+//!   append and memtable insert. L0 backpressure (slowdown / stall
+//!   triggers) keeps the worker from falling behind unboundedly.
+//!
+//! In both modes reads are lock-free with respect to the write path: a
+//! reader grabs an `Arc` snapshot of `(mem, imm, version)` and proceeds
+//! without ever taking the big mutex, while flushes and compactions
+//! install new snapshots atomically.
 
 use crate::cache::LruCache;
 use crate::compaction::{pick_compaction, resolve_key_run_with_snapshot, CompactionJob, RunEntry};
@@ -21,29 +34,119 @@ use crate::version::{
 };
 use crate::wal::{LogReader, LogWriter};
 use crate::write_batch::WriteBatch;
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use ldbpp_common::{Error, Result};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
+use std::collections::{BTreeMap, HashSet};
 use std::ops::ControlFlow;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread;
+use std::time::Duration;
 
 /// Identifies where a key's entries came from, in newest-to-oldest order:
-/// the memtable, then each L0 file (newest file first), then each level.
+/// the memtable, the frozen (flushing) memtable, then each L0 file (newest
+/// file first), then each level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KeySource {
     /// The active memtable.
     Mem,
+    /// The frozen memtable awaiting its background flush (only ever
+    /// observed with `background_work` enabled).
+    Imm,
     /// An L0 file (by file number).
     L0File(u64),
     /// A level ≥ 1.
     Level(usize),
 }
 
+/// The read-path snapshot: everything a GET or scan needs, published as one
+/// immutable `Arc` so readers never take the big mutex.
+///
+/// Invariant: at a freeze the *same* `Arc<RwLock<MemTable>>` moves from the
+/// `mem` slot to the `imm` slot, so a reader still holding an older
+/// `ReadState` keeps seeing those entries; and a flush installs the new
+/// version (containing the L0 file) in the same swap that clears `imm`, so
+/// every acknowledged write is visible in exactly one place at all times.
+struct ReadState {
+    mem: Arc<RwLock<MemTable>>,
+    imm: Option<Arc<RwLock<MemTable>>>,
+    version: Arc<Version>,
+}
+
+/// WAL bookkeeping carried from a memtable freeze to its flush install.
+#[derive(Clone)]
+struct PendingFlush {
+    /// Log file to delete once the frozen memtable is durable in L0.
+    old_log: Option<u64>,
+    /// Log number to record in the manifest at install (recovery then
+    /// replays only logs at or after it).
+    new_log: Option<u64>,
+    /// Largest sequence number contained in the frozen memtable.
+    boundary_seq: u64,
+}
+
+/// State that only writers and the maintenance path touch.
 struct DbInner {
-    mem: MemTable,
     wal: Option<LogWriter>,
     versions: VersionSet,
-    tables: LruCache<u64, Arc<Table>>,
     mem_generation: u64,
+    pending_flush: Option<PendingFlush>,
+}
+
+enum WorkerMsg {
+    Kick,
+    Shutdown,
+}
+
+/// Shared core of a [`Db`]: everything the public handle and the background
+/// worker both need.
+///
+/// Lock order (outermost first): `maintenance` → `inner` → `read` →
+/// memtable latch → leaves (`tables`, `pinned`, `bg_error`, `pending_gc`,
+/// `live_versions`, `work_tx`). Never acquire leftwards while holding a
+/// lock to the right.
+struct DbCore {
+    name: String,
+    opts: DbOptions,
+    env: Arc<dyn Env>,
+    stats: Arc<IoStats>,
+    block_cache: Option<BlockCache>,
+    inner: Mutex<DbInner>,
+    /// The published read snapshot; swapped atomically on freeze, flush
+    /// install and compaction install (always while holding `inner`).
+    read: RwLock<Arc<ReadState>>,
+    /// Mirror of `versions.last_sequence` for lock-free readers. Stored
+    /// with `Release` *after* the memtable insert, so a reader that loads
+    /// it with `Acquire` before cloning the `ReadState` is guaranteed to
+    /// see every acknowledged write at or below the loaded value.
+    last_seq: AtomicU64,
+    /// Largest sequence number already flushed to L0 (memtable-side
+    /// secondary indexes prune their maps against this watermark).
+    flushed_seq: AtomicU64,
+    /// Serializes flushes and compactions — held by the worker during a
+    /// background round and by foreground `flush`/`compact` calls.
+    maintenance: Mutex<()>,
+    /// Signalled (with `inner` state already updated) after every flush or
+    /// compaction install and on background errors; writers stalled in
+    /// `make_room_bg` and `wait_for_background_idle` wait on it via `inner`.
+    work_cond: Condvar,
+    /// Table reader cache, keyed by file number.
+    tables: Mutex<LruCache<u64, Arc<Table>>>,
+    /// Pinned snapshot sequences → pin count. Compactions preserve every
+    /// version at or below the largest pinned sequence.
+    pinned: Arc<Mutex<BTreeMap<u64, usize>>>,
+    /// First error hit by the background worker; surfaced to writers.
+    bg_error: Mutex<Option<Error>>,
+    /// Weak refs to every installed version; used by [`DbCore::gc`] to
+    /// decide which compaction inputs are still reachable by readers.
+    live_versions: Mutex<Vec<Weak<Version>>>,
+    /// Compaction input files awaiting deletion (deferred while a live
+    /// reader snapshot still references them).
+    pending_gc: Mutex<Vec<u64>>,
+    /// Channel to the background worker (None in foreground mode and
+    /// after shutdown).
+    work_tx: Mutex<Option<Sender<WorkerMsg>>>,
 }
 
 /// A LevelDB-style LSM key-value store.
@@ -58,15 +161,8 @@ struct DbInner {
 /// assert_eq!(db.get(b"k").unwrap(), None);
 /// ```
 pub struct Db {
-    name: String,
-    opts: DbOptions,
-    env: Arc<dyn Env>,
-    stats: Arc<IoStats>,
-    block_cache: Option<BlockCache>,
-    inner: Mutex<DbInner>,
-    /// Pinned snapshot sequences → pin count. Compactions preserve every
-    /// version at or below the largest pinned sequence.
-    pinned: Arc<Mutex<std::collections::BTreeMap<u64, usize>>>,
+    core: Arc<DbCore>,
+    worker: Option<thread::JoinHandle<()>>,
 }
 
 impl Db {
@@ -89,7 +185,6 @@ impl Db {
 
         let mut mem = MemTable::new();
         let mut mem_generation = 0;
-        let tables = LruCache::new(opts.table_cache_entries.max(16));
 
         // Replay WAL files at or after the recorded log number.
         if preexisting {
@@ -139,23 +234,55 @@ impl Db {
             None
         };
 
-        let db = Db {
+        let version = versions.current();
+        let last_sequence = versions.last_sequence;
+        let table_cache_entries = opts.table_cache_entries.max(16);
+        let background = opts.background_work;
+        let core = Arc::new(DbCore {
             name: name.to_string(),
             opts,
             env,
             stats,
             block_cache,
             inner: Mutex::new(DbInner {
-                mem,
                 wal,
                 versions,
-                tables,
                 mem_generation,
+                pending_flush: None,
             }),
-            pinned: Arc::new(Mutex::new(std::collections::BTreeMap::new())),
+            read: RwLock::new(Arc::new(ReadState {
+                mem: Arc::new(RwLock::new(mem)),
+                imm: None,
+                version: Arc::clone(&version),
+            })),
+            last_seq: AtomicU64::new(last_sequence),
+            // Recovery leaves the memtable empty, so everything recovered
+            // is already in L0 or deeper.
+            flushed_seq: AtomicU64::new(last_sequence),
+            maintenance: Mutex::new(()),
+            work_cond: Condvar::new(),
+            tables: Mutex::new(LruCache::new(table_cache_entries)),
+            pinned: Arc::new(Mutex::new(BTreeMap::new())),
+            bg_error: Mutex::new(None),
+            live_versions: Mutex::new(vec![Arc::downgrade(&version)]),
+            pending_gc: Mutex::new(Vec::new()),
+            work_tx: Mutex::new(None),
+        });
+        core.remove_obsolete_files();
+
+        let worker = if background {
+            let (tx, rx) = unbounded();
+            *core.work_tx.lock() = Some(tx);
+            let worker_core = Arc::clone(&core);
+            let handle = thread::Builder::new()
+                .name("ldbpp-bg".to_string())
+                .spawn(move || worker_loop(&worker_core, rx))
+                .map_err(Error::from)?;
+            Some(handle)
+        } else {
+            None
         };
-        db.remove_obsolete_files(&mut db.inner.lock());
-        Ok(db)
+        Ok(Db { core, worker })
     }
 
     /// Convenience: open in a fresh in-memory environment.
@@ -165,33 +292,41 @@ impl Db {
 
     /// The configuration this database was opened with.
     pub fn options(&self) -> &DbOptions {
-        &self.opts
+        &self.core.opts
     }
 
     /// I/O counters for this database instance.
     pub fn stats(&self) -> Arc<IoStats> {
-        Arc::clone(&self.stats)
+        Arc::clone(&self.core.stats)
     }
 
     /// The most recently assigned sequence number.
     pub fn last_sequence(&self) -> u64 {
-        self.inner.lock().versions.last_sequence
+        self.core.last_seq.load(Ordering::Acquire)
     }
 
-    /// Bumped every time the memtable is flushed (callers maintaining
-    /// memtable-side indexes use this to know when to reset them).
+    /// Bumped every time a memtable's contents reach L0 (callers
+    /// maintaining memtable-side indexes use this to know when entries
+    /// have left memory).
     pub fn mem_generation(&self) -> u64 {
-        self.inner.lock().mem_generation
+        self.core.inner.lock().mem_generation
+    }
+
+    /// Largest sequence number whose entries have been flushed out of the
+    /// in-memory tables (active + frozen) into L0. Memtable-side secondary
+    /// indexes prune their maps against this watermark.
+    pub fn flushed_through(&self) -> u64 {
+        self.core.flushed_seq.load(Ordering::Acquire)
     }
 
     /// Total bytes of live SSTables.
     pub fn table_bytes(&self) -> u64 {
-        self.inner.lock().versions.current().total_bytes()
+        self.core.read_state().version.total_bytes()
     }
 
     /// The current version (file layout snapshot).
     pub fn current_version(&self) -> Arc<Version> {
-        self.inner.lock().versions.current()
+        Arc::clone(&self.core.read_state().version)
     }
 
     /// Per-level file counts, for diagnostics.
@@ -226,12 +361,593 @@ impl Db {
 
     /// Apply a batch atomically. Returns the sequence number of its first
     /// operation.
+    ///
+    /// In foreground mode a write that finds the memtable full pays for
+    /// the flush (and any due compactions) inline; in background mode it
+    /// freezes the memtable, hands it to the worker and returns — stalling
+    /// only under L0 backpressure (see
+    /// [`DbOptions::l0_slowdown_trigger`] / [`DbOptions::l0_stall_trigger`]).
     pub fn write(&self, batch: &mut WriteBatch) -> Result<u64> {
         if batch.is_empty() {
             return Err(Error::invalid("empty write batch"));
         }
-        let mut inner = self.inner.lock();
-        self.make_room(&mut inner)?;
+        let core = &self.core;
+        if core.opts.background_work {
+            core.maybe_slowdown();
+            let mut inner = core.inner.lock();
+            core.make_room_bg(&mut inner)?;
+            core.append_batch(&mut inner, batch)
+        } else {
+            let _maintenance = core.maintenance.lock();
+            core.make_room_sync()?;
+            let mut inner = core.inner.lock();
+            core.append_batch(&mut inner, batch)
+        }
+    }
+
+    /// Flush all in-memory entries to L0 (then run any due compactions,
+    /// unless `auto_compact` is off).
+    pub fn flush(&self) -> Result<()> {
+        let _maintenance = self.core.maintenance.lock();
+        self.core.flush_all_locked()?;
+        if self.core.opts.auto_compact {
+            self.core.run_compactions()?;
+        }
+        Ok(())
+    }
+
+    /// Run compactions until no level is over threshold (normally invoked
+    /// automatically by writes, or by the background worker).
+    pub fn compact(&self) -> Result<()> {
+        let _maintenance = self.core.maintenance.lock();
+        self.core.run_compactions()
+    }
+
+    /// Major compaction: flush the memtable and push every level's data
+    /// down until it all rests in the deepest populated level, rewriting
+    /// every SSTable along the way.
+    ///
+    /// Useful for (a) reclaiming all shadowed versions and tombstones at
+    /// once, and (b) re-materializing tables under the *current* options —
+    /// e.g. after declaring a new Embedded-Index attribute on an existing
+    /// database, a major compaction rebuilds every file with the new
+    /// per-block filters and zone maps.
+    pub fn major_compact(&self) -> Result<()> {
+        let _maintenance = self.core.maintenance.lock();
+        self.core.flush_all_locked()?;
+        for level in 0..self.core.opts.num_levels - 1 {
+            let (job, version) = {
+                let inner = self.core.inner.lock();
+                let version = inner.versions.current();
+                let inputs_lo = version.files[level].clone();
+                if inputs_lo.is_empty() {
+                    continue;
+                }
+                let lo = inputs_lo
+                    .iter()
+                    .map(|f| ikey::user_key(&f.smallest).to_vec())
+                    .min()
+                    .unwrap();
+                let hi = inputs_lo
+                    .iter()
+                    .map(|f| ikey::user_key(&f.largest).to_vec())
+                    .max()
+                    .unwrap();
+                let inputs_hi = version.overlapping_files(level + 1, &lo, &hi);
+                (
+                    CompactionJob {
+                        level,
+                        inputs_lo,
+                        inputs_hi,
+                    },
+                    version,
+                )
+            };
+            self.core.do_compaction(job, version)?;
+        }
+        Ok(())
+    }
+
+    /// Block until the background worker has no pending flush and no due
+    /// compaction (no-op in foreground mode). Returns any error the worker
+    /// hit. Useful in tests and benchmarks that want a settled tree.
+    pub fn wait_for_background_idle(&self) -> Result<()> {
+        if !self.core.opts.background_work {
+            return Ok(());
+        }
+        let core = &self.core;
+        let mut inner = core.inner.lock();
+        loop {
+            core.check_bg_error()?;
+            let rs = core.read_state();
+            let flush_pending = rs.imm.is_some();
+            let compaction_due = core.opts.auto_compact
+                && pick_compaction(&core.opts, &rs.version, &inner.versions.compact_pointer)
+                    .is_some();
+            if !flush_pending && !compaction_due {
+                return Ok(());
+            }
+            core.kick_worker();
+            core.work_cond.wait(&mut inner);
+        }
+    }
+    // -- read path ----------------------------------------------------------
+
+    /// Open (via the table cache) the reader for a live file.
+    pub fn open_table(&self, meta: &FileMetaData) -> Result<Arc<Table>> {
+        self.core.open_table(meta)
+    }
+
+    /// Point lookup on the primary key.
+    ///
+    /// Walks sources newest-to-oldest and stops at the first `Value` or
+    /// `Deletion`; merge operands encountered on the way are folded onto
+    /// whatever base is found (or onto nothing).
+    pub fn get(&self, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.get_resolved(user_key, None)
+    }
+
+    /// The sequence number a read started now would observe — usable later
+    /// with [`Db::get_at`] for repeatable (snapshot) reads.
+    pub fn snapshot_seq(&self) -> u64 {
+        self.last_sequence()
+    }
+
+    /// Pin the current state: while the returned handle is alive,
+    /// compactions preserve every version at or below its sequence, so
+    /// [`Db::get_at`] against it is exact no matter how much churn and
+    /// compaction happens afterwards. Dropping the handle releases the
+    /// guarantee (space is reclaimed by later compactions).
+    pub fn pin_snapshot(&self) -> SnapshotHandle {
+        let seq = self.last_sequence();
+        *self.core.pinned.lock().entry(seq).or_insert(0) += 1;
+        SnapshotHandle {
+            seq,
+            registry: Arc::clone(&self.core.pinned),
+        }
+    }
+
+    /// Point lookup as of an earlier snapshot sequence: returns the value
+    /// `user_key` had when [`Db::snapshot_seq`] returned `snapshot`.
+    ///
+    /// Note: snapshots are best-effort across compactions — the engine
+    /// keeps no snapshot list, so versions older than `snapshot` may have
+    /// been compacted away; in that case the newest surviving version at or
+    /// below `snapshot` is returned. Within the memtables and unrelated
+    /// levels the read is exact, which covers the read-your-writes and
+    /// repeatable-read patterns tests rely on. [`Db::pin_snapshot`] makes
+    /// the guarantee exact.
+    pub fn get_at(&self, user_key: &[u8], snapshot: u64) -> Result<Option<Vec<u8>>> {
+        self.get_resolved(user_key, Some(snapshot))
+    }
+
+    fn get_resolved(&self, user_key: &[u8], snapshot: Option<u64>) -> Result<Option<Vec<u8>>> {
+        enum Outcome {
+            Found(Vec<u8>),
+            Deleted,
+        }
+        let mut operands: Vec<Vec<u8>> = Vec::new(); // newest first
+        let mut outcome: Option<Outcome> = None;
+        self.fold_key_sources_at(user_key, snapshot, |_, entries| {
+            for (vtype, value, _seq) in entries {
+                match vtype {
+                    ValueType::Value => {
+                        outcome = Some(Outcome::Found(value.clone()));
+                        return ControlFlow::Break(());
+                    }
+                    ValueType::Deletion => {
+                        outcome = Some(Outcome::Deleted);
+                        return ControlFlow::Break(());
+                    }
+                    ValueType::Merge => operands.push(value.clone()),
+                }
+            }
+            ControlFlow::Continue(())
+        })?;
+        if operands.is_empty() {
+            return Ok(match outcome {
+                Some(Outcome::Found(v)) => Some(v),
+                _ => None,
+            });
+        }
+        let Some(op) = &self.core.opts.merge_operator else {
+            return Err(Error::not_supported(
+                "merge entries present but no merge operator configured",
+            ));
+        };
+        operands.reverse(); // oldest first
+        let refs: Vec<&[u8]> = operands.iter().map(|o| o.as_slice()).collect();
+        let base = match &outcome {
+            Some(Outcome::Found(v)) => Some(v.as_slice()),
+            _ => None,
+        };
+        Ok(Some(op.full_merge(user_key, base, &refs)))
+    }
+
+    /// A human-readable summary of the tree shape and I/O counters —
+    /// LevelDB's `GetProperty("leveldb.stats")` equivalent.
+    pub fn debug_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let rs = self.core.read_state();
+        let generation = self.core.inner.lock().mem_generation;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "seq={} mem={}B imm={} gen={}",
+            self.last_sequence(),
+            rs.mem.read().approximate_bytes(),
+            rs.imm.as_ref().map_or(0, |m| m.read().approximate_bytes()),
+            generation
+        );
+        for (level, files) in rs.version.files.iter().enumerate() {
+            if files.is_empty() {
+                continue;
+            }
+            let bytes: u64 = files.iter().map(|f| f.file_size).sum();
+            let entries: u64 = files.iter().map(|f| f.num_entries).sum();
+            let _ = writeln!(
+                out,
+                "L{level}: {} files, {} B, {} entries",
+                files.len(),
+                bytes,
+                entries
+            );
+        }
+        let s = self.core.stats.snapshot();
+        let _ = writeln!(
+            out,
+            "io: reads={} cache_hits={} flushes={} compactions={} compaction_io={}B wal={}B",
+            s.block_reads,
+            s.cache_hits,
+            s.flushes,
+            s.compactions,
+            s.compaction_bytes_read + s.compaction_bytes_written,
+            s.wal_bytes_written
+        );
+        out
+    }
+
+    /// Visit each source that may hold `user_key`, newest first, with the
+    /// entries found there (each newest-first). The closure may break to
+    /// stop early — this is how GET avoids touching deeper levels and how
+    /// the Lazy index stops once top-K is satisfied.
+    pub fn fold_key_sources<F>(&self, user_key: &[u8], visit: F) -> Result<()>
+    where
+        F: FnMut(KeySource, &[(ValueType, Vec<u8>, u64)]) -> ControlFlow<()>,
+    {
+        self.fold_key_sources_at(user_key, None, visit)
+    }
+
+    /// [`Db::fold_key_sources`] against an explicit snapshot sequence
+    /// (`None` = latest). Entries newer than the snapshot are invisible.
+    pub fn fold_key_sources_at<F>(
+        &self,
+        user_key: &[u8],
+        snapshot: Option<u64>,
+        mut visit: F,
+    ) -> Result<()>
+    where
+        F: FnMut(KeySource, &[(ValueType, Vec<u8>, u64)]) -> ControlFlow<()>,
+    {
+        // Load the sequence *before* cloning the read state: every write
+        // acknowledged at or below it is then guaranteed visible in the
+        // snapshot (memtables or version).
+        let latest = self.last_sequence();
+        let rs = self.core.read_state();
+        let snapshot = snapshot.unwrap_or(latest);
+
+        let mem_entries: Vec<(ValueType, Vec<u8>, u64)> = rs
+            .mem
+            .read()
+            .entries_for(user_key, snapshot)
+            .map(|(t, v, s)| (t, v.to_vec(), s))
+            .collect();
+        if !mem_entries.is_empty() {
+            if let ControlFlow::Break(()) = visit(KeySource::Mem, &mem_entries) {
+                return Ok(());
+            }
+        }
+        if let Some(imm) = &rs.imm {
+            let imm_entries: Vec<(ValueType, Vec<u8>, u64)> = imm
+                .read()
+                .entries_for(user_key, snapshot)
+                .map(|(t, v, s)| (t, v.to_vec(), s))
+                .collect();
+            if !imm_entries.is_empty() {
+                if let ControlFlow::Break(()) = visit(KeySource::Imm, &imm_entries) {
+                    return Ok(());
+                }
+            }
+        }
+
+        let version = &rs.version;
+        // L0 files: already ordered newest-first in the version.
+        for f in version.files_for_key(0, user_key) {
+            let table = self.core.open_table(&f)?;
+            let entries = table.entries_for(user_key, snapshot, ReadPurpose::Query)?;
+            if entries.is_empty() {
+                continue;
+            }
+            if let ControlFlow::Break(()) = visit(KeySource::L0File(f.number), &entries) {
+                return Ok(());
+            }
+        }
+        for level in 1..version.num_levels() {
+            for f in version.files_for_key(level, user_key) {
+                let table = self.core.open_table(&f)?;
+                let entries = table.entries_for(user_key, snapshot, ReadPurpose::Query)?;
+                if entries.is_empty() {
+                    continue;
+                }
+                if let ControlFlow::Break(()) = visit(KeySource::Level(level), &entries) {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+    /// The paper's `GetLite(k, currentLevel)`: does a (possibly newer)
+    /// version of `user_key` exist *above* `below_level`, judged purely
+    /// from in-memory metadata (memtables + index blocks + primary bloom
+    /// filters)? No data-block I/O. Bloom false positives make this
+    /// conservatively over-report presence.
+    pub fn get_lite(&self, user_key: &[u8], below_level: usize) -> bool {
+        let latest = self.last_sequence();
+        let rs = self.core.read_state();
+        if rs.mem.read().entries_for(user_key, latest).next().is_some() {
+            return true;
+        }
+        if let Some(imm) = &rs.imm {
+            if imm.read().entries_for(user_key, latest).next().is_some() {
+                return true;
+            }
+        }
+        let version = &rs.version;
+        for level in 0..below_level.min(version.num_levels()) {
+            for f in version.files_for_key(level, user_key) {
+                match self.core.open_table(&f) {
+                    Ok(table) => {
+                        if table.primary_may_contain(user_key) {
+                            return true;
+                        }
+                    }
+                    Err(_) => return true, // unreadable: fail safe
+                }
+            }
+        }
+        false
+    }
+
+    /// `GetLite` variant for candidates found in an L0 file: is there a
+    /// (possibly newer) version in the memtables or in an L0 file *newer
+    /// than* `file_number`? Metadata-only, like [`Db::get_lite`].
+    pub fn get_lite_l0(&self, user_key: &[u8], file_number: u64) -> bool {
+        let latest = self.last_sequence();
+        let rs = self.core.read_state();
+        if rs.mem.read().entries_for(user_key, latest).next().is_some() {
+            return true;
+        }
+        if let Some(imm) = &rs.imm {
+            if imm.read().entries_for(user_key, latest).next().is_some() {
+                return true;
+            }
+        }
+        let version = &rs.version;
+        for f in version.files_for_key(0, user_key) {
+            if f.number <= file_number {
+                continue;
+            }
+            match self.core.open_table(&f) {
+                Ok(table) => {
+                    if table.primary_may_contain(user_key) {
+                        return true;
+                    }
+                }
+                Err(_) => return true,
+            }
+        }
+        false
+    }
+
+    /// Type and sequence of the newest entry for `user_key` anywhere in
+    /// the store (reads data blocks like a GET, but stops at the first
+    /// entry found). Used to confirm `GetLite` positives exactly.
+    pub fn newest_meta(&self, user_key: &[u8]) -> Result<Option<(ValueType, u64)>> {
+        let mut newest = None;
+        self.fold_key_sources(user_key, |_, entries| {
+            if let Some((vtype, _, seq)) = entries.first() {
+                newest = Some((*vtype, *seq));
+            }
+            ControlFlow::Break(())
+        })?;
+        Ok(newest)
+    }
+
+    /// Newest in-memory entry for `user_key` (type and sequence), if any —
+    /// covers both the active and the frozen memtable. Used to validate
+    /// candidates found by memtable-side secondary indexes.
+    pub fn mem_newest(&self, user_key: &[u8]) -> Option<(ValueType, u64)> {
+        let latest = self.last_sequence();
+        let rs = self.core.read_state();
+        if let Some(found) = rs
+            .mem
+            .read()
+            .entries_for(user_key, latest)
+            .next()
+            .map(|(t, _, s)| (t, s))
+        {
+            return Some(found);
+        }
+        rs.imm.as_ref().and_then(|imm| {
+            imm.read()
+                .entries_for(user_key, latest)
+                .next()
+                .map(|(t, _, s)| (t, s))
+        })
+    }
+
+    /// Snapshot of the in-memory tables (active memtable merged with the
+    /// frozen one, if present) as sorted (internal key, value) pairs.
+    pub fn mem_snapshot(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
+        fn collect(mem: &MemTable) -> Vec<(Vec<u8>, Vec<u8>)> {
+            let mut it = mem.iter();
+            it.seek_to_first();
+            let mut out = Vec::with_capacity(mem.len());
+            while it.valid() {
+                out.push((it.key().to_vec(), it.value().to_vec()));
+                it.next();
+            }
+            out
+        }
+        let rs = self.core.read_state();
+        let mem = collect(&rs.mem.read());
+        let Some(imm) = &rs.imm else {
+            return mem;
+        };
+        let imm = collect(&imm.read());
+        // Merge the two sorted runs by internal-key order (sequence
+        // numbers are unique, so no tie-breaking is needed).
+        let mut out = Vec::with_capacity(mem.len() + imm.len());
+        let (mut a, mut b) = (mem.into_iter().peekable(), imm.into_iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => {
+                    if ikey::compare_internal(&x.0, &y.0).is_le() {
+                        out.push(a.next().unwrap());
+                    } else {
+                        out.push(b.next().unwrap());
+                    }
+                }
+                (Some(_), None) => out.push(a.next().unwrap()),
+                (None, Some(_)) => out.push(b.next().unwrap()),
+                (None, None) => break,
+            }
+        }
+        out
+    }
+
+    /// One iterator per source (memtables, each L0 file newest-first, each
+    /// deeper level), in newest-to-oldest order — the paper's stand-alone
+    /// indexes scan "level by level".
+    pub fn source_iterators(&self) -> Result<Vec<(KeySource, Box<dyn DbIterator>)>> {
+        fn copy_out(mem: &MemTable) -> Vec<(Vec<u8>, Vec<u8>)> {
+            let mut it = mem.iter();
+            it.seek_to_first();
+            let mut v = Vec::with_capacity(mem.len());
+            while it.valid() {
+                v.push((it.key().to_vec(), it.value().to_vec()));
+                it.next();
+            }
+            v
+        }
+        let rs = self.core.read_state();
+        let mut out: Vec<(KeySource, Box<dyn DbIterator>)> = Vec::new();
+        out.push((
+            KeySource::Mem,
+            Box::new(VecIterator::new(copy_out(&rs.mem.read()))),
+        ));
+        if let Some(imm) = &rs.imm {
+            out.push((
+                KeySource::Imm,
+                Box::new(VecIterator::new(copy_out(&imm.read()))),
+            ));
+        }
+        let version = &rs.version;
+        for f in &version.files[0] {
+            let table = self.core.open_table(f)?;
+            out.push((
+                KeySource::L0File(f.number),
+                Box::new(table.iter(ReadPurpose::Query)),
+            ));
+        }
+        for level in 1..version.num_levels() {
+            if version.files[level].is_empty() {
+                continue;
+            }
+            // Levels ≥ 1 are sorted and disjoint: a concatenating iterator
+            // binary-searches the file list on seek, touching one file per
+            // level (the paper's per-level cost model).
+            let mut tables = Vec::with_capacity(version.files[level].len());
+            let mut largests = Vec::with_capacity(version.files[level].len());
+            for f in &version.files[level] {
+                tables.push(self.core.open_table(f)?);
+                largests.push(f.largest.clone());
+            }
+            out.push((
+                KeySource::Level(level),
+                Box::new(crate::table::ConcatIter::new(
+                    tables,
+                    largests,
+                    ReadPurpose::Query,
+                )),
+            ));
+        }
+        Ok(out)
+    }
+
+    /// A resolved iterator over the whole database: yields each live user
+    /// key's newest value (tombstones skipped, merge operands folded).
+    pub fn resolved_iter(&self) -> Result<ResolvedIter> {
+        let sources = self.source_iterators()?;
+        let children: Vec<Box<dyn DbIterator>> =
+            sources.into_iter().map(|(_, it)| it).collect();
+        Ok(ResolvedIter {
+            it: MergingIterator::new(children),
+            merge_op: self.core.opts.merge_operator.clone(),
+            positioned: false,
+        })
+    }
+}
+
+impl Drop for Db {
+    fn drop(&mut self) {
+        if let Some(handle) = self.worker.take() {
+            // Unflushed memtable contents survive in the WAL (the log file
+            // backing a frozen memtable is only deleted after its flush
+            // installs), so recovery replays everything still in memory.
+            if let Some(tx) = self.core.work_tx.lock().take() {
+                let _ = tx.send(WorkerMsg::Shutdown);
+            }
+            let _ = handle.join();
+            self.core.gc();
+        }
+    }
+}
+
+impl DbCore {
+    /// Clone the current read snapshot. Holds the `read` lock only for the
+    /// duration of the `Arc` clone.
+    fn read_state(&self) -> Arc<ReadState> {
+        Arc::clone(&self.read.read())
+    }
+
+    /// Publish a new read snapshot derived from the current one. Callers
+    /// must hold `inner` — that is what makes the freeze/install state
+    /// machine race-free against stalled writers re-checking it.
+    fn install_read_state<F: FnOnce(&ReadState) -> ReadState>(&self, f: F) {
+        let mut slot = self.read.write();
+        let next = f(&slot);
+        *slot = Arc::new(next);
+    }
+
+    fn kick_worker(&self) {
+        if let Some(tx) = self.work_tx.lock().as_ref() {
+            let _ = tx.send(WorkerMsg::Kick);
+        }
+    }
+
+    fn check_bg_error(&self) -> Result<()> {
+        match &*self.bg_error.lock() {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    // -- write path ---------------------------------------------------------
+
+    /// WAL append + memtable insert. Caller holds `inner` and has already
+    /// made room.
+    fn append_batch(&self, inner: &mut DbInner, batch: &mut WriteBatch) -> Result<u64> {
         let start_seq = inner.versions.last_sequence + 1;
         if ikey::MAX_SEQUENCE - start_seq < batch.count() as u64 {
             return Err(Error::invalid("sequence space exhausted"));
@@ -247,134 +963,284 @@ impl Db {
             IoStats::add(&self.stats.wal_bytes_written, payload_len as u64);
         }
         let ops = batch.ops()?;
-        for (i, op) in ops.iter().enumerate() {
-            inner
-                .mem
-                .add(start_seq + i as u64, op.vtype, &op.key, &op.value);
+        {
+            let rs = self.read_state();
+            let mut mem = rs.mem.write();
+            for (i, op) in ops.iter().enumerate() {
+                mem.add(start_seq + i as u64, op.vtype, &op.key, &op.value);
+            }
         }
         inner.versions.last_sequence = start_seq + ops.len() as u64 - 1;
+        // Release-publish only after the memtable insert: a reader that
+        // Acquire-loads this value is guaranteed to find the entries.
+        self.last_seq
+            .store(inner.versions.last_sequence, Ordering::Release);
         Ok(start_seq)
     }
 
-    /// Flush the memtable to L0 (then run any due compactions, unless
-    /// `auto_compact` is off).
-    pub fn flush(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        self.flush_memtable(&mut inner)?;
-        if self.opts.auto_compact {
-            self.run_compactions(&mut inner)?;
+    /// Foreground room-making: flush + compact inline, exactly the seed
+    /// engine's synchronous behaviour. Caller holds `maintenance`.
+    fn make_room_sync(&self) -> Result<()> {
+        let full = {
+            let rs = self.read_state();
+            let bytes = rs.mem.read().approximate_bytes();
+            bytes >= self.opts.write_buffer_size
+        };
+        if full {
+            {
+                let mut inner = self.inner.lock();
+                self.flush_memtable_sync(&mut inner)?;
+            }
+            if self.opts.auto_compact {
+                self.run_compactions()?;
+            }
         }
         Ok(())
     }
 
-    /// Run compactions until no level is over threshold (normally invoked
-    /// automatically by writes).
-    pub fn compact(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        self.run_compactions(&mut inner)
+    /// One-millisecond write delay once L0 reaches the slowdown trigger
+    /// (LevelDB's gradual backpressure). Runs before any lock is taken.
+    fn maybe_slowdown(&self) {
+        if !self.opts.auto_compact {
+            return;
+        }
+        let l0 = self.read_state().version.files[0].len();
+        if l0 >= self.opts.l0_slowdown_trigger {
+            self.kick_worker();
+            thread::sleep(Duration::from_millis(1));
+        }
     }
 
-    /// Major compaction: flush the memtable and push every level's data
-    /// down until it all rests in the deepest populated level, rewriting
-    /// every SSTable along the way.
-    ///
-    /// Useful for (a) reclaiming all shadowed versions and tombstones at
-    /// once, and (b) re-materializing tables under the *current* options —
-    /// e.g. after declaring a new Embedded-Index attribute on an existing
-    /// database, a major compaction rebuilds every file with the new
-    /// per-block filters and zone maps.
-    pub fn major_compact(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        self.flush_memtable(&mut inner)?;
-        for level in 0..self.opts.num_levels - 1 {
-            let version = inner.versions.current();
-            let inputs_lo = version.files[level].clone();
-            if inputs_lo.is_empty() {
+    /// Background room-making: freeze a full memtable and hand it to the
+    /// worker, stalling only while a previous freeze is still unflushed or
+    /// L0 is at the hard trigger. Caller holds `inner` (released while
+    /// waiting).
+    fn make_room_bg(&self, inner: &mut MutexGuard<'_, DbInner>) -> Result<()> {
+        loop {
+            self.check_bg_error()?;
+            let rs = self.read_state();
+            if rs.mem.read().approximate_bytes() < self.opts.write_buffer_size {
+                return Ok(());
+            }
+            if rs.imm.is_some() {
+                // Previous freeze not flushed yet: wait for the worker.
+                self.kick_worker();
+                self.work_cond.wait(inner);
                 continue;
             }
-            let lo = inputs_lo
-                .iter()
-                .map(|f| ikey::user_key(&f.smallest).to_vec())
-                .min()
-                .unwrap();
-            let hi = inputs_lo
-                .iter()
-                .map(|f| ikey::user_key(&f.largest).to_vec())
-                .max()
-                .unwrap();
-            let inputs_hi = version.overlapping_files(level + 1, &lo, &hi);
-            let job = CompactionJob {
-                level,
-                inputs_lo,
-                inputs_hi,
-            };
-            self.do_compaction(&mut inner, job)?;
-        }
-        Ok(())
-    }
-
-    fn make_room(&self, inner: &mut DbInner) -> Result<()> {
-        if inner.mem.approximate_bytes() >= self.opts.write_buffer_size {
-            self.flush_memtable(inner)?;
-            if self.opts.auto_compact {
-                self.run_compactions(inner)?;
+            if self.opts.auto_compact
+                && rs.version.files[0].len() >= self.opts.l0_stall_trigger
+            {
+                // Hard stall: flushing another memtable would only grow L0.
+                self.kick_worker();
+                self.work_cond.wait(inner);
+                continue;
             }
+            self.swap_memtable(inner)?;
+            return Ok(());
         }
+    }
+
+    /// Freeze the active memtable as `imm`, install a fresh one and rotate
+    /// the WAL. Caller holds `inner`; `imm` must be empty.
+    fn swap_memtable(&self, inner: &mut DbInner) -> Result<()> {
+        let pending = if self.opts.wal_enabled {
+            let old_log = inner.versions.log_number;
+            let number = inner.versions.new_file_number();
+            let wal =
+                LogWriter::new(self.env.new_writable(&log_file_name(&self.name, number))?);
+            inner.wal = Some(wal);
+            PendingFlush {
+                old_log: Some(old_log),
+                new_log: Some(number),
+                boundary_seq: inner.versions.last_sequence,
+            }
+        } else {
+            PendingFlush {
+                old_log: None,
+                new_log: None,
+                boundary_seq: inner.versions.last_sequence,
+            }
+        };
+        inner.pending_flush = Some(pending);
+        self.install_read_state(|cur| ReadState {
+            mem: Arc::new(RwLock::new(MemTable::new())),
+            imm: Some(Arc::clone(&cur.mem)),
+            version: Arc::clone(&cur.version),
+        });
+        self.kick_worker();
         Ok(())
     }
 
-    fn flush_memtable(&self, inner: &mut DbInner) -> Result<()> {
-        if inner.mem.is_empty() {
+    /// Foreground flush: build the L0 table and install it in one step
+    /// (the seed engine's `flush_memtable`, minus the big-lock read path).
+    /// Caller holds `maintenance` and `inner`.
+    fn flush_memtable_sync(&self, inner: &mut DbInner) -> Result<()> {
+        let rs = self.read_state();
+        if rs.mem.read().is_empty() {
             return Ok(());
         }
         let old_log = inner.versions.log_number;
         let new_wal = if self.opts.wal_enabled {
             let number = inner.versions.new_file_number();
-            let wal = LogWriter::new(
-                self.env
-                    .new_writable(&log_file_name(&self.name, number))?,
-            );
+            let wal =
+                LogWriter::new(self.env.new_writable(&log_file_name(&self.name, number))?);
             Some((number, wal))
         } else {
             None
         };
-        let mut mem = std::mem::take(&mut inner.mem);
-        flush_memtable_impl(
-            &self.opts,
-            &self.env,
-            &self.stats,
-            &self.name,
-            &mut inner.versions,
-            &mut mem,
-            new_wal.as_ref().map(|(n, _)| *n),
-        )?;
+        let number = inner.versions.new_file_number();
+        let meta = self.build_l0_table(number, &rs.mem.read())?;
+        let mut edit = VersionEdit {
+            log_number: new_wal.as_ref().map(|(n, _)| *n),
+            ..Default::default()
+        };
+        edit.add_file(0, meta);
+        inner.versions.log_and_apply(edit)?;
+        let new_version = inner.versions.current();
+        self.install_read_state(|cur| ReadState {
+            mem: Arc::new(RwLock::new(MemTable::new())),
+            imm: cur.imm.clone(),
+            version: Arc::clone(&new_version),
+        });
+        self.live_versions.lock().push(Arc::downgrade(&new_version));
         inner.wal = new_wal.map(|(_, w)| w);
         inner.mem_generation += 1;
+        self.flushed_seq
+            .store(inner.versions.last_sequence, Ordering::Release);
         if self.opts.wal_enabled {
             let _ = self.env.remove(&log_file_name(&self.name, old_log));
         }
         Ok(())
     }
 
-    fn run_compactions(&self, inner: &mut DbInner) -> Result<()> {
-        loop {
-            let version = inner.versions.current();
-            let Some(job) =
-                pick_compaction(&self.opts, &version, &inner.versions.compact_pointer)
-            else {
-                return Ok(());
-            };
-            self.do_compaction(inner, job)?;
+    /// Background flush of the frozen memtable, if any. The table is built
+    /// without holding `inner` — readers and writers proceed — and the
+    /// result is installed under `inner` in one read-state swap. Caller
+    /// holds `maintenance`. Returns whether a flush happened.
+    fn flush_imm(&self) -> Result<bool> {
+        let (imm, pending) = {
+            let inner = self.inner.lock();
+            let rs = self.read_state();
+            match &rs.imm {
+                None => return Ok(false),
+                Some(m) => (Arc::clone(m), inner.pending_flush.clone()),
+            }
+        };
+        let number = self.inner.lock().versions.new_file_number();
+        let meta = self.build_l0_table(number, &imm.read())?;
+
+        let mut inner = self.inner.lock();
+        let mut edit = VersionEdit {
+            log_number: pending.as_ref().and_then(|p| p.new_log),
+            ..Default::default()
+        };
+        edit.add_file(0, meta);
+        inner.versions.log_and_apply(edit)?;
+        let new_version = inner.versions.current();
+        self.install_read_state(|cur| ReadState {
+            mem: Arc::clone(&cur.mem),
+            imm: None,
+            version: Arc::clone(&new_version),
+        });
+        self.live_versions.lock().push(Arc::downgrade(&new_version));
+        inner.mem_generation += 1;
+        if let Some(p) = &pending {
+            self.flushed_seq.store(p.boundary_seq, Ordering::Release);
         }
+        inner.pending_flush = None;
+        let old_log = pending.as_ref().and_then(|p| p.old_log);
+        drop(inner);
+        if let Some(old) = old_log {
+            let _ = self.env.remove(&log_file_name(&self.name, old));
+        }
+        self.work_cond.notify_all();
+        Ok(true)
     }
 
-    fn do_compaction(&self, inner: &mut DbInner, job: CompactionJob) -> Result<()> {
+    /// Build SSTable `number` from a memtable and return its metadata
+    /// (counted against the flush I/O stats).
+    fn build_l0_table(&self, number: u64, mem: &MemTable) -> Result<FileMetaData> {
+        let file = self.env.new_writable(&table_file_name(&self.name, number))?;
+        let mut builder = TableBuilder::new(&self.opts, file);
+        let mut it = mem.iter();
+        it.seek_to_first();
+        while it.valid() {
+            builder.add(it.key(), it.value())?;
+            it.next();
+        }
+        let meta = builder.finish()?;
+        IoStats::add(&self.stats.flush_bytes_written, meta.file_size);
+        IoStats::add(&self.stats.flush_blocks_written, meta.num_blocks);
+        IoStats::add(&self.stats.flushes, 1);
+        Ok(FileMetaData {
+            number,
+            file_size: meta.file_size,
+            num_entries: meta.num_entries,
+            num_blocks: meta.num_blocks,
+            smallest: meta.smallest,
+            largest: meta.largest,
+            sec_file_zones: meta.sec_file_zones,
+        })
+    }
+
+    /// Flush everything in memory (frozen, then active) to L0. Caller
+    /// holds `maintenance`.
+    fn flush_all_locked(&self) -> Result<()> {
+        if !self.opts.background_work {
+            let mut inner = self.inner.lock();
+            return self.flush_memtable_sync(&mut inner);
+        }
+        self.check_bg_error()?;
+        loop {
+            self.flush_imm()?;
+            let mut inner = self.inner.lock();
+            let rs = self.read_state();
+            if rs.imm.is_some() {
+                // A racing writer froze the new memtable while we flushed;
+                // go around again.
+                drop(inner);
+                continue;
+            }
+            if rs.mem.read().is_empty() {
+                return Ok(());
+            }
+            self.swap_memtable(&mut inner)?;
+        }
+    }
+    /// Run compactions until no level is over threshold. Caller holds
+    /// `maintenance`.
+    fn run_compactions(&self) -> Result<()> {
+        while self.run_one_compaction()? {}
+        Ok(())
+    }
+
+    /// Pick and run at most one due compaction. Caller holds
+    /// `maintenance`. Returns whether one ran.
+    fn run_one_compaction(&self) -> Result<bool> {
+        let (job, version) = {
+            let inner = self.inner.lock();
+            let version = inner.versions.current();
+            match pick_compaction(&self.opts, &version, &inner.versions.compact_pointer) {
+                Some(job) => (job, version),
+                None => return Ok(false),
+            }
+        };
+        self.do_compaction(job, version)?;
+        Ok(true)
+    }
+
+    /// Merge the job's inputs into `output_level` and install the result.
+    /// Caller holds `maintenance` (which is what keeps `version` — the
+    /// version the job was picked from — current throughout). The big
+    /// mutex is only taken briefly, for file-number allocation and the
+    /// final install, so reads and background-mode writes proceed.
+    fn do_compaction(&self, job: CompactionJob, version: Arc<Version>) -> Result<()> {
         let output_level = job.output_level();
-        let version = inner.versions.current();
 
         let mut children: Vec<Box<dyn DbIterator>> = Vec::new();
         for f in job.all_inputs() {
-            let table = self.open_table_locked(inner, f)?;
+            let table = self.open_table(f)?;
             children.push(Box::new(table.iter(ReadPurpose::Compaction)));
         }
         let mut merged = MergingIterator::new(children);
@@ -387,8 +1253,8 @@ impl Db {
         let mut run_key: Vec<u8> = Vec::new();
         let mut run: Vec<RunEntry> = Vec::new();
 
-        let emit_run = |inner: &mut DbInner,
-                            builder: &mut Option<(u64, TableBuilder)>,
+        {
+        let emit_run = |builder: &mut Option<(u64, TableBuilder)>,
                             outputs: &mut Vec<(u64, crate::table::TableMeta)>,
                             key: &[u8],
                             run: &[RunEntry]|
@@ -416,7 +1282,7 @@ impl Db {
                 }
             }
             if builder.is_none() {
-                let number = inner.versions.new_file_number();
+                let number = self.inner.lock().versions.new_file_number();
                 let file = self
                     .env
                     .new_writable(&table_file_name(&self.name, number))?;
@@ -429,19 +1295,37 @@ impl Db {
             Ok(())
         };
 
+        let mut entries_since_imm_check = 0usize;
         while merged.valid() {
+            // Like LevelDB's `DoCompactionWork`, give a frozen memtable
+            // priority over the compaction in flight: without this, a
+            // writer that fills the active memtable mid-compaction stalls
+            // for the whole compaction instead of one short flush. Checked
+            // every few entries to keep the common-path cost negligible.
+            // In synchronous mode `imm` is always `None` here, and the
+            // `background_work` gate skips even the read-state probe.
+            if self.opts.background_work {
+                entries_since_imm_check += 1;
+                if entries_since_imm_check >= 64 {
+                    entries_since_imm_check = 0;
+                    if self.read_state().imm.is_some() {
+                        self.flush_imm()?;
+                    }
+                }
+            }
             let (user_key, seq, vtype) = ikey::parse_internal_key(merged.key())?;
             if user_key != run_key.as_slice() {
                 let prev_key = std::mem::replace(&mut run_key, user_key.to_vec());
                 let prev_run = std::mem::take(&mut run);
-                emit_run(inner, &mut builder, &mut outputs, &prev_key, &prev_run)?;
+                emit_run(&mut builder, &mut outputs, &prev_key, &prev_run)?;
             }
             run.push((vtype, seq, merged.value().to_vec()));
             merged.next();
         }
         let prev_key = std::mem::take(&mut run_key);
         let prev_run = std::mem::take(&mut run);
-        emit_run(inner, &mut builder, &mut outputs, &prev_key, &prev_run)?;
+        emit_run(&mut builder, &mut outputs, &prev_key, &prev_run)?;
+        }
         if let Some((number, b)) = builder.take() {
             if b.num_entries() > 0 {
                 outputs.push((number, b.finish()?));
@@ -489,19 +1373,79 @@ impl Db {
         IoStats::add(&self.stats.compaction_bytes_written, written_bytes);
         IoStats::add(&self.stats.compaction_blocks_written, written_blocks);
         IoStats::add(&self.stats.compactions, 1);
-        inner.versions.log_and_apply(edit)?;
 
-        // Drop the inputs.
-        for f in job.all_inputs() {
-            inner.tables.remove(&f.number);
-            let _ = self.env.remove(&table_file_name(&self.name, f.number));
+        {
+            let mut inner = self.inner.lock();
+            inner.versions.log_and_apply(edit)?;
+            let new_version = inner.versions.current();
+            self.install_read_state(|cur| ReadState {
+                mem: Arc::clone(&cur.mem),
+                imm: cur.imm.clone(),
+                version: Arc::clone(&new_version),
+            });
+            self.live_versions.lock().push(Arc::downgrade(&new_version));
         }
+        self.work_cond.notify_all();
+
+        // Queue the inputs for deletion; `gc` drops whatever no live
+        // reader snapshot still references. (Drop our own references
+        // first — `merged` holds the input tables, `version` the old
+        // layout — so the single-threaded path reclaims them immediately,
+        // in the same order the seed engine did.)
+        self.pending_gc
+            .lock()
+            .extend(job.all_inputs().map(|f| f.number));
+        drop(merged);
+        drop(version);
+        self.gc();
         Ok(())
     }
 
-    fn remove_obsolete_files(&self, inner: &mut DbInner) {
-        let live: std::collections::HashSet<u64> =
-            inner.versions.live_files().into_iter().collect();
+    fn snapshot_boundary(&self) -> Option<u64> {
+        self.pinned.lock().keys().next_back().copied()
+    }
+
+    /// Delete queued compaction inputs that no installed-or-still-
+    /// referenced version contains. Files kept alive by a reader's
+    /// `ReadState` stay on disk until a later `gc` call.
+    fn gc(&self) {
+        let mut pending = self.pending_gc.lock();
+        if pending.is_empty() {
+            return;
+        }
+        let live: HashSet<u64> = {
+            let mut versions = self.live_versions.lock();
+            versions.retain(|w| w.strong_count() > 0);
+            let mut live = HashSet::new();
+            for weak in versions.iter() {
+                if let Some(v) = weak.upgrade() {
+                    for files in &v.files {
+                        for f in files {
+                            live.insert(f.number);
+                        }
+                    }
+                }
+            }
+            live
+        };
+        let mut deferred = Vec::new();
+        for number in pending.drain(..) {
+            if live.contains(&number) {
+                deferred.push(number);
+                continue;
+            }
+            self.tables.lock().remove(&number);
+            let _ = self.env.remove(&table_file_name(&self.name, number));
+        }
+        *pending = deferred;
+    }
+
+    fn remove_obsolete_files(&self) {
+        let (live, log_number) = {
+            let inner = self.inner.lock();
+            let live: HashSet<u64> = inner.versions.live_files().into_iter().collect();
+            (live, inner.versions.log_number)
+        };
         let Ok(names) = self.env.list(&self.name) else {
             return;
         };
@@ -509,13 +1453,13 @@ impl Db {
             if let Some(numtext) = fname.strip_suffix(".ldb") {
                 if let Ok(number) = numtext.parse::<u64>() {
                     if !live.contains(&number) {
-                        inner.tables.remove(&number);
+                        self.tables.lock().remove(&number);
                         let _ = self.env.remove(&format!("{}/{}", self.name, fname));
                     }
                 }
             } else if let Some(numtext) = fname.strip_suffix(".log") {
                 if let Ok(number) = numtext.parse::<u64>() {
-                    if number < inner.versions.log_number {
+                    if number < log_number {
                         let _ = self.env.remove(&format!("{}/{}", self.name, fname));
                     }
                 }
@@ -523,14 +1467,10 @@ impl Db {
         }
     }
 
-    // -- read path ----------------------------------------------------------
-
-    fn open_table_locked(
-        &self,
-        inner: &mut DbInner,
-        meta: &FileMetaData,
-    ) -> Result<Arc<Table>> {
-        if let Some(t) = inner.tables.get(&meta.number) {
+    /// Open (via the table cache) the reader for a live file.
+    fn open_table(&self, meta: &FileMetaData) -> Result<Arc<Table>> {
+        let mut tables = self.tables.lock();
+        if let Some(t) = tables.get(&meta.number) {
             return Ok(t);
         }
         let file = self
@@ -542,408 +1482,57 @@ impl Db {
             Arc::clone(&self.stats),
             self.block_cache.clone(),
         )?;
-        inner.tables.insert(meta.number, Arc::clone(&table), 1);
+        tables.insert(meta.number, Arc::clone(&table), 1);
         Ok(table)
     }
+}
 
-    /// Open (via the table cache) the reader for a live file.
-    pub fn open_table(&self, meta: &FileMetaData) -> Result<Arc<Table>> {
-        self.open_table_locked(&mut self.inner.lock(), meta)
-    }
-
-    /// Point lookup on the primary key.
-    ///
-    /// Walks sources newest-to-oldest and stops at the first `Value` or
-    /// `Deletion`; merge operands encountered on the way are folded onto
-    /// whatever base is found (or onto nothing).
-    pub fn get(&self, user_key: &[u8]) -> Result<Option<Vec<u8>>> {
-        enum Outcome {
-            Found(Vec<u8>),
-            Deleted,
+/// Background worker: waits for kicks, then flushes the frozen memtable
+/// and runs due compactions until there is nothing left to do.
+fn worker_loop(core: &DbCore, rx: Receiver<WorkerMsg>) {
+    loop {
+        match rx.recv() {
+            Ok(WorkerMsg::Shutdown) | Err(_) => return,
+            Ok(WorkerMsg::Kick) => {}
         }
-        let mut operands: Vec<Vec<u8>> = Vec::new(); // newest first
-        let mut outcome: Option<Outcome> = None;
-        self.fold_key_sources(user_key, |_, entries| {
-            for (vtype, value, _seq) in entries {
-                match vtype {
-                    ValueType::Value => {
-                        outcome = Some(Outcome::Found(value.clone()));
-                        return ControlFlow::Break(());
-                    }
-                    ValueType::Deletion => {
-                        outcome = Some(Outcome::Deleted);
-                        return ControlFlow::Break(());
-                    }
-                    ValueType::Merge => operands.push(value.clone()),
+        // Drain queued kicks so one round covers them all.
+        loop {
+            match rx.try_recv() {
+                Ok(WorkerMsg::Shutdown) => return,
+                Ok(WorkerMsg::Kick) => continue,
+                Err(_) => break,
+            }
+        }
+        let _maintenance = core.maintenance.lock();
+        loop {
+            let step = (|| -> Result<bool> {
+                if core.flush_imm()? {
+                    return Ok(true);
                 }
-            }
-            ControlFlow::Continue(())
-        })?;
-        if operands.is_empty() {
-            return Ok(match outcome {
-                Some(Outcome::Found(v)) => Some(v),
-                _ => None,
-            });
-        }
-        let Some(op) = &self.opts.merge_operator else {
-            return Err(Error::not_supported(
-                "merge entries present but no merge operator configured",
-            ));
-        };
-        operands.reverse(); // oldest first
-        let refs: Vec<&[u8]> = operands.iter().map(|o| o.as_slice()).collect();
-        let base = match &outcome {
-            Some(Outcome::Found(v)) => Some(v.as_slice()),
-            _ => None,
-        };
-        Ok(Some(op.full_merge(user_key, base, &refs)))
-    }
-
-    /// The sequence number a read started now would observe — usable later
-    /// with [`Db::get_at`] for repeatable (snapshot) reads.
-    pub fn snapshot_seq(&self) -> u64 {
-        self.last_sequence()
-    }
-
-    /// Pin the current state: while the returned handle is alive,
-    /// compactions preserve every version at or below its sequence, so
-    /// [`Db::get_at`] against it is exact no matter how much churn and
-    /// compaction happens afterwards. Dropping the handle releases the
-    /// guarantee (space is reclaimed by later compactions).
-    pub fn pin_snapshot(&self) -> SnapshotHandle {
-        let seq = self.last_sequence();
-        *self.pinned.lock().entry(seq).or_insert(0) += 1;
-        SnapshotHandle {
-            seq,
-            registry: Arc::clone(&self.pinned),
-        }
-    }
-
-    fn snapshot_boundary(&self) -> Option<u64> {
-        self.pinned.lock().keys().next_back().copied()
-    }
-
-    /// Point lookup as of an earlier snapshot sequence: returns the value
-    /// `user_key` had when [`Db::snapshot_seq`] returned `snapshot`.
-    ///
-    /// Note: snapshots are best-effort across compactions — the engine
-    /// keeps no snapshot list, so versions older than `snapshot` may have
-    /// been compacted away; in that case the newest surviving version at or
-    /// below `snapshot` is returned. Within the memtable and unrelated
-    /// levels the read is exact, which covers the read-your-writes and
-    /// repeatable-read patterns tests rely on.
-    pub fn get_at(&self, user_key: &[u8], snapshot: u64) -> Result<Option<Vec<u8>>> {
-        enum Outcome {
-            Found(Vec<u8>),
-            Deleted,
-        }
-        let mut operands: Vec<Vec<u8>> = Vec::new();
-        let mut outcome: Option<Outcome> = None;
-        self.fold_key_sources_at(user_key, Some(snapshot), |_, entries| {
-            for (vtype, value, _seq) in entries {
-                match vtype {
-                    ValueType::Value => {
-                        outcome = Some(Outcome::Found(value.clone()));
-                        return ControlFlow::Break(());
-                    }
-                    ValueType::Deletion => {
-                        outcome = Some(Outcome::Deleted);
-                        return ControlFlow::Break(());
-                    }
-                    ValueType::Merge => operands.push(value.clone()),
+                if core.opts.auto_compact && core.run_one_compaction()? {
+                    return Ok(true);
                 }
-            }
-            ControlFlow::Continue(())
-        })?;
-        if operands.is_empty() {
-            return Ok(match outcome {
-                Some(Outcome::Found(v)) => Some(v),
-                _ => None,
-            });
-        }
-        let Some(op) = &self.opts.merge_operator else {
-            return Err(Error::not_supported(
-                "merge entries present but no merge operator configured",
-            ));
-        };
-        operands.reverse();
-        let refs: Vec<&[u8]> = operands.iter().map(|o| o.as_slice()).collect();
-        let base = match &outcome {
-            Some(Outcome::Found(v)) => Some(v.as_slice()),
-            _ => None,
-        };
-        Ok(Some(op.full_merge(user_key, base, &refs)))
-    }
-
-    /// A human-readable summary of the tree shape and I/O counters —
-    /// LevelDB's `GetProperty("leveldb.stats")` equivalent.
-    pub fn debug_summary(&self) -> String {
-        use std::fmt::Write as _;
-        let inner = self.inner.lock();
-        let version = inner.versions.current();
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "seq={} mem={}B gen={}",
-            inner.versions.last_sequence,
-            inner.mem.approximate_bytes(),
-            inner.mem_generation
-        );
-        for (level, files) in version.files.iter().enumerate() {
-            if files.is_empty() {
-                continue;
-            }
-            let bytes: u64 = files.iter().map(|f| f.file_size).sum();
-            let entries: u64 = files.iter().map(|f| f.num_entries).sum();
-            let _ = writeln!(
-                out,
-                "L{level}: {} files, {} B, {} entries",
-                files.len(),
-                bytes,
-                entries
-            );
-        }
-        let s = self.stats.snapshot();
-        let _ = writeln!(
-            out,
-            "io: reads={} cache_hits={} flushes={} compactions={} compaction_io={}B wal={}B",
-            s.block_reads,
-            s.cache_hits,
-            s.flushes,
-            s.compactions,
-            s.compaction_bytes_read + s.compaction_bytes_written,
-            s.wal_bytes_written
-        );
-        out
-    }
-
-    /// Visit each source that may hold `user_key`, newest first, with the
-    /// entries found there (each newest-first). The closure may break to
-    /// stop early — this is how GET avoids touching deeper levels and how
-    /// the Lazy index stops once top-K is satisfied.
-    pub fn fold_key_sources<F>(&self, user_key: &[u8], visit: F) -> Result<()>
-    where
-        F: FnMut(KeySource, &[(ValueType, Vec<u8>, u64)]) -> ControlFlow<()>,
-    {
-        self.fold_key_sources_at(user_key, None, visit)
-    }
-
-    /// [`Db::fold_key_sources`] against an explicit snapshot sequence
-    /// (`None` = latest). Entries newer than the snapshot are invisible.
-    pub fn fold_key_sources_at<F>(
-        &self,
-        user_key: &[u8],
-        snapshot: Option<u64>,
-        mut visit: F,
-    ) -> Result<()>
-    where
-        F: FnMut(KeySource, &[(ValueType, Vec<u8>, u64)]) -> ControlFlow<()>,
-    {
-        let mut inner = self.inner.lock();
-        let snapshot = snapshot.unwrap_or(inner.versions.last_sequence);
-
-        let mem_entries: Vec<(ValueType, Vec<u8>, u64)> = inner
-            .mem
-            .entries_for(user_key, snapshot)
-            .map(|(t, v, s)| (t, v.to_vec(), s))
-            .collect();
-        if !mem_entries.is_empty() {
-            if let ControlFlow::Break(()) = visit(KeySource::Mem, &mem_entries) {
-                return Ok(());
-            }
-        }
-
-        let version = inner.versions.current();
-        // L0 files: already ordered newest-first in the version.
-        for f in version.files_for_key(0, user_key) {
-            let table = self.open_table_locked(&mut inner, &f)?;
-            let entries = table.entries_for(user_key, snapshot, ReadPurpose::Query)?;
-            if entries.is_empty() {
-                continue;
-            }
-            if let ControlFlow::Break(()) = visit(KeySource::L0File(f.number), &entries) {
-                return Ok(());
-            }
-        }
-        for level in 1..version.num_levels() {
-            for f in version.files_for_key(level, user_key) {
-                let table = self.open_table_locked(&mut inner, &f)?;
-                let entries = table.entries_for(user_key, snapshot, ReadPurpose::Query)?;
-                if entries.is_empty() {
-                    continue;
-                }
-                if let ControlFlow::Break(()) = visit(KeySource::Level(level), &entries) {
-                    return Ok(());
+                Ok(false)
+            })();
+            match step {
+                Ok(true) => continue,
+                Ok(false) => break,
+                Err(e) => {
+                    // Park the error for the next writer and wake any
+                    // stalled ones so they can surface it.
+                    *core.bg_error.lock() = Some(e);
+                    core.work_cond.notify_all();
+                    break;
                 }
             }
         }
-        Ok(())
-    }
-
-    /// The paper's `GetLite(k, currentLevel)`: does a (possibly newer)
-    /// version of `user_key` exist *above* `below_level`, judged purely
-    /// from in-memory metadata (memtable + index blocks + primary bloom
-    /// filters)? No data-block I/O. Bloom false positives make this
-    /// conservatively over-report presence.
-    pub fn get_lite(&self, user_key: &[u8], below_level: usize) -> bool {
-        let mut inner = self.inner.lock();
-        let snapshot = inner.versions.last_sequence;
-        if inner.mem.entries_for(user_key, snapshot).next().is_some() {
-            return true;
-        }
-        let version = inner.versions.current();
-        for level in 0..below_level.min(version.num_levels()) {
-            for f in version.files_for_key(level, user_key) {
-                match self.open_table_locked(&mut inner, &f) {
-                    Ok(table) => {
-                        if table.primary_may_contain(user_key) {
-                            return true;
-                        }
-                    }
-                    Err(_) => return true, // unreadable: fail safe
-                }
-            }
-        }
-        false
-    }
-
-    /// `GetLite` variant for candidates found in an L0 file: is there a
-    /// (possibly newer) version in the memtable or in an L0 file *newer
-    /// than* `file_number`? Metadata-only, like [`Db::get_lite`].
-    pub fn get_lite_l0(&self, user_key: &[u8], file_number: u64) -> bool {
-        let mut inner = self.inner.lock();
-        let snapshot = inner.versions.last_sequence;
-        if inner.mem.entries_for(user_key, snapshot).next().is_some() {
-            return true;
-        }
-        let version = inner.versions.current();
-        for f in version.files_for_key(0, user_key) {
-            if f.number <= file_number {
-                continue;
-            }
-            match self.open_table_locked(&mut inner, &f) {
-                Ok(table) => {
-                    if table.primary_may_contain(user_key) {
-                        return true;
-                    }
-                }
-                Err(_) => return true,
-            }
-        }
-        false
-    }
-
-    /// Type and sequence of the newest entry for `user_key` anywhere in
-    /// the store (reads data blocks like a GET, but stops at the first
-    /// entry found). Used to confirm `GetLite` positives exactly.
-    pub fn newest_meta(&self, user_key: &[u8]) -> Result<Option<(ValueType, u64)>> {
-        let mut newest = None;
-        self.fold_key_sources(user_key, |_, entries| {
-            if let Some((vtype, _, seq)) = entries.first() {
-                newest = Some((*vtype, *seq));
-            }
-            ControlFlow::Break(())
-        })?;
-        Ok(newest)
-    }
-
-    /// Newest memtable entry for `user_key` (type and sequence), if any —
-    /// used to validate candidates found by memtable-side secondary
-    /// indexes.
-    pub fn mem_newest(&self, user_key: &[u8]) -> Option<(ValueType, u64)> {
-        let inner = self.inner.lock();
-        let snapshot = inner.versions.last_sequence;
-        let newest = inner
-            .mem
-            .entries_for(user_key, snapshot)
-            .next()
-            .map(|(t, _, s)| (t, s));
-        newest
-    }
-
-    /// Snapshot of the memtable as sorted (internal key, value) pairs.
-    pub fn mem_snapshot(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
-        let inner = self.inner.lock();
-        let mut it = inner.mem.iter();
-        it.seek_to_first();
-        let mut out = Vec::with_capacity(inner.mem.len());
-        while it.valid() {
-            out.push((it.key().to_vec(), it.value().to_vec()));
-            it.next();
-        }
-        out
-    }
-
-    /// One iterator per source (memtable, each L0 file newest-first, each
-    /// deeper level), in newest-to-oldest order — the paper's stand-alone
-    /// indexes scan "level by level".
-    pub fn source_iterators(&self) -> Result<Vec<(KeySource, Box<dyn DbIterator>)>> {
-        let mut inner = self.inner.lock();
-        let mut out: Vec<(KeySource, Box<dyn DbIterator>)> = Vec::new();
-        out.push((
-            KeySource::Mem,
-            Box::new(VecIterator::new({
-                let mut it = inner.mem.iter();
-                it.seek_to_first();
-                let mut v = Vec::with_capacity(inner.mem.len());
-                while it.valid() {
-                    v.push((it.key().to_vec(), it.value().to_vec()));
-                    it.next();
-                }
-                v
-            })),
-        ));
-        let version = inner.versions.current();
-        for f in &version.files[0] {
-            let table = self.open_table_locked(&mut inner, f)?;
-            out.push((
-                KeySource::L0File(f.number),
-                Box::new(table.iter(ReadPurpose::Query)),
-            ));
-        }
-        for level in 1..version.num_levels() {
-            if version.files[level].is_empty() {
-                continue;
-            }
-            // Levels ≥ 1 are sorted and disjoint: a concatenating iterator
-            // binary-searches the file list on seek, touching one file per
-            // level (the paper's per-level cost model).
-            let mut tables = Vec::with_capacity(version.files[level].len());
-            let mut largests = Vec::with_capacity(version.files[level].len());
-            for f in &version.files[level] {
-                tables.push(self.open_table_locked(&mut inner, f)?);
-                largests.push(f.largest.clone());
-            }
-            out.push((
-                KeySource::Level(level),
-                Box::new(crate::table::ConcatIter::new(
-                    tables,
-                    largests,
-                    ReadPurpose::Query,
-                )),
-            ));
-        }
-        Ok(out)
-    }
-
-    /// A resolved iterator over the whole database: yields each live user
-    /// key's newest value (tombstones skipped, merge operands folded).
-    pub fn resolved_iter(&self) -> Result<ResolvedIter> {
-        let sources = self.source_iterators()?;
-        let children: Vec<Box<dyn DbIterator>> =
-            sources.into_iter().map(|(_, it)| it).collect();
-        Ok(ResolvedIter {
-            it: MergingIterator::new(children),
-            merge_op: self.opts.merge_operator.clone(),
-            positioned: false,
-        })
     }
 }
 
 /// A pinned snapshot (see [`Db::pin_snapshot`]). Dropping it unpins.
 pub struct SnapshotHandle {
     seq: u64,
-    registry: Arc<Mutex<std::collections::BTreeMap<u64, usize>>>,
+    registry: Arc<Mutex<BTreeMap<u64, usize>>>,
 }
 
 impl SnapshotHandle {
@@ -966,6 +1555,8 @@ impl Drop for SnapshotHandle {
     }
 }
 
+/// Recovery-time flush: used while replaying WALs, before the `DbCore`
+/// exists.
 fn flush_memtable_impl(
     opts: &DbOptions,
     env: &Arc<dyn Env>,

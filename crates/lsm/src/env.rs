@@ -127,24 +127,41 @@ pub struct IoStats {
     pub flushes: AtomicU64,
 }
 
-/// A point-in-time copy of [`IoStats`].
+/// A point-in-time copy of [`IoStats`]; each field freezes the counter of
+/// the same name.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoSnapshot {
+    /// Data blocks fetched from storage for queries (excludes cache hits).
     pub block_reads: u64,
+    /// Bytes fetched for those block reads.
     pub block_read_bytes: u64,
+    /// Query block requests served by the block cache.
     pub cache_hits: u64,
+    /// Blocks read by compactions.
     pub compaction_blocks_read: u64,
+    /// Bytes read by compactions.
     pub compaction_bytes_read: u64,
+    /// Blocks written by compactions.
     pub compaction_blocks_written: u64,
+    /// Bytes written by compactions.
     pub compaction_bytes_written: u64,
+    /// Blocks written by memtable flushes.
     pub flush_blocks_written: u64,
+    /// Bytes written by memtable flushes.
     pub flush_bytes_written: u64,
+    /// Bytes appended to the write-ahead log.
     pub wal_bytes_written: u64,
+    /// Bloom-filter membership probes.
     pub bloom_checks: u64,
+    /// Probes answered "definitely absent".
     pub bloom_negatives: u64,
+    /// Blocks skipped thanks to zone maps.
     pub zonemap_prunes: u64,
+    /// Whole files skipped thanks to file-level zone maps.
     pub file_zonemap_prunes: u64,
+    /// Number of compactions run.
     pub compactions: u64,
+    /// Number of memtable flushes.
     pub flushes: u64,
 }
 

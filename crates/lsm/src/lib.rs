@@ -21,9 +21,15 @@
 //!   fine-grained I/O accounting ([`env::IoStats`]) so experiments can
 //!   report block-access counts exactly as the paper does.
 //!
-//! The engine is deliberately synchronous and deterministic (the paper chose
-//! single-threaded LevelDB "so we can easily isolate and explain the
-//! performance differences of the various indexing methods").
+//! The engine has two execution modes (see [`db`] for the full protocol):
+//! by default it is deliberately synchronous and deterministic (the paper
+//! chose single-threaded LevelDB "so we can easily isolate and explain the
+//! performance differences of the various indexing methods"); setting
+//! [`options::DbOptions::background_work`] instead hands flushes and
+//! compactions to a dedicated worker thread, keeping maintenance off the
+//! write path while reads stay lock-free in both modes.
+
+#![deny(missing_docs)]
 
 pub mod attr;
 pub mod block;

@@ -58,6 +58,27 @@ pub struct DbOptions {
     /// explicit [`crate::db::Db::compact`] — useful for bulk loads and for
     /// experiments that want to observe a tree in a specific shape.
     pub auto_compact: bool,
+    /// Run flushes and compactions on a dedicated background worker thread
+    /// (LevelDB's architecture): a full memtable is frozen (`mem` → `imm`)
+    /// and handed to the worker, so writes return after the WAL append and
+    /// memtable insert instead of paying for the flush — and any compaction
+    /// it triggers — inline.
+    ///
+    /// Default **false**: the foreground mode is single-threaded and
+    /// byte-for-byte deterministic, which the paper reproduction relies on
+    /// (`repro` block-access counts). Reads never take the big mutex in
+    /// either mode.
+    pub background_work: bool,
+    /// Background mode only: number of L0 files at which each write is
+    /// delayed ~1 ms (LevelDB's `kL0_SlowdownWritesTrigger`) so the
+    /// compactor can catch up gradually instead of stalling ingest all at
+    /// once.
+    pub l0_slowdown_trigger: usize,
+    /// Background mode only: number of L0 files at which writes block
+    /// until compaction brings L0 back under the threshold (LevelDB's
+    /// `kL0_StopWritesTrigger`). Ignored when `auto_compact` is off, since
+    /// nothing would ever reduce L0.
+    pub l0_stall_trigger: usize,
 }
 
 impl std::fmt::Debug for DbOptions {
@@ -74,6 +95,9 @@ impl std::fmt::Debug for DbOptions {
             .field("compression", &self.compression)
             .field("indexed_attrs", &self.indexed_attrs)
             .field("block_cache_bytes", &self.block_cache_bytes)
+            .field("background_work", &self.background_work)
+            .field("l0_slowdown_trigger", &self.l0_slowdown_trigger)
+            .field("l0_stall_trigger", &self.l0_stall_trigger)
             .finish_non_exhaustive()
     }
 }
@@ -98,6 +122,9 @@ impl Default for DbOptions {
             table_cache_entries: 30_000,
             wal_enabled: true,
             auto_compact: true,
+            background_work: false,
+            l0_slowdown_trigger: 8,
+            l0_stall_trigger: 12,
         }
     }
 }
@@ -124,6 +151,9 @@ impl DbOptions {
             table_cache_entries: 30_000,
             wal_enabled: true,
             auto_compact: true,
+            background_work: false,
+            l0_slowdown_trigger: 8,
+            l0_stall_trigger: 12,
         }
     }
 

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Documentation gate, run from anywhere inside the repo:
+#   1. rustdoc for the whole workspace must build with zero warnings
+#      (crates/lsm additionally enforces #![deny(missing_docs)] at build
+#      time, so public API docs cannot regress silently);
+#   2. every relative markdown link (and intra-file anchor) in the
+#      top-level *.md files must resolve.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo doc --workspace (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== markdown link check =="
+python3 - <<'PYEOF'
+import os, re, sys
+
+def slugify(heading):
+    # GitHub's anchor algorithm: lowercase, drop everything but word
+    # characters / spaces / hyphens, then spaces become hyphens.
+    s = heading.strip().lower()
+    s = re.sub(r"[^\w\- ]", "", s)
+    return s.replace(" ", "-")
+
+def anchors_of(path):
+    out = set()
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = re.match(r"#+\s+(.*)", line)
+            if m:
+                out.add(slugify(m.group(1)))
+    return out
+
+link_re = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+errors = []
+for md in sorted(f for f in os.listdir(".") if f.endswith(".md")):
+    with open(md, encoding="utf-8") as f:
+        text = f.read()
+    # Ignore fenced code blocks: they hold sample code, not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for target in link_re.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue  # external; unverifiable offline
+        path, _, anchor = target.partition("#")
+        path = path or md
+        if not os.path.exists(path):
+            errors.append(f"{md}: broken link -> {target} (no such file)")
+        elif anchor and path.endswith(".md") and anchor not in anchors_of(path):
+            errors.append(f"{md}: broken anchor -> {target}")
+
+if errors:
+    print("\n".join(errors))
+    sys.exit(1)
+print(f"all markdown links resolve")
+PYEOF
+
+echo "docs OK"

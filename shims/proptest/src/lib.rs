@@ -1,0 +1,708 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the `proptest!` macro with
+//! `#![proptest_config]`, `Strategy` with `prop_map`/`boxed`, `any`,
+//! `Just`, range and regex-literal string strategies, the `collection`
+//! module (`vec`, `btree_map`, `btree_set`, `hash_set`), `prop_oneof!`,
+//! and `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`.
+//!
+//! Generation is fully deterministic: the RNG is seeded from the test's
+//! module path + name + case index, so failures are reproducible without
+//! a persistence file. There is **no shrinking** — a failing case prints
+//! its inputs verbatim.
+
+pub mod test_runner {
+    //! Test configuration and the deterministic case RNG.
+
+    /// Per-test configuration. Only `cases` is honoured by this shim.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG, seeded per (test name, case index).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case number `case` of the test named `name`.
+        pub fn for_case(name: &str, case: u64) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `0..n` (`n` must be non-zero).
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T: Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of its value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Weighted union of boxed strategies (built by `prop_oneof!`).
+    pub struct OneOf<T> {
+        choices: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Clone for OneOf<T> {
+        fn clone(&self) -> Self {
+            OneOf {
+                choices: self.choices.clone(),
+            }
+        }
+    }
+
+    impl<T> OneOf<T> {
+        /// Union over `choices`; each entry is `(weight, strategy)`.
+        pub fn new(choices: Vec<(u32, BoxedStrategy<T>)>) -> OneOf<T> {
+            assert!(!choices.is_empty());
+            OneOf { choices }
+        }
+    }
+
+    impl<T: Debug> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.choices.iter().map(|(w, _)| *w as u64).sum();
+            let mut r = rng.below(total.max(1));
+            for (w, s) in &self.choices {
+                if r < *w as u64 {
+                    return s.generate(rng);
+                }
+                r -= *w as u64;
+            }
+            self.choices[0].1.generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + u * (self.end - self.start)
+        }
+    }
+
+    /// Marker for types producible by [`any`](crate::any).
+    pub trait Arbitrary: Debug + Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Mostly "reasonable" floats; occasionally extreme ones.
+            let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            (u - 0.5) * 2.0e9
+        }
+    }
+
+    /// Strategy returned by [`any`](crate::any).
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident . $i:tt),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    // ---- regex-literal string strategies ----------------------------------
+
+    enum Atom {
+        Class(Vec<char>),
+        Literal(char),
+        Printable,
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+        if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            if let Some((lo, hi)) = spec.split_once(',') {
+                (lo.trim().parse().unwrap_or(0), hi.trim().parse().unwrap_or(0))
+            } else {
+                let n = spec.trim().parse().unwrap_or(1);
+                (n, n)
+            }
+        } else {
+            (1, 1)
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+        let mut pool = Vec::new();
+        let mut prev: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => break,
+                '\\' => {
+                    if let Some(e) = chars.next() {
+                        let lit = match e {
+                            'n' => '\n',
+                            't' => '\t',
+                            'r' => '\r',
+                            other => other,
+                        };
+                        pool.push(lit);
+                        prev = Some(lit);
+                    }
+                }
+                '-' => {
+                    // Range if we have a previous char and a next char.
+                    match (prev, chars.peek().copied()) {
+                        (Some(lo), Some(hi)) if hi != ']' => {
+                            chars.next();
+                            let (lo, hi) = (lo as u32, hi as u32);
+                            for v in (lo + 1)..=hi {
+                                if let Some(ch) = char::from_u32(v) {
+                                    pool.push(ch);
+                                }
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            pool.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                other => {
+                    pool.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        if pool.is_empty() {
+            pool.push('a');
+        }
+        pool
+    }
+
+    fn parse_pattern(pat: &str) -> Vec<(Atom, usize, usize)> {
+        let mut atoms = Vec::new();
+        let mut chars = pat.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => match chars.next() {
+                    Some('P') | Some('p') => {
+                        // `\PC` (printable); consume the class letter.
+                        chars.next();
+                        Atom::Printable
+                    }
+                    Some('n') => Atom::Literal('\n'),
+                    Some('t') => Atom::Literal('\t'),
+                    Some('r') => Atom::Literal('\r'),
+                    Some(other) => Atom::Literal(other),
+                    None => break,
+                },
+                other => Atom::Literal(other),
+            };
+            let (lo, hi) = parse_quantifier(&mut chars);
+            atoms.push((atom, lo, hi));
+        }
+        atoms
+    }
+
+    /// String literals are regex-subset strategies (char classes, escapes,
+    /// `{m,n}` repetition, `\PC` = printable), matching proptest's
+    /// `&str`-as-regex behaviour for the patterns this workspace uses.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            const PRINTABLE: &[u8] =
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 !\"#$%&'()*+,-./:;<=>?@[]^_`{|}~";
+            let mut out = String::new();
+            for (atom, lo, hi) in parse_pattern(self) {
+                let n = if hi > lo {
+                    lo + rng.below((hi - lo + 1) as u64) as usize
+                } else {
+                    lo
+                };
+                for _ in 0..n {
+                    match &atom {
+                        Atom::Class(pool) => {
+                            out.push(pool[rng.below(pool.len() as u64) as usize])
+                        }
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Printable => out.push(
+                            PRINTABLE[rng.below(PRINTABLE.len() as u64) as usize] as char,
+                        ),
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Strategy yielding unconstrained values of `T`.
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod collection {
+    //! Collection strategies: `vec`, `btree_map`, `btree_set`, `hash_set`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet, HashSet};
+    use std::fmt::Debug;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    fn sample_size(size: &Range<usize>, rng: &mut TestRng) -> usize {
+        assert!(size.start < size.end, "empty size range");
+        size.start + rng.below((size.end - size.start) as u64) as usize
+    }
+
+    /// Strategy for `Vec`s of `size.start..size.end` elements.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec()`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = sample_size(&self.size, rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s with `size.start..size.end` entries
+    /// (key collisions may yield fewer, down to the range minimum).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// See [`btree_map`].
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = sample_size(&self.size, rng);
+            let mut out = BTreeMap::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 10 + 16 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeSet`s (key collisions may yield fewer elements).
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = sample_size(&self.size, rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 10 + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+
+    /// Strategy for `HashSet`s (collisions may yield fewer elements).
+    pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S> {
+        HashSetStrategy { element, size }
+    }
+
+    /// See [`hash_set`].
+    #[derive(Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq + Debug,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = sample_size(&self.size, rng);
+            let mut out = HashSet::new();
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 10 + 16 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// The property-test macro: runs each `fn` body over `cases` generated
+/// inputs; a failing case prints its inputs (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case as u64,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; ",)+),
+                    $(&$arg),+
+                );
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body })
+                );
+                if let Err(__e) = __result {
+                    eprintln!(
+                        "proptest: case {}/{} of {} failed with inputs: {}",
+                        __case + 1, __config.cases, stringify!($name), __inputs
+                    );
+                    ::std::panic::resume_unwind(__e);
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted (`w => strat`) or uniform union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($w as u32, $crate::strategy::Strategy::boxed($s))),+
+        ])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($s))),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::any;
+    pub use crate::strategy::{BoxedStrategy, Just, OneOf, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone)]
+    #[allow(dead_code)]
+    enum Op {
+        Put(u8, Vec<u8>),
+        Del(u8),
+        Flush,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_strings(
+            x in 3u32..17,
+            s in "[a-f]{1,4}",
+            v in crate::collection::vec(any::<u8>(), 0..10),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='f').contains(&c)));
+            prop_assert!(v.len() < 10);
+        }
+
+        #[test]
+        fn oneof_and_maps(ops in crate::collection::vec(
+            prop_oneof![
+                3 => (any::<u8>(), crate::collection::vec(any::<u8>(), 0..5))
+                    .prop_map(|(k, v)| Op::Put(k, v)),
+                1 => any::<u8>().prop_map(Op::Del),
+                1 => Just(Op::Flush),
+            ],
+            1..20,
+        )) {
+            prop_assert!(!ops.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::for_case("x", 0);
+        let mut b = TestRng::for_case("x", 0);
+        let s = crate::collection::btree_set("[a-m]{1,6}", 1..10);
+        assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+    }
+
+    #[test]
+    fn printable_class() {
+        let mut rng = TestRng::for_case("p", 1);
+        let s = Strategy::generate(&"\\PC{0,64}", &mut rng);
+        assert!(s.len() <= 64);
+    }
+}

@@ -79,7 +79,7 @@ fn run(background: bool) -> (Vec<Duration>, Vec<Duration>, Duration) {
     (puts, gets, start.elapsed())
 }
 
-fn report(label: &str, puts: &mut Vec<Duration>, gets: &mut Vec<Duration>, wall: Duration) {
+fn report(label: &str, puts: &mut [Duration], gets: &mut [Duration], wall: Duration) {
     puts.sort_unstable();
     gets.sort_unstable();
     println!(

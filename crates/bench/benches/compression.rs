@@ -32,7 +32,10 @@ fn bench_codec(c: &mut Criterion) {
 fn bench_lookup_compression(c: &mut Criterion) {
     let mut group = c.benchmark_group("lookup_by_compression");
     group.sample_size(15);
-    for (label, compression) in [("snaplite", Compression::Snaplite), ("none", Compression::None)] {
+    for (label, compression) in [
+        ("snaplite", Compression::Snaplite),
+        ("none", Compression::None),
+    ] {
         let opts = DbOptions {
             compression,
             ..bench_opts()

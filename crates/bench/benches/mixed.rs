@@ -9,8 +9,12 @@ use ldbpp_workload::{MixedKind, MixedWorkload, Operation, SeedStats};
 use std::hint::black_box;
 
 fn bench_mixed(c: &mut Criterion) {
-    for mixed in [MixedKind::WriteHeavy, MixedKind::ReadHeavy, MixedKind::UpdateHeavy] {
-        let mut group = c.benchmark_group(format!("mixed_{}", mixed.name()));
+    for mixed in [
+        MixedKind::WriteHeavy,
+        MixedKind::ReadHeavy,
+        MixedKind::UpdateHeavy,
+    ] {
+        let mut group = c.benchmark_group(&format!("mixed_{}", mixed.name()));
         group.sample_size(10);
         for kind in VARIANTS_NO_EAGER {
             group.bench_function(BenchmarkId::from_parameter(kind.name()), |b| {
@@ -19,7 +23,10 @@ fn bench_mixed(c: &mut Criterion) {
                         let db = SecondaryDb::open(
                             MemEnv::new(),
                             "db",
-                            SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+                            SecondaryDbOptions {
+                                base: bench_opts(),
+                                ..Default::default()
+                            },
                             &[("UserID", kind)],
                         )
                         .unwrap();
@@ -37,9 +44,7 @@ fn bench_mixed(c: &mut Criterion) {
                                     black_box(db.get(&key).unwrap());
                                 }
                                 Operation::LookupUser { user, k } => {
-                                    black_box(
-                                        db.lookup("UserID", &Value::str(user), k).unwrap(),
-                                    );
+                                    black_box(db.lookup("UserID", &Value::str(user), k).unwrap());
                                 }
                                 _ => {}
                             }

@@ -56,5 +56,42 @@ fn bench_range_time(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_range_users, bench_range_time);
+/// Latency-vs-K grid: range width (selectivity) × result bound K on the
+/// UserID attribute. Demonstrates that the streaming read path makes small-K
+/// queries cheaper than unbounded ones at every selectivity.
+fn bench_range_k_grid(c: &mut Criterion) {
+    const WIDTHS: &[usize] = &[1, 10, 50];
+    const KS: &[usize] = &[1, 10, 100];
+    for kind in VARIANTS_NO_EAGER {
+        let db = build_db(kind, bench_opts());
+        let _ = load_static(&db, 5000, 13);
+        let mut group = c.benchmark_group(&format!("rangelookup_k_grid_{}", kind.name()));
+        group.sample_size(10);
+        for &width in WIDTHS {
+            for &k in KS {
+                let mut start = 0usize;
+                let id = BenchmarkId::new(&format!("users{width}"), format!("k{k}"));
+                group.bench_function(id, |b| {
+                    b.iter(|| {
+                        start = (start + 17) % 100;
+                        let lo = format!("u{start:07}");
+                        let hi = format!("u{:07}", start + width - 1);
+                        black_box(
+                            db.range_lookup("UserID", &Value::str(lo), &Value::str(hi), Some(k))
+                                .unwrap(),
+                        )
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_range_users,
+    bench_range_time,
+    bench_range_k_grid
+);
 criterion_main!(benches);

@@ -50,8 +50,22 @@ fn main() {
         usage();
     }
     const KNOWN: [&str; 16] = [
-        "all", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-        "fig15", "fig12_15", "tab3", "tab5", "appc1", "appc2", "ablations",
+        "all",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig12_15",
+        "tab3",
+        "tab5",
+        "appc1",
+        "appc2",
+        "ablations",
     ];
     // Validate everything up front: a typo must not discard an hour of
     // completed experiments (results are only written at the end).
@@ -63,8 +77,17 @@ fn main() {
     }
     if experiments.iter().any(|e| e == "all") {
         experiments = [
-            "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "tab3", "tab5", "appc1",
-            "appc2", "ablations",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "tab3",
+            "tab5",
+            "appc1",
+            "appc2",
+            "ablations",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -73,7 +96,10 @@ fn main() {
 
     let mut produced: Vec<Series> = Vec::new();
     for exp in &experiments {
-        eprintln!(">> running {exp} (tweets={}, seed={})", scale.tweets, scale.seed);
+        eprintln!(
+            ">> running {exp} (tweets={}, seed={})",
+            scale.tweets, scale.seed
+        );
         let started = std::time::Instant::now();
         match exp.as_str() {
             "fig7" => produced.push(fig7::run(scale)),

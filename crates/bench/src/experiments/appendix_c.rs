@@ -17,7 +17,10 @@ fn open_with_opts(kind: IndexKind, opts: DbOptions) -> (Arc<MemEnv>, SecondaryDb
     let db = SecondaryDb::open(
         env.clone() as Arc<dyn ldbpp_lsm::env::Env>,
         "db",
-        SecondaryDbOptions { base: opts, ..Default::default() },
+        SecondaryDbOptions {
+            base: opts,
+            ..Default::default()
+        },
         &[("UserID", kind), ("CreationTime", kind)],
     )
     .unwrap();
@@ -79,8 +82,10 @@ pub fn compression(scale: Scale) -> Series {
         ],
     );
     for kind in [IndexKind::Embedded, IndexKind::LazyStandalone] {
-        for (label, compression) in [("snaplite", Compression::Snaplite), ("none", Compression::None)]
-        {
+        for (label, compression) in [
+            ("snaplite", Compression::Snaplite),
+            ("none", Compression::None),
+        ] {
             let opts = DbOptions {
                 compression,
                 ..bench_opts()
@@ -303,7 +308,8 @@ mod tests {
         let s = compression(Scale::smoke());
         for kind in ["Embedded", "Lazy"] {
             let size = |c: &str| {
-                s.value(|r| r[0] == kind && r[1] == c, "total_bytes").unwrap()
+                s.value(|r| r[0] == kind && r[1] == c, "total_bytes")
+                    .unwrap()
             };
             assert!(
                 size("snaplite") < size("none"),
@@ -346,9 +352,7 @@ mod tests {
     #[test]
     fn per_block_zone_maps_read_fewer_bytes() {
         let s = zonemap_granularity(Scale::smoke());
-        let per_block = s
-            .value(|r| r[0] == "per-block", "blocks_per_op")
-            .unwrap();
+        let per_block = s.value(|r| r[0] == "per-block", "blocks_per_op").unwrap();
         let file_only = s
             .value(|r| r[0] == "file-level-only", "blocks_per_op")
             .unwrap();

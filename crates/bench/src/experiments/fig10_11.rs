@@ -34,7 +34,10 @@ fn build_all(scale: Scale, include_eager: bool, include_noindex: bool) -> Vec<Va
         let db = SecondaryDb::open(
             MemEnv::new(),
             "db",
-            SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+            SecondaryDbOptions {
+                base: bench_opts(),
+                ..Default::default()
+            },
             &[("UserID", kind), ("CreationTime", kind)],
         )
         .unwrap();
@@ -84,8 +87,17 @@ fn push_measurement(
 }
 
 const HEADERS: [&str; 11] = [
-    "variant", "query", "topk", "min_us", "p25_us", "median_us", "p75_us", "max_us",
-    "mean_us", "blocks_per_op", "bloom_checks_per_op",
+    "variant",
+    "query",
+    "topk",
+    "min_us",
+    "p25_us",
+    "median_us",
+    "p75_us",
+    "max_us",
+    "mean_us",
+    "blocks_per_op",
+    "bloom_checks_per_op",
 ];
 
 fn topk_label(k: Option<usize>) -> String {
@@ -97,11 +109,7 @@ fn topk_label(k: Option<usize>) -> String {
 
 /// Figure 10(a): `LOOKUP(UserID, u, K)` latencies.
 pub fn fig10_lookup(scale: Scale) -> Series {
-    let mut series = Series::new(
-        "fig10a",
-        "UserID LOOKUP response time by top-K",
-        &HEADERS,
-    );
+    let mut series = Series::new("fig10a", "UserID LOOKUP response time by top-K", &HEADERS);
     for v in build_all(scale, false, true) {
         for k in TOPKS {
             let mut queries = StaticQueries::new(&bench_stats(), &v.tweets, scale.seed + 7);
@@ -120,7 +128,15 @@ pub fn fig10_lookup(scale: Scale) -> Series {
                 }
             }
             let io = total_io(&v.db).since(&before);
-            push_measurement(&mut series, &v.kind_name, "lookup", &topk_label(k), &lat, io, n);
+            push_measurement(
+                &mut series,
+                &v.kind_name,
+                "lookup",
+                &topk_label(k),
+                &lat,
+                io,
+                n,
+            );
         }
     }
     series
@@ -190,7 +206,15 @@ pub fn fig11_lookup(scale: Scale) -> Series {
                 n += 1;
             }
             let io = total_io(&v.db).since(&before);
-            push_measurement(&mut series, &v.kind_name, "lookup", &topk_label(k), &lat, io, n);
+            push_measurement(
+                &mut series,
+                &v.kind_name,
+                "lookup",
+                &topk_label(k),
+                &lat,
+                io,
+                n,
+            );
         }
     }
     series
@@ -217,13 +241,8 @@ pub fn fig11_rangelookup(scale: Scale) -> Series {
                         queries.range_time_fraction(fraction, k)
                     {
                         lat.time(|| {
-                            v.db.range_lookup(
-                                "CreationTime",
-                                &Value::Int(lo),
-                                &Value::Int(hi),
-                                k,
-                            )
-                            .unwrap()
+                            v.db.range_lookup("CreationTime", &Value::Int(lo), &Value::Int(hi), k)
+                                .unwrap()
                         });
                     }
                 }

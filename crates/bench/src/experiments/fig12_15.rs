@@ -19,11 +19,15 @@ fn run_one(kind: IndexKind, mixed: MixedKind, scale: Scale, series: &mut Series)
     let db = SecondaryDb::open(
         MemEnv::new(),
         "db",
-        SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+        SecondaryDbOptions {
+            base: bench_opts(),
+            ..Default::default()
+        },
         &[("UserID", kind)],
     )
     .unwrap();
-    let mut workload = MixedWorkload::new(mixed, bench_stats(), scale.mixed_ops, Some(10), scale.seed);
+    let mut workload =
+        MixedWorkload::new(mixed, bench_stats(), scale.mixed_ops, Some(10), scale.seed);
     let window = (scale.mixed_ops / WINDOWS).max(1);
 
     let mut done = 0usize;
@@ -88,7 +92,11 @@ pub fn run(scale: Scale) -> Series {
             "cum_lookup_blocks",
         ],
     );
-    for mixed in [MixedKind::WriteHeavy, MixedKind::ReadHeavy, MixedKind::UpdateHeavy] {
+    for mixed in [
+        MixedKind::WriteHeavy,
+        MixedKind::ReadHeavy,
+        MixedKind::UpdateHeavy,
+    ] {
         for kind in VARIANTS_NO_EAGER {
             run_one(kind, mixed, scale, &mut series);
         }
@@ -123,9 +131,8 @@ mod tests {
     #[test]
     fn embedded_lookup_io_exceeds_standalone_in_read_heavy() {
         let s = run(Scale::smoke());
-        let lookup_blocks = |variant: &str| -> f64 {
-            last_row(&s, "read-heavy", variant)[6].parse().unwrap()
-        };
+        let lookup_blocks =
+            |variant: &str| -> f64 { last_row(&s, "read-heavy", variant)[6].parse().unwrap() };
         let emb = lookup_blocks("Embedded");
         let lazy = lookup_blocks("Lazy");
         assert!(

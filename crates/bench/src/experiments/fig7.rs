@@ -41,9 +41,6 @@ mod tests {
         assert!(s.rows.len() > 3);
         let first: f64 = s.rows.first().unwrap()[1].parse().unwrap();
         let last: f64 = s.rows.last().unwrap()[1].parse().unwrap();
-        assert!(
-            first > 20.0 * last,
-            "head {first} should dwarf tail {last}"
-        );
+        assert!(first > 20.0 * last, "head {first} should dwarf tail {last}");
     }
 }

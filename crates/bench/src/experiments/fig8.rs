@@ -11,13 +11,19 @@ use rand::{RngExt, SeedableRng};
 
 fn open_variant(kind: Option<IndexKind>) -> SecondaryDb {
     let specs: Vec<(&str, IndexKind)> = match kind {
-        None => vec![("UserID", IndexKind::None), ("CreationTime", IndexKind::None)],
+        None => vec![
+            ("UserID", IndexKind::None),
+            ("CreationTime", IndexKind::None),
+        ],
         Some(k) => vec![("UserID", k), ("CreationTime", k)],
     };
     SecondaryDb::open(
         MemEnv::new(),
         "db",
-        SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+        SecondaryDbOptions {
+            base: bench_opts(),
+            ..Default::default()
+        },
         &specs,
     )
     .unwrap()
@@ -28,7 +34,13 @@ pub fn size(scale: Scale) -> Series {
     let mut series = Series::new(
         "fig8a",
         "database size after static load (bytes)",
-        &["variant", "primary", "UserID_index", "CreationTime_index", "total"],
+        &[
+            "variant",
+            "primary",
+            "UserID_index",
+            "CreationTime_index",
+            "total",
+        ],
     );
     for kind in std::iter::once(None).chain(VARIANTS.into_iter().map(Some)) {
         let db = open_variant(kind);
@@ -45,7 +57,11 @@ pub fn size(scale: Scale) -> Series {
             name.to_string(),
             db.primary_bytes().to_string(),
             per_attr.get("UserID").copied().unwrap_or(0).to_string(),
-            per_attr.get("CreationTime").copied().unwrap_or(0).to_string(),
+            per_attr
+                .get("CreationTime")
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
             db.total_bytes().to_string(),
         ]);
     }
@@ -59,14 +75,23 @@ pub fn put_performance(scale: Scale) -> Series {
     let mut series = Series::new(
         "fig8b",
         "PUT cost decomposition (mean µs/op)",
-        &["variant", "primary_us", "CreationTime_index_us", "UserID_index_us", "total_us"],
+        &[
+            "variant",
+            "primary_us",
+            "CreationTime_index_us",
+            "UserID_index_us",
+            "total_us",
+        ],
     );
 
     let time_load = |specs: &[(&str, IndexKind)]| -> f64 {
         let db = SecondaryDb::open(
             MemEnv::new(),
             "db",
-            SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+            SecondaryDbOptions {
+                base: bench_opts(),
+                ..Default::default()
+            },
             specs,
         )
         .unwrap();

@@ -16,7 +16,10 @@ fn run_attr(kind: IndexKind, attr: &'static str, scale: Scale, series: &mut Seri
     let db = SecondaryDb::open(
         MemEnv::new(),
         "db",
-        SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+        SecondaryDbOptions {
+            base: bench_opts(),
+            ..Default::default()
+        },
         &[(attr, kind)],
     )
     .unwrap();
@@ -57,7 +60,13 @@ pub fn run(scale: Scale) -> Series {
     let mut series = Series::new(
         "fig9",
         "PUT latency and cumulative index compaction I/O over time",
-        &["variant", "attr", "inserted", "mean_put_us", "cum_index_io_blocks"],
+        &[
+            "variant",
+            "attr",
+            "inserted",
+            "mean_put_us",
+            "cum_index_io_blocks",
+        ],
     );
     for kind in VARIANTS {
         run_attr(kind, "UserID", scale, &mut series);

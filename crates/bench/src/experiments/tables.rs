@@ -12,7 +12,10 @@ fn open(kind: IndexKind) -> SecondaryDb {
     SecondaryDb::open(
         MemEnv::new(),
         "db",
-        SecondaryDbOptions { base: bench_opts(), ..Default::default() },
+        SecondaryDbOptions {
+            base: bench_opts(),
+            ..Default::default()
+        },
         &[("UserID", kind), ("CreationTime", kind)],
     )
     .unwrap()
@@ -25,19 +28,18 @@ pub fn tab3(scale: Scale) -> Series {
         "tab3",
         "Embedded Index: measured vs modelled LOOKUP block reads",
         &[
-            "topk", "measured_blocks_per_op", "model_upper_bound", "within_model",
-            "bloom_checks_per_op", "total_blocks",
+            "topk",
+            "measured_blocks_per_op",
+            "model_upper_bound",
+            "within_model",
+            "bloom_checks_per_op",
+            "total_blocks",
         ],
     );
     let db = open(IndexKind::Embedded);
     let tweets = load_static(&db, scale.tweets, scale.seed);
     let version = db.primary().current_version();
-    let total_blocks: u64 = version
-        .files
-        .iter()
-        .flatten()
-        .map(|f| f.num_blocks)
-        .sum();
+    let total_blocks: u64 = version.files.iter().flatten().map(|f| f.num_blocks).sum();
     let fp = cost::bloom_fp_rate(bench_opts().bloom_bits_per_key as f64);
 
     for k in [Some(1usize), Some(10), None] {
@@ -87,7 +89,10 @@ pub fn tab5(scale: Scale) -> Series {
     for (kind, model_kind) in [
         (IndexKind::EagerStandalone, cost::StandaloneKind::Eager),
         (IndexKind::LazyStandalone, cost::StandaloneKind::Lazy),
-        (IndexKind::CompositeStandalone, cost::StandaloneKind::Composite),
+        (
+            IndexKind::CompositeStandalone,
+            cost::StandaloneKind::Composite,
+        ),
     ] {
         let db = open(kind);
         let tweets = load_static(&db, scale.tweets, scale.seed);
@@ -125,10 +130,8 @@ pub fn tab5(scale: Scale) -> Series {
                 let _ = db.lookup("UserID", &Value::str(user), Some(10)).unwrap();
             }
         }
-        let idx_reads =
-            db.index_io().since(&idx_before).block_reads as f64 / n as f64;
-        let data_reads =
-            db.primary_io().since(&data_before).block_reads as f64 / n as f64;
+        let idx_reads = db.index_io().since(&idx_before).block_reads as f64 / n as f64;
+        let data_reads = db.primary_io().since(&data_before).block_reads as f64 / n as f64;
         let (_, model_idx) = cost::standalone_lookup_reads(model_kind, 10, levels);
 
         series.push(vec![

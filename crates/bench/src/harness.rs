@@ -97,11 +97,7 @@ pub struct Series {
 
 impl Series {
     /// New empty series.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        headers: &[&str],
-    ) -> Series {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Series {
         Series {
             id: id.into(),
             title: title.into(),

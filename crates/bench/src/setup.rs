@@ -93,7 +93,10 @@ pub fn build_db(kind: IndexKind, opts: DbOptions) -> SecondaryDb {
     SecondaryDb::open(
         MemEnv::new(),
         "db",
-        SecondaryDbOptions { base: opts, ..Default::default() },
+        SecondaryDbOptions {
+            base: opts,
+            ..Default::default()
+        },
         &[("UserID", kind), ("CreationTime", kind)],
     )
     .expect("open database")
@@ -104,7 +107,10 @@ pub fn build_db_in(env: Arc<MemEnv>, kind: IndexKind, opts: DbOptions) -> Second
     SecondaryDb::open(
         env,
         "db",
-        SecondaryDbOptions { base: opts, ..Default::default() },
+        SecondaryDbOptions {
+            base: opts,
+            ..Default::default()
+        },
         &[("UserID", kind), ("CreationTime", kind)],
     )
     .expect("open database")

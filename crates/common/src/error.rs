@@ -88,10 +88,7 @@ mod tests {
 
     #[test]
     fn display_renders_category() {
-        assert_eq!(
-            Error::NotFound("k1".into()).to_string(),
-            "not found: k1"
-        );
+        assert_eq!(Error::NotFound("k1".into()).to_string(), "not found: k1");
         assert_eq!(
             Error::corruption("bad magic").to_string(),
             "corruption: bad magic"

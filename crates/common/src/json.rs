@@ -262,7 +262,10 @@ impl<'a> Parser<'a> {
             self.pos += lit.len();
             Ok(v)
         } else {
-            Err(Error::corruption(format!("bad literal at byte {}", self.pos)))
+            Err(Error::corruption(format!(
+                "bad literal at byte {}",
+                self.pos
+            )))
         }
     }
 
@@ -363,9 +366,7 @@ impl<'a> Parser<'a> {
                                     if !(0xdc00..0xe000).contains(&low) {
                                         return Err(Error::corruption("bad low surrogate"));
                                     }
-                                    let c = 0x10000
-                                        + ((cp - 0xd800) << 10)
-                                        + (low - 0xdc00);
+                                    let c = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
                                     s.push(
                                         char::from_u32(c)
                                             .ok_or_else(|| Error::corruption("bad codepoint"))?,
@@ -407,8 +408,7 @@ impl<'a> Parser<'a> {
         }
         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| Error::corruption("bad \\u escape"))?;
-        let v = u32::from_str_radix(hex, 16)
-            .map_err(|_| Error::corruption("bad \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| Error::corruption("bad \\u escape"))?;
         self.pos += 4;
         Ok(v)
     }
@@ -501,10 +501,7 @@ mod tests {
     fn unicode_escape_parses() {
         assert_eq!(Value::parse(r#""é""#).unwrap(), Value::str("é"));
         // Surrogate pair for 😀 (U+1F600).
-        assert_eq!(
-            Value::parse(r#""😀""#).unwrap(),
-            Value::str("😀")
-        );
+        assert_eq!(Value::parse(r#""😀""#).unwrap(), Value::str("😀"));
         assert!(Value::parse(r#""\ud83d""#).is_err());
         assert!(Value::parse(r#""\ude00""#).is_err());
     }
@@ -512,8 +509,19 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         for bad in [
-            "", "{", "}", "[1,", "{\"a\":}", "tru", "1.2.3", "\"abc",
-            "{\"a\" 1}", "[1 2]", "nul", "{'a':1}", "01x",
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"abc",
+            "{\"a\" 1}",
+            "[1 2]",
+            "nul",
+            "{'a':1}",
+            "01x",
         ] {
             assert!(Value::parse(bad).is_err(), "should reject {bad:?}");
         }
@@ -592,14 +600,9 @@ mod tests {
         } else {
             prop_oneof![
                 leaf.clone(),
-                proptest::collection::vec(arb_json(depth - 1), 0..4)
-                    .prop_map(Value::Array),
-                proptest::collection::btree_map(
-                    "[a-z]{1,8}",
-                    arb_json(depth - 1),
-                    0..4
-                )
-                .prop_map(Value::Object),
+                proptest::collection::vec(arb_json(depth - 1), 0..4).prop_map(Value::Array),
+                proptest::collection::btree_map("[a-z]{1,8}", arb_json(depth - 1), 0..4)
+                    .prop_map(Value::Object),
             ]
             .boxed()
         }

@@ -80,10 +80,7 @@ pub fn recommend(profile: &WorkloadProfile) -> Recommendation {
         };
     }
     if profile.space_constrained {
-        reasons.push(
-            "space is constrained: the Embedded Index adds no separate table"
-                .to_string(),
-        );
+        reasons.push("space is constrained: the Embedded Index adds no separate table".to_string());
         return Recommendation {
             kind: IndexKind::Embedded,
             reasons,

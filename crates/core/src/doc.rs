@@ -30,8 +30,8 @@ impl Document {
 
     /// Parse serialized bytes into a document.
     pub fn parse(bytes: &[u8]) -> Result<Document> {
-        let text = std::str::from_utf8(bytes)
-            .map_err(|_| Error::corruption("document is not UTF-8"))?;
+        let text =
+            std::str::from_utf8(bytes).map_err(|_| Error::corruption("document is not UTF-8"))?;
         Document::from_value(Value::parse(text)?)
     }
 

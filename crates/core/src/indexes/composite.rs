@@ -56,10 +56,25 @@ impl CompositeIndex {
 
     /// Scan index entries with `lo ≤ secondary ≤ hi`, returning
     /// `(secondary, pk, seq)` candidates from **all** levels.
+    ///
+    /// Streams through a bounded [`Db::range_iter`]: index files outside
+    /// `[lo, successor(hi)]` are never opened and the merge stops at the
+    /// range end, so the scan cost tracks the posting range, not the table.
     fn scan(&self, lo: &AttrValue, hi: &AttrValue) -> Result<Vec<(AttrValue, Vec<u8>, u64)>> {
+        let lo_key = lo.encode_composite();
+        let mut it = match prefix_successor(hi.encode_composite()) {
+            // `successor(hi‖…)` over-approximates the inclusive bound on
+            // full composite keys; the exact `av > hi` check below trims
+            // the at-most-one surplus key.
+            Some(end) => self.table.range_iter(&lo_key, &end)?,
+            None => {
+                // All-0xFF prefix: no finite successor, scan unbounded.
+                let mut it = self.table.resolved_iter()?;
+                it.seek(&lo_key);
+                it
+            }
+        };
         let mut out = Vec::new();
-        let mut it = self.table.resolved_iter()?;
-        it.seek(&lo.encode_composite());
         while let Some((key, _seq, value)) = it.next_entry()? {
             let (av, pk) = AttrValue::decode_composite(&key)?;
             if av > *hi {
@@ -100,6 +115,20 @@ impl CompositeIndex {
         }
         Ok(hits)
     }
+}
+
+/// Smallest byte string strictly greater than every string that starts
+/// with `prefix` (`None` when the prefix is all `0xFF` — no successor).
+fn prefix_successor(mut prefix: Vec<u8>) -> Option<Vec<u8>> {
+    while let Some(&last) = prefix.last() {
+        if last == 0xFF {
+            prefix.pop();
+        } else {
+            *prefix.last_mut().unwrap() = last + 1;
+            return Some(prefix);
+        }
+    }
+    None
 }
 
 impl SecondaryIndex for CompositeIndex {

@@ -56,21 +56,6 @@ impl EagerIndex {
         self.table.put(&key, &encode_postings(&updated)?)?;
         Ok(())
     }
-
-    /// Scan index-table keys in `[lo, hi]`, yielding `(value, postings)`.
-    fn scan_range(&self, lo: &AttrValue, hi: &AttrValue) -> Result<Vec<(AttrValue, Vec<Posting>)>> {
-        let mut out = Vec::new();
-        let mut it = self.table.resolved_iter()?;
-        it.seek(&lo.encode());
-        while let Some((key, _seq, value)) = it.next_entry()? {
-            let av = AttrValue::decode(&key)?;
-            if av > *hi {
-                break;
-            }
-            out.push((av, decode_postings(&value)?));
-        }
-        Ok(out)
-    }
 }
 
 impl SecondaryIndex for EagerIndex {
@@ -122,9 +107,9 @@ impl SecondaryIndex for EagerIndex {
             if p.deleted {
                 continue;
             }
-            if let Some(doc) =
-                fetch_if_valid(primary, &p.pk, |d| d.attr(&self.attr).as_ref() == Some(value))?
-            {
+            if let Some(doc) = fetch_if_valid(primary, &p.pk, |d| {
+                d.attr(&self.attr).as_ref() == Some(value)
+            })? {
                 hits.push(LookupHit {
                     key: p.pk,
                     seq: p.seq,
@@ -145,12 +130,23 @@ impl SecondaryIndex for EagerIndex {
         hi: &AttrValue,
         k: Option<usize>,
     ) -> Result<Vec<LookupHit>> {
-        // Collect the K-prefix of each matching list into a min-heap keyed
+        // Stream the K-prefix of each matching list into a min-heap keyed
         // by sequence number (Algorithm: "retrieve K most recent primary
-        // keys from the posting list ... add to the min-heap").
+        // keys from the posting list ... add to the min-heap"). Index keys
+        // are exactly `AttrValue::encode`, so the encoded bounds make a
+        // tight range for the lazy cursor: no list outside `[lo, hi]` is
+        // decoded and no index file outside the range is opened.
         let mut candidates: TopK<Vec<u8>> = TopK::new(None);
-        for (_value, postings) in self.scan_range(lo, hi)? {
-            for p in postings.iter().take(k.unwrap_or(usize::MAX)) {
+        let mut it = self.table.range_iter(&lo.encode(), &hi.encode())?;
+        while let Some((key, _seq, bytes)) = it.next_entry()? {
+            let av = AttrValue::decode(&key)?;
+            if av > *hi {
+                break; // defensive: range_iter already ends at hi
+            }
+            for p in decode_postings(&bytes)?
+                .iter()
+                .take(k.unwrap_or(usize::MAX))
+            {
                 if !p.deleted {
                     candidates.add(p.seq, p.pk.clone());
                 }

@@ -200,8 +200,7 @@ impl EmbeddedIndex {
                         let (uk, seq, vtype) = parse_internal_key(it.key())?;
                         let uk_owned = uk.to_vec();
                         let first_version_in_file = seen_in_file.insert(uk_owned.clone())
-                            && !(b > 0
-                                && table.block_last_user_key(b - 1) == Some(uk));
+                            && !(b > 0 && table.block_last_user_key(b - 1) == Some(uk));
                         if vtype != ValueType::Value {
                             it.next();
                             continue;

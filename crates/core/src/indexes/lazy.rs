@@ -118,53 +118,54 @@ impl SecondaryIndex for LazyIndex {
         let mut hits: Vec<LookupHit> = Vec::new();
         let mut seen: HashSet<Vec<u8>> = HashSet::new();
         let mut validation_error = None;
-        self.table.fold_key_sources(&value.encode(), |_src, entries| {
-            for (vtype, bytes, _entry_seq) in entries {
-                match vtype {
-                    ValueType::Deletion => return ControlFlow::Break(()),
-                    ValueType::Merge | ValueType::Value => {
-                        let postings = match decode_postings(bytes) {
-                            Ok(p) => p,
-                            Err(e) => {
-                                validation_error = Some(e);
-                                return ControlFlow::Break(());
-                            }
-                        };
-                        for p in postings {
-                            if !seen.insert(p.pk.clone()) {
-                                continue; // newer entry for this pk already seen
-                            }
-                            if p.deleted {
-                                continue;
-                            }
-                            match fetch_if_valid(primary, &p.pk, |d| {
-                                d.attr(&self.attr).as_ref() == Some(value)
-                            }) {
-                                Ok(Some(doc)) => hits.push(LookupHit {
-                                    key: p.pk,
-                                    seq: p.seq,
-                                    doc,
-                                }),
-                                Ok(None) => {}
+        self.table
+            .fold_key_sources(&value.encode(), |_src, entries| {
+                for (vtype, bytes, _entry_seq) in entries {
+                    match vtype {
+                        ValueType::Deletion => return ControlFlow::Break(()),
+                        ValueType::Merge | ValueType::Value => {
+                            let postings = match decode_postings(bytes) {
+                                Ok(p) => p,
                                 Err(e) => {
                                     validation_error = Some(e);
                                     return ControlFlow::Break(());
                                 }
-                            }
-                            if k.is_some_and(|k| hits.len() >= k) {
-                                return ControlFlow::Break(());
+                            };
+                            for p in postings {
+                                if !seen.insert(p.pk.clone()) {
+                                    continue; // newer entry for this pk already seen
+                                }
+                                if p.deleted {
+                                    continue;
+                                }
+                                match fetch_if_valid(primary, &p.pk, |d| {
+                                    d.attr(&self.attr).as_ref() == Some(value)
+                                }) {
+                                    Ok(Some(doc)) => hits.push(LookupHit {
+                                        key: p.pk,
+                                        seq: p.seq,
+                                        doc,
+                                    }),
+                                    Ok(None) => {}
+                                    Err(e) => {
+                                        validation_error = Some(e);
+                                        return ControlFlow::Break(());
+                                    }
+                                }
+                                if k.is_some_and(|k| hits.len() >= k) {
+                                    return ControlFlow::Break(());
+                                }
                             }
                         }
                     }
                 }
-            }
-            // End of one level: terminate early if top-K found.
-            if k.is_some_and(|k| hits.len() >= k) {
-                ControlFlow::Break(())
-            } else {
-                ControlFlow::Continue(())
-            }
-        })?;
+                // End of one level: terminate early if top-K found.
+                if k.is_some_and(|k| hits.len() >= k) {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            })?;
         if let Some(e) = validation_error {
             return Err(e);
         }
@@ -184,6 +185,7 @@ impl SecondaryIndex for LazyIndex {
         // because each secondary key's list may be fragmented across
         // levels.
         let lo_enc = lo.encode();
+        let hi_enc = hi.encode();
         let mut best: HashMap<Vec<u8>, Posting> = HashMap::new();
         let mut hits: Vec<LookupHit> = Vec::new();
         let mut validated: HashSet<Vec<u8>> = HashSet::new();
@@ -192,7 +194,13 @@ impl SecondaryIndex for LazyIndex {
             None => false,
         };
 
-        for (_src, mut it) in self.table.source_iterators()? {
+        // Index keys are exactly `AttrValue::encode`, so the encoded bounds
+        // give the source stack a tight range: files outside it contribute
+        // no iterator, and the lazy ConcatIters open nothing until the seek.
+        for (_src, mut it) in self
+            .table
+            .source_iterators_range(Some((&lo_enc, &hi_enc)))?
+        {
             it.seek(&InternalKey::for_seek(&lo_enc, ikey::MAX_SEQUENCE).0);
             while it.valid() {
                 let (user_key, _seq, vtype) = ikey::parse_internal_key(it.key())?;

@@ -82,16 +82,16 @@ pub trait SecondaryIndex: Send + Sync {
     fn on_put(&self, primary: &Db, pk: &[u8], doc: &Document, seq: u64) -> Result<()>;
     /// Maintain the index for a DEL of `pk` whose latest record was
     /// `old_doc` (None when the key did not exist).
-    fn on_delete(&self, primary: &Db, pk: &[u8], old_doc: Option<&Document>, seq: u64)
-        -> Result<()>;
-    /// `LOOKUP(A, a, K)`: the K most recent valid records with
-    /// `val(A) = a` (K = None ⇒ all).
-    fn lookup(
+    fn on_delete(
         &self,
         primary: &Db,
-        value: &AttrValue,
-        k: Option<usize>,
-    ) -> Result<Vec<LookupHit>>;
+        pk: &[u8],
+        old_doc: Option<&Document>,
+        seq: u64,
+    ) -> Result<()>;
+    /// `LOOKUP(A, a, K)`: the K most recent valid records with
+    /// `val(A) = a` (K = None ⇒ all).
+    fn lookup(&self, primary: &Db, value: &AttrValue, k: Option<usize>) -> Result<Vec<LookupHit>>;
     /// `RANGELOOKUP(A, a, b, K)`: the K most recent valid records with
     /// `a ≤ val(A) ≤ b`.
     fn range_lookup(

@@ -45,9 +45,8 @@ impl Posting {
 pub fn encode_postings(list: &[Posting]) -> Result<Vec<u8>> {
     let mut items = Vec::with_capacity(list.len());
     for p in list {
-        let pk = std::str::from_utf8(&p.pk).map_err(|_| {
-            Error::invalid("posting-list indexes require UTF-8 primary keys")
-        })?;
+        let pk = std::str::from_utf8(&p.pk)
+            .map_err(|_| Error::invalid("posting-list indexes require UTF-8 primary keys"))?;
         let mut entry = vec![Value::str(pk), Value::Int(p.seq as i64)];
         if p.deleted {
             entry.push(Value::Int(1));
@@ -59,8 +58,8 @@ pub fn encode_postings(list: &[Posting]) -> Result<Vec<u8>> {
 
 /// Parse a JSON posting list.
 pub fn decode_postings(bytes: &[u8]) -> Result<Vec<Posting>> {
-    let text = std::str::from_utf8(bytes)
-        .map_err(|_| Error::corruption("posting list not UTF-8"))?;
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| Error::corruption("posting list not UTF-8"))?;
     let value = Value::parse(text)?;
     let items = value
         .as_array()

@@ -7,8 +7,8 @@
 
 use crate::doc::{Document, JsonAttrExtractor};
 use crate::indexes::{
-    CompositeIndex, EagerIndex, EmbeddedIndex, EmbeddedValidation, IndexKind, LazyIndex,
-    LookupHit, SecondaryIndex,
+    CompositeIndex, EagerIndex, EmbeddedIndex, EmbeddedValidation, IndexKind, LazyIndex, LookupHit,
+    SecondaryIndex,
 };
 use crate::topk::TopK;
 use ldbpp_common::json::Value;
@@ -28,7 +28,6 @@ pub struct SecondaryDbOptions {
     /// GetLite-with-confirmation is both exact and cheap).
     pub embedded_validation: EmbeddedValidation,
 }
-
 
 /// Convert a JSON scalar to a typed attribute value.
 pub fn attr_from_json(v: &Value) -> Result<AttrValue> {
@@ -197,10 +196,7 @@ impl SecondaryDb {
         // list / composite key to mark; the Embedded Index does not (its
         // validity checks absorb stale entries), keeping its DEL at a
         // single write as in the paper's Table 3.
-        let needs_old = self
-            .indexes
-            .iter()
-            .any(|i| i.kind() != IndexKind::Embedded);
+        let needs_old = self.indexes.iter().any(|i| i.kind() != IndexKind::Embedded);
         let old_doc = if needs_old {
             match self.primary.get(pk)? {
                 Some(bytes) => Some(Document::parse(&bytes)?),
@@ -297,13 +293,11 @@ impl SecondaryDb {
         if lo > hi {
             return Err(Error::invalid("inverted range"));
         }
-        let mut it = self.primary.resolved_iter()?;
-        it.seek(lo);
+        // Bounded cursor: only files overlapping [lo, hi] are merged and
+        // the stream ends at hi without touching further blocks.
+        let mut it = self.primary.range_iter(lo, hi)?;
         let mut out = Vec::new();
         while let Some((key, _seq, bytes)) = it.next_entry()? {
-            if key.as_slice() > hi {
-                break;
-            }
             out.push((key, Document::parse(&bytes)?));
             if limit.is_some_and(|l| out.len() >= l) {
                 break;
@@ -517,4 +511,3 @@ impl SecondaryDb {
         self.primary.stats().snapshot()
     }
 }
-

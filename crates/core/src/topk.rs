@@ -4,8 +4,8 @@
 //! ordered by the sequence number": the heap keeps the K most-recent
 //! candidates; a new candidate replaces the root only if it is newer.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A bounded min-heap keeping the `k` entries with the largest sequence
 /// numbers (`k = None` ⇒ unbounded, the paper's "no limit on top-k").

@@ -35,11 +35,7 @@ fn tweet(user: usize, time: i64, text: &str) -> Document {
 }
 
 fn open_with(kind: IndexKind) -> SecondaryDb {
-    SecondaryDb::open_in_memory(
-        tiny_opts(),
-        &[("UserID", kind), ("CreationTime", kind)],
-    )
-    .unwrap()
+    SecondaryDb::open_in_memory(tiny_opts(), &[("UserID", kind), ("CreationTime", kind)]).unwrap()
 }
 
 /// A brute-force reference: pk → (user, time, seq).
@@ -148,7 +144,10 @@ fn all_kinds_updates_invalidate_stale_entries() {
 
         let u1 = db.lookup("UserID", &Value::str("u1"), None).unwrap();
         assert_eq!(
-            hit_keys(&u1).iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            hit_keys(&u1)
+                .iter()
+                .map(|(k, _)| k.clone())
+                .collect::<Vec<_>>(),
             vec!["t2"],
             "{kind}: stale u1 entry for t1 must be filtered"
         );
@@ -163,7 +162,8 @@ fn all_kinds_deletes_hide_records() {
     for kind in ALL_KINDS {
         let db = open_with(kind);
         for i in 0..50usize {
-            db.put(format!("t{i:02}"), &tweet(1, i as i64, "x")).unwrap();
+            db.put(format!("t{i:02}"), &tweet(1, i as i64, "x"))
+                .unwrap();
         }
         for i in (0..50usize).step_by(2) {
             db.delete(format!("t{i:02}")).unwrap();
@@ -204,7 +204,12 @@ fn all_kinds_range_lookup_on_time() {
             assert!(w[0].seq > w[1].seq, "{kind}");
         }
         let top7 = db
-            .range_lookup("CreationTime", &Value::Int(1100), &Value::Int(1149), Some(7))
+            .range_lookup(
+                "CreationTime",
+                &Value::Int(1100),
+                &Value::Int(1149),
+                Some(7),
+            )
             .unwrap();
         assert_eq!(hit_keys(&top7), hit_keys(&hits)[..7].to_vec(), "{kind}");
         // Empty range.
@@ -243,8 +248,9 @@ fn randomized_model_equivalence() {
             if step % 250 == 249 {
                 for user in 0..8 {
                     for k in [Some(1), Some(5), None] {
-                        let got =
-                            db.lookup("UserID", &Value::str(format!("u{user}")), k).unwrap();
+                        let got = db
+                            .lookup("UserID", &Value::str(format!("u{user}")), k)
+                            .unwrap();
                         let want = model.lookup_user(user, k);
                         assert_eq!(
                             hit_keys(&got),
@@ -343,9 +349,7 @@ fn get_and_missing_attr_records() {
 #[test]
 fn lookup_rejects_non_scalar_values() {
     let db = open_with(IndexKind::LazyStandalone);
-    assert!(db
-        .lookup("UserID", &Value::Array(vec![]), None)
-        .is_err());
+    assert!(db.lookup("UserID", &Value::Array(vec![]), None).is_err());
     assert!(db.lookup("UserID", &Value::Null, None).is_err());
 }
 
@@ -417,19 +421,14 @@ fn scan_primary_range() {
 #[test]
 fn conjunctive_lookup_intersects_predicates() {
     for kind in [IndexKind::LazyStandalone, IndexKind::Embedded] {
-        let db = SecondaryDb::open_in_memory(
-            tiny_opts(),
-            &[("UserID", kind), ("CreationTime", kind)],
-        )
-        .unwrap();
+        let db =
+            SecondaryDb::open_in_memory(tiny_opts(), &[("UserID", kind), ("CreationTime", kind)])
+                .unwrap();
         // Users cycle mod 5, times cycle mod 7: each (user, time) pair is
         // rare, exercising the over-fetch loop.
         for i in 0..700usize {
-            db.put(
-                format!("t{i:04}"),
-                &tweet(i % 5, (i % 7) as i64, "conj"),
-            )
-            .unwrap();
+            db.put(format!("t{i:04}"), &tweet(i % 5, (i % 7) as i64, "conj"))
+                .unwrap();
         }
         let hits = db
             .lookup_all(
@@ -527,6 +526,44 @@ mod io_shapes {
     }
 
     #[test]
+    fn composite_topk1_validation_io_bounded_by_posting_list_length() {
+        // Same keyspace, 10× different posting-list lengths: 600 docs over
+        // 40 users (15 per user) vs 6000 (150 per user).
+        let small = loaded(IndexKind::CompositeStandalone, 600);
+        let large = loaded(IndexKind::CompositeStandalone, 6000);
+
+        let probe = Value::str("u7");
+        let reads_k1 = |db: &SecondaryDb| {
+            let before = db.primary_io().block_reads;
+            let hits = db.lookup("UserID", &probe, Some(1)).unwrap();
+            assert_eq!(hits.len(), 1);
+            db.primary_io().block_reads - before
+        };
+        let small_k1 = reads_k1(&small);
+        let large_k1 = reads_k1(&large);
+        // LOOKUP(A, a, 1) validates candidates newest-first and stops at
+        // the first confirmed hit, so primary-side data-block reads stay
+        // bounded no matter how long the posting list grows. (The index
+        // table itself must still be range-scanned — composite entries are
+        // not time-ordered across levels, the paper's §4.2 caveat.)
+        assert!(
+            large_k1 <= small_k1 + 4,
+            "K=1 validation reads must not scale with posting length: \
+             {small_k1} blocks at 15 postings vs {large_k1} at 150"
+        );
+
+        // Unbounded validation on the long list dwarfs K=1.
+        let before = large.primary_io().block_reads;
+        let all = large.lookup("UserID", &probe, None).unwrap();
+        let large_all = large.primary_io().block_reads - before;
+        assert!(all.len() >= 100);
+        assert!(
+            large_all >= large_k1.max(1) * 10,
+            "early exit must save validation I/O: K=1 {large_k1} vs all {large_all}"
+        );
+    }
+
+    #[test]
     fn eager_lookup_is_one_index_read() {
         let db = loaded(IndexKind::EagerStandalone, 2000);
         // Warm the table metadata, then measure steady-state index reads.
@@ -587,7 +624,10 @@ fn non_utf8_pk_rejected_before_primary_write() {
     let pk = [0xffu8, 0xfe, b'x'];
     let err = db.put(&pk[..], &tweet(1, 1, "x")).unwrap_err();
     assert!(err.to_string().contains("UTF-8"));
-    assert!(db.get(&pk[..]).unwrap().is_none(), "primary must be untouched");
+    assert!(
+        db.get(&pk[..]).unwrap().is_none(),
+        "primary must be untouched"
+    );
     // Composite and Embedded handle arbitrary bytes fine.
     for kind in [IndexKind::CompositeStandalone, IndexKind::Embedded] {
         let db = open_with(kind);

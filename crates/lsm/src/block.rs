@@ -298,7 +298,12 @@ mod tests {
     #[test]
     fn roundtrip_with_prefix_sharing() {
         let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..100)
-            .map(|i| (format!("user{i:04}").into_bytes(), format!("val{i}").into_bytes()))
+            .map(|i| {
+                (
+                    format!("user{i:04}").into_bytes(),
+                    format!("val{i}").into_bytes(),
+                )
+            })
             .collect();
         let refs: Vec<(&[u8], &[u8])> = entries
             .iter()
@@ -338,8 +343,7 @@ mod tests {
 
     #[test]
     fn restart_interval_one() {
-        let entries: Vec<(Vec<u8>, Vec<u8>)> =
-            (0..20).map(|i| (vec![b'a' + i], vec![i])).collect();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..20).map(|i| (vec![b'a' + i], vec![i])).collect();
         let refs: Vec<(&[u8], &[u8])> = entries
             .iter()
             .map(|(k, v)| (k.as_slice(), v.as_slice()))

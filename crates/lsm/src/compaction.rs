@@ -54,8 +54,7 @@ pub fn level_scores(opts: &DbOptions, version: &Version) -> Vec<f64> {
     // The last level has nowhere to compact into.
     #[allow(clippy::needless_range_loop)]
     for level in 1..version.num_levels().saturating_sub(1) {
-        scores[level] =
-            version.level_bytes(level) as f64 / opts.max_bytes_for_level(level) as f64;
+        scores[level] = version.level_bytes(level) as f64 / opts.max_bytes_for_level(level) as f64;
     }
     scores
 }
@@ -88,7 +87,10 @@ pub fn pick_compaction(
         if files.is_empty() {
             return None;
         }
-        let ptr = compact_pointer.get(level).map(|p| p.as_slice()).unwrap_or(b"");
+        let ptr = compact_pointer
+            .get(level)
+            .map(|p| p.as_slice())
+            .unwrap_or(b"");
         let next = files
             .iter()
             .find(|f| ptr.is_empty() || compare_internal(&f.largest, ptr).is_gt())

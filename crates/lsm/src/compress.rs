@@ -78,9 +78,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
         {
             // Extend the match.
             let mut len = MIN_MATCH;
-            while pos + len < input.len()
-                && input[candidate + len] == input[pos + len]
-            {
+            while pos + len < input.len() && input[candidate + len] == input[pos + len] {
                 len += 1;
             }
             emit_literal(&mut out, &input[literal_start..pos]);

@@ -23,11 +23,11 @@ use crate::cache::LruCache;
 use crate::compaction::{pick_compaction, resolve_key_run_with_snapshot, CompactionJob, RunEntry};
 use crate::env::{Env, IoStats};
 use crate::ikey::{self, InternalKey, ValueType};
-use crate::iterator::{DbIterator, MergingIterator, VecIterator};
-use crate::memtable::MemTable;
+use crate::iterator::{DbIterator, MergingIterator};
+use crate::memtable::{MemTable, SnapshotMemIter};
 use crate::merge::MergeOperatorRef;
 pub use crate::options::DbOptions;
-use crate::table::{BlockCache, ReadPurpose, Table, TableBuilder};
+use crate::table::{BlockCache, ConcatIter, ReadPurpose, Table, TableBuilder, TableProvider};
 use crate::version::{
     current_file_name, log_file_name, table_file_name, FileMetaData, Version, VersionEdit,
     VersionSet,
@@ -209,7 +209,13 @@ impl Db {
                     }
                     if mem.approximate_bytes() >= opts.write_buffer_size {
                         flush_memtable_impl(
-                            &opts, &env, &stats, name, &mut versions, &mut mem, None,
+                            &opts,
+                            &env,
+                            &stats,
+                            name,
+                            &mut versions,
+                            &mut mem,
+                            None,
                         )?;
                         mem_generation += 1;
                     }
@@ -661,29 +667,14 @@ impl Db {
         }
 
         let version = &rs.version;
-        // L0 files: already ordered newest-first in the version.
-        for f in version.files_for_key(0, user_key) {
-            let table = self.core.open_table(&f)?;
+        let _ = probe_files_for_key(version, user_key, usize::MAX, |source, f| {
+            let table = self.core.open_table(f)?;
             let entries = table.entries_for(user_key, snapshot, ReadPurpose::Query)?;
             if entries.is_empty() {
-                continue;
+                return Ok(ControlFlow::Continue(()));
             }
-            if let ControlFlow::Break(()) = visit(KeySource::L0File(f.number), &entries) {
-                return Ok(());
-            }
-        }
-        for level in 1..version.num_levels() {
-            for f in version.files_for_key(level, user_key) {
-                let table = self.core.open_table(&f)?;
-                let entries = table.entries_for(user_key, snapshot, ReadPurpose::Query)?;
-                if entries.is_empty() {
-                    continue;
-                }
-                if let ControlFlow::Break(()) = visit(KeySource::Level(level), &entries) {
-                    return Ok(());
-                }
-            }
-        }
+            Ok(visit(source, &entries))
+        })?;
         Ok(())
     }
     /// The paper's `GetLite(k, currentLevel)`: does a (possibly newer)
@@ -703,19 +694,18 @@ impl Db {
             }
         }
         let version = &rs.version;
-        for level in 0..below_level.min(version.num_levels()) {
-            for f in version.files_for_key(level, user_key) {
-                match self.core.open_table(&f) {
-                    Ok(table) => {
-                        if table.primary_may_contain(user_key) {
-                            return true;
-                        }
-                    }
-                    Err(_) => return true, // unreadable: fail safe
-                }
-            }
-        }
-        false
+        let outcome = probe_files_for_key(version, user_key, below_level, |_, f| {
+            let may = match self.core.open_table(f) {
+                Ok(table) => table.primary_may_contain(user_key),
+                Err(_) => true, // unreadable: fail safe
+            };
+            Ok(if may {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            })
+        });
+        matches!(outcome, Ok(ControlFlow::Break(())))
     }
 
     /// `GetLite` variant for candidates found in an L0 file: is there a
@@ -733,20 +723,21 @@ impl Db {
             }
         }
         let version = &rs.version;
-        for f in version.files_for_key(0, user_key) {
+        let outcome = probe_files_for_key(version, user_key, 1, |_, f| {
             if f.number <= file_number {
-                continue;
+                return Ok(ControlFlow::Continue(()));
             }
-            match self.core.open_table(&f) {
-                Ok(table) => {
-                    if table.primary_may_contain(user_key) {
-                        return true;
-                    }
-                }
-                Err(_) => return true,
-            }
-        }
-        false
+            let may = match self.core.open_table(f) {
+                Ok(table) => table.primary_may_contain(user_key),
+                Err(_) => true, // unreadable: fail safe
+            };
+            Ok(if may {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            })
+        });
+        matches!(outcome, Ok(ControlFlow::Break(())))
     }
 
     /// Type and sequence of the newest entry for `user_key` anywhere in
@@ -786,98 +777,78 @@ impl Db {
         })
     }
 
-    /// Snapshot of the in-memory tables (active memtable merged with the
-    /// frozen one, if present) as sorted (internal key, value) pairs.
-    pub fn mem_snapshot(&self) -> Vec<(Vec<u8>, Vec<u8>)> {
-        fn collect(mem: &MemTable) -> Vec<(Vec<u8>, Vec<u8>)> {
-            let mut it = mem.iter();
-            it.seek_to_first();
-            let mut out = Vec::with_capacity(mem.len());
-            while it.valid() {
-                out.push((it.key().to_vec(), it.value().to_vec()));
-                it.next();
-            }
-            out
-        }
-        let rs = self.core.read_state();
-        let mem = collect(&rs.mem.read());
-        let Some(imm) = &rs.imm else {
-            return mem;
-        };
-        let imm = collect(&imm.read());
-        // Merge the two sorted runs by internal-key order (sequence
-        // numbers are unique, so no tie-breaking is needed).
-        let mut out = Vec::with_capacity(mem.len() + imm.len());
-        let (mut a, mut b) = (mem.into_iter().peekable(), imm.into_iter().peekable());
-        loop {
-            match (a.peek(), b.peek()) {
-                (Some(x), Some(y)) => {
-                    if ikey::compare_internal(&x.0, &y.0).is_le() {
-                        out.push(a.next().unwrap());
-                    } else {
-                        out.push(b.next().unwrap());
-                    }
-                }
-                (Some(_), None) => out.push(a.next().unwrap()),
-                (None, Some(_)) => out.push(b.next().unwrap()),
-                (None, None) => break,
-            }
-        }
-        out
-    }
-
     /// One iterator per source (memtables, each L0 file newest-first, each
     /// deeper level), in newest-to-oldest order — the paper's stand-alone
     /// indexes scan "level by level".
+    ///
+    /// Every source is **lazy**: the memtables are walked in place through
+    /// the snapshot's latch (no `copy_out` clone) and SSTables are opened
+    /// through the table cache only when a seek lands in them — building
+    /// the stack performs zero `open_table` calls.
     pub fn source_iterators(&self) -> Result<Vec<(KeySource, Box<dyn DbIterator>)>> {
-        fn copy_out(mem: &MemTable) -> Vec<(Vec<u8>, Vec<u8>)> {
-            let mut it = mem.iter();
-            it.seek_to_first();
-            let mut v = Vec::with_capacity(mem.len());
-            while it.valid() {
-                v.push((it.key().to_vec(), it.value().to_vec()));
-                it.next();
-            }
-            v
-        }
+        self.source_iterators_range(None)
+    }
+
+    /// [`Db::source_iterators`] restricted to the inclusive user-key range
+    /// `[lo, hi]`: files whose key range misses it contribute no iterator,
+    /// so a range scan touches only overlapping files (and, through the
+    /// lazy [`ConcatIter`], opens them only when the scan reaches them).
+    pub fn source_iterators_range(
+        &self,
+        range: Option<(&[u8], &[u8])>,
+    ) -> Result<Vec<(KeySource, Box<dyn DbIterator>)>> {
+        // Load the sequence *before* cloning the read state (see
+        // `fold_key_sources_at`): the memtable iterators pin this snapshot
+        // so concurrent background-mode writers stay invisible.
+        let latest = self.last_sequence();
         let rs = self.core.read_state();
+        let provider: Arc<dyn TableProvider> = Arc::clone(&self.core) as Arc<dyn TableProvider>;
         let mut out: Vec<(KeySource, Box<dyn DbIterator>)> = Vec::new();
         out.push((
             KeySource::Mem,
-            Box::new(VecIterator::new(copy_out(&rs.mem.read()))),
+            Box::new(SnapshotMemIter::new(Arc::clone(&rs.mem), latest)),
         ));
         if let Some(imm) = &rs.imm {
             out.push((
                 KeySource::Imm,
-                Box::new(VecIterator::new(copy_out(&imm.read()))),
+                Box::new(SnapshotMemIter::new(Arc::clone(imm), latest)),
             ));
         }
         let version = &rs.version;
+        let overlaps =
+            |f: &FileMetaData| range.is_none_or(|(lo, hi)| f.overlaps_user_range(lo, hi));
+        // L0 files overlap each other, so each is its own source (newest
+        // first); a singleton ConcatIter defers the open until first seek.
         for f in &version.files[0] {
-            let table = self.core.open_table(f)?;
+            if !overlaps(f) {
+                continue;
+            }
             out.push((
                 KeySource::L0File(f.number),
-                Box::new(table.iter(ReadPurpose::Query)),
+                Box::new(ConcatIter::new(
+                    Arc::clone(&provider),
+                    vec![Arc::clone(f)],
+                    ReadPurpose::Query,
+                )),
             ));
         }
         for level in 1..version.num_levels() {
-            if version.files[level].is_empty() {
-                continue;
-            }
             // Levels ≥ 1 are sorted and disjoint: a concatenating iterator
             // binary-searches the file list on seek, touching one file per
             // level (the paper's per-level cost model).
-            let mut tables = Vec::with_capacity(version.files[level].len());
-            let mut largests = Vec::with_capacity(version.files[level].len());
-            for f in &version.files[level] {
-                tables.push(self.core.open_table(f)?);
-                largests.push(f.largest.clone());
+            let files: Vec<Arc<FileMetaData>> = version.files[level]
+                .iter()
+                .filter(|f| overlaps(f))
+                .cloned()
+                .collect();
+            if files.is_empty() {
+                continue;
             }
             out.push((
                 KeySource::Level(level),
-                Box::new(crate::table::ConcatIter::new(
-                    tables,
-                    largests,
+                Box::new(ConcatIter::new(
+                    Arc::clone(&provider),
+                    files,
                     ReadPurpose::Query,
                 )),
             ));
@@ -887,16 +858,65 @@ impl Db {
 
     /// A resolved iterator over the whole database: yields each live user
     /// key's newest value (tombstones skipped, merge operands folded).
+    /// Unpositioned — callers must seek first.
     pub fn resolved_iter(&self) -> Result<ResolvedIter> {
         let sources = self.source_iterators()?;
-        let children: Vec<Box<dyn DbIterator>> =
-            sources.into_iter().map(|(_, it)| it).collect();
-        Ok(ResolvedIter {
+        Ok(self.resolve_sources(sources, None))
+    }
+
+    /// A resolved iterator over the inclusive user-key range `[lo, hi]`,
+    /// already positioned at `lo`: only sources overlapping the range are
+    /// merged and the stream ends after the last key ≤ `hi`, so the scan
+    /// touches only overlapping blocks.
+    pub fn range_iter(&self, lo: &[u8], hi: &[u8]) -> Result<ResolvedIter> {
+        let sources = self.source_iterators_range(Some((lo, hi)))?;
+        let mut it = self.resolve_sources(sources, Some(hi.to_vec()));
+        it.seek(lo);
+        Ok(it)
+    }
+
+    fn resolve_sources(
+        &self,
+        sources: Vec<(KeySource, Box<dyn DbIterator>)>,
+        end: Option<Vec<u8>>,
+    ) -> ResolvedIter {
+        let children: Vec<Box<dyn DbIterator>> = sources.into_iter().map(|(_, it)| it).collect();
+        ResolvedIter {
             it: MergingIterator::new(children),
             merge_op: self.core.opts.merge_operator.clone(),
             positioned: false,
-        })
+            end,
+        }
     }
+}
+
+/// Visit every file that may contain `user_key` in levels `0..below_level`,
+/// newest first (each qualifying L0 file in the version's newest-first
+/// order, then the one candidate per deeper level). The single probe loop
+/// behind [`Db::fold_key_sources_at`], [`Db::get_lite`] and
+/// [`Db::get_lite_l0`].
+fn probe_files_for_key<F>(
+    version: &Version,
+    user_key: &[u8],
+    below_level: usize,
+    mut visit: F,
+) -> Result<ControlFlow<()>>
+where
+    F: FnMut(KeySource, &FileMetaData) -> Result<ControlFlow<()>>,
+{
+    for level in 0..below_level.min(version.num_levels()) {
+        for f in version.files_for_key(level, user_key) {
+            let source = if level == 0 {
+                KeySource::L0File(f.number)
+            } else {
+                KeySource::Level(level)
+            };
+            if let ControlFlow::Break(()) = visit(source, &f)? {
+                return Ok(ControlFlow::Break(()));
+            }
+        }
+    }
+    Ok(ControlFlow::Continue(()))
 }
 
 impl Drop for Db {
@@ -1028,9 +1048,7 @@ impl DbCore {
                 self.work_cond.wait(inner);
                 continue;
             }
-            if self.opts.auto_compact
-                && rs.version.files[0].len() >= self.opts.l0_stall_trigger
-            {
+            if self.opts.auto_compact && rs.version.files[0].len() >= self.opts.l0_stall_trigger {
                 // Hard stall: flushing another memtable would only grow L0.
                 self.kick_worker();
                 self.work_cond.wait(inner);
@@ -1047,8 +1065,7 @@ impl DbCore {
         let pending = if self.opts.wal_enabled {
             let old_log = inner.versions.log_number;
             let number = inner.versions.new_file_number();
-            let wal =
-                LogWriter::new(self.env.new_writable(&log_file_name(&self.name, number))?);
+            let wal = LogWriter::new(self.env.new_writable(&log_file_name(&self.name, number))?);
             inner.wal = Some(wal);
             PendingFlush {
                 old_log: Some(old_log),
@@ -1083,8 +1100,7 @@ impl DbCore {
         let old_log = inner.versions.log_number;
         let new_wal = if self.opts.wal_enabled {
             let number = inner.versions.new_file_number();
-            let wal =
-                LogWriter::new(self.env.new_writable(&log_file_name(&self.name, number))?);
+            let wal = LogWriter::new(self.env.new_writable(&log_file_name(&self.name, number))?);
             Some((number, wal))
         } else {
             None
@@ -1161,7 +1177,9 @@ impl DbCore {
     /// Build SSTable `number` from a memtable and return its metadata
     /// (counted against the flush I/O stats).
     fn build_l0_table(&self, number: u64, mem: &MemTable) -> Result<FileMetaData> {
-        let file = self.env.new_writable(&table_file_name(&self.name, number))?;
+        let file = self
+            .env
+            .new_writable(&table_file_name(&self.name, number))?;
         let mut builder = TableBuilder::new(&self.opts, file);
         let mut it = mem.iter();
         it.seek_to_first();
@@ -1254,77 +1272,77 @@ impl DbCore {
         let mut run: Vec<RunEntry> = Vec::new();
 
         {
-        let emit_run = |builder: &mut Option<(u64, TableBuilder)>,
+            let emit_run = |builder: &mut Option<(u64, TableBuilder)>,
                             outputs: &mut Vec<(u64, crate::table::TableMeta)>,
                             key: &[u8],
                             run: &[RunEntry]|
-         -> Result<()> {
-            if run.is_empty() {
-                return Ok(());
-            }
-            let is_base = version.is_base_level_for_key(output_level, key);
-            let resolved = resolve_key_run_with_snapshot(
-                key,
-                run,
-                is_base,
-                merge_op.as_deref(),
-                snapshot_boundary,
-            );
-            if resolved.is_empty() {
-                return Ok(());
-            }
-            // Rotate output files only between user keys so a key's entries
-            // never straddle files within a level.
-            if let Some((_, b)) = builder.as_ref() {
-                if b.estimated_size() >= self.opts.max_file_size as u64 {
-                    let (number, b) = builder.take().unwrap();
-                    outputs.push((number, b.finish()?));
+             -> Result<()> {
+                if run.is_empty() {
+                    return Ok(());
                 }
-            }
-            if builder.is_none() {
-                let number = self.inner.lock().versions.new_file_number();
-                let file = self
-                    .env
-                    .new_writable(&table_file_name(&self.name, number))?;
-                *builder = Some((number, TableBuilder::new(&self.opts, file)));
-            }
-            let (_, b) = builder.as_mut().unwrap();
-            for (vtype, seq, value) in &resolved {
-                b.add(&InternalKey::new(key, *seq, *vtype).0, value)?;
-            }
-            Ok(())
-        };
-
-        let mut entries_since_imm_check = 0usize;
-        while merged.valid() {
-            // Like LevelDB's `DoCompactionWork`, give a frozen memtable
-            // priority over the compaction in flight: without this, a
-            // writer that fills the active memtable mid-compaction stalls
-            // for the whole compaction instead of one short flush. Checked
-            // every few entries to keep the common-path cost negligible.
-            // In synchronous mode `imm` is always `None` here, and the
-            // `background_work` gate skips even the read-state probe.
-            if self.opts.background_work {
-                entries_since_imm_check += 1;
-                if entries_since_imm_check >= 64 {
-                    entries_since_imm_check = 0;
-                    if self.read_state().imm.is_some() {
-                        self.flush_imm()?;
+                let is_base = version.is_base_level_for_key(output_level, key);
+                let resolved = resolve_key_run_with_snapshot(
+                    key,
+                    run,
+                    is_base,
+                    merge_op.as_deref(),
+                    snapshot_boundary,
+                );
+                if resolved.is_empty() {
+                    return Ok(());
+                }
+                // Rotate output files only between user keys so a key's entries
+                // never straddle files within a level.
+                if let Some((_, b)) = builder.as_ref() {
+                    if b.estimated_size() >= self.opts.max_file_size as u64 {
+                        let (number, b) = builder.take().unwrap();
+                        outputs.push((number, b.finish()?));
                     }
                 }
+                if builder.is_none() {
+                    let number = self.inner.lock().versions.new_file_number();
+                    let file = self
+                        .env
+                        .new_writable(&table_file_name(&self.name, number))?;
+                    *builder = Some((number, TableBuilder::new(&self.opts, file)));
+                }
+                let (_, b) = builder.as_mut().unwrap();
+                for (vtype, seq, value) in &resolved {
+                    b.add(&InternalKey::new(key, *seq, *vtype).0, value)?;
+                }
+                Ok(())
+            };
+
+            let mut entries_since_imm_check = 0usize;
+            while merged.valid() {
+                // Like LevelDB's `DoCompactionWork`, give a frozen memtable
+                // priority over the compaction in flight: without this, a
+                // writer that fills the active memtable mid-compaction stalls
+                // for the whole compaction instead of one short flush. Checked
+                // every few entries to keep the common-path cost negligible.
+                // In synchronous mode `imm` is always `None` here, and the
+                // `background_work` gate skips even the read-state probe.
+                if self.opts.background_work {
+                    entries_since_imm_check += 1;
+                    if entries_since_imm_check >= 64 {
+                        entries_since_imm_check = 0;
+                        if self.read_state().imm.is_some() {
+                            self.flush_imm()?;
+                        }
+                    }
+                }
+                let (user_key, seq, vtype) = ikey::parse_internal_key(merged.key())?;
+                if user_key != run_key.as_slice() {
+                    let prev_key = std::mem::replace(&mut run_key, user_key.to_vec());
+                    let prev_run = std::mem::take(&mut run);
+                    emit_run(&mut builder, &mut outputs, &prev_key, &prev_run)?;
+                }
+                run.push((vtype, seq, merged.value().to_vec()));
+                merged.next();
             }
-            let (user_key, seq, vtype) = ikey::parse_internal_key(merged.key())?;
-            if user_key != run_key.as_slice() {
-                let prev_key = std::mem::replace(&mut run_key, user_key.to_vec());
-                let prev_run = std::mem::take(&mut run);
-                emit_run(&mut builder, &mut outputs, &prev_key, &prev_run)?;
-            }
-            run.push((vtype, seq, merged.value().to_vec()));
-            merged.next();
-        }
-        let prev_key = std::mem::take(&mut run_key);
-        let prev_run = std::mem::take(&mut run);
-        emit_run(&mut builder, &mut outputs, &prev_key, &prev_run)?;
+            let prev_key = std::mem::take(&mut run_key);
+            let prev_run = std::mem::take(&mut run);
+            emit_run(&mut builder, &mut outputs, &prev_key, &prev_run)?;
         }
         if let Some((number, b)) = builder.take() {
             if b.num_entries() > 0 {
@@ -1467,12 +1485,14 @@ impl DbCore {
         }
     }
 
-    /// Open (via the table cache) the reader for a live file.
+    /// Open (via the table cache) the reader for a live file. Cache misses
+    /// count as `table_opens` (footer + index + filter block I/O).
     fn open_table(&self, meta: &FileMetaData) -> Result<Arc<Table>> {
         let mut tables = self.tables.lock();
         if let Some(t) = tables.get(&meta.number) {
             return Ok(t);
         }
+        IoStats::add(&self.stats.table_opens, 1);
         let file = self
             .env
             .open_random(&table_file_name(&self.name, meta.number))?;
@@ -1484,6 +1504,12 @@ impl DbCore {
         )?;
         tables.insert(meta.number, Arc::clone(&table), 1);
         Ok(table)
+    }
+}
+
+impl TableProvider for DbCore {
+    fn open_table(&self, meta: &FileMetaData) -> Result<Arc<Table>> {
+        DbCore::open_table(self, meta)
     }
 }
 
@@ -1611,6 +1637,9 @@ pub struct ResolvedIter {
     it: MergingIterator,
     merge_op: Option<MergeOperatorRef>,
     positioned: bool,
+    /// Inclusive user-key upper bound ([`Db::range_iter`]); the stream
+    /// ends at the first key beyond it without touching further blocks.
+    end: Option<Vec<u8>>,
 }
 
 impl ResolvedIter {
@@ -1631,8 +1660,12 @@ impl ResolvedIter {
     pub fn next_entry(&mut self) -> Result<Option<ResolvedEntry>> {
         assert!(self.positioned, "seek before iterating");
         while self.it.valid() {
-            let (user_key, newest_seq, newest_type) =
-                ikey::parse_internal_key(self.it.key())?;
+            let (user_key, newest_seq, newest_type) = ikey::parse_internal_key(self.it.key())?;
+            if let Some(end) = &self.end {
+                if user_key > end.as_slice() {
+                    return Ok(None);
+                }
+            }
             let user_key = user_key.to_vec();
 
             match newest_type {

@@ -98,6 +98,9 @@ pub struct IoStats {
     pub block_read_bytes: AtomicU64,
     /// Query block requests served by the block cache.
     pub cache_hits: AtomicU64,
+    /// SSTable footer/index loads caused by table-cache misses. The lazy
+    /// read path promises zero of these before an iterator's first seek.
+    pub table_opens: AtomicU64,
     /// Blocks read by compactions.
     pub compaction_blocks_read: AtomicU64,
     /// Bytes read by compactions.
@@ -137,6 +140,8 @@ pub struct IoSnapshot {
     pub block_read_bytes: u64,
     /// Query block requests served by the block cache.
     pub cache_hits: u64,
+    /// SSTable footer/index loads caused by table-cache misses.
+    pub table_opens: u64,
     /// Blocks read by compactions.
     pub compaction_blocks_read: u64,
     /// Bytes read by compactions.
@@ -184,6 +189,7 @@ impl IoSnapshot {
             block_reads: self.block_reads - earlier.block_reads,
             block_read_bytes: self.block_read_bytes - earlier.block_read_bytes,
             cache_hits: self.cache_hits - earlier.cache_hits,
+            table_opens: self.table_opens - earlier.table_opens,
             compaction_blocks_read: self.compaction_blocks_read - earlier.compaction_blocks_read,
             compaction_bytes_read: self.compaction_bytes_read - earlier.compaction_bytes_read,
             compaction_blocks_written: self.compaction_blocks_written
@@ -213,10 +219,10 @@ impl std::ops::Add for IoSnapshot {
             block_reads: self.block_reads + b.block_reads,
             block_read_bytes: self.block_read_bytes + b.block_read_bytes,
             cache_hits: self.cache_hits + b.cache_hits,
+            table_opens: self.table_opens + b.table_opens,
             compaction_blocks_read: self.compaction_blocks_read + b.compaction_blocks_read,
             compaction_bytes_read: self.compaction_bytes_read + b.compaction_bytes_read,
-            compaction_blocks_written: self.compaction_blocks_written
-                + b.compaction_blocks_written,
+            compaction_blocks_written: self.compaction_blocks_written + b.compaction_blocks_written,
             compaction_bytes_written: self.compaction_bytes_written + b.compaction_bytes_written,
             flush_blocks_written: self.flush_blocks_written + b.flush_blocks_written,
             flush_bytes_written: self.flush_bytes_written + b.flush_bytes_written,
@@ -243,6 +249,7 @@ impl IoStats {
             block_reads: self.block_reads.load(Ordering::Relaxed),
             block_read_bytes: self.block_read_bytes.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            table_opens: self.table_opens.load(Ordering::Relaxed),
             compaction_blocks_read: self.compaction_blocks_read.load(Ordering::Relaxed),
             compaction_bytes_read: self.compaction_bytes_read.load(Ordering::Relaxed),
             compaction_blocks_written: self.compaction_blocks_written.load(Ordering::Relaxed),
@@ -354,7 +361,9 @@ impl Env for MemEnv {
     }
 
     fn open_random(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
-        Ok(Arc::new(MemRandom { file: self.get(path)? }))
+        Ok(Arc::new(MemRandom {
+            file: self.get(path)?,
+        }))
     }
 
     fn read_all(&self, path: &str) -> Result<Vec<u8>> {

@@ -205,7 +205,10 @@ impl FilterBlockReader {
     /// The raw filter for data block `i`.
     pub fn filter(&self, i: usize) -> Result<&[u8]> {
         if i >= self.count {
-            return Err(Error::invalid(format!("filter index {i} of {}", self.count)));
+            return Err(Error::invalid(format!(
+                "filter index {i} of {}",
+                self.count
+            )));
         }
         let at = self.offsets_start + i * 4;
         let start = decode_fixed32(&self.data[at..]) as usize;
@@ -244,7 +247,9 @@ mod tests {
     #[test]
     fn false_positive_rate_near_theory() {
         let policy = BloomPolicy::new(10);
-        let keys: Vec<Vec<u8>> = (0..10_000).map(|i| format!("key{i}").into_bytes()).collect();
+        let keys: Vec<Vec<u8>> = (0..10_000)
+            .map(|i| format!("key{i}").into_bytes())
+            .collect();
         let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
         let filter = policy.create_filter(&refs);
         let mut fp = 0;
@@ -284,9 +289,7 @@ mod tests {
 
     #[test]
     fn expected_fp_rate_monotone() {
-        assert!(
-            BloomPolicy::new(20).expected_fp_rate() < BloomPolicy::new(10).expected_fp_rate()
-        );
+        assert!(BloomPolicy::new(20).expected_fp_rate() < BloomPolicy::new(10).expected_fp_rate());
         assert!(BloomPolicy::new(10).bits_per_key() == 10);
     }
 

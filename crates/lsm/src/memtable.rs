@@ -9,9 +9,12 @@
 //! structure.
 
 use crate::ikey::{compare_internal, pack_seq_type, parse_internal_key, ValueType};
+use crate::iterator::DbIterator;
 use ldbpp_common::coding::put_fixed64;
 use ldbpp_common::Result;
+use parking_lot::RwLock;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 const MAX_HEIGHT: usize = 12;
 const BRANCHING: u32 = 4;
@@ -148,8 +151,7 @@ impl MemTable {
         let mut level = self.max_height - 1;
         loop {
             let nxt = self.arena[x as usize].next[level];
-            if nxt != NIL
-                && compare_internal(&self.arena[nxt as usize].key, ikey) == Ordering::Less
+            if nxt != NIL && compare_internal(&self.arena[nxt as usize].key, ikey) == Ordering::Less
             {
                 x = nxt;
             } else if level == 0 {
@@ -254,6 +256,102 @@ impl<'a> MemIter<'a> {
     pub fn entry(&self) -> Result<(&'a [u8], u64, ValueType, &'a [u8])> {
         let (uk, seq, vt) = parse_internal_key(self.key())?;
         Ok((uk, seq, vt, self.value()))
+    }
+}
+
+/// An owning, lazily-copying iterator over a memtable shared through its
+/// `Arc<RwLock<_>>` latch.
+///
+/// This is the memtable leaf of the streaming read path: unlike the old
+/// `copy_out` approach (clone every entry into a `Vec` up front), each
+/// `seek`/`next` takes the read latch briefly, walks the skiplist, and
+/// copies out only the entry it lands on — O(1) per visited entry, nothing
+/// for entries the scan never reaches.
+///
+/// The skiplist arena is insertion-only (nodes are appended and link by
+/// index, never moved or removed), so a node index stays valid across latch
+/// release. Entries with a sequence number above `snapshot` are skipped,
+/// pinning the iterator to the point-in-time view captured at construction
+/// even if writers race in under `background_work`.
+pub struct SnapshotMemIter {
+    mem: Arc<RwLock<MemTable>>,
+    /// Highest visible sequence number.
+    snapshot: u64,
+    idx: u32,
+    key: Vec<u8>,
+    value: Vec<u8>,
+}
+
+impl SnapshotMemIter {
+    /// Iterate over `mem`, exposing only entries with seq ≤ `snapshot`.
+    pub fn new(mem: Arc<RwLock<MemTable>>, snapshot: u64) -> SnapshotMemIter {
+        SnapshotMemIter {
+            mem,
+            snapshot,
+            idx: NIL,
+            key: Vec::new(),
+            value: Vec::new(),
+        }
+    }
+
+    /// Skip entries newer than the snapshot, then copy the landing entry
+    /// out so `key`/`value` stay readable after the latch drops.
+    fn settle(&mut self, mem: &MemTable) {
+        while self.idx != NIL {
+            let node = &mem.arena[self.idx as usize];
+            match parse_internal_key(&node.key) {
+                Ok((_, seq, _)) if seq > self.snapshot => self.idx = node.next[0],
+                Ok(_) => break,
+                Err(_) => {
+                    // Corrupt internal key: invalidate rather than panic,
+                    // matching the table iterators' error idiom.
+                    self.idx = NIL;
+                }
+            }
+        }
+        if self.idx != NIL {
+            let node = &mem.arena[self.idx as usize];
+            self.key.clear();
+            self.key.extend_from_slice(&node.key);
+            self.value.clear();
+            self.value.extend_from_slice(&node.value);
+        }
+    }
+}
+
+impl DbIterator for SnapshotMemIter {
+    fn seek_to_first(&mut self) {
+        let mem = self.mem.clone();
+        let guard = mem.read();
+        self.idx = guard.arena[0].next[0];
+        self.settle(&guard);
+    }
+
+    fn seek(&mut self, target: &[u8]) {
+        let mem = self.mem.clone();
+        let guard = mem.read();
+        self.idx = guard.find_greater_or_equal(target);
+        self.settle(&guard);
+    }
+
+    fn valid(&self) -> bool {
+        self.idx != NIL
+    }
+
+    fn next(&mut self) {
+        debug_assert!(self.valid());
+        let mem = self.mem.clone();
+        let guard = mem.read();
+        self.idx = guard.arena[self.idx as usize].next[0];
+        self.settle(&guard);
+    }
+
+    fn key(&self) -> &[u8] {
+        &self.key
+    }
+
+    fn value(&self) -> &[u8] {
+        &self.value
     }
 }
 

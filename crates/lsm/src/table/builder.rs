@@ -190,8 +190,7 @@ impl TableBuilder {
 
         // Primary filter block (never compressed — probed constantly).
         let filter_data = std::mem::take(&mut self.primary_filters).finish();
-        let (filter_handle, n) =
-            write_block(self.file.as_mut(), &filter_data, Compression::None)?;
+        let (filter_handle, n) = write_block(self.file.as_mut(), &filter_data, Compression::None)?;
         self.bytes_on_disk += n;
 
         // Secondary metadata block.
@@ -247,8 +246,8 @@ pub(crate) fn decode_secmeta(data: &[u8]) -> Result<Vec<(String, Vec<u8>, ZoneMa
         pos += n;
         let (zones, n) = get_length_prefixed(&data[pos..])?;
         pos += n;
-        let name = String::from_utf8(name.to_vec())
-            .map_err(|_| Error::corruption("bad attr name"))?;
+        let name =
+            String::from_utf8(name.to_vec()).map_err(|_| Error::corruption("bad attr name"))?;
         out.push((name, filter.to_vec(), ZoneMap::decode(zones)?));
     }
     Ok(out)

@@ -213,12 +213,8 @@ mod tests {
             assert!(on_disk >= h.size + BLOCK_TRAILER_SIZE as u64);
             let r = env.open_random("t").unwrap();
             let stats = IoStats::new();
-            let got = read_block_contents(
-                r.as_ref(),
-                h,
-                Some((&stats, ReadPurpose::Query)),
-            )
-            .unwrap();
+            let got =
+                read_block_contents(r.as_ref(), h, Some((&stats, ReadPurpose::Query))).unwrap();
             assert_eq!(got, contents);
             assert_eq!(stats.snapshot().block_reads, 1);
         }

@@ -34,4 +34,4 @@ mod tests;
 
 pub use builder::{TableBuilder, TableMeta};
 pub use format::{BlockHandle, Footer, ReadPurpose, FOOTER_SIZE, TABLE_MAGIC};
-pub use reader::{BlockCache, ConcatIter, Table, TableIter};
+pub use reader::{BlockCache, ConcatIter, Table, TableIter, TableProvider};

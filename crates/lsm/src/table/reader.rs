@@ -9,6 +9,7 @@ use crate::ikey::{self, compare_internal, InternalKey, ValueType};
 use crate::iterator::DbIterator;
 use crate::table::builder::decode_secmeta;
 use crate::table::format::{read_block_contents, BlockHandle, Footer, ReadPurpose, FOOTER_SIZE};
+use crate::version::FileMetaData;
 use crate::zonemap::{ZoneEntry, ZoneMap};
 use ldbpp_common::{Error, Result};
 use parking_lot::Mutex;
@@ -289,31 +290,45 @@ impl Table {
     }
 }
 
+/// Opens SSTables on demand, normally through the table cache.
+///
+/// Implemented by the database core so that lazy iterators ([`ConcatIter`])
+/// can defer footer/index loads until a seek actually lands in a file, while
+/// still sharing the process-wide table cache. Cache misses bump the
+/// `table_opens` counter in [`IoStats`].
+pub trait TableProvider: Send + Sync {
+    /// Open (or fetch from cache) the table for `meta`.
+    fn open_table(&self, meta: &FileMetaData) -> Result<Arc<Table>>;
+}
+
 /// Concatenates the iterators of a level's sorted, disjoint files: seeks
 /// binary-search the file list and open exactly one file, so a positioned
 /// scan touches only the files it passes through — the paper's per-level
 /// cost model (one probe per level, not per file).
+///
+/// Files are opened **lazily** through a [`TableProvider`]: constructing the
+/// iterator performs no I/O at all, and a seek opens exactly the file it
+/// lands in (later files open only if the scan crosses into them).
 pub struct ConcatIter {
-    tables: Vec<Arc<Table>>,
-    /// Largest internal key of each table, parallel to `tables`.
-    largests: Vec<Vec<u8>>,
+    provider: Arc<dyn TableProvider>,
+    /// The level's files, ordered by key range (disjoint for levels ≥ 1).
+    files: Vec<Arc<FileMetaData>>,
     purpose: ReadPurpose,
     file_idx: usize,
     iter: Option<TableIter>,
 }
 
 impl ConcatIter {
-    /// Build from a level's open tables, ordered by key range with their
-    /// largest internal keys (from the version metadata).
+    /// Build from a level's file metadata, ordered by key range. No file is
+    /// opened until the first seek.
     pub fn new(
-        tables: Vec<Arc<Table>>,
-        largests: Vec<Vec<u8>>,
+        provider: Arc<dyn TableProvider>,
+        files: Vec<Arc<FileMetaData>>,
         purpose: ReadPurpose,
     ) -> ConcatIter {
-        debug_assert_eq!(tables.len(), largests.len());
         ConcatIter {
-            tables,
-            largests,
+            provider,
+            files,
             purpose,
             file_idx: 0,
             iter: None,
@@ -321,13 +336,23 @@ impl ConcatIter {
     }
 
     fn open_file(&mut self, idx: usize) -> bool {
-        if idx >= self.tables.len() {
+        if idx >= self.files.len() {
             self.iter = None;
             return false;
         }
-        self.file_idx = idx;
-        self.iter = Some(self.tables[idx].iter(self.purpose));
-        true
+        match self.provider.open_table(&self.files[idx]) {
+            Ok(table) => {
+                self.file_idx = idx;
+                self.iter = Some(table.iter(self.purpose));
+                true
+            }
+            Err(_) => {
+                // Open failure invalidates the iterator (the DbIterator
+                // contract has no error channel), matching TableIter.
+                self.iter = None;
+                false
+            }
+        }
     }
 
     fn skip_exhausted(&mut self) {
@@ -354,8 +379,8 @@ impl crate::iterator::DbIterator for ConcatIter {
     fn seek(&mut self, target: &[u8]) {
         // First file whose largest key is ≥ target can contain it.
         let idx = self
-            .largests
-            .partition_point(|l| compare_internal(l, target).is_lt());
+            .files
+            .partition_point(|f| compare_internal(&f.largest, target).is_lt());
         if self.open_file(idx) {
             self.iter.as_mut().unwrap().seek(target);
             self.skip_exhausted();
@@ -448,7 +473,10 @@ impl DbIterator for TableIter {
     }
 
     fn valid(&self) -> bool {
-        self.block_iter.as_ref().map(|it| it.valid()).unwrap_or(false)
+        self.block_iter
+            .as_ref()
+            .map(|it| it.valid())
+            .unwrap_or(false)
     }
 
     fn next(&mut self) {

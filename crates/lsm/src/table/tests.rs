@@ -31,9 +31,7 @@ fn build_table(
     });
     let mut builder = TableBuilder::new(opts, env.new_writable("000001.ldb").unwrap());
     for (k, seq, vt, v) in &sorted {
-        builder
-            .add(&InternalKey::new(k, *seq, *vt).0, v)
-            .unwrap();
+        builder.add(&InternalKey::new(k, *seq, *vt).0, v).unwrap();
     }
     let meta = builder.finish().unwrap();
     let file = env.open_random("000001.ldb").unwrap();
@@ -56,7 +54,11 @@ fn roundtrip_and_meta() {
     let entries: Vec<_> = (0..500).map(kv).collect();
     let (meta, table) = build_table(&small_opts(), &env, &entries);
     assert_eq!(meta.num_entries, 500);
-    assert!(meta.num_blocks > 5, "want multiple blocks, got {}", meta.num_blocks);
+    assert!(
+        meta.num_blocks > 5,
+        "want multiple blocks, got {}",
+        meta.num_blocks
+    );
     assert_eq!(table.num_blocks() as u64, meta.num_blocks);
     assert_eq!(crate::ikey::user_key(&meta.smallest), b"key00000");
     assert_eq!(crate::ikey::user_key(&meta.largest), b"key00499");
@@ -110,7 +112,9 @@ fn entries_for_multiple_versions_newest_first() {
     }
     entries.push(kv(0));
     let (_, table) = build_table(&small_opts(), &env, &entries);
-    let hits = table.entries_for(b"dup", u64::MAX >> 8, ReadPurpose::Query).unwrap();
+    let hits = table
+        .entries_for(b"dup", u64::MAX >> 8, ReadPurpose::Query)
+        .unwrap();
     let seqs: Vec<u64> = hits.iter().map(|h| h.2).collect();
     assert_eq!(seqs, vec![9, 6, 3]);
 
@@ -138,7 +142,9 @@ fn entries_spilling_across_blocks() {
     entries.push((b"zzz".to_vec(), 201, ValueType::Value, b"last".to_vec()));
     let (meta, table) = build_table(&small_opts(), &env, &entries);
     assert!(meta.num_blocks >= 3);
-    let hits = table.entries_for(b"hot", u64::MAX >> 8, ReadPurpose::Query).unwrap();
+    let hits = table
+        .entries_for(b"hot", u64::MAX >> 8, ReadPurpose::Query)
+        .unwrap();
     assert_eq!(hits.len(), 100);
     let seqs: Vec<u64> = hits.iter().map(|h| h.2).collect();
     let want: Vec<u64> = (1..=100u64).rev().collect();
@@ -246,12 +252,7 @@ fn secondary_filters_and_zones() {
 
     // Unknown attribute cannot prune.
     assert!(table.sec_may_contain("Missing", &present, 0));
-    assert!(table.sec_zone_overlaps(
-        "Missing",
-        &AttrValue::Int(0),
-        &AttrValue::Int(1),
-        0
-    ));
+    assert!(table.sec_zone_overlaps("Missing", &AttrValue::Int(0), &AttrValue::Int(1), 0));
 }
 
 #[test]
@@ -266,7 +267,9 @@ fn uncompressed_tables_work_and_are_larger() {
     o2.compression = Compression::None;
     let (m2, t2) = build_table(&o2, &env2, &entries);
     assert!(m1.file_size < m2.file_size);
-    let hits = t2.entries_for(b"key00007", u64::MAX >> 8, ReadPurpose::Query).unwrap();
+    let hits = t2
+        .entries_for(b"key00007", u64::MAX >> 8, ReadPurpose::Query)
+        .unwrap();
     assert_eq!(hits.len(), 1);
 }
 
@@ -313,9 +316,13 @@ fn block_cache_serves_repeat_reads() {
         Some(cache),
     )
     .unwrap();
-    table.entries_for(b"key00050", u64::MAX >> 8, ReadPurpose::Query).unwrap();
+    table
+        .entries_for(b"key00050", u64::MAX >> 8, ReadPurpose::Query)
+        .unwrap();
     let s1 = stats.snapshot();
-    table.entries_for(b"key00050", u64::MAX >> 8, ReadPurpose::Query).unwrap();
+    table
+        .entries_for(b"key00050", u64::MAX >> 8, ReadPurpose::Query)
+        .unwrap();
     let s2 = stats.snapshot();
     assert_eq!(s2.block_reads, s1.block_reads, "second read must hit cache");
     assert!(s2.cache_hits > s1.cache_hits);

@@ -591,14 +591,11 @@ mod tests {
             num_blocks: 2,
             smallest: InternalKey::new(lo, 100, ValueType::Value).0,
             largest: InternalKey::new(hi, 1, ValueType::Value).0,
-            sec_file_zones: vec![(
-                "CreationTime".to_string(),
-                {
-                    let mut z = ZoneEntry::new();
-                    z.update(&crate::attr::AttrValue::Int(number as i64 * 100));
-                    z
-                },
-            )],
+            sec_file_zones: vec![("CreationTime".to_string(), {
+                let mut z = ZoneEntry::new();
+                z.update(&crate::attr::AttrValue::Int(number as i64 * 100));
+                z
+            })],
         }
     }
 

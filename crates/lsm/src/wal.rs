@@ -214,7 +214,12 @@ mod tests {
 
     #[test]
     fn roundtrip_small_records() {
-        let records = vec![b"one".to_vec(), b"two".to_vec(), Vec::new(), b"four".to_vec()];
+        let records = vec![
+            b"one".to_vec(),
+            b"two".to_vec(),
+            Vec::new(),
+            b"four".to_vec(),
+        ];
         let data = write_records(&records);
         let mut r = LogReader::new(&data);
         assert_eq!(r.read_all().unwrap(), records);

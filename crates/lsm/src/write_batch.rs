@@ -168,9 +168,21 @@ mod tests {
         assert_eq!(
             ops,
             vec![
-                BatchOp { vtype: ValueType::Value, key: b"k1".to_vec(), value: b"v1".to_vec() },
-                BatchOp { vtype: ValueType::Deletion, key: b"k2".to_vec(), value: vec![] },
-                BatchOp { vtype: ValueType::Merge, key: b"k3".to_vec(), value: b"[\"t1\"]".to_vec() },
+                BatchOp {
+                    vtype: ValueType::Value,
+                    key: b"k1".to_vec(),
+                    value: b"v1".to_vec()
+                },
+                BatchOp {
+                    vtype: ValueType::Deletion,
+                    key: b"k2".to_vec(),
+                    value: vec![]
+                },
+                BatchOp {
+                    vtype: ValueType::Merge,
+                    key: b"k3".to_vec(),
+                    value: b"[\"t1\"]".to_vec()
+                },
             ]
         );
     }

@@ -72,7 +72,10 @@ fn large_load_builds_levels_and_reads_back() {
     }
     let counts = db.level_file_counts();
     let deeper: usize = counts[1..].iter().sum();
-    assert!(deeper > 0, "compaction should populate deeper levels: {counts:?}");
+    assert!(
+        deeper > 0,
+        "compaction should populate deeper levels: {counts:?}"
+    );
     for i in (0..n).step_by(37) {
         assert_eq!(
             db.get(&k(i)).unwrap().as_deref(),
@@ -174,10 +177,7 @@ fn merge_fragments_compact_together() {
             db.merge(b"hot", format!("[{i}]").as_bytes()).unwrap();
         }
     }
-    let expected: String = (0..2000)
-        .step_by(10)
-        .map(|i| format!("[{i}]"))
-        .collect();
+    let expected: String = (0..2000).step_by(10).map(|i| format!("[{i}]")).collect();
     assert_eq!(
         db.get(b"hot").unwrap().as_deref(),
         Some(expected.as_bytes())
@@ -200,7 +200,10 @@ fn fold_key_sources_order_and_early_stop() {
     assert_eq!(sources.len(), 2);
     assert_eq!(sources[0].0, KeySource::Mem);
     assert_eq!(sources[0].1[0].1, b"new");
-    assert!(matches!(sources[1].0, KeySource::L0File(_) | KeySource::Level(_)));
+    assert!(matches!(
+        sources[1].0,
+        KeySource::L0File(_) | KeySource::Level(_)
+    ));
 
     // Early stop sees only the memtable.
     let mut count = 0;
@@ -565,7 +568,10 @@ fn manual_compaction_mode_defers_work() {
     assert_eq!(db.stats().snapshot().compactions, 0);
 
     // Reads remain correct even with a deep L0.
-    assert_eq!(db.get(&k(1234)).unwrap().as_deref(), Some(v(1234).as_slice()));
+    assert_eq!(
+        db.get(&k(1234)).unwrap().as_deref(),
+        Some(v(1234).as_slice())
+    );
 
     // Explicit compaction restores the leveled shape.
     db.compact().unwrap();
@@ -573,7 +579,10 @@ fn manual_compaction_mode_defers_work() {
     assert!(counts[0] <= 4, "L0 drained: {counts:?}");
     assert!(counts[1..].iter().sum::<usize>() > 0);
     assert!(db.stats().snapshot().compactions > 0);
-    assert_eq!(db.get(&k(1234)).unwrap().as_deref(), Some(v(1234).as_slice()));
+    assert_eq!(
+        db.get(&k(1234)).unwrap().as_deref(),
+        Some(v(1234).as_slice())
+    );
 }
 
 #[test]
@@ -615,7 +624,10 @@ fn debug_summary_reports_shape() {
     db.flush().unwrap();
     let summary = db.debug_summary();
     assert!(summary.contains("seq=2000"), "{summary}");
-    assert!(summary.contains("L1") || summary.contains("L0"), "{summary}");
+    assert!(
+        summary.contains("L1") || summary.contains("L0"),
+        "{summary}"
+    );
     assert!(summary.contains("compactions="), "{summary}");
 }
 
@@ -631,7 +643,8 @@ fn pinned_snapshots_survive_heavy_compaction() {
     // compactions churning the tree.
     for epoch in 2..=5 {
         for i in 0..400 {
-            db.put(&k(i), format!("epoch{epoch}-{i}").as_bytes()).unwrap();
+            db.put(&k(i), format!("epoch{epoch}-{i}").as_bytes())
+                .unwrap();
         }
         db.flush().unwrap();
     }

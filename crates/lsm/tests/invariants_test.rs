@@ -135,12 +135,7 @@ fn invariants_after_random_churn() {
 
     // Env ↔ version consistency: each live table exists; no orphan tables.
     let version = db.current_version();
-    let mut live: Vec<u64> = version
-        .files
-        .iter()
-        .flatten()
-        .map(|f| f.number)
-        .collect();
+    let mut live: Vec<u64> = version.files.iter().flatten().map(|f| f.number).collect();
     live.sort_unstable();
     for number in &live {
         assert!(

@@ -291,8 +291,14 @@ mod tests {
             }
             let (put, get, lookup, update) = kind.ratios();
             let tol = 0.02 * 10_000.0;
-            assert!((counts[0] as f64 - put * 10_000.0).abs() < tol, "{kind:?} put");
-            assert!((counts[1] as f64 - get * 10_000.0).abs() < tol, "{kind:?} get");
+            assert!(
+                (counts[0] as f64 - put * 10_000.0).abs() < tol,
+                "{kind:?} put"
+            );
+            assert!(
+                (counts[1] as f64 - get * 10_000.0).abs() < tol,
+                "{kind:?} get"
+            );
             assert!(
                 (counts[2] as f64 - lookup * 10_000.0).abs() < tol,
                 "{kind:?} lookup"
@@ -327,8 +333,13 @@ mod tests {
 
     #[test]
     fn update_heavy_emits_updates() {
-        let mut w =
-            MixedWorkload::new(MixedKind::UpdateHeavy, SeedStats::default(), 1000, Some(5), 7);
+        let mut w = MixedWorkload::new(
+            MixedKind::UpdateHeavy,
+            SeedStats::default(),
+            1000,
+            Some(5),
+            7,
+        );
         let has_update = (0..1000).any(|_| matches!(w.next_op(), Operation::Update(_)));
         assert!(has_update);
     }

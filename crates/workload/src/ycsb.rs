@@ -117,7 +117,9 @@ impl YcsbWorkload {
         match self.kind {
             YcsbKind::A => {
                 if x < 0.5 {
-                    YcsbOp::Read { key: self.zipf_key() }
+                    YcsbOp::Read {
+                        key: self.zipf_key(),
+                    }
                 } else {
                     let key = self.zipf_key();
                     YcsbOp::Update(self.updated_tweet(key))
@@ -125,16 +127,22 @@ impl YcsbWorkload {
             }
             YcsbKind::B => {
                 if x < 0.95 {
-                    YcsbOp::Read { key: self.zipf_key() }
+                    YcsbOp::Read {
+                        key: self.zipf_key(),
+                    }
                 } else {
                     let key = self.zipf_key();
                     YcsbOp::Update(self.updated_tweet(key))
                 }
             }
-            YcsbKind::C => YcsbOp::Read { key: self.zipf_key() },
+            YcsbKind::C => YcsbOp::Read {
+                key: self.zipf_key(),
+            },
             YcsbKind::D => {
                 if x < 0.95 {
-                    YcsbOp::Read { key: self.latest_key() }
+                    YcsbOp::Read {
+                        key: self.latest_key(),
+                    }
                 } else {
                     let t = self.generator.next_tweet();
                     self.loaded += 1;
@@ -144,7 +152,10 @@ impl YcsbWorkload {
             YcsbKind::E => {
                 if x < 0.95 {
                     let len = self.rng.random_range(1..=self.max_scan_len);
-                    YcsbOp::Scan { start: self.zipf_key(), len }
+                    YcsbOp::Scan {
+                        start: self.zipf_key(),
+                        len,
+                    }
                 } else {
                     let t = self.generator.next_tweet();
                     self.loaded += 1;
@@ -153,7 +164,9 @@ impl YcsbWorkload {
             }
             YcsbKind::F => {
                 if x < 0.5 {
-                    YcsbOp::Read { key: self.zipf_key() }
+                    YcsbOp::Read {
+                        key: self.zipf_key(),
+                    }
                 } else {
                     let key = self.zipf_key();
                     YcsbOp::ReadModifyWrite(self.updated_tweet(key))
@@ -220,7 +233,10 @@ mod tests {
         }
         let hottest = counts.values().max().unwrap();
         let avg = 20_000 / 500;
-        assert!(*hottest > avg * 5, "zipfian skew expected: {hottest} vs {avg}");
+        assert!(
+            *hottest > avg * 5,
+            "zipfian skew expected: {hottest} vs {avg}"
+        );
     }
 
     #[test]

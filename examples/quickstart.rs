@@ -50,7 +50,12 @@ fn main() -> leveldbpp::Result<()> {
     let hits = db.lookup("UserID", &Value::str("alice"), Some(2))?;
     println!("LOOKUP alice top-2 ->");
     for h in &hits {
-        println!("  {} (seq {}): {}", String::from_utf8_lossy(&h.key), h.seq, h.doc);
+        println!(
+            "  {} (seq {}): {}",
+            String::from_utf8_lossy(&h.key),
+            h.seq,
+            h.doc
+        );
     }
     assert_eq!(hits.len(), 2);
     assert_eq!(hits[0].key, b"t5");

@@ -42,7 +42,10 @@ fn main() -> leveldbpp::Result<()> {
         let mut doc = Document::new();
         doc.set("SensorID", Value::str(format!("s{sensor}")))
             .set("Timestamp", Value::Int(1_700_000_000 + i as i64))
-            .set("TemperatureMilli", Value::Int((temps[sensor] * 1000.0) as i64))
+            .set(
+                "TemperatureMilli",
+                Value::Int((temps[sensor] * 1000.0) as i64),
+            )
             .set("HumidityPct", Value::Int((40.0 + 20.0 * rand01()) as i64));
         db.put(format!("m{i:08}"), &doc)?;
     }

@@ -60,11 +60,18 @@ fn main() -> leveldbpp::Result<()> {
     let feed = db.lookup("UserID", &Value::str(heaviest_user.clone()), Some(10))?;
     println!(
         "\nfeed: latest 10 of {} ({} posts total) in {:?}:",
-        heaviest_user, heaviest_count, start.elapsed()
+        heaviest_user,
+        heaviest_count,
+        start.elapsed()
     );
     for h in feed.iter().take(3) {
         let text = h.doc.get("Text").and_then(|t| t.as_str()).unwrap_or("");
-        println!("  {} @{}: {:.30}…", String::from_utf8_lossy(&h.key), h.seq, text);
+        println!(
+            "  {} @{}: {:.30}…",
+            String::from_utf8_lossy(&h.key),
+            h.seq,
+            text
+        );
     }
     assert_eq!(feed.len(), 10);
     for w in feed.windows(2) {
@@ -93,7 +100,10 @@ fn main() -> leveldbpp::Result<()> {
         start.elapsed()
     );
     for (minute, count) in &histogram {
-        println!("  minute {minute}: {count} tweets {}", "#".repeat(count / 20 + 1));
+        println!(
+            "  minute {minute}: {count} tweets {}",
+            "#".repeat(count / 20 + 1)
+        );
     }
     assert!(!hits.is_empty());
 
@@ -102,6 +112,9 @@ fn main() -> leveldbpp::Result<()> {
     db.delete(&victim)?;
     let after = db.lookup("UserID", &Value::str(heaviest_user), Some(10))?;
     assert!(after.iter().all(|h| h.key != victim));
-    println!("\ndeleted {} — feed updated, all consistent", String::from_utf8_lossy(&victim));
+    println!(
+        "\ndeleted {} — feed updated, all consistent",
+        String::from_utf8_lossy(&victim)
+    );
     Ok(())
 }

@@ -25,10 +25,7 @@ fn main() -> leveldbpp::Result<()> {
         (YcsbKind::E, "short scans + inserts"),
         (YcsbKind::F, "read-modify-write"),
     ] {
-        let db = SecondaryDb::open_in_memory(
-            DbOptions::small(),
-            &[("UserID", IndexKind::None)],
-        )?;
+        let db = SecondaryDb::open_in_memory(DbOptions::small(), &[("UserID", IndexKind::None)])?;
         let mut workload = YcsbWorkload::new(kind, RECORDS, 7);
         for t in workload.load_phase(RECORDS) {
             db.put(&t.id, &Document::from_value(t.document())?)?;

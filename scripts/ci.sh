@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The full CI gate, run from anywhere inside the repo:
+#   1. formatting (`cargo fmt --check`);
+#   2. lints (`cargo clippy`, all targets, warnings are errors);
+#   3. tier-1 tests: release build + the root-package suite (the seed's
+#      acceptance gate), then the full workspace suite;
+#   4. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
+#      plus markdown link check).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "== tier-1: release build =="
+cargo build --release --quiet
+
+echo "== tier-1: root-package tests =="
+cargo test -q
+
+echo "== workspace tests =="
+cargo test --workspace -q
+
+./scripts/check_docs.sh
+
+echo "CI OK"

@@ -205,7 +205,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let mean = per_iter_nanos.iter().sum::<f64>() / per_iter_nanos.len() as f64;
     let tp = match throughput {
         Some(Throughput::Bytes(n)) => {
-            format!("  ({:.1} MiB/s)", n as f64 / (median / 1e9) / (1 << 20) as f64)
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 / (median / 1e9) / (1 << 20) as f64
+            )
         }
         Some(Throughput::Elements(n)) => {
             format!("  ({:.0} elem/s)", n as f64 / (median / 1e9))

@@ -62,7 +62,7 @@ mod tests {
 
     #[test]
     fn scoped_threads_join_and_borrow() {
-        let data = vec![1u64, 2, 3];
+        let data = [1u64, 2, 3];
         let sum = super::thread::scope(|s| {
             let h1 = s.spawn(|_| data.iter().sum::<u64>());
             let h2 = s.spawn(move |_| 10u64);

@@ -33,19 +33,14 @@ impl<T> Mutex<T> {
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the mutex, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        let guard = self
-            .inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         MutexGuard {
             inner: Some(guard),
             lock: &self.inner,
@@ -69,9 +64,7 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner
-            .get_mut()
-            .unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -93,13 +86,17 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.inner.as_ref().expect("guard taken during condvar wait")
+        self.inner
+            .as_ref()
+            .expect("guard taken during condvar wait")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.inner.as_mut().expect("guard taken during condvar wait")
+        self.inner
+            .as_mut()
+            .expect("guard taken during condvar wait")
     }
 }
 
@@ -124,9 +121,7 @@ impl<T> RwLock<T> {
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
     }
 }
 
@@ -143,9 +138,7 @@ impl<T: ?Sized> RwLock<T> {
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner
-            .get_mut()
-            .unwrap_or_else(|e| e.into_inner())
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
     }
 }
 

@@ -305,7 +305,10 @@ pub mod strategy {
                 spec.push(c);
             }
             if let Some((lo, hi)) = spec.split_once(',') {
-                (lo.trim().parse().unwrap_or(0), hi.trim().parse().unwrap_or(0))
+                (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or(0),
+                )
             } else {
                 let n = spec.trim().parse().unwrap_or(1);
                 (n, n)
@@ -407,13 +410,11 @@ pub mod strategy {
                 };
                 for _ in 0..n {
                     match &atom {
-                        Atom::Class(pool) => {
-                            out.push(pool[rng.below(pool.len() as u64) as usize])
-                        }
+                        Atom::Class(pool) => out.push(pool[rng.below(pool.len() as u64) as usize]),
                         Atom::Literal(c) => out.push(*c),
-                        Atom::Printable => out.push(
-                            PRINTABLE[rng.below(PRINTABLE.len() as u64) as usize] as char,
-                        ),
+                        Atom::Printable => {
+                            out.push(PRINTABLE[rng.below(PRINTABLE.len() as u64) as usize] as char)
+                        }
                     }
                 }
             }
@@ -696,7 +697,10 @@ mod tests {
         let mut a = TestRng::for_case("x", 0);
         let mut b = TestRng::for_case("x", 0);
         let s = crate::collection::btree_set("[a-m]{1,6}", 1..10);
-        assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+        assert_eq!(
+            Strategy::generate(&s, &mut a),
+            Strategy::generate(&s, &mut b)
+        );
     }
 
     #[test]

@@ -89,11 +89,11 @@ fn main() {
         }
         ("scan", [dir, rest @ ..]) => {
             let db = open(dir);
-            let prefix = rest.first().map(|s| s.as_bytes().to_vec()).unwrap_or_default();
-            let limit: usize = rest
-                .get(1)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(20);
+            let prefix = rest
+                .first()
+                .map(|s| s.as_bytes().to_vec())
+                .unwrap_or_default();
+            let limit: usize = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
             let mut it = match db.resolved_iter() {
                 Ok(it) => it,
                 Err(e) => {

@@ -21,11 +21,7 @@ fn opts() -> DbOptions {
 #[test]
 fn concurrent_readers_during_writes() {
     let db = Arc::new(
-        SecondaryDb::open_in_memory(
-            opts(),
-            &[("UserID", IndexKind::LazyStandalone)],
-        )
-        .unwrap(),
+        SecondaryDb::open_in_memory(opts(), &[("UserID", IndexKind::LazyStandalone)]).unwrap(),
     );
     let stop = Arc::new(AtomicBool::new(false));
     let written = Arc::new(AtomicUsize::new(0));
@@ -190,10 +186,7 @@ fn background_pipeline_writer_readers_stress() {
     // Reopen from the same env: the WAL for a frozen-but-unflushed
     // memtable is only deleted after its flush installs, so recovery
     // replays every acknowledged write.
-    drop(
-        Arc::try_unwrap(db)
-            .unwrap_or_else(|_| panic!("all Db clones should be gone")),
-    );
+    drop(Arc::try_unwrap(db).unwrap_or_else(|_| panic!("all Db clones should be gone")));
     let db = Db::open(env, "bgdb", bg_opts).unwrap();
     for i in (0..N).step_by(97) {
         let key = format!("k{i:06}");
@@ -210,9 +203,8 @@ fn background_secondary_db_indexes_stay_coherent() {
         background_work: true,
         ..opts()
     };
-    let db = Arc::new(
-        SecondaryDb::open_in_memory(base, &[("UserID", IndexKind::Embedded)]).unwrap(),
-    );
+    let db =
+        Arc::new(SecondaryDb::open_in_memory(base, &[("UserID", IndexKind::Embedded)]).unwrap());
     let stop = Arc::new(AtomicBool::new(false));
     const N: usize = 2500;
 
@@ -266,9 +258,8 @@ fn background_secondary_db_indexes_stay_coherent() {
 
 #[test]
 fn parallel_lookups_on_static_data_agree() {
-    let db = Arc::new(
-        SecondaryDb::open_in_memory(opts(), &[("UserID", IndexKind::Embedded)]).unwrap(),
-    );
+    let db =
+        Arc::new(SecondaryDb::open_in_memory(opts(), &[("UserID", IndexKind::Embedded)]).unwrap());
     for i in 0..2000usize {
         let mut doc = Document::new();
         doc.set("UserID", Value::str(format!("u{}", i % 7)));

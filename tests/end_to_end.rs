@@ -2,9 +2,7 @@
 //! `leveldbpp` facade.
 
 use leveldbpp::workload::{MixedKind, MixedWorkload, Operation, SeedStats, TweetGenerator};
-use leveldbpp::{
-    DbOptions, DiskEnv, Document, IndexKind, MemEnv, SecondaryDb, Value,
-};
+use leveldbpp::{DbOptions, DiskEnv, Document, IndexKind, MemEnv, SecondaryDb, Value};
 use std::collections::HashMap;
 
 fn opts() -> DbOptions {
@@ -28,7 +26,12 @@ fn workload_replay_consistency_all_kinds() {
         IndexKind::CompositeStandalone,
     ]
     .into_iter()
-    .map(|k| (k, SecondaryDb::open_in_memory(opts(), &[("UserID", k)]).unwrap()))
+    .map(|k| {
+        (
+            k,
+            SecondaryDb::open_in_memory(opts(), &[("UserID", k)]).unwrap(),
+        )
+    })
     .collect();
     let mut model: HashMap<String, String> = HashMap::new();
 
@@ -61,7 +64,9 @@ fn workload_replay_consistency_all_kinds() {
     let mut checked = 0;
     for (user, count) in per_user.iter().take(40) {
         for (kind, db) in &dbs {
-            let hits = db.lookup("UserID", &Value::str((*user).clone()), None).unwrap();
+            let hits = db
+                .lookup("UserID", &Value::str((*user).clone()), None)
+                .unwrap();
             assert_eq!(hits.len(), *count, "{kind}: user {user}");
         }
         checked += 1;
@@ -86,7 +91,10 @@ fn durability_across_reopen_with_indexes() {
         let db = SecondaryDb::open(
             env.clone(),
             &name,
-            leveldbpp::SecondaryDbOptions { base: opts(), ..Default::default() },
+            leveldbpp::SecondaryDbOptions {
+                base: opts(),
+                ..Default::default()
+            },
             &specs,
         )
         .unwrap();
@@ -105,13 +113,23 @@ fn durability_across_reopen_with_indexes() {
         let db = SecondaryDb::open(
             env.clone(),
             &name,
-            leveldbpp::SecondaryDbOptions { base: opts(), ..Default::default() },
+            leveldbpp::SecondaryDbOptions {
+                base: opts(),
+                ..Default::default()
+            },
             &specs,
         )
         .unwrap();
         let hits = db.lookup("UserID", &Value::str("u0000003"), None).unwrap();
         assert_eq!(hits.len(), expected_u3, "lazy index recovered");
-        let t0 = hits.last().unwrap().doc.get("CreationTime").unwrap().as_int().unwrap();
+        let t0 = hits
+            .last()
+            .unwrap()
+            .doc
+            .get("CreationTime")
+            .unwrap()
+            .as_int()
+            .unwrap();
         let range = db
             .range_lookup("CreationTime", &Value::Int(t0), &Value::Int(t0), None)
             .unwrap();
@@ -135,7 +153,10 @@ fn io_accounting_is_visible_at_facade() {
     let db = SecondaryDb::open(
         env.clone(),
         "db",
-        leveldbpp::SecondaryDbOptions { base: opts(), ..Default::default() },
+        leveldbpp::SecondaryDbOptions {
+            base: opts(),
+            ..Default::default()
+        },
         &[("UserID", IndexKind::LazyStandalone)],
     )
     .unwrap();
@@ -155,31 +176,36 @@ fn io_accounting_is_visible_at_facade() {
     assert_eq!(db.total_bytes(), db.primary_bytes() + db.index_bytes());
 
     let before = db.primary_io();
-    let _ = db.lookup("UserID", &Value::str("u0000000"), Some(5)).unwrap();
+    let _ = db
+        .lookup("UserID", &Value::str("u0000000"), Some(5))
+        .unwrap();
     let after = db.primary_io().since(&before);
     assert!(after.block_reads > 0, "validation GETs read primary blocks");
 }
 
 #[test]
 fn unicode_and_edge_documents_survive_the_stack() {
-    let db = SecondaryDb::open_in_memory(
-        opts(),
-        &[("UserID", IndexKind::CompositeStandalone)],
-    )
-    .unwrap();
+    let db =
+        SecondaryDb::open_in_memory(opts(), &[("UserID", IndexKind::CompositeStandalone)]).unwrap();
     let mut doc = Document::new();
-    doc.set("UserID", Value::str("ユーザー🙂"))
-        .set("Text", Value::str("emoji 😀 and \"quotes\" and \\ backslashes\n"));
+    doc.set("UserID", Value::str("ユーザー🙂")).set(
+        "Text",
+        Value::str("emoji 😀 and \"quotes\" and \\ backslashes\n"),
+    );
     db.put("t-unicode", &doc).unwrap();
     // A user id containing a NUL byte exercises composite-key escaping.
     let mut doc2 = Document::new();
     doc2.set("UserID", Value::str("weird\u{0}user"));
     db.put("t-nul", &doc2).unwrap();
 
-    let hits = db.lookup("UserID", &Value::str("ユーザー🙂"), None).unwrap();
+    let hits = db
+        .lookup("UserID", &Value::str("ユーザー🙂"), None)
+        .unwrap();
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].doc, db.get("t-unicode").unwrap().unwrap());
-    let hits = db.lookup("UserID", &Value::str("weird\u{0}user"), None).unwrap();
+    let hits = db
+        .lookup("UserID", &Value::str("weird\u{0}user"), None)
+        .unwrap();
     assert_eq!(hits.len(), 1);
 }
 
@@ -194,12 +220,12 @@ fn empty_key_rejected_and_errors_informative() {
 
 #[test]
 fn integer_attributes_index_correctly_across_signs() {
-    let db = SecondaryDb::open_in_memory(
-        opts(),
-        &[("Score", IndexKind::CompositeStandalone)],
-    )
-    .unwrap();
-    for (i, score) in [-100i64, -1, 0, 1, 99, i64::MIN, i64::MAX].iter().enumerate() {
+    let db =
+        SecondaryDb::open_in_memory(opts(), &[("Score", IndexKind::CompositeStandalone)]).unwrap();
+    for (i, score) in [-100i64, -1, 0, 1, 99, i64::MIN, i64::MAX]
+        .iter()
+        .enumerate()
+    {
         let mut doc = Document::new();
         doc.set("Score", Value::Int(*score));
         db.put(format!("k{i}"), &doc).unwrap();
@@ -222,7 +248,10 @@ fn backfill_builds_late_declared_indexes() {
         let db = SecondaryDb::open(
             env.clone(),
             "db",
-            leveldbpp::SecondaryDbOptions { base: opts(), ..Default::default() },
+            leveldbpp::SecondaryDbOptions {
+                base: opts(),
+                ..Default::default()
+            },
             &[],
         )
         .unwrap();
@@ -238,7 +267,10 @@ fn backfill_builds_late_declared_indexes() {
     let db = SecondaryDb::open(
         env.clone(),
         "db",
-        leveldbpp::SecondaryDbOptions { base: opts(), ..Default::default() },
+        leveldbpp::SecondaryDbOptions {
+            base: opts(),
+            ..Default::default()
+        },
         &[
             ("UserID", IndexKind::LazyStandalone),
             ("CreationTime", IndexKind::Embedded),
@@ -348,10 +380,10 @@ fn ycsb_core_workloads_run_against_the_store() {
 
 #[test]
 fn snapshot_pinning_through_the_facade() {
-    let db = SecondaryDb::open_in_memory(opts(), &[("UserID", IndexKind::LazyStandalone)])
-        .unwrap();
+    let db = SecondaryDb::open_in_memory(opts(), &[("UserID", IndexKind::LazyStandalone)]).unwrap();
     let mut doc = Document::new();
-    doc.set("UserID", Value::str("u1")).set("Rev", Value::Int(1));
+    doc.set("UserID", Value::str("u1"))
+        .set("Rev", Value::Int(1));
     db.put("k", &doc).unwrap();
     let snap = db.primary().pin_snapshot();
     doc.set("Rev", Value::Int(2));

@@ -37,7 +37,11 @@ fn tool_inspects_a_real_database() {
 
     // stats
     let out = tool().args(["stats", &db_path]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("seq=300"), "{stdout}");
 
@@ -73,7 +77,10 @@ fn tool_inspects_a_real_database() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    assert!(!empty.join("CURRENT").exists(), "tool must not initialize state");
+    assert!(
+        !empty.join("CURRENT").exists(),
+        "tool must not initialize state"
+    );
 
     // Bad usage exits with code 2.
     let out = tool().output().unwrap();

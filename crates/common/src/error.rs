@@ -53,6 +53,16 @@ impl Error {
     pub fn not_supported(msg: impl Into<String>) -> Self {
         Error::NotSupported(msg.into())
     }
+
+    /// True if this error is [`Error::Io`].
+    pub fn is_io(&self) -> bool {
+        matches!(self, Error::Io(_))
+    }
+
+    /// Convenience constructor for [`Error::Io`].
+    pub fn io(msg: impl Into<String>) -> Self {
+        Error::Io(msg.into())
+    }
 }
 
 impl fmt::Display for Error {

@@ -182,9 +182,32 @@ impl SecondaryDb {
                 "posting-list indexes require UTF-8 primary keys",
             ));
         }
-        let seq = self.primary.put(pk, &doc.to_bytes())?;
+        // Crash-consistency ordering: maintain the *stand-alone* indexes
+        // BEFORE the primary write. A crash between the two steps can then
+        // only strand index entries whose primary record never landed —
+        // false positives that every lookup already filters out by
+        // validating candidates against the primary. The opposite order
+        // would strand primary records invisible to LOOKUP (false
+        // negatives), which nothing repairs. The sequence the primary write
+        // will use is predicted; writes are serialized by the callers that
+        // care about exact recency ordering, and validation re-reads the
+        // primary anyway, so a concurrent-writer race only skews the
+        // recency hint stored in the posting.
+        let predicted_seq = self.primary.last_sequence() + 1;
         for index in &self.indexes {
-            index.on_put(&self.primary, pk, doc, seq)?;
+            if index.kind() != IndexKind::Embedded {
+                index.on_put(&self.primary, pk, doc, predicted_seq)?;
+            }
+        }
+        let seq = self.primary.put(pk, &doc.to_bytes())?;
+        // The Embedded Index shadows the memtable: it must record the real
+        // sequence of an entry that actually exists, so it stays after the
+        // primary write (it is memory-only — rebuilt on recovery — so the
+        // ordering has no crash-consistency cost).
+        for index in &self.indexes {
+            if index.kind() == IndexKind::Embedded {
+                index.on_put(&self.primary, pk, doc, seq)?;
+            }
         }
         Ok(seq)
     }
@@ -205,6 +228,11 @@ impl SecondaryDb {
         } else {
             None
         };
+        // Deletes keep the opposite ordering from puts (primary first): a
+        // crash after the tombstone but before the index cleanup leaves a
+        // stale index entry, which validation against the primary filters
+        // out. Cleaning the index first would instead make a still-live
+        // record unfindable if the crash lands between the two steps.
         let seq = self.primary.delete(pk)?;
         for index in &self.indexes {
             index.on_delete(&self.primary, pk, old_doc.as_ref(), seq)?;

@@ -29,8 +29,8 @@ use crate::merge::MergeOperatorRef;
 pub use crate::options::DbOptions;
 use crate::table::{BlockCache, ConcatIter, ReadPurpose, Table, TableBuilder, TableProvider};
 use crate::version::{
-    current_file_name, log_file_name, table_file_name, FileMetaData, Version, VersionEdit,
-    VersionSet,
+    current_file_name, current_tmp_file_name, log_file_name, table_file_name, FileMetaData,
+    Version, VersionEdit, VersionSet,
 };
 use crate::wal::{LogReader, LogWriter};
 use crate::write_batch::WriteBatch;
@@ -138,6 +138,16 @@ struct DbCore {
     pinned: Arc<Mutex<BTreeMap<u64, usize>>>,
     /// First error hit by the background worker; surfaced to writers.
     bg_error: Mutex<Option<Error>>,
+    /// Sticky fatal error: set when an append to the WAL or the MANIFEST
+    /// fails. Both are framed logs whose writer tracks its block offset in
+    /// memory — after a failed append the file tail and the writer's idea
+    /// of it disagree, so any further record could be mis-framed and turn a
+    /// crash-safe truncated tail into mid-file corruption that loses
+    /// *acknowledged* writes on recovery. Every mutating entry point
+    /// (`write`, `flush`, `compact`, `major_compact`) refuses with this
+    /// error once set: the database is read-only until reopened, and reopen
+    /// recovers everything acknowledged before the fault.
+    fatal: Mutex<Option<Error>>,
     /// Weak refs to every installed version; used by [`DbCore::gc`] to
     /// decide which compaction inputs are still reachable by readers.
     live_versions: Mutex<Vec<Weak<Version>>>,
@@ -186,7 +196,14 @@ impl Db {
         let mut mem = MemTable::new();
         let mut mem_generation = 0;
 
-        // Replay WAL files at or after the recorded log number.
+        IoStats::add(&stats.manifest_replays, versions.recovered_edits);
+
+        // Replay WAL files at or after the recorded log number. Flushes
+        // forced by replay accumulate into `recovery_edit`, which is logged
+        // once — together with the fresh WAL's number — below, so that a
+        // crash at any point during recovery leaves the MANIFEST unchanged
+        // and the replay idempotent (see `flush_memtable_impl`).
+        let mut recovery_edit = VersionEdit::default();
         if preexisting {
             let mut log_numbers: Vec<u64> = env
                 .list(name)?
@@ -199,6 +216,7 @@ impl Db {
                 let data = env.read_all(&log_file_name(name, number))?;
                 let mut reader = LogReader::new(&data);
                 while let Some(record) = reader.read_record()? {
+                    IoStats::add(&stats.wal_replays, 1);
                     let (seq, ops) = WriteBatch::decode(&record)?;
                     for (i, op) in ops.iter().enumerate() {
                         mem.add(seq + i as u64, op.vtype, &op.key, &op.value);
@@ -215,30 +233,40 @@ impl Db {
                             name,
                             &mut versions,
                             &mut mem,
-                            None,
+                            &mut recovery_edit,
                         )?;
                         mem_generation += 1;
                     }
                 }
             }
             if !mem.is_empty() {
-                flush_memtable_impl(&opts, &env, &stats, name, &mut versions, &mut mem, None)?;
+                flush_memtable_impl(
+                    &opts,
+                    &env,
+                    &stats,
+                    name,
+                    &mut versions,
+                    &mut mem,
+                    &mut recovery_edit,
+                )?;
                 mem_generation += 1;
             }
         }
 
-        // Fresh WAL.
+        // Fresh WAL, installed atomically with the recovery flushes: one
+        // MANIFEST record moves the database from "replay the old WALs"
+        // to "recovered files + new WAL" with no intermediate state.
         let wal = if opts.wal_enabled {
             let log_number = versions.new_file_number();
             let wal = LogWriter::new(env.new_writable(&log_file_name(name, log_number))?);
-            versions.log_and_apply(VersionEdit {
-                log_number: Some(log_number),
-                ..Default::default()
-            })?;
+            recovery_edit.log_number = Some(log_number);
             Some(wal)
         } else {
             None
         };
+        if recovery_edit.log_number.is_some() || !recovery_edit.new_files.is_empty() {
+            versions.log_and_apply(recovery_edit)?;
+        }
 
         let version = versions.current();
         let last_sequence = versions.last_sequence;
@@ -270,6 +298,7 @@ impl Db {
             tables: Mutex::new(LruCache::new(table_cache_entries)),
             pinned: Arc::new(Mutex::new(BTreeMap::new())),
             bg_error: Mutex::new(None),
+            fatal: Mutex::new(None),
             live_versions: Mutex::new(vec![Arc::downgrade(&version)]),
             pending_gc: Mutex::new(Vec::new()),
             work_tx: Mutex::new(None),
@@ -378,6 +407,7 @@ impl Db {
             return Err(Error::invalid("empty write batch"));
         }
         let core = &self.core;
+        core.check_fatal()?;
         if core.opts.background_work {
             core.maybe_slowdown();
             let mut inner = core.inner.lock();
@@ -394,6 +424,7 @@ impl Db {
     /// Flush all in-memory entries to L0 (then run any due compactions,
     /// unless `auto_compact` is off).
     pub fn flush(&self) -> Result<()> {
+        self.core.check_fatal()?;
         let _maintenance = self.core.maintenance.lock();
         self.core.flush_all_locked()?;
         if self.core.opts.auto_compact {
@@ -405,8 +436,16 @@ impl Db {
     /// Run compactions until no level is over threshold (normally invoked
     /// automatically by writes, or by the background worker).
     pub fn compact(&self) -> Result<()> {
+        self.core.check_fatal()?;
         let _maintenance = self.core.maintenance.lock();
         self.core.run_compactions()
+    }
+
+    /// The sticky fatal error, if a WAL or MANIFEST append has failed. The
+    /// database is read-only while this is `Some`; reopening recovers every
+    /// write acknowledged before the fault.
+    pub fn fatal_error(&self) -> Option<Error> {
+        self.core.fatal.lock().clone()
     }
 
     /// Major compaction: flush the memtable and push every level's data
@@ -419,6 +458,7 @@ impl Db {
     /// database, a major compaction rebuilds every file with the new
     /// per-block filters and zone maps.
     pub fn major_compact(&self) -> Result<()> {
+        self.core.check_fatal()?;
         let _maintenance = self.core.maintenance.lock();
         self.core.flush_all_locked()?;
         for level in 0..self.core.opts.num_levels - 1 {
@@ -963,6 +1003,25 @@ impl DbCore {
         }
     }
 
+    /// Refuse mutating work once a log append has failed (see the `fatal`
+    /// field for why the database must go read-only).
+    fn check_fatal(&self) -> Result<()> {
+        match &*self.fatal.lock() {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Record a failed WAL/MANIFEST append as the sticky fatal error (first
+    /// one wins) and hand the error back for propagation.
+    fn set_fatal(&self, e: Error) -> Error {
+        let mut slot = self.fatal.lock();
+        if slot.is_none() {
+            *slot = Some(e.clone());
+        }
+        e
+    }
+
     // -- write path ---------------------------------------------------------
 
     /// WAL append + memtable insert. Caller holds `inner` and has already
@@ -975,7 +1034,10 @@ impl DbCore {
         let payload_len = {
             let payload = batch.encode(start_seq);
             if let Some(wal) = inner.wal.as_mut() {
-                wal.add_record(payload)?;
+                // A failed append leaves a partial record at the WAL tail;
+                // recovery reads it as a clean truncated-tail EOF, but only
+                // if nothing is appended after it — poison the write path.
+                wal.add_record(payload).map_err(|e| self.set_fatal(e))?;
             }
             payload.len()
         };
@@ -1112,7 +1174,12 @@ impl DbCore {
             ..Default::default()
         };
         edit.add_file(0, meta);
-        inner.versions.log_and_apply(edit)?;
+        // A failed MANIFEST append poisons like a failed WAL append: the
+        // writer's block offset no longer matches the file (see `fatal`).
+        inner
+            .versions
+            .log_and_apply(edit)
+            .map_err(|e| self.set_fatal(e))?;
         let new_version = inner.versions.current();
         self.install_read_state(|cur| ReadState {
             mem: Arc::new(RwLock::new(MemTable::new())),
@@ -1152,7 +1219,10 @@ impl DbCore {
             ..Default::default()
         };
         edit.add_file(0, meta);
-        inner.versions.log_and_apply(edit)?;
+        inner
+            .versions
+            .log_and_apply(edit)
+            .map_err(|e| self.set_fatal(e))?;
         let new_version = inner.versions.current();
         self.install_read_state(|cur| ReadState {
             mem: Arc::clone(&cur.mem),
@@ -1177,17 +1247,28 @@ impl DbCore {
     /// Build SSTable `number` from a memtable and return its metadata
     /// (counted against the flush I/O stats).
     fn build_l0_table(&self, number: u64, mem: &MemTable) -> Result<FileMetaData> {
-        let file = self
-            .env
-            .new_writable(&table_file_name(&self.name, number))?;
-        let mut builder = TableBuilder::new(&self.opts, file);
-        let mut it = mem.iter();
-        it.seek_to_first();
-        while it.valid() {
-            builder.add(it.key(), it.value())?;
-            it.next();
-        }
-        let meta = builder.finish()?;
+        let path = table_file_name(&self.name, number);
+        let built = (|| -> Result<crate::table::TableMeta> {
+            let file = self.env.new_writable(&path)?;
+            let mut builder = TableBuilder::new(&self.opts, file);
+            let mut it = mem.iter();
+            it.seek_to_first();
+            while it.valid() {
+                builder.add(it.key(), it.value())?;
+                it.next();
+            }
+            builder.finish()
+        })();
+        let meta = match built {
+            Ok(meta) => meta,
+            Err(e) => {
+                // The partial table was never installed; drop it so a
+                // transient fault leaves no orphan behind. The memtable and
+                // WAL are untouched, so the flush is retryable.
+                let _ = self.env.remove(&path);
+                return Err(e);
+            }
+        };
         IoStats::add(&self.stats.flush_bytes_written, meta.file_size);
         IoStats::add(&self.stats.flush_blocks_written, meta.num_blocks);
         IoStats::add(&self.stats.flushes, 1);
@@ -1271,7 +1352,7 @@ impl DbCore {
         let mut run_key: Vec<u8> = Vec::new();
         let mut run: Vec<RunEntry> = Vec::new();
 
-        {
+        let merge_result = (|| -> Result<()> {
             let emit_run = |builder: &mut Option<(u64, TableBuilder)>,
                             outputs: &mut Vec<(u64, crate::table::TableMeta)>,
                             key: &[u8],
@@ -1343,13 +1424,26 @@ impl DbCore {
             let prev_key = std::mem::take(&mut run_key);
             let prev_run = std::mem::take(&mut run);
             emit_run(&mut builder, &mut outputs, &prev_key, &prev_run)?;
-        }
-        if let Some((number, b)) = builder.take() {
-            if b.num_entries() > 0 {
-                outputs.push((number, b.finish()?));
-            } else {
+            if let Some((number, b)) = builder.take() {
+                if b.num_entries() > 0 {
+                    outputs.push((number, b.finish()?));
+                } else {
+                    let _ = self.env.remove(&table_file_name(&self.name, number));
+                }
+            }
+            Ok(())
+        })();
+        if let Err(e) = merge_result {
+            // None of the outputs were installed; drop the partial and the
+            // finished-but-orphaned files so a failed compaction leaves the
+            // directory clean (it is retryable — inputs are untouched).
+            if let Some((number, _)) = builder.take() {
                 let _ = self.env.remove(&table_file_name(&self.name, number));
             }
+            for (number, _) in &outputs {
+                let _ = self.env.remove(&table_file_name(&self.name, *number));
+            }
+            return Err(e);
         }
 
         // Install the result.
@@ -1394,7 +1488,15 @@ impl DbCore {
 
         {
             let mut inner = self.inner.lock();
-            inner.versions.log_and_apply(edit)?;
+            if let Err(e) = inner.versions.log_and_apply(edit) {
+                // The outputs were never installed; drop the orphan files
+                // before surfacing the (poisoning) error.
+                drop(inner);
+                for (number, _) in &outputs {
+                    let _ = self.env.remove(&table_file_name(&self.name, *number));
+                }
+                return Err(self.set_fatal(e));
+            }
             let new_version = inner.versions.current();
             self.install_read_state(|cur| ReadState {
                 mem: Arc::clone(&cur.mem),
@@ -1459,10 +1561,14 @@ impl DbCore {
     }
 
     fn remove_obsolete_files(&self) {
-        let (live, log_number) = {
+        let (live, log_number, manifest_number) = {
             let inner = self.inner.lock();
             let live: HashSet<u64> = inner.versions.live_files().into_iter().collect();
-            (live, inner.versions.log_number)
+            (
+                live,
+                inner.versions.log_number,
+                inner.versions.manifest_number(),
+            )
         };
         let Ok(names) = self.env.list(&self.name) else {
             return;
@@ -1481,6 +1587,17 @@ impl DbCore {
                         let _ = self.env.remove(&format!("{}/{}", self.name, fname));
                     }
                 }
+            } else if let Some(numtext) = fname.strip_prefix("MANIFEST-") {
+                // Superseded manifests (a crash between writing a fresh
+                // manifest and repointing CURRENT leaves one behind).
+                if let Ok(number) = numtext.parse::<u64>() {
+                    if number != manifest_number {
+                        let _ = self.env.remove(&format!("{}/{}", self.name, fname));
+                    }
+                }
+            } else if format!("{}/{}", self.name, fname) == current_tmp_file_name(&self.name) {
+                // Staging file orphaned by a crash before the CURRENT rename.
+                let _ = self.env.remove(&current_tmp_file_name(&self.name));
             }
         }
     }
@@ -1583,6 +1700,17 @@ impl Drop for SnapshotHandle {
 
 /// Recovery-time flush: used while replaying WALs, before the `DbCore`
 /// exists.
+///
+/// The new L0 file is recorded into `edit` but **not** logged to the
+/// MANIFEST here. Recovery applies one combined edit — all replay flushes
+/// plus the fresh WAL's log number — atomically at the end of `Db::open`.
+/// If we crash before that point the MANIFEST is unchanged, the old WALs
+/// are still current, and the next recovery replays them from scratch
+/// (the half-built tables are unreferenced orphans, removed by
+/// `remove_obsolete_files`). Logging each flush eagerly instead would
+/// persist the flushed records in L0 while the WAL that produced them
+/// stays replayable — a second recovery would then apply non-idempotent
+/// MERGE records twice.
 fn flush_memtable_impl(
     opts: &DbOptions,
     env: &Arc<dyn Env>,
@@ -1590,7 +1718,7 @@ fn flush_memtable_impl(
     name: &str,
     versions: &mut VersionSet,
     mem: &mut MemTable,
-    new_log_number: Option<u64>,
+    edit: &mut VersionEdit,
 ) -> Result<()> {
     if mem.is_empty() {
         return Ok(());
@@ -1608,10 +1736,6 @@ fn flush_memtable_impl(
     IoStats::add(&stats.flush_bytes_written, meta.file_size);
     IoStats::add(&stats.flush_blocks_written, meta.num_blocks);
     IoStats::add(&stats.flushes, 1);
-    let mut edit = VersionEdit {
-        log_number: new_log_number,
-        ..Default::default()
-    };
     edit.add_file(
         0,
         FileMetaData {
@@ -1624,7 +1748,6 @@ fn flush_memtable_impl(
             sec_file_zones: meta.sec_file_zones,
         },
     );
-    versions.log_and_apply(edit)?;
     *mem = MemTable::new();
     Ok(())
 }

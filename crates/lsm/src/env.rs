@@ -128,6 +128,13 @@ pub struct IoStats {
     pub compactions: AtomicU64,
     /// Number of memtable flushes.
     pub flushes: AtomicU64,
+    /// Faults injected by a [`FaultEnv`] mirroring into these stats (see
+    /// [`FaultEnv::mirror_stats`]).
+    pub injected_faults: AtomicU64,
+    /// WAL records replayed into the memtable while opening the database.
+    pub wal_replays: AtomicU64,
+    /// MANIFEST version edits applied while recovering the version state.
+    pub manifest_replays: AtomicU64,
 }
 
 /// A point-in-time copy of [`IoStats`]; each field freezes the counter of
@@ -168,6 +175,12 @@ pub struct IoSnapshot {
     pub compactions: u64,
     /// Number of memtable flushes.
     pub flushes: u64,
+    /// Faults injected by a [`FaultEnv`] mirroring into these stats.
+    pub injected_faults: u64,
+    /// WAL records replayed into the memtable while opening the database.
+    pub wal_replays: u64,
+    /// MANIFEST version edits applied while recovering the version state.
+    pub manifest_replays: u64,
 }
 
 impl IoSnapshot {
@@ -205,6 +218,9 @@ impl IoSnapshot {
             file_zonemap_prunes: self.file_zonemap_prunes - earlier.file_zonemap_prunes,
             compactions: self.compactions - earlier.compactions,
             flushes: self.flushes - earlier.flushes,
+            injected_faults: self.injected_faults - earlier.injected_faults,
+            wal_replays: self.wal_replays - earlier.wal_replays,
+            manifest_replays: self.manifest_replays - earlier.manifest_replays,
         }
     }
 }
@@ -233,6 +249,9 @@ impl std::ops::Add for IoSnapshot {
             file_zonemap_prunes: self.file_zonemap_prunes + b.file_zonemap_prunes,
             compactions: self.compactions + b.compactions,
             flushes: self.flushes + b.flushes,
+            injected_faults: self.injected_faults + b.injected_faults,
+            wal_replays: self.wal_replays + b.wal_replays,
+            manifest_replays: self.manifest_replays + b.manifest_replays,
         }
     }
 }
@@ -263,6 +282,9 @@ impl IoStats {
             file_zonemap_prunes: self.file_zonemap_prunes.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            wal_replays: self.wal_replays.load(Ordering::Relaxed),
+            manifest_replays: self.manifest_replays.load(Ordering::Relaxed),
         }
     }
 
@@ -301,6 +323,31 @@ impl MemEnv {
             .values()
             .map(|f| f.read().len() as u64)
             .sum()
+    }
+
+    /// Deep-copy the entire filesystem image into a fresh, independent
+    /// [`MemEnv`].
+    ///
+    /// This is the "crash snapshot" primitive: a [`FaultEnv`] freezes the
+    /// image by failing every mutating operation past a crash point, and
+    /// `deep_clone` then yields a detached copy that a fresh database can be
+    /// reopened from — exactly what a machine would see after a power cut.
+    /// File contents are copied byte-for-byte, so writers still holding
+    /// handles into the original cannot leak post-crash bytes into the clone.
+    pub fn deep_clone(&self) -> Arc<MemEnv> {
+        let files = self.files.read();
+        let copied: HashMap<String, MemFile> = files
+            .iter()
+            .map(|(path, file)| {
+                (
+                    path.clone(),
+                    Arc::new(RwLock::new(file.read().clone())) as MemFile,
+                )
+            })
+            .collect();
+        Arc::new(MemEnv {
+            files: RwLock::new(copied),
+        })
     }
 
     fn get(&self, path: &str) -> Result<MemFile> {
@@ -421,6 +468,311 @@ impl Env for MemEnv {
 
     fn mkdir_all(&self, _dir: &str) -> Result<()> {
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FaultEnv
+// ---------------------------------------------------------------------------
+
+/// The class of a mutating filesystem operation, as counted — and optionally
+/// failed — by a [`FaultEnv`].
+///
+/// Read operations are never counted or failed: the model is a crash or a
+/// write error, not a flaky disk on the read path (corrupted *contents* are
+/// produced with [`FaultEnv::flip_byte`] / [`FaultEnv::truncate_file`]
+/// instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// [`Env::new_writable`] — creating or truncating a file.
+    NewWritable,
+    /// [`WritableFile::append`] on a file created through the fault env.
+    Append,
+    /// [`WritableFile::sync`] on a file created through the fault env.
+    Sync,
+    /// [`Env::write_all`] — the atomic whole-file write (CURRENT pointer).
+    WriteAll,
+    /// [`Env::remove`].
+    Remove,
+    /// [`Env::rename`].
+    Rename,
+}
+
+impl FaultOp {
+    const COUNT: usize = 6;
+
+    fn index(self) -> usize {
+        match self {
+            FaultOp::NewWritable => 0,
+            FaultOp::Append => 1,
+            FaultOp::Sync => 2,
+            FaultOp::WriteAll => 3,
+            FaultOp::Remove => 4,
+            FaultOp::Rename => 5,
+        }
+    }
+}
+
+/// What a [`FaultEnv`] should fail, expressed over operation indices.
+///
+/// Every mutating operation gets a global index (0-based, in issue order)
+/// and a per-class index; a plan fires on either. The default plan injects
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Simulated crash: every mutating operation with global index
+    /// `>= crash_at` fails with [`Error::Io`], freezing the filesystem
+    /// image exactly as it stood after `crash_at` operations. Combine with
+    /// [`MemEnv::deep_clone`] to reopen a database from that image.
+    pub crash_at: Option<u64>,
+    /// Transient fault: the single operation with this global index fails
+    /// once; everything before and after proceeds normally.
+    pub fail_at: Option<u64>,
+    /// Transient fault targeted by class: fail the `k`-th operation of the
+    /// given class **that matches [`FaultPlan::match_path`]**, counted from
+    /// the moment the plan was installed — e.g. "the next `Append` to a path
+    /// containing `MANIFEST`" is `(FaultOp::Append, 0)` with `match_path:
+    /// Some("MANIFEST")`.
+    pub fail_kind_at: Option<(FaultOp, u64)>,
+    /// Restrict injection to operations whose path contains this substring
+    /// (e.g. `"MANIFEST"` or `".log"`). The global and per-class counters
+    /// are unaffected, so indices stay comparable across plans.
+    pub match_path: Option<String>,
+}
+
+struct FaultState {
+    /// Global mutating-operation counter (also counts non-matching ops).
+    ops: AtomicU64,
+    /// Per-[`FaultOp`]-class counters.
+    class_ops: [AtomicU64; FaultOp::COUNT],
+    /// Faults injected so far.
+    faults: AtomicU64,
+    /// Operations matching the current plan's class + path filter, counted
+    /// since the plan was installed (drives [`FaultPlan::fail_kind_at`]).
+    plan_matches: AtomicU64,
+    plan: RwLock<FaultPlan>,
+    /// Optional [`IoStats`] whose `injected_faults` counter mirrors `faults`.
+    mirror: RwLock<Option<Arc<IoStats>>>,
+}
+
+impl FaultState {
+    /// Count one mutating operation and decide whether to fail it.
+    fn check(&self, op: FaultOp, path: &str) -> Result<()> {
+        let n = self.ops.fetch_add(1, Ordering::SeqCst);
+        let k = self.class_ops[op.index()].fetch_add(1, Ordering::SeqCst);
+        let plan = self.plan.read().clone();
+        let path_matches = plan
+            .match_path
+            .as_ref()
+            .is_none_or(|sub| path.contains(sub.as_str()));
+        let mut hit = false;
+        if path_matches {
+            hit |= plan.crash_at.is_some_and(|c| n >= c) || plan.fail_at == Some(n);
+            if let Some((class, target)) = plan.fail_kind_at {
+                if class == op {
+                    hit |= self.plan_matches.fetch_add(1, Ordering::SeqCst) == target;
+                }
+            }
+        }
+        if !hit {
+            return Ok(());
+        }
+        self.faults.fetch_add(1, Ordering::SeqCst);
+        if let Some(stats) = self.mirror.read().as_ref() {
+            IoStats::add(&stats.injected_faults, 1);
+        }
+        Err(Error::io(format!(
+            "injected fault: op #{n} ({op:?} #{k}) on {path:?}"
+        )))
+    }
+}
+
+/// A deterministic fault-injecting decorator around any [`Env`].
+///
+/// All mutating operations (`new_writable`, `append`, `sync`, `write_all`,
+/// `remove`, `rename`) are assigned a global 0-based index in issue order;
+/// a [`FaultPlan`] picks which indices fail with [`Error::Io`]. Because the
+/// engine is deterministic over [`MemEnv`] in foreground mode, a probe run
+/// without faults yields the total operation count `M`, and a sweep can then
+/// replay the same workload once per crash point `k < M` — covering every
+/// possible crash prefix of the I/O trace.
+///
+/// Two fault shapes are supported:
+/// - **crash** ([`FaultPlan::crash_at`]): every op at index `>= k` fails,
+///   freezing the underlying image mid-write, exactly as a power cut would;
+///   snapshot it with [`MemEnv::deep_clone`] and reopen.
+/// - **transient** ([`FaultPlan::fail_at`] / [`FaultPlan::fail_kind_at`]):
+///   one op fails once — for testing error propagation and retryability.
+///
+/// [`FaultEnv::truncate_file`] and [`FaultEnv::flip_byte`] mutate file
+/// contents directly (bypassing the plan) to simulate torn tails and media
+/// corruption.
+pub struct FaultEnv {
+    inner: Arc<dyn Env>,
+    state: Arc<FaultState>,
+}
+
+impl FaultEnv {
+    /// Wrap `inner` with fault injection. Starts with an empty plan (no
+    /// faults) and all counters at zero.
+    pub fn new(inner: Arc<dyn Env>) -> Arc<FaultEnv> {
+        Arc::new(FaultEnv {
+            inner,
+            state: Arc::new(FaultState {
+                ops: AtomicU64::new(0),
+                class_ops: Default::default(),
+                faults: AtomicU64::new(0),
+                plan_matches: AtomicU64::new(0),
+                plan: RwLock::new(FaultPlan::default()),
+                mirror: RwLock::new(None),
+            }),
+        })
+    }
+
+    /// Replace the fault plan. Resets the match counter that drives
+    /// [`FaultPlan::fail_kind_at`] (global and per-class counters keep
+    /// their values).
+    pub fn set_plan(&self, plan: FaultPlan) {
+        let mut slot = self.state.plan.write();
+        self.state.plan_matches.store(0, Ordering::SeqCst);
+        *slot = plan;
+    }
+
+    /// Convenience: crash at global operation index `n` (see
+    /// [`FaultPlan::crash_at`]).
+    pub fn set_crash_point(&self, n: u64) {
+        self.set_plan(FaultPlan {
+            crash_at: Some(n),
+            ..FaultPlan::default()
+        });
+    }
+
+    /// Convenience: fail only the operation with global index `n`.
+    pub fn set_fail_point(&self, n: u64) {
+        self.set_plan(FaultPlan {
+            fail_at: Some(n),
+            ..FaultPlan::default()
+        });
+    }
+
+    /// Remove all scheduled faults (counters keep their values).
+    pub fn clear_plan(&self) {
+        self.set_plan(FaultPlan::default());
+    }
+
+    /// Mutating operations issued so far (including ones that failed).
+    pub fn op_count(&self) -> u64 {
+        self.state.ops.load(Ordering::SeqCst)
+    }
+
+    /// Operations of one class issued so far.
+    pub fn class_count(&self, op: FaultOp) -> u64 {
+        self.state.class_ops[op.index()].load(Ordering::SeqCst)
+    }
+
+    /// Faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.state.faults.load(Ordering::SeqCst)
+    }
+
+    /// Also mirror every injected fault into `stats.injected_faults`, so a
+    /// database's own [`IoStats`] can report how much abuse it absorbed.
+    pub fn mirror_stats(&self, stats: Arc<IoStats>) {
+        *self.state.mirror.write() = Some(stats);
+    }
+
+    /// Truncate `path` to its first `keep` bytes — a torn tail, as left by a
+    /// crash mid-append. Bypasses the fault plan and counters.
+    pub fn truncate_file(&self, path: &str, keep: u64) -> Result<()> {
+        let mut data = self.inner.read_all(path)?;
+        data.truncate(keep as usize);
+        self.inner.write_all(path, &data)
+    }
+
+    /// XOR the byte at `offset` in `path` with `0xff` — media corruption.
+    /// Bypasses the fault plan and counters.
+    pub fn flip_byte(&self, path: &str, offset: u64) -> Result<()> {
+        let mut data = self.inner.read_all(path)?;
+        let i = offset as usize;
+        if i >= data.len() {
+            return Err(Error::invalid(format!(
+                "flip_byte offset {i} past EOF {}",
+                data.len()
+            )));
+        }
+        data[i] ^= 0xff;
+        self.inner.write_all(path, &data)
+    }
+}
+
+/// Writable file wrapper that routes `append`/`sync` through the fault plan.
+struct FaultWritable {
+    inner: Box<dyn WritableFile>,
+    path: String,
+    state: Arc<FaultState>,
+}
+
+impl WritableFile for FaultWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.state.check(FaultOp::Append, &self.path)?;
+        self.inner.append(data)
+    }
+    fn sync(&mut self) -> Result<()> {
+        self.state.check(FaultOp::Sync, &self.path)?;
+        self.inner.sync()
+    }
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+impl Env for FaultEnv {
+    fn new_writable(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        self.state.check(FaultOp::NewWritable, path)?;
+        Ok(Box::new(FaultWritable {
+            inner: self.inner.new_writable(path)?,
+            path: path.to_string(),
+            state: self.state.clone(),
+        }))
+    }
+
+    fn open_random(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        self.inner.open_random(path)
+    }
+
+    fn read_all(&self, path: &str) -> Result<Vec<u8>> {
+        self.inner.read_all(path)
+    }
+
+    fn write_all(&self, path: &str, data: &[u8]) -> Result<()> {
+        self.state.check(FaultOp::WriteAll, path)?;
+        self.inner.write_all(path, data)
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        self.state.check(FaultOp::Remove, path)?;
+        self.inner.remove(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.state.check(FaultOp::Rename, to)?;
+        self.inner.rename(from, to)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn list(&self, dir: &str) -> Result<Vec<String>> {
+        self.inner.list(dir)
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        self.inner.file_size(path)
+    }
+
+    fn mkdir_all(&self, dir: &str) -> Result<()> {
+        self.inner.mkdir_all(dir)
     }
 }
 

@@ -36,6 +36,23 @@ pub fn current_file_name(db: &str) -> String {
     format!("{db}/CURRENT")
 }
 
+/// `<db>/CURRENT.tmp` — staging file for atomic CURRENT installs.
+pub fn current_tmp_file_name(db: &str) -> String {
+    format!("{db}/CURRENT.tmp")
+}
+
+/// Point CURRENT at `MANIFEST-<manifest_number>`.
+///
+/// Written to a temporary file first and renamed into place, so a crash
+/// between the two steps leaves the old CURRENT intact (still naming a
+/// complete, replayable manifest) plus an orphan `CURRENT.tmp` that the next
+/// open garbage-collects.
+fn install_current(env: &dyn Env, dbname: &str, manifest_number: u64) -> Result<()> {
+    let tmp = current_tmp_file_name(dbname);
+    env.write_all(&tmp, format!("MANIFEST-{manifest_number:06}\n").as_bytes())?;
+    env.rename(&tmp, &current_file_name(dbname))
+}
+
 // ---------------------------------------------------------------------------
 // File metadata
 // ---------------------------------------------------------------------------
@@ -381,6 +398,11 @@ pub struct VersionSet {
     pub log_number: u64,
     /// Round-robin compaction cursors per level.
     pub compact_pointer: Vec<Vec<u8>>,
+    /// Number of the MANIFEST file currently being appended to.
+    manifest_number: u64,
+    /// MANIFEST version edits applied by [`VersionSet::recover`] (0 for a
+    /// freshly created database) — surfaced as `IoStats::manifest_replays`.
+    pub recovered_edits: u64,
 }
 
 impl VersionSet {
@@ -398,10 +420,7 @@ impl VersionSet {
         };
         manifest.add_record(&edit.encode())?;
         manifest.sync()?;
-        env.write_all(
-            &current_file_name(dbname),
-            format!("MANIFEST-{manifest_number:06}\n").as_bytes(),
-        )?;
+        install_current(env.as_ref(), dbname, manifest_number)?;
         Ok(VersionSet {
             env,
             dbname: dbname.to_string(),
@@ -412,6 +431,8 @@ impl VersionSet {
             last_sequence: 0,
             log_number: 2,
             compact_pointer: vec![Vec::new(); num_levels],
+            manifest_number,
+            recovered_edits: 0,
         })
     }
 
@@ -430,7 +451,9 @@ impl VersionSet {
         let mut last_sequence = 0;
         let mut log_number = 2;
         let mut compact_pointer = vec![Vec::new(); num_levels];
+        let mut recovered_edits = 0u64;
         while let Some(record) = reader.read_record()? {
+            recovered_edits += 1;
             let edit = VersionEdit::decode(&record)?;
             version = apply_edit(&version, &edit, num_levels)?;
             if let Some(v) = edit.next_file_number {
@@ -473,10 +496,7 @@ impl VersionSet {
         }
         manifest.add_record(&snapshot.encode())?;
         manifest.sync()?;
-        env.write_all(
-            &current_file_name(dbname),
-            format!("MANIFEST-{manifest_number:06}\n").as_bytes(),
-        )?;
+        install_current(env.as_ref(), dbname, manifest_number)?;
 
         Ok(VersionSet {
             env,
@@ -488,6 +508,8 @@ impl VersionSet {
             last_sequence,
             log_number,
             compact_pointer,
+            manifest_number,
+            recovered_edits,
         })
     }
 
@@ -539,6 +561,12 @@ impl VersionSet {
     /// The database directory name this set manages.
     pub fn dbname(&self) -> &str {
         &self.dbname
+    }
+
+    /// Number of the MANIFEST file currently in use (older `MANIFEST-*`
+    /// files are garbage).
+    pub fn manifest_number(&self) -> u64 {
+        self.manifest_number
     }
 
     /// The environment backing this set.

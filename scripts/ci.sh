@@ -4,7 +4,13 @@
 #   2. lints (`cargo clippy`, all targets, warnings are errors);
 #   3. tier-1 tests: release build + the root-package suite (the seed's
 #      acceptance gate), then the full workspace suite;
-#   4. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
+#   4. crash-recovery sweep: the fault-injection harnesses in
+#      crates/lsm/tests/crash.rs and crates/core/tests/crash_secondary.rs,
+#      which crash a scripted workload at every I/O-operation index and
+#      verify recovery for the LSM and all five index techniques. The
+#      default budget is bounded (short workloads, capped sweep width);
+#      set CRASH_SWEEP_FULL=1 for the exhaustive long-workload sweep.
+#   5. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
 #      plus markdown link check).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +29,10 @@ cargo test -q
 
 echo "== workspace tests =="
 cargo test --workspace -q
+
+echo "== crash-recovery sweep (CRASH_SWEEP_FULL=${CRASH_SWEEP_FULL:-0}) =="
+CRASH_SWEEP_FULL="${CRASH_SWEEP_FULL:-0}" cargo test -q -p ldbpp-lsm --test crash
+CRASH_SWEEP_FULL="${CRASH_SWEEP_FULL:-0}" cargo test -q -p ldbpp-core --test crash_secondary
 
 ./scripts/check_docs.sh
 

@@ -32,5 +32,7 @@ pub use ldbpp_core::{
     advisor, cost, Document, IndexKind, LookupHit, SecondaryDb, SecondaryDbOptions,
 };
 pub use ldbpp_lsm::db::{Db, DbOptions};
-pub use ldbpp_lsm::env::{DiskEnv, Env, IoCategory, IoStats, MemEnv};
+pub use ldbpp_lsm::env::{
+    DiskEnv, Env, FaultEnv, FaultOp, FaultPlan, IoCategory, IoSnapshot, IoStats, MemEnv,
+};
 pub use ldbpp_workload as workload;

@@ -120,11 +120,11 @@ impl CompositeIndex {
 /// Smallest byte string strictly greater than every string that starts
 /// with `prefix` (`None` when the prefix is all `0xFF` — no successor).
 fn prefix_successor(mut prefix: Vec<u8>) -> Option<Vec<u8>> {
-    while let Some(&last) = prefix.last() {
-        if last == 0xFF {
+    while let Some(last) = prefix.last_mut() {
+        if *last == 0xFF {
             prefix.pop();
         } else {
-            *prefix.last_mut().unwrap() = last + 1;
+            *last += 1;
             return Some(prefix);
         }
     }
@@ -208,5 +208,60 @@ impl SecondaryIndex for CompositeIndex {
     fn needs_backfill(&self) -> bool {
         // Never written: no sequence was ever assigned to this table.
         self.table.last_sequence() == 0
+    }
+
+    fn check_integrity(
+        &self,
+        primary: &Db,
+        report: &mut ldbpp_lsm::check::IntegrityReport,
+    ) -> Result<()> {
+        use ldbpp_lsm::check::CheckCode;
+        let ctx = format!("{} index '{}'", self.kind(), self.attr);
+        report.merge(&ctx, self.table.check_integrity());
+        // Cross-check: every live composite entry must reference a primary
+        // key with some record. Deleted entries are LSM tombstones in the
+        // index table itself (invisible here); predicted-sequence entries
+        // stranded by a crash before the primary write are tolerated.
+        let primary_last = primary.last_sequence();
+        // Sound only while the primary never erased a key's full history
+        // at the base level (see `check_posting_table` for the argument).
+        let strict = primary.erased_keys() == 0;
+        let mut it = self.table.resolved_iter()?;
+        it.seek_to_first();
+        while let Some((key, _seq, value)) = it.next_entry()? {
+            let Ok((av, pk)) = AttrValue::decode_composite(&key) else {
+                report.push(
+                    CheckCode::TableUnreadable,
+                    format!("{ctx}: undecodable composite key {key:02x?}"),
+                );
+                continue;
+            };
+            if value.len() != 8 {
+                report.push(
+                    CheckCode::TableUnreadable,
+                    format!(
+                        "{ctx}: entry {av:?}→{:?} has a {}-byte value, want 8",
+                        String::from_utf8_lossy(pk),
+                        value.len()
+                    ),
+                );
+                continue;
+            }
+            let seq = decode_fixed64(&value);
+            if !strict || seq > primary_last {
+                continue;
+            }
+            if primary.newest_record(pk)?.is_none() {
+                report.push(
+                    CheckCode::DanglingIndexEntry,
+                    format!(
+                        "{ctx}: entry {av:?}→{:?} (seq {seq}) references a \
+                         primary key with no record",
+                        String::from_utf8_lossy(pk)
+                    ),
+                );
+            }
+        }
+        Ok(())
     }
 }

@@ -194,4 +194,12 @@ impl SecondaryIndex for EagerIndex {
         // Never written: no sequence was ever assigned to this table.
         self.table.last_sequence() == 0
     }
+
+    fn check_integrity(
+        &self,
+        primary: &Db,
+        report: &mut ldbpp_lsm::check::IntegrityReport,
+    ) -> Result<()> {
+        crate::indexes::check_posting_table(self.kind(), &self.attr, &self.table, primary, report)
+    }
 }

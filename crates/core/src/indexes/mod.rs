@@ -13,8 +13,10 @@ pub use lazy::{LazyIndex, PostingListMerge};
 pub use posting::{decode_postings, encode_postings, Posting};
 
 use crate::doc::Document;
+use crate::indexes::posting::fold_postings;
 use ldbpp_common::Result;
 use ldbpp_lsm::attr::AttrValue;
+use ldbpp_lsm::check::{CheckCode, IntegrityReport};
 use ldbpp_lsm::db::Db;
 use ldbpp_lsm::env::IoStats;
 use std::sync::Arc;
@@ -123,6 +125,80 @@ pub trait SecondaryIndex: Send + Sync {
     fn needs_backfill(&self) -> bool {
         false
     }
+    /// Fold this index's structural violations into `report`: the LSM
+    /// checker over any stand-alone table, plus the cross-check that no
+    /// live index entry references a primary key with no record at all.
+    ///
+    /// Two absences are deliberately tolerated (the documented
+    /// crash-consistency contract): entries whose sequence exceeds the
+    /// primary's last sequence are crash-stranded predictions from the
+    /// index-first write path, and entries whose primary key still carries
+    /// a tombstone are stale leftovers that read-time validation absorbs.
+    /// The cross-check is further gated on [`Db::erased_keys`]` == 0`: once
+    /// base-level compaction has discarded even one key's entire history,
+    /// a stale posting from an update can legitimately outlive its primary
+    /// key, so "no record at all" stops being evidence of corruption.
+    ///
+    /// Default: nothing to check (the Embedded Index has no structure of
+    /// its own beyond the primary table, which is checked separately).
+    fn check_integrity(&self, _primary: &Db, _report: &mut IntegrityReport) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Shared [`SecondaryIndex::check_integrity`] body for the two
+/// posting-list indexes (Eager and Lazy): run the LSM checker on the index
+/// table, then verify every live posting references a primary key that has
+/// *some* record (value or tombstone). Deletion markers and
+/// crash-stranded predicted-sequence postings are skipped.
+pub(crate) fn check_posting_table(
+    kind: IndexKind,
+    attr: &str,
+    table: &Db,
+    primary: &Db,
+    report: &mut IntegrityReport,
+) -> Result<()> {
+    let ctx = format!("{kind} index '{attr}'");
+    report.merge(&ctx, table.check_integrity());
+    let primary_last = primary.last_sequence();
+    // Once the primary has fully erased any key at the base level, a stale
+    // posting (left behind by an update, then orphaned by a delete whose
+    // tombstone was compacted away) is indistinguishable from corruption —
+    // the dangling cross-check is only sound while nothing was ever erased.
+    let strict = primary.erased_keys() == 0;
+    let mut it = table.resolved_iter()?;
+    it.seek_to_first();
+    while let Some((key, _seq, value)) = it.next_entry()? {
+        let postings = match posting::decode_postings(&value) {
+            Ok(p) => p,
+            Err(e) => {
+                report.push(
+                    CheckCode::TableUnreadable,
+                    format!("{ctx}: undecodable posting list at key {key:02x?}: {e}"),
+                );
+                continue;
+            }
+        };
+        // Fold to the newest posting per primary key: older entries are
+        // shadowed and never consulted, so only the newest can dangle.
+        for p in fold_postings(&[postings], true) {
+            if !strict || p.deleted || p.seq > primary_last {
+                continue;
+            }
+            if primary.newest_record(&p.pk)?.is_none() {
+                report.push(
+                    CheckCode::DanglingIndexEntry,
+                    format!(
+                        "{ctx}: posting {:?} (seq {}) references a primary key \
+                         with no record",
+                        String::from_utf8_lossy(&p.pk),
+                        p.seq
+                    ),
+                );
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Fetch `pk` from the primary table and keep it only if `pred` holds on

@@ -24,4 +24,5 @@ pub mod topk;
 
 pub use doc::{Document, JsonAttrExtractor};
 pub use indexes::{IndexKind, LookupHit};
+pub use ldbpp_lsm::check::{CheckCode, IntegrityReport, Violation};
 pub use secondary_db::{SecondaryDb, SecondaryDbOptions};

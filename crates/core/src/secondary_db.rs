@@ -14,6 +14,7 @@ use crate::topk::TopK;
 use ldbpp_common::json::Value;
 use ldbpp_common::{Error, Result};
 use ldbpp_lsm::attr::AttrValue;
+use ldbpp_lsm::check::{CheckCode, IntegrityReport};
 use ldbpp_lsm::db::{Db, DbOptions};
 use ldbpp_lsm::env::{Env, IoSnapshot, MemEnv};
 use std::sync::Arc;
@@ -142,6 +143,32 @@ impl SecondaryDb {
     /// The primary table.
     pub fn primary(&self) -> &Arc<Db> {
         &self.primary
+    }
+
+    /// Run the full structural invariant catalogue: the LSM checker over
+    /// the primary table, then over every stand-alone index table, plus
+    /// the cross-check that no live index entry references a primary key
+    /// without any record (see
+    /// [`SecondaryIndex::check_integrity`] for the
+    /// crash-consistency tolerances). Intended for a quiesced
+    /// database; never fails — errors while scanning an index become
+    /// violations in the report.
+    #[must_use = "the report lists violations; ignoring it defeats the check"]
+    pub fn check_integrity(&self) -> IntegrityReport {
+        let mut report = self.primary.check_integrity();
+        for index in &self.indexes {
+            if let Err(e) = index.check_integrity(&self.primary, &mut report) {
+                report.push(
+                    CheckCode::TableUnreadable,
+                    format!(
+                        "{} index '{}': integrity scan failed: {e}",
+                        index.kind(),
+                        index.attr()
+                    ),
+                );
+            }
+        }
+        report
     }
 
     /// The index handling `attr`, if any.
@@ -369,7 +396,7 @@ impl SecondaryDb {
         let mut fetch = k.map(|k| (k * 4).max(16));
         loop {
             let hits = self.lookup(driver_attr, driver_value, fetch)?;
-            let exhausted = fetch.is_none() || hits.len() < fetch.unwrap();
+            let exhausted = fetch.is_none_or(|f| hits.len() < f);
             let filtered: Vec<LookupHit> = hits
                 .into_iter()
                 .filter(|h| {
@@ -377,12 +404,12 @@ impl SecondaryDb {
                         .all(|(attr, want)| h.doc.attr(attr).as_ref() == Some(want))
                 })
                 .collect();
-            if k.is_none() || filtered.len() >= k.unwrap() || exhausted {
+            if k.is_none_or(|k| filtered.len() >= k) || exhausted {
                 let mut filtered = filtered;
                 filtered.truncate(k.unwrap_or(usize::MAX));
                 return Ok(filtered);
             }
-            fetch = Some(fetch.unwrap() * 4);
+            fetch = fetch.map(|f| f * 4);
         }
     }
 

@@ -213,6 +213,14 @@ fn check_recovery(run: &RunResult, kind: IndexKind, context: &str) {
     let db = open_db(run.image.deep_clone(), kind, false)
         .unwrap_or_else(|e| panic!("reopen must succeed ({context}): {e}"));
 
+    // -- Structure: primary and every index table pass the invariant
+    //    catalogue, including the index→primary dangling cross-check. --
+    let report = db.check_integrity();
+    assert!(
+        report.is_clean(),
+        "integrity violations after recovery ({context}):\n{report}"
+    );
+
     // -- Primary: exactly the acked fold, or acked + the in-flight op. --
     let mut recovered = Model::new();
     {

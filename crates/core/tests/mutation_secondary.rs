@@ -1,0 +1,204 @@
+//! Mutation tests for the cross-table invariant: stand-alone index entries
+//! must not reference primary keys with no record at all. Seeds ghost
+//! entries directly into index tables (bypassing the write path, as a bug
+//! in it would) and asserts `check_integrity` reports each with a precise
+//! diagnostic — plus clean-database and erased-history-tolerance checks.
+
+use ldbpp_common::coding::put_fixed64;
+use ldbpp_common::json::Value;
+use ldbpp_core::indexes::{CompositeIndex, EagerIndex, LazyIndex, SecondaryIndex};
+use ldbpp_core::{CheckCode, Document, IndexKind, IntegrityReport, SecondaryDb};
+use ldbpp_lsm::attr::AttrValue;
+use ldbpp_lsm::db::{Db, DbOptions};
+use ldbpp_lsm::env::MemEnv;
+use std::sync::Arc;
+
+fn doc(color: &str) -> Document {
+    let mut d = Document::new();
+    d.set("Color", Value::str(color));
+    d
+}
+
+/// A primary table with one real record, `pk1`.
+fn primary(env: Arc<MemEnv>) -> Db {
+    let db = Db::open(env, "primary", DbOptions::small()).unwrap();
+    db.put(b"pk1", b"{\"Color\":\"red\"}").unwrap();
+    db
+}
+
+fn dangling_details(report: &IntegrityReport) -> Vec<&str> {
+    report
+        .violations
+        .iter()
+        .filter(|v| v.code == CheckCode::DanglingIndexEntry)
+        .map(|v| v.detail.as_str())
+        .collect()
+}
+
+#[test]
+fn ghost_posting_in_eager_index_detected() {
+    let env = MemEnv::new();
+    let primary = primary(env.clone());
+    let idx = EagerIndex::open(env, "idx", "Color", &DbOptions::small()).unwrap();
+    idx.on_put(&primary, b"pk1", &doc("red"), 1).unwrap();
+    // A posting for a primary key that was never written (sequence within
+    // the primary's assigned range, so it is not a crash strand).
+    idx.on_put(&primary, b"ghost", &doc("red"), 1).unwrap();
+
+    let mut report = IntegrityReport::default();
+    idx.check_integrity(&primary, &mut report).unwrap();
+    let dangling = dangling_details(&report);
+    assert_eq!(dangling.len(), 1, "{report}");
+    assert!(dangling[0].contains("ghost"), "{report}");
+    assert!(dangling[0].contains("Eager index 'Color'"), "{report}");
+}
+
+#[test]
+fn ghost_posting_in_lazy_index_detected() {
+    let env = MemEnv::new();
+    let primary = primary(env.clone());
+    let idx = LazyIndex::open(env, "idx", "Color", &DbOptions::small()).unwrap();
+    idx.on_put(&primary, b"pk1", &doc("red"), 1).unwrap();
+    idx.on_put(&primary, b"ghost", &doc("blue"), 1).unwrap();
+
+    let mut report = IntegrityReport::default();
+    idx.check_integrity(&primary, &mut report).unwrap();
+    let dangling = dangling_details(&report);
+    assert_eq!(dangling.len(), 1, "{report}");
+    assert!(dangling[0].contains("ghost"), "{report}");
+    assert!(dangling[0].contains("Lazy index 'Color'"), "{report}");
+}
+
+#[test]
+fn ghost_entry_in_composite_index_detected() {
+    let env = MemEnv::new();
+    let primary = primary(env.clone());
+    let idx = CompositeIndex::open(env, "idx", "Color", &DbOptions::small()).unwrap();
+    idx.on_put(&primary, b"pk1", &doc("red"), 1).unwrap();
+    // Forge a composite entry (secondary ‖ pk → seq) by hand.
+    let mut key = AttrValue::str("blue").encode_composite();
+    key.extend_from_slice(b"ghost");
+    let mut seq_bytes = Vec::new();
+    put_fixed64(&mut seq_bytes, 1);
+    idx.table().put(&key, &seq_bytes).unwrap();
+
+    let mut report = IntegrityReport::default();
+    idx.check_integrity(&primary, &mut report).unwrap();
+    let dangling = dangling_details(&report);
+    assert_eq!(dangling.len(), 1, "{report}");
+    assert!(dangling[0].contains("ghost"), "{report}");
+    assert!(dangling[0].contains("Composite index 'Color'"), "{report}");
+}
+
+#[test]
+fn tombstoned_primary_is_not_dangling() {
+    // A stale posting whose primary key still carries a tombstone is the
+    // normal aftermath of a delete — read-time validation absorbs it.
+    let env = MemEnv::new();
+    let primary = primary(env.clone());
+    let idx = EagerIndex::open(env, "idx", "Color", &DbOptions::small()).unwrap();
+    idx.on_put(&primary, b"pk1", &doc("red"), 1).unwrap();
+    primary.put(b"pk2", b"{\"Color\":\"red\"}").unwrap();
+    idx.on_put(&primary, b"pk2", &doc("red"), 2).unwrap();
+    primary.delete(b"pk2").unwrap(); // tombstone stays; index not told
+
+    let mut report = IntegrityReport::default();
+    idx.check_integrity(&primary, &mut report).unwrap();
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn predicted_sequence_strand_is_not_dangling() {
+    // Index-first write order means a crash can strand an entry whose
+    // sequence the primary never assigned; the checker must tolerate it.
+    let env = MemEnv::new();
+    let primary = primary(env.clone());
+    let idx = EagerIndex::open(env, "idx", "Color", &DbOptions::small()).unwrap();
+    idx.on_put(
+        &primary,
+        b"stranded",
+        &doc("red"),
+        primary.last_sequence() + 1,
+    )
+    .unwrap();
+
+    let mut report = IntegrityReport::default();
+    idx.check_integrity(&primary, &mut report).unwrap();
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn dangling_check_disarms_after_history_erasure() {
+    // Once base-level compaction discards a key's entire history, a stale
+    // posting can legitimately reference a pk with no record: the strict
+    // cross-check must disarm rather than cry corruption.
+    let env = MemEnv::new();
+    let primary = Db::open(
+        env.clone(),
+        "primary",
+        DbOptions {
+            auto_compact: false,
+            ..DbOptions::small()
+        },
+    )
+    .unwrap();
+    let idx = EagerIndex::open(env, "idx", "Color", &DbOptions::small()).unwrap();
+
+    primary.put(b"pk1", b"{\"Color\":\"red\"}").unwrap();
+    idx.on_put(&primary, b"pk1", &doc("red"), 1).unwrap();
+    // Update pk1 red→blue: the red posting goes stale (the write path only
+    // touches the new value's list — the paper's lazy-cleanup contract).
+    primary.put(b"pk1", b"{\"Color\":\"blue\"}").unwrap();
+    idx.on_put(&primary, b"pk1", &doc("blue"), 2).unwrap();
+    // Delete pk1 (the index only cleans the blue list), then compact the
+    // tombstone away at the base level.
+    primary.flush().unwrap();
+    primary.delete(b"pk1").unwrap();
+    idx.on_delete(&primary, b"pk1", Some(&doc("blue")), 3)
+        .unwrap();
+    primary.flush().unwrap();
+    primary.major_compact().unwrap();
+    assert!(primary.erased_keys() > 0);
+    assert!(primary.newest_record(b"pk1").unwrap().is_none());
+
+    // The red posting for pk1 now dangles — legitimately.
+    let mut report = IntegrityReport::default();
+    idx.check_integrity(&primary, &mut report).unwrap();
+    assert!(report.is_clean(), "{report}");
+}
+
+#[test]
+fn secondary_db_reports_ghost_through_facade() {
+    // The SecondaryDb wrapper folds per-index findings into one report.
+    let env = MemEnv::new();
+    let open = |env: Arc<MemEnv>| {
+        SecondaryDb::open(
+            env,
+            "sdb",
+            ldbpp_core::SecondaryDbOptions {
+                base: DbOptions::small(),
+                ..Default::default()
+            },
+            &[("Color", IndexKind::EagerStandalone)],
+        )
+        .unwrap()
+    };
+    let db = open(env.clone());
+    db.put("pk1", &doc("red")).unwrap();
+    assert!(db.check_integrity().is_clean());
+    drop(db);
+
+    // Corrupt the Color index table between runs, behind the facade's
+    // back, then reopen and ask the facade for a diagnosis.
+    {
+        let primary = Db::open(env.clone(), "sdb", DbOptions::small()).unwrap();
+        let idx =
+            EagerIndex::open(env.clone(), "sdb_idx_Color", "Color", &DbOptions::small()).unwrap();
+        assert!(!idx.needs_backfill(), "wrong index directory name");
+        idx.on_put(&primary, b"ghost", &doc("red"), 1).unwrap();
+        idx.flush().unwrap();
+    }
+    let db = open(env);
+    let report = db.check_integrity();
+    assert!(report.has(CheckCode::DanglingIndexEntry), "{report}");
+}

@@ -73,7 +73,7 @@ pub fn pick_compaction(
     let (level, score) = scores
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())?;
+        .max_by(|a, b| a.1.total_cmp(b.1))?;
     if *score < 1.0 {
         return None;
     }
@@ -105,13 +105,11 @@ pub fn pick_compaction(
     let lo = inputs_lo
         .iter()
         .map(|f| crate::ikey::user_key(&f.smallest).to_vec())
-        .min()
-        .unwrap();
+        .min()?;
     let hi = inputs_lo
         .iter()
         .map(|f| crate::ikey::user_key(&f.largest).to_vec())
-        .max()
-        .unwrap();
+        .max()?;
 
     let inputs_hi = version.overlapping_files(level + 1, &lo, &hi);
     Some(CompactionJob {

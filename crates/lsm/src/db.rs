@@ -121,6 +121,10 @@ struct DbCore {
     /// it with `Acquire` before cloning the `ReadState` is guaranteed to
     /// see every acknowledged write at or below the loaded value.
     last_seq: AtomicU64,
+    /// Vector-clock domain checking the `last_seq` publish/consume edges
+    /// at runtime (`check` builds only; see [`crate::vclock`]).
+    #[cfg(feature = "check")]
+    vc: crate::vclock::Domain,
     /// Largest sequence number already flushed to L0 (memtable-side
     /// secondary indexes prune their maps against this watermark).
     flushed_seq: AtomicU64,
@@ -272,6 +276,10 @@ impl Db {
         let last_sequence = versions.last_sequence;
         let table_cache_entries = opts.table_cache_entries.max(16);
         let background = opts.background_work;
+        #[cfg(feature = "check")]
+        let vc = crate::vclock::Domain::new(last_sequence);
+        #[cfg(feature = "check")]
+        mem.set_vc_domain(vc.id());
         let core = Arc::new(DbCore {
             name: name.to_string(),
             opts,
@@ -290,6 +298,8 @@ impl Db {
                 version: Arc::clone(&version),
             })),
             last_seq: AtomicU64::new(last_sequence),
+            #[cfg(feature = "check")]
+            vc,
             // Recovery leaves the memtable empty, so everything recovered
             // is already in L0 or deeper.
             flushed_seq: AtomicU64::new(last_sequence),
@@ -335,9 +345,29 @@ impl Db {
         Arc::clone(&self.core.stats)
     }
 
+    /// The environment this database lives in.
+    pub fn env(&self) -> Arc<dyn Env> {
+        Arc::clone(&self.core.env)
+    }
+
+    /// The database's directory name within its environment.
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+
     /// The most recently assigned sequence number.
     pub fn last_sequence(&self) -> u64 {
         self.core.last_seq.load(Ordering::Acquire)
+    }
+
+    /// Cumulative count of user keys whose entire history was discarded by
+    /// base-level compaction (newest surviving record was a tombstone).
+    /// Persisted in the MANIFEST, so it survives reopen. While zero, every
+    /// key ever written still has at least one record (possibly a
+    /// tombstone) somewhere in the tree — the property the integrity
+    /// checker's dangling-index-entry rule relies on.
+    pub fn erased_keys(&self) -> u64 {
+        self.core.inner.lock().versions.erased_keys
     }
 
     /// Bumped every time a memtable's contents reach L0 (callers
@@ -469,16 +499,20 @@ impl Db {
                 if inputs_lo.is_empty() {
                     continue;
                 }
-                let lo = inputs_lo
+                let Some(lo) = inputs_lo
                     .iter()
                     .map(|f| ikey::user_key(&f.smallest).to_vec())
                     .min()
-                    .unwrap();
-                let hi = inputs_lo
+                else {
+                    continue;
+                };
+                let Some(hi) = inputs_lo
                     .iter()
                     .map(|f| ikey::user_key(&f.largest).to_vec())
                     .max()
-                    .unwrap();
+                else {
+                    continue;
+                };
                 let inputs_hi = version.overlapping_files(level + 1, &lo, &hi);
                 (
                     CompactionJob {
@@ -679,6 +713,7 @@ impl Db {
         // acknowledged at or below it is then guaranteed visible in the
         // snapshot (memtables or version).
         let latest = self.last_sequence();
+        self.core.vc_consume(latest);
         let rs = self.core.read_state();
         let snapshot = snapshot.unwrap_or(latest);
 
@@ -724,6 +759,7 @@ impl Db {
     /// conservatively over-report presence.
     pub fn get_lite(&self, user_key: &[u8], below_level: usize) -> bool {
         let latest = self.last_sequence();
+        self.core.vc_consume(latest);
         let rs = self.core.read_state();
         if rs.mem.read().entries_for(user_key, latest).next().is_some() {
             return true;
@@ -753,6 +789,7 @@ impl Db {
     /// than* `file_number`? Metadata-only, like [`Db::get_lite`].
     pub fn get_lite_l0(&self, user_key: &[u8], file_number: u64) -> bool {
         let latest = self.last_sequence();
+        self.core.vc_consume(latest);
         let rs = self.core.read_state();
         if rs.mem.read().entries_for(user_key, latest).next().is_some() {
             return true;
@@ -799,6 +836,7 @@ impl Db {
     /// candidates found by memtable-side secondary indexes.
     pub fn mem_newest(&self, user_key: &[u8]) -> Option<(ValueType, u64)> {
         let latest = self.last_sequence();
+        self.core.vc_consume(latest);
         let rs = self.core.read_state();
         if let Some(found) = rs
             .mem
@@ -815,6 +853,23 @@ impl Db {
                 .next()
                 .map(|(t, _, s)| (t, s))
         })
+    }
+
+    /// The newest record for `user_key` across the whole tree — **including
+    /// tombstones**, which [`Db::get`] resolves away. `None` means no source
+    /// holds any trace of the key (a tombstone compacted to nothing at the
+    /// base level also reports `None`). Used by the integrity checker to
+    /// distinguish "deleted" from "never written".
+    pub fn newest_record(&self, user_key: &[u8]) -> Result<Option<(ValueType, u64)>> {
+        let mut found = None;
+        self.fold_key_sources_at(user_key, None, |_, entries| {
+            if let Some((t, _, s)) = entries.first() {
+                found = Some((*t, *s));
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        })?;
+        Ok(found)
     }
 
     /// One iterator per source (memtables, each L0 file newest-first, each
@@ -841,6 +896,7 @@ impl Db {
         // `fold_key_sources_at`): the memtable iterators pin this snapshot
         // so concurrent background-mode writers stay invisible.
         let latest = self.last_sequence();
+        self.core.vc_consume(latest);
         let rs = self.core.read_state();
         let provider: Arc<dyn TableProvider> = Arc::clone(&self.core) as Arc<dyn TableProvider>;
         let mut out: Vec<(KeySource, Box<dyn DbIterator>)> = Vec::new();
@@ -981,6 +1037,25 @@ impl DbCore {
         Arc::clone(&self.read.read())
     }
 
+    /// Check-mode hook for the reader side of the `last_seq` edge: the
+    /// caller just Acquire-loaded `_seq` and is about to clone the read
+    /// state. No-op (and fully compiled out) without the `check` feature.
+    #[inline]
+    fn vc_consume(&self, _seq: u64) {
+        #[cfg(feature = "check")]
+        self.vc.consume(_seq);
+    }
+
+    /// A fresh active memtable (stamped with this DB's vector-clock
+    /// domain in check builds).
+    fn fresh_memtable(&self) -> MemTable {
+        #[cfg_attr(not(feature = "check"), allow(unused_mut))]
+        let mut mem = MemTable::new();
+        #[cfg(feature = "check")]
+        mem.set_vc_domain(self.vc.id());
+        mem
+    }
+
     /// Publish a new read snapshot derived from the current one. Callers
     /// must hold `inner` — that is what makes the freeze/install state
     /// machine race-free against stalled writers re-checking it.
@@ -1055,6 +1130,8 @@ impl DbCore {
         inner.versions.last_sequence = start_seq + ops.len() as u64 - 1;
         // Release-publish only after the memtable insert: a reader that
         // Acquire-loads this value is guaranteed to find the entries.
+        #[cfg(feature = "check")]
+        self.vc.publish(inner.versions.last_sequence);
         self.last_seq
             .store(inner.versions.last_sequence, Ordering::Release);
         Ok(start_seq)
@@ -1143,7 +1220,7 @@ impl DbCore {
         };
         inner.pending_flush = Some(pending);
         self.install_read_state(|cur| ReadState {
-            mem: Arc::new(RwLock::new(MemTable::new())),
+            mem: Arc::new(RwLock::new(self.fresh_memtable())),
             imm: Some(Arc::clone(&cur.mem)),
             version: Arc::clone(&cur.version),
         });
@@ -1182,7 +1259,7 @@ impl DbCore {
             .map_err(|e| self.set_fatal(e))?;
         let new_version = inner.versions.current();
         self.install_read_state(|cur| ReadState {
-            mem: Arc::new(RwLock::new(MemTable::new())),
+            mem: Arc::new(RwLock::new(self.fresh_memtable())),
             imm: cur.imm.clone(),
             version: Arc::clone(&new_version),
         });
@@ -1351,6 +1428,11 @@ impl DbCore {
         let mut builder: Option<(u64, TableBuilder)> = None;
         let mut run_key: Vec<u8> = Vec::new();
         let mut run: Vec<RunEntry> = Vec::new();
+        // User keys whose full history this compaction discards (newest
+        // record a tombstone, merging into the base level). Folded into the
+        // manifest-persisted counter at install time; the integrity checker
+        // uses it to bound what dangling index entries can prove.
+        let erased = std::cell::Cell::new(0u64);
 
         let merge_result = (|| -> Result<()> {
             let emit_run = |builder: &mut Option<(u64, TableBuilder)>,
@@ -1370,13 +1452,16 @@ impl DbCore {
                     snapshot_boundary,
                 );
                 if resolved.is_empty() {
+                    erased.set(erased.get() + 1);
                     return Ok(());
                 }
                 // Rotate output files only between user keys so a key's entries
                 // never straddle files within a level.
-                if let Some((_, b)) = builder.as_ref() {
-                    if b.estimated_size() >= self.opts.max_file_size as u64 {
-                        let (number, b) = builder.take().unwrap();
+                let full = builder
+                    .as_ref()
+                    .is_some_and(|(_, b)| b.estimated_size() >= self.opts.max_file_size as u64);
+                if full {
+                    if let Some((number, b)) = builder.take() {
                         outputs.push((number, b.finish()?));
                     }
                 }
@@ -1387,9 +1472,10 @@ impl DbCore {
                         .new_writable(&table_file_name(&self.name, number))?;
                     *builder = Some((number, TableBuilder::new(&self.opts, file)));
                 }
-                let (_, b) = builder.as_mut().unwrap();
-                for (vtype, seq, value) in &resolved {
-                    b.add(&InternalKey::new(key, *seq, *vtype).0, value)?;
+                if let Some((_, b)) = builder.as_mut() {
+                    for (vtype, seq, value) in &resolved {
+                        b.add(&InternalKey::new(key, *seq, *vtype).0, value)?;
+                    }
                 }
                 Ok(())
             };
@@ -1488,6 +1574,7 @@ impl DbCore {
 
         {
             let mut inner = self.inner.lock();
+            inner.versions.erased_keys += erased.get();
             if let Err(e) = inner.versions.log_and_apply(edit) {
                 // The outputs were never installed; drop the orphan files
                 // before surfacing the (poisoning) error.

@@ -34,6 +34,7 @@
 pub mod attr;
 pub mod block;
 pub mod cache;
+pub mod check;
 pub mod compaction;
 pub mod compress;
 pub mod db;
@@ -45,12 +46,15 @@ pub mod memtable;
 pub mod merge;
 pub mod options;
 pub mod table;
+#[cfg(feature = "check")]
+pub mod vclock;
 pub mod version;
 pub mod wal;
 pub mod write_batch;
 pub mod zonemap;
 
 pub use attr::{AttrExtractor, AttrValue};
+pub use check::{check_db, CheckCode, IntegrityReport, Violation};
 pub use db::{Db, DbOptions};
 pub use env::{DiskEnv, Env, IoStats, MemEnv};
 pub use ikey::{InternalKey, ValueType};

@@ -42,6 +42,10 @@ pub struct MemTable {
     rng_state: u64,
     /// Number of real entries.
     len: usize,
+    /// Vector-clock domain of the owning `Db` (0 = unstamped); lets the
+    /// snapshot iterators report visible entries to [`crate::vclock`].
+    #[cfg(feature = "check")]
+    vc_domain: u64,
 }
 
 impl Default for MemTable {
@@ -64,7 +68,16 @@ impl MemTable {
             approx_bytes: 0,
             rng_state: 0x9e37_79b9_7f4a_7c15,
             len: 0,
+            #[cfg(feature = "check")]
+            vc_domain: 0,
         }
+    }
+
+    /// Stamp this memtable with its owning `Db`'s vector-clock domain
+    /// (check builds only; see [`crate::vclock`]).
+    #[cfg(feature = "check")]
+    pub fn set_vc_domain(&mut self, domain: u64) {
+        self.vc_domain = domain;
     }
 
     /// Number of entries (including tombstones and shadowed versions).
@@ -198,6 +211,8 @@ impl MemTable {
                 }
                 idx = node.next[0];
                 if seq <= snapshot_seq {
+                    #[cfg(feature = "check")]
+                    crate::vclock::observe(self.vc_domain, seq, snapshot_seq);
                     return Some((vtype, node.value.as_slice(), seq));
                 }
             }
@@ -301,7 +316,11 @@ impl SnapshotMemIter {
             let node = &mem.arena[self.idx as usize];
             match parse_internal_key(&node.key) {
                 Ok((_, seq, _)) if seq > self.snapshot => self.idx = node.next[0],
-                Ok(_) => break,
+                Ok((_, _seq, _)) => {
+                    #[cfg(feature = "check")]
+                    crate::vclock::observe(mem.vc_domain, _seq, self.snapshot);
+                    break;
+                }
                 Err(_) => {
                     // Corrupt internal key: invalidate rather than panic,
                     // matching the table iterators' error idiom.

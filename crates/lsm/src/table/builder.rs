@@ -225,7 +225,7 @@ impl TableBuilder {
             file_size: self.file.len(),
             num_entries: self.num_entries,
             num_blocks: self.num_blocks,
-            smallest: self.smallest.take().unwrap(),
+            smallest: self.smallest.take().unwrap_or_default(),
             largest: std::mem::take(&mut self.largest),
             sec_file_zones,
         })

@@ -1,0 +1,260 @@
+//! Lightweight vector-clock checker for the lock-free read path
+//! (compiled only with the `check` feature).
+//!
+//! The engine's read path is lock-free: writers append to the WAL and
+//! memtable under `inner`, then Release-store the new tail sequence into
+//! `DbCore::last_seq`; readers Acquire-load `last_seq` and only then
+//! clone the `Arc<ReadState>`. The correctness claim is a happens-before
+//! edge: *every entry with sequence ≤ the loaded value is fully inserted
+//! and visible in the cloned state*.
+//!
+//! This module checks that claim at runtime. Each `Db` instance is a
+//! *domain* with its own sequence space. Threads carry vector clocks;
+//! the instrumented code reports three event kinds:
+//!
+//! * [`Domain::publish`] — called by the writer after the memtable
+//!   insert, immediately before the Release store. Bumps the writer's
+//!   clock component, records `(seq, clock)` as the newest publication,
+//!   and verifies publications are strictly monotonic. A non-monotonic
+//!   publication whose clock is *concurrent* with the previous one (no
+//!   causal order either way) is two writers racing the publish edge —
+//!   exactly the race the `inner` mutex must prevent.
+//! * [`Domain::consume`] — called by readers right after the
+//!   Acquire-load. Verifies the loaded sequence has actually been
+//!   published (a load observing a sequence with no publication record
+//!   means the store was reordered before the insert) and joins the
+//!   domain's cumulative publication clock into the reader's clock,
+//!   mirroring the Release/Acquire synchronisation.
+//! * [`observe`] — called from the memtable when a snapshot-bounded
+//!   iterator yields an entry. Verifies the entry respects the snapshot
+//!   filter and that its sequence was published: a visible entry above
+//!   the domain's publication watermark is a write leaking to readers
+//!   without the happens-before edge.
+//!
+//! All state lives behind one `std::sync` mutex; the module is compiled
+//! out entirely without `check`, so the production read path keeps its
+//! zero-overhead claim.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Mutex as StdMutex;
+
+use crate::ikey::MAX_SEQUENCE;
+
+/// A vector clock: one logical-time component per participating thread.
+type Clock = Vec<u64>;
+
+fn join(into: &mut Clock, other: &Clock) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (a, b) in into.iter_mut().zip(other.iter()) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// `true` if `a ≤ b` component-wise (i.e. `a` happened-before or equals `b`).
+fn dominated(a: &Clock, b: &Clock) -> bool {
+    a.iter()
+        .enumerate()
+        .all(|(i, &v)| v <= b.get(i).copied().unwrap_or(0))
+}
+
+struct DomainState {
+    /// Newest published sequence (recovery base when no publish yet).
+    published: u64,
+    /// Thread slot of the newest publisher, if any.
+    publisher: Option<usize>,
+    /// Publisher's clock at the newest publication.
+    pub_clock: Clock,
+    /// Join of every publication clock — what a Release/Acquire-paired
+    /// reader is entitled to inherit.
+    cumulative: Clock,
+}
+
+#[derive(Default)]
+struct State {
+    next_domain: u64,
+    clocks: Vec<Clock>,
+    thread_names: Vec<String>,
+    domains: HashMap<u64, DomainState>,
+}
+
+static STATE: StdMutex<Option<State>> = StdMutex::new(None);
+
+thread_local! {
+    static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn with_state<R>(f: impl FnOnce(&mut State, usize) -> R) -> R {
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    let st = guard.get_or_insert_with(State::default);
+    let slot = SLOT.with(|s| {
+        if s.get() == usize::MAX {
+            s.set(st.clocks.len());
+            st.clocks.push(Vec::new());
+            st.thread_names.push(
+                std::thread::current()
+                    .name()
+                    .unwrap_or("<unnamed>")
+                    .to_string(),
+            );
+        }
+        s.get()
+    });
+    f(st, slot)
+}
+
+/// One `Db` instance's sequence space in the checker. Created at open
+/// with the recovered tail sequence as the publication base; dropping it
+/// unregisters the domain.
+pub struct Domain {
+    id: u64,
+}
+
+impl Domain {
+    /// Register a new domain whose sequences start at `base` (the
+    /// recovered `last_sequence`; nothing below it needs a publication
+    /// record).
+    pub fn new(base: u64) -> Domain {
+        with_state(|st, _| {
+            st.next_domain += 1;
+            let id = st.next_domain;
+            st.domains.insert(
+                id,
+                DomainState {
+                    published: base,
+                    publisher: None,
+                    pub_clock: Vec::new(),
+                    cumulative: Vec::new(),
+                },
+            );
+            Domain { id }
+        })
+    }
+
+    /// The domain's process-unique id (stamped into memtables so
+    /// [`observe`] can find the right sequence space).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Writer-side publication edge: record that every sequence up to
+    /// `seq` is now fully inserted. Must be called *after* the memtable
+    /// insert and *before* the Release store of `last_seq`.
+    ///
+    /// Panics if publications are not strictly monotonic — either two
+    /// writers raced the publish edge (clocks concurrent) or sequence
+    /// bookkeeping regressed (clocks ordered).
+    pub fn publish(&self, seq: u64) {
+        with_state(|st, slot| {
+            let names = &st.thread_names;
+            let me = names[slot].clone();
+            // Split borrows: clone the clock first, then look up the domain.
+            let ds = st
+                .domains
+                .get_mut(&self.id)
+                .expect("publish on unregistered vclock domain");
+            if seq <= ds.published {
+                let prev = ds
+                    .publisher
+                    .map(|p| names.get(p).cloned().unwrap_or_default())
+                    .unwrap_or_else(|| "<recovery>".to_string());
+                let my_clock = st.clocks[slot].clone();
+                let relation = if dominated(&ds.pub_clock, &my_clock) {
+                    "the previous publication is in this thread's causal past \
+                     (sequence bookkeeping regressed)"
+                } else {
+                    "the previous publication is CONCURRENT with this thread \
+                     (two writers raced the publish edge; `inner` did not \
+                     serialize them)"
+                };
+                panic!(
+                    "vclock: non-monotonic publication in domain {}: thread '{me}' \
+                     publishing seq {seq} but seq {} was already published by \
+                     thread '{prev}'; {relation}\n  publisher clock: {:?}\n  this \
+                     thread's clock: {:?}",
+                    self.id, ds.published, ds.pub_clock, my_clock
+                );
+            }
+            let clock = &mut st.clocks[slot];
+            if clock.len() <= slot {
+                clock.resize(slot + 1, 0);
+            }
+            clock[slot] += 1;
+            let snapshot = clock.clone();
+            ds.published = seq;
+            ds.publisher = Some(slot);
+            ds.pub_clock = snapshot.clone();
+            join(&mut ds.cumulative, &snapshot);
+        });
+    }
+
+    /// Reader-side consumption edge: called right after the Acquire-load
+    /// of `last_seq` returned `seq`. Joins the domain's cumulative
+    /// publication clock into this thread's clock.
+    ///
+    /// Panics if `seq` exceeds the newest publication — the Acquire-load
+    /// observed a sequence whose insert has no publication record, i.e.
+    /// the Release store was reordered before the memtable insert.
+    pub fn consume(&self, seq: u64) {
+        with_state(|st, slot| {
+            let Some(ds) = st.domains.get(&self.id) else {
+                return;
+            };
+            if seq > ds.published {
+                let me = st.thread_names[slot].clone();
+                panic!(
+                    "vclock: thread '{me}' Acquire-loaded seq {seq} in domain {} \
+                     but the newest publication is seq {}: the last_seq \
+                     Release/Acquire pairing is broken (store reordered before \
+                     the memtable insert?)",
+                    self.id, ds.published
+                );
+            }
+            let cum = ds.cumulative.clone();
+            join(&mut st.clocks[slot], &cum);
+        });
+    }
+}
+
+impl Drop for Domain {
+    fn drop(&mut self) {
+        with_state(|st, _| {
+            st.domains.remove(&self.id);
+        });
+    }
+}
+
+/// Memtable-side visibility check: a snapshot-bounded iterator is about
+/// to yield the entry `seq` under `snapshot`. No-op for unstamped
+/// memtables (`domain == 0`), unbounded snapshots, or already-dropped
+/// domains.
+///
+/// Panics if the entry escapes the snapshot filter or was never
+/// published (visible write without the happens-before edge).
+pub fn observe(domain: u64, seq: u64, snapshot: u64) {
+    if domain == 0 || snapshot == MAX_SEQUENCE {
+        return;
+    }
+    with_state(|st, slot| {
+        let Some(ds) = st.domains.get(&domain) else {
+            return;
+        };
+        if seq > snapshot {
+            panic!(
+                "vclock: memtable in domain {domain} yielded seq {seq} above \
+                 snapshot {snapshot}: snapshot filter violated"
+            );
+        }
+        if seq > ds.published {
+            let me = st.thread_names[slot].clone();
+            panic!(
+                "vclock: thread '{me}' observed memtable entry seq {seq} in \
+                 domain {domain} but the newest publication is seq {}: a write \
+                 is visible to readers without the publish happens-before edge",
+                ds.published
+            );
+        }
+    });
+}

@@ -265,6 +265,7 @@ const TAG_LAST_SEQ: u32 = 3;
 const TAG_COMPACT_POINTER: u32 = 4;
 const TAG_DELETED_FILE: u32 = 5;
 const TAG_NEW_FILE: u32 = 6;
+const TAG_ERASED_KEYS: u32 = 7;
 
 /// A delta between two versions, logged to the MANIFEST.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -275,6 +276,11 @@ pub struct VersionEdit {
     pub next_file_number: Option<u64>,
     /// Last sequence number used.
     pub last_sequence: Option<u64>,
+    /// Cumulative count of user keys whose entire history has been erased
+    /// by base-level compaction (newest record was a tombstone). Monotone;
+    /// consumed by the integrity checker to decide whether a dangling
+    /// secondary-index entry is provably corruption or merely stale.
+    pub erased_keys: Option<u64>,
     /// Round-robin compaction cursors: (level, largest key compacted).
     pub compact_pointers: Vec<(usize, Vec<u8>)>,
     /// Files removed: (level, file number).
@@ -307,6 +313,10 @@ impl VersionEdit {
         }
         if let Some(v) = self.last_sequence {
             put_varint32(&mut out, TAG_LAST_SEQ);
+            put_varint64(&mut out, v);
+        }
+        if let Some(v) = self.erased_keys {
+            put_varint32(&mut out, TAG_ERASED_KEYS);
             put_varint64(&mut out, v);
         }
         for (level, key) in &self.compact_pointers {
@@ -349,6 +359,11 @@ impl VersionEdit {
                     let (v, n) = get_varint64(&src[pos..])?;
                     pos += n;
                     edit.last_sequence = Some(v);
+                }
+                TAG_ERASED_KEYS => {
+                    let (v, n) = get_varint64(&src[pos..])?;
+                    pos += n;
+                    edit.erased_keys = Some(v);
                 }
                 TAG_COMPACT_POINTER => {
                     let (level, n) = get_varint32(&src[pos..])?;
@@ -396,6 +411,9 @@ pub struct VersionSet {
     pub last_sequence: u64,
     /// Current WAL file number.
     pub log_number: u64,
+    /// Cumulative count of user keys fully erased at the base level (see
+    /// [`VersionEdit::erased_keys`]). Persisted with every edit.
+    pub erased_keys: u64,
     /// Round-robin compaction cursors per level.
     pub compact_pointer: Vec<Vec<u8>>,
     /// Number of the MANIFEST file currently being appended to.
@@ -430,6 +448,7 @@ impl VersionSet {
             next_file_number: 3,
             last_sequence: 0,
             log_number: 2,
+            erased_keys: 0,
             compact_pointer: vec![Vec::new(); num_levels],
             manifest_number,
             recovered_edits: 0,
@@ -450,6 +469,7 @@ impl VersionSet {
         let mut next_file_number = 3;
         let mut last_sequence = 0;
         let mut log_number = 2;
+        let mut erased_keys = 0;
         let mut compact_pointer = vec![Vec::new(); num_levels];
         let mut recovered_edits = 0u64;
         while let Some(record) = reader.read_record()? {
@@ -464,6 +484,9 @@ impl VersionSet {
             }
             if let Some(v) = edit.log_number {
                 log_number = v;
+            }
+            if let Some(v) = edit.erased_keys {
+                erased_keys = v;
             }
             for (level, key) in edit.compact_pointers {
                 if level < num_levels {
@@ -482,6 +505,7 @@ impl VersionSet {
             log_number: Some(log_number),
             next_file_number: Some(next_file_number),
             last_sequence: Some(last_sequence),
+            erased_keys: Some(erased_keys),
             ..Default::default()
         };
         for (level, files) in version.files.iter().enumerate() {
@@ -507,6 +531,7 @@ impl VersionSet {
             next_file_number,
             last_sequence,
             log_number,
+            erased_keys,
             compact_pointer,
             manifest_number,
             recovered_edits,
@@ -529,6 +554,7 @@ impl VersionSet {
     pub fn log_and_apply(&mut self, mut edit: VersionEdit) -> Result<()> {
         edit.next_file_number = Some(self.next_file_number);
         edit.last_sequence = Some(self.last_sequence);
+        edit.erased_keys = Some(self.erased_keys);
         if edit.log_number.is_none() {
             edit.log_number = Some(self.log_number);
         }

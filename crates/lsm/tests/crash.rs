@@ -195,6 +195,13 @@ fn check_recovery(image: Arc<MemEnv>, model: &Model, context: &str) {
         }
     }
 
+    // The recovered structure passes the full invariant catalogue.
+    let report = db.check_integrity();
+    assert!(
+        report.is_clean(),
+        "integrity violations after recovery ({context}):\n{report}"
+    );
+
     // Acked writes durable, un-acked writes absent: full contents match.
     let mut it = db.resolved_iter().expect("resolved_iter");
     it.seek_to_first();

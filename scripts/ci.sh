@@ -10,7 +10,14 @@
 #      verify recovery for the LSM and all five index techniques. The
 #      default budget is bounded (short workloads, capped sweep width);
 #      set CRASH_SWEEP_FULL=1 for the exhaustive long-workload sweep.
-#   5. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
+#   5. analysis gates: the custom lint pass (`scripts/lint.sh`: no
+#      unwrap/expect in non-test engine code, no raw std::sync locks
+#      outside the shims, #[must_use] on public report APIs) and a
+#      sanitizer-enabled test pass (`--features check`: instrumented locks
+#      with lock-order-cycle/re-entrancy detection plus the vector-clock
+#      checker on the lock-free read path — including the seeded-inversion
+#      regression proving the detector fires);
+#   6. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
 #      plus markdown link check).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -21,6 +28,9 @@ cargo fmt --all --check
 echo "== cargo clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
+echo "== lint gate (scripts/lint.sh) =="
+./scripts/lint.sh
+
 echo "== tier-1: release build =="
 cargo build --release --quiet
 
@@ -29,6 +39,11 @@ cargo test -q
 
 echo "== workspace tests =="
 cargo test --workspace -q
+
+echo "== concurrency sanitizer: tier-1 + engine suites with --features check =="
+cargo test -q --features check
+cargo test -q -p parking_lot --features check
+cargo test -q -p ldbpp-lsm --features check
 
 echo "== crash-recovery sweep (CRASH_SWEEP_FULL=${CRASH_SWEEP_FULL:-0}) =="
 CRASH_SWEEP_FULL="${CRASH_SWEEP_FULL:-0}" cargo test -q -p ldbpp-lsm --test crash

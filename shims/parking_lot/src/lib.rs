@@ -3,13 +3,24 @@
 //! Provides the subset of the API this workspace uses: `Mutex`, `RwLock`,
 //! and `Condvar` with parking_lot-style signatures (no `Result` returns —
 //! lock poisoning is ignored, matching parking_lot semantics).
+//!
+//! With the `check` feature enabled every acquisition is additionally
+//! recorded in a process-wide lock graph (the `lockcheck` module): lock-order
+//! cycles and re-entrant acquisition panic immediately with the acquisition
+//! stacks of both sides of the inversion. The default build compiles none
+//! of the instrumentation — guards are plain newtypes over `std::sync`.
 
 use std::fmt;
 use std::sync::TryLockError;
 
+#[cfg(feature = "check")]
+pub mod lockcheck;
+
 /// A mutual-exclusion primitive. `lock()` returns the guard directly;
 /// a poisoned lock (panicked holder) is entered anyway, like parking_lot.
 pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "check")]
+    id: lockcheck::LockId,
     inner: std::sync::Mutex<T>,
 }
 
@@ -21,12 +32,16 @@ pub struct Mutex<T: ?Sized> {
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<std::sync::MutexGuard<'a, T>>,
     lock: &'a std::sync::Mutex<T>,
+    #[cfg(feature = "check")]
+    token: lockcheck::HeldToken,
 }
 
 impl<T> Mutex<T> {
     /// Create a new mutex guarding `value`.
     pub const fn new(value: T) -> Mutex<T> {
         Mutex {
+            #[cfg(feature = "check")]
+            id: lockcheck::LockId::new(),
             inner: std::sync::Mutex::new(value),
         }
     }
@@ -39,27 +54,33 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the mutex, blocking until it is available.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "check")]
+        let token = lockcheck::acquire(&self.id, lockcheck::Kind::Mutex, true);
         let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         MutexGuard {
             inner: Some(guard),
             lock: &self.inner,
+            #[cfg(feature = "check")]
+            token,
         }
     }
 
     /// Try to acquire the mutex without blocking.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard {
-                inner: Some(g),
-                lock: &self.inner,
-            }),
-            Err(TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-                lock: &self.inner,
-            }),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            inner: Some(inner),
+            lock: &self.inner,
+            #[cfg(feature = "check")]
+            token: lockcheck::acquire(&self.id, lockcheck::Kind::Mutex, false),
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -103,18 +124,51 @@ impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
 /// A reader-writer lock; read/write return guards directly, poisoning
 /// is ignored.
 pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "check")]
+    id: lockcheck::LockId,
     inner: std::sync::RwLock<T>,
 }
 
 /// Shared-read guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    #[cfg(feature = "check")]
+    _token: lockcheck::HeldToken,
+}
+
 /// Exclusive-write guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    #[cfg(feature = "check")]
+    _token: lockcheck::HeldToken,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 impl<T> RwLock<T> {
     /// Create a new reader-writer lock guarding `value`.
     pub const fn new(value: T) -> RwLock<T> {
         RwLock {
+            #[cfg(feature = "check")]
+            id: lockcheck::LockId::new(),
             inner: std::sync::RwLock::new(value),
         }
     }
@@ -127,13 +181,27 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "check")]
+        let token = lockcheck::acquire(&self.id, lockcheck::Kind::Read, true);
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(feature = "check")]
+            _token: token,
+        }
     }
 
     /// Acquire exclusive write access.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        #[cfg(feature = "check")]
+        let token = lockcheck::acquire(&self.id, lockcheck::Kind::Write, true);
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(feature = "check")]
+            _token: token,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -174,12 +242,20 @@ impl Condvar {
     /// Atomically release the guarded mutex and block until notified;
     /// re-acquires the mutex before returning (parking_lot signature:
     /// mutates the guard in place).
+    #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard already taken");
+        // The mutex is released for the duration of the wait: suspend its
+        // held record so other acquisitions don't order against it, then
+        // re-record it (with edge checks) once the wait returns.
+        #[cfg(feature = "check")]
+        guard.token.suspend();
         let std_guard = self
             .inner
             .wait(std_guard)
             .unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "check")]
+        guard.token.resume();
         guard.inner = Some(std_guard);
         let _ = guard.lock; // keep the field used even if wait is never called elsewhere
     }

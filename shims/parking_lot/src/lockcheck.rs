@@ -1,0 +1,350 @@
+//! Runtime lock-order sanitizer (compiled only with the `check` feature).
+//!
+//! Every blocking acquisition through the shim's [`crate::Mutex`] and
+//! [`crate::RwLock`] is recorded here:
+//!
+//! * a **per-thread held list** tracks which locks the current thread
+//!   holds and where each was acquired (`#[track_caller]` locations);
+//! * a **global lock graph** accumulates one directed edge `A → B` the
+//!   first time any thread acquires `B` while holding `A`, together with
+//!   a captured acquisition backtrace as the witness for that edge.
+//!
+//! Before inserting a new edge `A → B` the checker searches the graph for
+//! an existing path `B → … → A`. Finding one means two code paths take
+//! the same locks in opposite orders — a latent deadlock — and the
+//! checker panics immediately with the stored witness stack of the
+//! conflicting edge *and* the current acquisition stack, even though no
+//! actual deadlock occurred on this run. Re-entrant acquisition of a lock
+//! the thread already holds (including shared/shared on one `RwLock`,
+//! which can deadlock under writer-priority scheduling) panics likewise.
+//!
+//! Non-blocking acquisitions (`try_lock`) cannot deadlock the acquiring
+//! thread, so they add no edges and are never flagged; they still enter
+//! the held list because holding a lock — however it was obtained — and
+//! then blocking on another one is an ordering commitment.
+//!
+//! Lock identity is per instance: each `Mutex`/`RwLock` lazily draws a
+//! process-unique id on first acquisition (construction is `const`), and
+//! dropping a lock removes its node so short-lived locks (memtable
+//! latches) don't grow the graph without bound.
+
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex as StdMutex;
+
+/// How a lock is being acquired (shown in diagnostics; shared/shared
+/// re-entrancy is flagged the same as exclusive re-entrancy).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    /// `Mutex::lock` / `Mutex::try_lock`.
+    Mutex,
+    /// `RwLock::read`.
+    Read,
+    /// `RwLock::write`.
+    Write,
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kind::Mutex => "mutex",
+            Kind::Read => "read",
+            Kind::Write => "write",
+        })
+    }
+}
+
+/// Lazily-assigned process-unique identity of one lock instance.
+///
+/// Zero-cost initialisation keeps `Mutex::new` / `RwLock::new` `const`;
+/// the id is drawn from a global counter on first acquisition. Dropping
+/// the id (when the owning lock drops) removes its node from the lock
+/// graph so instance churn (memtable latches, per-test DBs) doesn't grow
+/// the graph without bound.
+pub struct LockId(AtomicU64);
+
+impl Drop for LockId {
+    fn drop(&mut self) {
+        let id = self.0.load(Ordering::Relaxed);
+        if id == 0 {
+            return;
+        }
+        with_graph(|g| {
+            g.edges.remove(&id);
+            for m in g.edges.values_mut() {
+                m.remove(&id);
+            }
+        });
+    }
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+impl LockId {
+    /// Unassigned id (assigned on first acquisition).
+    pub const fn new() -> LockId {
+        LockId(AtomicU64::new(0))
+    }
+
+    fn get(&self) -> u64 {
+        let cur = self.0.load(Ordering::Relaxed);
+        if cur != 0 {
+            return cur;
+        }
+        let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        match self
+            .0
+            .compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => fresh,
+            Err(raced) => raced,
+        }
+    }
+}
+
+impl Default for LockId {
+    fn default() -> Self {
+        LockId::new()
+    }
+}
+
+#[derive(Clone, Copy)]
+struct HeldEntry {
+    id: u64,
+    kind: Kind,
+    loc: &'static Location<'static>,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Witness for one lock-graph edge `from → to`: where both locks were
+/// acquired when the edge was first observed, and the full stack of the
+/// acquisition that created it (kept unresolved; symbolication only
+/// happens if the edge is ever printed in a panic).
+struct EdgeInfo {
+    thread: String,
+    holder_kind: Kind,
+    holder_loc: String,
+    acquire_kind: Kind,
+    acquire_loc: String,
+    backtrace: Backtrace,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// `edges[a][b]` exists iff some thread acquired `b` while holding `a`.
+    edges: HashMap<u64, HashMap<u64, EdgeInfo>>,
+}
+
+static GRAPH: StdMutex<Option<Graph>> = StdMutex::new(None);
+
+fn with_graph<R>(f: impl FnOnce(&mut Graph) -> R) -> R {
+    let mut g = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+    f(g.get_or_insert_with(Graph::default))
+}
+
+/// Membership token for the per-thread held list. Dropping it (when the
+/// guard drops) retires the record; [`suspend`]/[`resume`] bracket a
+/// condvar wait, during which the mutex is not actually held.
+///
+/// [`suspend`]: HeldToken::suspend
+/// [`resume`]: HeldToken::resume
+pub struct HeldToken {
+    id: u64,
+    kind: Kind,
+    loc: &'static Location<'static>,
+    suspended: bool,
+}
+
+impl HeldToken {
+    /// Remove the lock from the held list for the duration of a condvar
+    /// wait (the mutex is released while waiting).
+    pub fn suspend(&mut self) {
+        self.suspended = true;
+        release(self.id);
+    }
+
+    /// Re-record the lock after a condvar wait re-acquired it, running
+    /// the same ordering checks as a fresh blocking acquisition.
+    pub fn resume(&mut self) {
+        self.suspended = false;
+        record_acquire(self.id, self.kind, self.loc, true);
+    }
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        if !self.suspended {
+            release(self.id);
+        }
+    }
+}
+
+/// Record an acquisition of `lock` and return the held-list token.
+/// Panics on re-entrant acquisition or a lock-order cycle (blocking
+/// acquisitions only).
+#[track_caller]
+pub fn acquire(lock: &LockId, kind: Kind, blocking: bool) -> HeldToken {
+    let loc = Location::caller();
+    let id = lock.get();
+    record_acquire(id, kind, loc, blocking);
+    HeldToken {
+        id,
+        kind,
+        loc,
+        suspended: false,
+    }
+}
+
+fn record_acquire(id: u64, kind: Kind, loc: &'static Location<'static>, blocking: bool) {
+    let held: Vec<HeldEntry> = HELD.try_with(|h| h.borrow().clone()).unwrap_or_default();
+
+    if blocking {
+        if let Some(prev) = held.iter().find(|h| h.id == id) {
+            panic!(
+                "lockcheck: re-entrant acquisition of Lock#{id} ({kind} at {loc}): \
+                 already held by this thread ({} at {})\ncurrent acquisition stack:\n{}",
+                prev.kind,
+                prev.loc,
+                Backtrace::force_capture()
+            );
+        }
+        if !held.is_empty() {
+            check_and_record_edges(id, kind, loc, &held);
+        }
+    }
+
+    let _ = HELD.try_with(|h| h.borrow_mut().push(HeldEntry { id, kind, loc }));
+}
+
+fn check_and_record_edges(
+    id: u64,
+    kind: Kind,
+    loc: &'static Location<'static>,
+    held: &[HeldEntry],
+) {
+    let thread = std::thread::current();
+    let thread_name = thread.name().unwrap_or("<unnamed>").to_string();
+    let mut conflict: Option<String> = None;
+
+    with_graph(|g| {
+        for h in held {
+            if h.id == id {
+                continue;
+            }
+            if g.edges.get(&h.id).is_some_and(|m| m.contains_key(&id)) {
+                continue; // edge already known, already checked
+            }
+            // About to add h.id -> id; a path id ->* h.id means a cycle.
+            if let Some(path) = find_path(g, id, h.id) {
+                conflict = Some(format_cycle(g, id, kind, loc, h, &path, &thread_name));
+                return;
+            }
+            g.edges.entry(h.id).or_default().insert(
+                id,
+                EdgeInfo {
+                    thread: thread_name.clone(),
+                    holder_kind: h.kind,
+                    holder_loc: h.loc.to_string(),
+                    acquire_kind: kind,
+                    acquire_loc: loc.to_string(),
+                    backtrace: Backtrace::force_capture(),
+                },
+            );
+        }
+    });
+
+    if let Some(msg) = conflict {
+        panic!("{msg}");
+    }
+}
+
+/// Depth-first search for a path `from ->* to`; returns the node path
+/// (including both endpoints) if one exists.
+fn find_path(g: &Graph, from: u64, to: u64) -> Option<Vec<u64>> {
+    let mut stack = vec![vec![from]];
+    let mut visited = std::collections::HashSet::new();
+    visited.insert(from);
+    while let Some(path) = stack.pop() {
+        let last = *path.last().expect("path never empty");
+        if last == to {
+            return Some(path);
+        }
+        if let Some(next) = g.edges.get(&last) {
+            for &n in next.keys() {
+                if visited.insert(n) {
+                    let mut p = path.clone();
+                    p.push(n);
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    None
+}
+
+fn format_cycle(
+    g: &Graph,
+    id: u64,
+    kind: Kind,
+    loc: &Location<'_>,
+    holder: &HeldEntry,
+    path: &[u64],
+    thread_name: &str,
+) -> String {
+    use std::fmt::Write;
+    let mut msg = String::new();
+    let _ = writeln!(
+        msg,
+        "lockcheck: lock-order cycle detected\n\
+         thread '{thread_name}' is acquiring Lock#{id} ({kind}) at {loc}\n\
+         while holding Lock#{} ({} acquired at {})\n\
+         but the reverse order Lock#{id} -> Lock#{} is already established:",
+        holder.id, holder.kind, holder.loc, holder.id
+    );
+    for pair in path.windows(2) {
+        if let Some(e) = g.edges.get(&pair[0]).and_then(|m| m.get(&pair[1])) {
+            let _ = writeln!(
+                msg,
+                "  edge Lock#{} -> Lock#{}: thread '{}' held Lock#{} ({} at {}) \
+                 and acquired Lock#{} ({} at {}); witness stack:\n{}",
+                pair[0],
+                pair[1],
+                e.thread,
+                pair[0],
+                e.holder_kind,
+                e.holder_loc,
+                pair[1],
+                e.acquire_kind,
+                e.acquire_loc,
+                e.backtrace
+            );
+        }
+    }
+    let _ = write!(
+        msg,
+        "current acquisition stack:\n{}",
+        Backtrace::force_capture()
+    );
+    msg
+}
+
+fn release(id: u64) {
+    let _ = HELD.try_with(|h| {
+        let mut held = h.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|e| e.id == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Number of edges currently in the lock graph (test aid).
+pub fn edge_count() -> usize {
+    with_graph(|g| g.edges.values().map(|m| m.len()).sum())
+}

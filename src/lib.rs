@@ -29,7 +29,8 @@
 
 pub use ldbpp_common::{json::Value, Error, Result};
 pub use ldbpp_core::{
-    advisor, cost, Document, IndexKind, LookupHit, SecondaryDb, SecondaryDbOptions,
+    advisor, cost, CheckCode, Document, IndexKind, IntegrityReport, LookupHit, SecondaryDb,
+    SecondaryDbOptions, Violation,
 };
 pub use ldbpp_lsm::db::{Db, DbOptions};
 pub use ldbpp_lsm::env::{

@@ -91,3 +91,63 @@ fn tool_inspects_a_real_database() {
     // under test elsewhere).
     let _ = std::any::type_name::<Db>();
 }
+
+#[test]
+fn check_cli_diagnoses_databases() {
+    let dir = std::env::temp_dir().join(format!("ldbpp-check-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().unwrap().to_string();
+
+    {
+        let db = Db::open(DiskEnv::new(), &db_path, DbOptions::small()).unwrap();
+        for i in 0..200usize {
+            db.put(format!("k{i:05}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        db.flush().unwrap();
+    }
+
+    let check = || Command::new(env!("CARGO_BIN_EXE_check"));
+
+    // Healthy database: exit 0, "clean" verdict.
+    let out = check().arg(&db_path).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("clean"));
+
+    // Truncate a live table file (an orphan would be garbage-collected by
+    // recovery at open; torn tables are not): exit 1, diagnostic names it.
+    let table = std::fs::read_dir(&db_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".ldb"))
+        .expect("no table file on disk")
+        .path();
+    let full = std::fs::read(&table).unwrap();
+    std::fs::write(&table, &full[..64]).unwrap();
+    let out = check().arg(&db_path).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("file-size"), "{stdout}");
+    assert!(
+        stdout.contains(table.file_name().unwrap().to_str().unwrap()),
+        "{stdout}"
+    );
+
+    // Refuses non-database directories without initializing them.
+    let empty = dir.join("not-a-db");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = check().arg(empty.to_str().unwrap()).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!empty.join("CURRENT").exists());
+
+    // Bad usage exits with code 2.
+    let out = check().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

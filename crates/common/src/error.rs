@@ -21,6 +21,10 @@ pub enum Error {
     InvalidArgument(String),
     /// An underlying I/O operation failed.
     Io(String),
+    /// The storage device is out of space. Split from [`Error::Io`] so
+    /// callers can distinguish a full disk (retryable after freeing space,
+    /// never a data-integrity problem) from arbitrary I/O failures.
+    NoSpace(String),
 }
 
 impl Error {
@@ -63,6 +67,16 @@ impl Error {
     pub fn io(msg: impl Into<String>) -> Self {
         Error::Io(msg.into())
     }
+
+    /// True if this error is [`Error::NoSpace`].
+    pub fn is_no_space(&self) -> bool {
+        matches!(self, Error::NoSpace(_))
+    }
+
+    /// Convenience constructor for [`Error::NoSpace`].
+    pub fn no_space(msg: impl Into<String>) -> Self {
+        Error::NoSpace(msg.into())
+    }
 }
 
 impl fmt::Display for Error {
@@ -73,6 +87,7 @@ impl fmt::Display for Error {
             Error::NotSupported(m) => write!(f, "not supported: {m}"),
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
+            Error::NoSpace(m) => write!(f, "no space: {m}"),
         }
     }
 }
@@ -124,5 +139,14 @@ mod tests {
         assert!(Error::from(io).is_not_found());
         let io = std::io::Error::other("boom");
         assert!(matches!(Error::from(io), Error::Io(_)));
+    }
+
+    #[test]
+    fn no_space_is_distinct_from_io() {
+        let e = Error::no_space("device full");
+        assert!(e.is_no_space());
+        assert!(!e.is_io());
+        assert!(!e.is_corruption());
+        assert_eq!(e.to_string(), "no space: device full");
     }
 }

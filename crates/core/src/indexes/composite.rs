@@ -9,7 +9,7 @@
 //! top-K.
 
 use crate::doc::Document;
-use crate::indexes::{fetch_if_valid, IndexKind, LookupHit, SecondaryIndex};
+use crate::indexes::{clear_index_table, fetch_if_valid, IndexKind, LookupHit, SecondaryIndex};
 use ldbpp_common::coding::{decode_fixed64, put_fixed64};
 use ldbpp_common::Result;
 use ldbpp_lsm::attr::AttrValue;
@@ -208,6 +208,10 @@ impl SecondaryIndex for CompositeIndex {
     fn needs_backfill(&self) -> bool {
         // Never written: no sequence was ever assigned to this table.
         self.table.last_sequence() == 0
+    }
+
+    fn clear(&self) -> Result<usize> {
+        clear_index_table(&self.table)
     }
 
     fn check_integrity(

@@ -8,7 +8,7 @@
 
 use crate::doc::Document;
 use crate::indexes::posting::{decode_postings, encode_postings, fold_postings, Posting};
-use crate::indexes::{fetch_if_valid, IndexKind, LookupHit, SecondaryIndex};
+use crate::indexes::{clear_index_table, fetch_if_valid, IndexKind, LookupHit, SecondaryIndex};
 use crate::topk::TopK;
 use ldbpp_common::Result;
 use ldbpp_lsm::attr::AttrValue;
@@ -193,6 +193,10 @@ impl SecondaryIndex for EagerIndex {
     fn needs_backfill(&self) -> bool {
         // Never written: no sequence was ever assigned to this table.
         self.table.last_sequence() == 0
+    }
+
+    fn clear(&self) -> Result<usize> {
+        clear_index_table(&self.table)
     }
 
     fn check_integrity(

@@ -108,12 +108,17 @@ impl EmbeddedIndex {
 
     /// Memtable-side candidates with encoded attr value in
     /// `[lo_enc, hi_enc]`, validated against the newest memtable version.
+    /// Every admitted pk is recorded in `admitted` so the SSTable scan can
+    /// skip it: with background flushes the same record can be installed
+    /// as an L0 file between this pass and the version snapshot, and
+    /// admitting both copies would return a duplicate hit.
     fn mem_candidates(
         &self,
         primary: &Db,
         lo_enc: &[u8],
         hi_enc: &[u8],
         heap: &mut TopK<Candidate>,
+        admitted: &mut HashSet<Vec<u8>>,
     ) -> Result<()> {
         self.sync_generation(primary);
         let mem = self.mem.lock();
@@ -135,13 +140,15 @@ impl EmbeddedIndex {
                 continue;
             };
             let doc = Document::parse(&bytes)?;
-            heap.add(
+            if heap.add(
                 seq,
                 Candidate {
                     pk: pk.clone(),
                     doc,
                 },
-            );
+            ) {
+                admitted.insert(pk.clone());
+            }
         }
         Ok(())
     }
@@ -158,7 +165,14 @@ impl EmbeddedIndex {
         point: bool,
     ) -> Result<Vec<LookupHit>> {
         let mut heap: TopK<Candidate> = TopK::new(k);
-        self.mem_candidates(primary, &lo.encode(), &hi.encode(), &mut heap)?;
+        let mut from_mem: HashSet<Vec<u8>> = HashSet::new();
+        self.mem_candidates(
+            primary,
+            &lo.encode(),
+            &hi.encode(),
+            &mut heap,
+            &mut from_mem,
+        )?;
         // The memtable is "level −1": stop early if already satisfied.
         if heap.is_full() {
             return Ok(finish(heap));
@@ -215,7 +229,14 @@ impl EmbeddedIndex {
                         };
                         if matches {
                             let uk_vec = uk_owned;
-                            if first_version_in_file && heap.would_admit(seq) {
+                            // `from_mem`: this record was already admitted
+                            // from the memtable-side index; its memtable may
+                            // since have been installed as an L0 file, so the
+                            // copy found here is the same (pk, seq) again.
+                            if first_version_in_file
+                                && !from_mem.contains(uk)
+                                && heap.would_admit(seq)
+                            {
                                 // GetLite: a newer version above this level
                                 // invalidates the match — checked purely
                                 // from in-memory metadata. Under the

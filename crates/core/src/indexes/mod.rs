@@ -125,6 +125,18 @@ pub trait SecondaryIndex: Send + Sync {
     fn needs_backfill(&self) -> bool {
         false
     }
+    /// Remove every persisted entry of a stand-alone index table in
+    /// preparation for a full rebuild from the primary (see
+    /// [`crate::SecondaryDb::rebuild_indexes`]). Clearing goes through
+    /// ordinary deletes, so the rebuild that follows shadows any older
+    /// on-disk state by sequence order. Returns the number of index keys
+    /// cleared.
+    ///
+    /// Default: nothing persisted — the Embedded Index's structure lives
+    /// inside primary SSTables and is regenerated by compaction.
+    fn clear(&self) -> Result<usize> {
+        Ok(0)
+    }
     /// Fold this index's structural violations into `report`: the LSM
     /// checker over any stand-alone table, plus the cross-check that no
     /// live index entry references a primary key with no record at all.
@@ -199,6 +211,25 @@ pub(crate) fn check_posting_table(
         }
     }
     Ok(())
+}
+
+/// Shared [`SecondaryIndex::clear`] body for the stand-alone indexes:
+/// tombstone every live key of the index's own table. Collecting the keys
+/// first keeps the scan independent of the deletes it feeds; the Lazy
+/// index's merge-operand chains are cut the same way — a deletion marker
+/// newer than every fragment ends operand collection at the boundary.
+pub(crate) fn clear_index_table(table: &Db) -> Result<usize> {
+    let mut keys = Vec::new();
+    let mut it = table.resolved_iter()?;
+    it.seek_to_first();
+    while let Some((key, _seq, _value)) = it.next_entry()? {
+        keys.push(key);
+    }
+    let cleared = keys.len();
+    for key in keys {
+        table.delete(&key)?;
+    }
+    Ok(cleared)
 }
 
 /// Fetch `pk` from the primary table and keep it only if `pred` holds on

@@ -41,6 +41,29 @@ pub fn attr_from_json(v: &Value) -> Result<AttrValue> {
     }
 }
 
+/// What [`SecondaryDb::heal`] found and did.
+#[must_use = "healing may have left violations; inspect the report"]
+#[derive(Debug, Clone, Default)]
+pub struct HealReport {
+    /// Violations [`SecondaryDb::check_integrity`] reported before healing.
+    pub violations_before: usize,
+    /// Violations remaining after healing (0 when the rebuild succeeded;
+    /// equal to `violations_before` when no rebuild was needed or the
+    /// damage is in the primary table, which index rebuilds cannot fix).
+    pub violations_after: usize,
+    /// Whether the index tables were dropped and rebuilt.
+    pub rebuilt: bool,
+    /// Primary records replayed into stand-alone indexes by the rebuild.
+    pub replayed: usize,
+}
+
+impl HealReport {
+    /// True when no violations remain.
+    pub fn is_clean(&self) -> bool {
+        self.violations_after == 0
+    }
+}
+
 /// A key-value store with secondary indexes — the paper's LevelDB++.
 ///
 /// ```
@@ -499,6 +522,101 @@ impl SecondaryDb {
             replayed += 1;
         }
         Ok(replayed)
+    }
+
+    /// Drop and rebuild every index from a scan of the primary table.
+    ///
+    /// The recovery-path counterpart of [`SecondaryDb::backfill_indexes`]:
+    /// where backfill only populates indexes that have *never* been
+    /// written, a rebuild assumes the existing index state is suspect —
+    /// typically after [`ldbpp_lsm::repair_db`] quarantined index SSTables
+    /// or salvaged a subset of the primary — and replaces it wholesale:
+    ///
+    /// * **Stand-alone indexes** are cleared (every surviving index key is
+    ///   tombstoned, so the rebuild shadows any stale on-disk state by
+    ///   sequence order) and repopulated by replaying `on_put` for every
+    ///   live primary record with its original sequence number.
+    /// * **Embedded attributes** missing from any live SSTable's file-level
+    ///   zone map trigger a major compaction, which rewrites every file
+    ///   with regenerated per-block filters and zone maps.
+    ///
+    /// Returns the number of records replayed into stand-alone indexes.
+    pub fn rebuild_indexes(&self) -> Result<usize> {
+        // Embedded: regenerate in-file metadata if any file lacks it
+        // (repair's partial-table rewrite recomputes it, but tables kept
+        // verbatim from before the attribute was declared would not have it).
+        let embedded_attrs: Vec<&str> = self
+            .indexes
+            .iter()
+            .filter(|i| i.kind() == IndexKind::Embedded)
+            .map(|i| i.attr())
+            .collect();
+        if !embedded_attrs.is_empty() {
+            let version = self.primary.current_version();
+            let stale = version.files.iter().flatten().any(|f| {
+                embedded_attrs
+                    .iter()
+                    .any(|attr| f.file_zone(attr).is_none())
+            });
+            if stale {
+                self.primary.major_compact()?;
+            }
+        }
+
+        let standalone: Vec<&dyn SecondaryIndex> = self
+            .indexes
+            .iter()
+            .map(|b| b.as_ref())
+            .filter(|i| i.kind() != IndexKind::Embedded)
+            .collect();
+        if standalone.is_empty() {
+            return Ok(0);
+        }
+        for index in &standalone {
+            index.clear()?;
+        }
+        let mut it = self.primary.resolved_iter()?;
+        it.seek_to_first();
+        let mut replayed = 0usize;
+        while let Some((pk, seq, bytes)) = it.next_entry()? {
+            let Ok(doc) = Document::parse(&bytes) else {
+                continue;
+            };
+            for index in &standalone {
+                index.on_put(&self.primary, &pk, &doc, seq)?;
+            }
+            replayed += 1;
+        }
+        Ok(replayed)
+    }
+
+    /// Check integrity and, if the indexes disagree with the primary,
+    /// rebuild them and re-check — the self-healing step that follows
+    /// [`ldbpp_lsm::repair_db`]. A rebuild is triggered only by violations
+    /// the indexes contribute (dangling/ghost postings, unreadable index
+    /// tables); damage confined to the primary table is reported untouched,
+    /// since rebuilding indexes from a broken primary cannot help.
+    pub fn heal(&self) -> Result<HealReport> {
+        let full = self.check_integrity();
+        let violations_before = full.violations.len();
+        // Index-attributed violations = full report minus the primary's own.
+        let primary_only = self.primary.check_integrity().violations.len();
+        if violations_before <= primary_only {
+            return Ok(HealReport {
+                violations_before,
+                violations_after: violations_before,
+                rebuilt: false,
+                replayed: 0,
+            });
+        }
+        let replayed = self.rebuild_indexes()?;
+        let after = self.check_integrity();
+        Ok(HealReport {
+            violations_before,
+            violations_after: after.violations.len(),
+            rebuilt: true,
+            replayed,
+        })
     }
 
     /// Flush the primary memtable and every stand-alone index table.

@@ -218,10 +218,30 @@ impl Db {
             log_numbers.sort_unstable();
             for number in log_numbers {
                 let data = env.read_all(&log_file_name(name, number))?;
-                let mut reader = LogReader::new(&data);
+                // Paranoid mode aborts recovery at the first corrupt record;
+                // permissive mode resynchronizes at the next block boundary
+                // and keeps replaying whatever is still readable.
+                let mut reader = if opts.paranoid_checks {
+                    LogReader::new(&data)
+                } else {
+                    LogReader::new_salvaging(&data)
+                };
                 while let Some(record) = reader.read_record()? {
+                    let decoded = match WriteBatch::decode(&record) {
+                        Ok(d) => d,
+                        // A record can pass its CRC yet fail to decode (e.g.
+                        // a partially-synced sector rewritten with stale
+                        // data). Same policy as a CRC mismatch.
+                        Err(e) if !opts.paranoid_checks => {
+                            IoStats::add(&stats.wal_records_salvaged, 1);
+                            IoStats::add(&stats.wal_bytes_dropped, record.len() as u64);
+                            let _ = e;
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
                     IoStats::add(&stats.wal_replays, 1);
-                    let (seq, ops) = WriteBatch::decode(&record)?;
+                    let (seq, ops) = decoded;
                     for (i, op) in ops.iter().enumerate() {
                         mem.add(seq + i as u64, op.vtype, &op.key, &op.value);
                     }
@@ -242,6 +262,8 @@ impl Db {
                         mem_generation += 1;
                     }
                 }
+                IoStats::add(&stats.wal_records_salvaged, reader.records_salvaged());
+                IoStats::add(&stats.wal_bytes_dropped, reader.bytes_dropped());
             }
             if !mem.is_empty() {
                 flush_memtable_impl(
@@ -742,9 +764,30 @@ impl Db {
         }
 
         let version = &rs.version;
+        let paranoid = self.core.opts.paranoid_checks;
         let _ = probe_files_for_key(version, user_key, usize::MAX, |source, f| {
-            let table = self.core.open_table(f)?;
-            let entries = table.entries_for(user_key, snapshot, ReadPurpose::Query)?;
+            let read = (|| {
+                let table = self.core.open_table(f)?;
+                table.entries_for(user_key, snapshot, ReadPurpose::Query)
+            })();
+            let entries = match read {
+                Ok(entries) => entries,
+                Err(e) if e.is_corruption() => {
+                    // Evict the cached reader either way: the file may be
+                    // replaced on disk (e.g. by `crate::repair::repair_db`)
+                    // and the stale handle's cached footer and index would
+                    // keep poisoning reads after the fix.
+                    self.core.evict_table(f.number);
+                    if paranoid {
+                        return Err(e);
+                    }
+                    // Permissive degradation: treat the corrupt data as
+                    // absent-with-diagnostic and keep probing older sources.
+                    IoStats::add(&self.core.stats.corrupt_blocks_skipped, 1);
+                    return Ok(ControlFlow::Continue(()));
+                }
+                Err(e) => return Err(e),
+            };
             if entries.is_empty() {
                 return Ok(ControlFlow::Continue(()));
             }
@@ -1687,6 +1730,15 @@ impl DbCore {
                 let _ = self.env.remove(&current_tmp_file_name(&self.name));
             }
         }
+    }
+
+    /// Drop the cached reader for table `number` so the next access
+    /// re-opens the file. Called whenever a read through the cache reports
+    /// corruption: the on-disk file may since have been replaced (by
+    /// [`crate::repair::repair_db`] or an operator restoring a backup) and
+    /// a stale handle would keep serving the corrupt footer and index.
+    pub(crate) fn evict_table(&self, number: u64) {
+        self.tables.lock().remove(&number);
     }
 
     /// Open (via the table cache) the reader for a live file. Cache misses

@@ -135,6 +135,15 @@ pub struct IoStats {
     pub wal_replays: AtomicU64,
     /// MANIFEST version edits applied while recovering the version state.
     pub manifest_replays: AtomicU64,
+    /// Corruption events the salvaging WAL reader resynchronized past
+    /// during recovery (permissive mode only; see
+    /// `DbOptions::paranoid_checks`).
+    pub wal_records_salvaged: AtomicU64,
+    /// WAL bytes dropped while resynchronizing past corruption.
+    pub wal_bytes_dropped: AtomicU64,
+    /// Corrupt table blocks treated as absent by permissive reads instead
+    /// of failing the query (the "absent-with-diagnostic" counter).
+    pub corrupt_blocks_skipped: AtomicU64,
 }
 
 /// A point-in-time copy of [`IoStats`]; each field freezes the counter of
@@ -181,6 +190,12 @@ pub struct IoSnapshot {
     pub wal_replays: u64,
     /// MANIFEST version edits applied while recovering the version state.
     pub manifest_replays: u64,
+    /// Corruption events the salvaging WAL reader resynchronized past.
+    pub wal_records_salvaged: u64,
+    /// WAL bytes dropped while resynchronizing past corruption.
+    pub wal_bytes_dropped: u64,
+    /// Corrupt table blocks treated as absent by permissive reads.
+    pub corrupt_blocks_skipped: u64,
 }
 
 impl IoSnapshot {
@@ -221,6 +236,9 @@ impl IoSnapshot {
             injected_faults: self.injected_faults - earlier.injected_faults,
             wal_replays: self.wal_replays - earlier.wal_replays,
             manifest_replays: self.manifest_replays - earlier.manifest_replays,
+            wal_records_salvaged: self.wal_records_salvaged - earlier.wal_records_salvaged,
+            wal_bytes_dropped: self.wal_bytes_dropped - earlier.wal_bytes_dropped,
+            corrupt_blocks_skipped: self.corrupt_blocks_skipped - earlier.corrupt_blocks_skipped,
         }
     }
 }
@@ -252,6 +270,9 @@ impl std::ops::Add for IoSnapshot {
             injected_faults: self.injected_faults + b.injected_faults,
             wal_replays: self.wal_replays + b.wal_replays,
             manifest_replays: self.manifest_replays + b.manifest_replays,
+            wal_records_salvaged: self.wal_records_salvaged + b.wal_records_salvaged,
+            wal_bytes_dropped: self.wal_bytes_dropped + b.wal_bytes_dropped,
+            corrupt_blocks_skipped: self.corrupt_blocks_skipped + b.corrupt_blocks_skipped,
         }
     }
 }
@@ -285,6 +306,9 @@ impl IoStats {
             injected_faults: self.injected_faults.load(Ordering::Relaxed),
             wal_replays: self.wal_replays.load(Ordering::Relaxed),
             manifest_replays: self.manifest_replays.load(Ordering::Relaxed),
+            wal_records_salvaged: self.wal_records_salvaged.load(Ordering::Relaxed),
+            wal_bytes_dropped: self.wal_bytes_dropped.load(Ordering::Relaxed),
+            corrupt_blocks_skipped: self.corrupt_blocks_skipped.load(Ordering::Relaxed),
         }
     }
 
@@ -513,6 +537,18 @@ impl FaultOp {
     }
 }
 
+/// Which error an injected fault surfaces as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultErrorKind {
+    /// A generic I/O failure ([`Error::Io`]) — the default.
+    #[default]
+    Io,
+    /// A full disk ([`Error::NoSpace`]): the write is refused but nothing
+    /// already stored is damaged, and retrying after space is freed should
+    /// succeed.
+    NoSpace,
+}
+
 /// What a [`FaultEnv`] should fail, expressed over operation indices.
 ///
 /// Every mutating operation gets a global index (0-based, in issue order)
@@ -538,6 +574,10 @@ pub struct FaultPlan {
     /// (e.g. `"MANIFEST"` or `".log"`). The global and per-class counters
     /// are unaffected, so indices stay comparable across plans.
     pub match_path: Option<String>,
+    /// What error the injected fault surfaces as — [`FaultErrorKind::Io`]
+    /// by default, or [`FaultErrorKind::NoSpace`] to simulate a full disk
+    /// for whichever op class the plan targets.
+    pub error_kind: FaultErrorKind,
 }
 
 struct FaultState {
@@ -581,9 +621,11 @@ impl FaultState {
         if let Some(stats) = self.mirror.read().as_ref() {
             IoStats::add(&stats.injected_faults, 1);
         }
-        Err(Error::io(format!(
-            "injected fault: op #{n} ({op:?} #{k}) on {path:?}"
-        )))
+        let msg = format!("injected fault: op #{n} ({op:?} #{k}) on {path:?}");
+        Err(match plan.error_kind {
+            FaultErrorKind::Io => Error::io(msg),
+            FaultErrorKind::NoSpace => Error::no_space(msg),
+        })
     }
 }
 

@@ -20,6 +20,10 @@
 //! * [`mod@env`] — pluggable storage ([`env::MemEnv`], [`env::DiskEnv`]) with
 //!   fine-grained I/O accounting ([`env::IoStats`]) so experiments can
 //!   report block-access counts exactly as the paper does.
+//! * [`repair`] — self-healing: [`repair::repair_db`] rebuilds a damaged
+//!   database from whatever is readable, quarantining the rest in `lost/`;
+//!   [`options::DbOptions::paranoid_checks`] selects between abort-on-first
+//!   -error and permissive salvage behaviour at run time.
 //!
 //! The engine has two execution modes (see [`db`] for the full protocol):
 //! by default it is deliberately synchronous and deterministic (the paper
@@ -45,6 +49,7 @@ pub mod iterator;
 pub mod memtable;
 pub mod merge;
 pub mod options;
+pub mod repair;
 pub mod table;
 #[cfg(feature = "check")]
 pub mod vclock;
@@ -60,3 +65,4 @@ pub use env::{DiskEnv, Env, IoStats, MemEnv};
 pub use ikey::{InternalKey, ValueType};
 pub use iterator::DbIterator;
 pub use merge::MergeOperator;
+pub use repair::{repair_db, RepairReport};

@@ -79,6 +79,20 @@ pub struct DbOptions {
     /// `kL0_StopWritesTrigger`). Ignored when `auto_compact` is off, since
     /// nothing would ever reduce L0.
     pub l0_stall_trigger: usize,
+    /// Abort on the first sign of stored-data corruption (LevelDB's
+    /// `paranoid_checks`, here defaulted **on**).
+    ///
+    /// * **true** — a WAL checksum mismatch fails recovery and a corrupt
+    ///   data block fails the read that touched it: nothing is silently
+    ///   dropped, and the operator is expected to run
+    ///   [`crate::repair::repair_db`].
+    /// * **false** — *permissive* mode: WAL recovery resynchronizes at the
+    ///   next 32 KiB block boundary and keeps replaying (counting
+    ///   `wal_records_salvaged` / `wal_bytes_dropped` in
+    ///   [`crate::env::IoStats`]), and reads treat a corrupt data block as
+    ///   absent-with-diagnostic (`corrupt_blocks_skipped`) instead of a
+    ///   query error — serving every record that is still readable.
+    pub paranoid_checks: bool,
 }
 
 impl std::fmt::Debug for DbOptions {
@@ -98,6 +112,7 @@ impl std::fmt::Debug for DbOptions {
             .field("background_work", &self.background_work)
             .field("l0_slowdown_trigger", &self.l0_slowdown_trigger)
             .field("l0_stall_trigger", &self.l0_stall_trigger)
+            .field("paranoid_checks", &self.paranoid_checks)
             .finish_non_exhaustive()
     }
 }
@@ -125,6 +140,7 @@ impl Default for DbOptions {
             background_work: false,
             l0_slowdown_trigger: 8,
             l0_stall_trigger: 12,
+            paranoid_checks: true,
         }
     }
 }
@@ -154,6 +170,7 @@ impl DbOptions {
             background_work: false,
             l0_slowdown_trigger: 8,
             l0_stall_trigger: 12,
+            paranoid_checks: true,
         }
     }
 

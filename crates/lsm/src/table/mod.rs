@@ -33,5 +33,5 @@ mod reader;
 mod tests;
 
 pub use builder::{TableBuilder, TableMeta};
-pub use format::{BlockHandle, Footer, ReadPurpose, FOOTER_SIZE, TABLE_MAGIC};
+pub use format::{read_block_contents, BlockHandle, Footer, ReadPurpose, FOOTER_SIZE, TABLE_MAGIC};
 pub use reader::{BlockCache, ConcatIter, Table, TableIter, TableProvider};

@@ -47,7 +47,7 @@ pub fn current_tmp_file_name(db: &str) -> String {
 /// between the two steps leaves the old CURRENT intact (still naming a
 /// complete, replayable manifest) plus an orphan `CURRENT.tmp` that the next
 /// open garbage-collects.
-fn install_current(env: &dyn Env, dbname: &str, manifest_number: u64) -> Result<()> {
+pub(crate) fn install_current(env: &dyn Env, dbname: &str, manifest_number: u64) -> Result<()> {
     let tmp = current_tmp_file_name(dbname);
     env.write_all(&tmp, format!("MANIFEST-{manifest_number:06}\n").as_bytes())?;
     env.rename(&tmp, &current_file_name(dbname))

@@ -113,18 +113,74 @@ impl LogWriter {
 pub struct LogReader<'a> {
     data: &'a [u8],
     pos: usize,
+    /// Salvage mode: resynchronize past mid-file corruption instead of
+    /// failing (see [`LogReader::new_salvaging`]).
+    salvage: bool,
+    records_salvaged: u64,
+    bytes_dropped: u64,
 }
 
 impl<'a> LogReader<'a> {
-    /// Read from the full contents of a log file.
+    /// Read from the full contents of a log file (paranoid: mid-file
+    /// corruption is an error).
     pub fn new(data: &'a [u8]) -> LogReader<'a> {
-        LogReader { data, pos: 0 }
+        LogReader {
+            data,
+            pos: 0,
+            salvage: false,
+            records_salvaged: 0,
+            bytes_dropped: 0,
+        }
+    }
+
+    /// Like [`LogReader::new`], but in **salvage** mode: on a checksum or
+    /// framing mismatch the reader skips to the next [`BLOCK_SIZE`]
+    /// boundary and resynchronizes (each block is independently framed, so
+    /// damage never propagates past its block), instead of aborting. What
+    /// was skipped is counted in [`LogReader::records_salvaged`] /
+    /// [`LogReader::bytes_dropped`].
+    pub fn new_salvaging(data: &'a [u8]) -> LogReader<'a> {
+        LogReader {
+            salvage: true,
+            ..LogReader::new(data)
+        }
+    }
+
+    /// Salvage mode: corruption events resynchronized past so far.
+    pub fn records_salvaged(&self) -> u64 {
+        self.records_salvaged
+    }
+
+    /// Salvage mode: bytes skipped or discarded while resynchronizing
+    /// (damaged framing plus any abandoned partial record).
+    pub fn bytes_dropped(&self) -> u64 {
+        self.bytes_dropped
+    }
+
+    /// Salvage mode: skip to the start of the next block (where framing is
+    /// guaranteed to restart) and abandon any partially-assembled record.
+    fn resync_to_next_block(&mut self, assembled: &mut Option<Vec<u8>>) {
+        let next = ((self.pos / BLOCK_SIZE) + 1) * BLOCK_SIZE;
+        let next = next.min(self.data.len());
+        self.bytes_dropped += (next - self.pos) as u64;
+        self.pos = next;
+        self.drop_partial(assembled);
+    }
+
+    /// Salvage mode: count one corruption event and discard a partial
+    /// record whose framing turned out to be inconsistent.
+    fn drop_partial(&mut self, assembled: &mut Option<Vec<u8>>) {
+        if let Some(buf) = assembled.take() {
+            self.bytes_dropped += buf.len() as u64;
+        }
+        self.records_salvaged += 1;
     }
 
     /// Next complete record, `Ok(None)` at clean end-of-log.
     ///
-    /// A record truncated by a crash at the tail yields `Ok(None)`;
-    /// a checksum mismatch mid-file is reported as corruption.
+    /// A record truncated by a crash at the tail yields `Ok(None)` in both
+    /// modes; mid-file corruption is reported as an error (paranoid) or
+    /// resynchronized past (salvage).
     pub fn read_record(&mut self) -> Result<Option<Vec<u8>>> {
         let mut assembled: Option<Vec<u8>> = None;
         loop {
@@ -144,6 +200,10 @@ impl<'a> LogReader<'a> {
                 return Ok(None);
             }
             let Some(rtype) = RecordType::from_u8(type_byte) else {
+                if self.salvage {
+                    self.resync_to_next_block(&mut assembled);
+                    continue;
+                }
                 return Err(Error::corruption(format!(
                     "unknown log record type {type_byte}"
                 )));
@@ -155,32 +215,57 @@ impl<'a> LogReader<'a> {
             let payload = &self.data[start..start + len];
             let crc = crc32c::extend(crc32c::crc32c(&[type_byte]), payload);
             if crc32c::unmask(stored_crc) != crc {
+                if self.salvage {
+                    self.resync_to_next_block(&mut assembled);
+                    continue;
+                }
                 return Err(Error::corruption("log record checksum mismatch"));
             }
             self.pos = start + len;
             match rtype {
                 RecordType::Full => {
                     if assembled.is_some() {
-                        return Err(Error::corruption("FULL record inside fragmented record"));
+                        if !self.salvage {
+                            return Err(Error::corruption("FULL record inside fragmented record"));
+                        }
+                        // The partial record is lost; the FULL one is intact.
+                        self.drop_partial(&mut assembled);
                     }
                     return Ok(Some(payload.to_vec()));
                 }
                 RecordType::First => {
                     if assembled.is_some() {
-                        return Err(Error::corruption("FIRST record inside fragmented record"));
+                        if !self.salvage {
+                            return Err(Error::corruption("FIRST record inside fragmented record"));
+                        }
+                        self.drop_partial(&mut assembled);
                     }
                     assembled = Some(payload.to_vec());
                 }
                 RecordType::Middle => match assembled.as_mut() {
                     Some(buf) => buf.extend_from_slice(payload),
-                    None => return Err(Error::corruption("orphan MIDDLE record")),
+                    None => {
+                        if !self.salvage {
+                            return Err(Error::corruption("orphan MIDDLE record"));
+                        }
+                        // A leftover fragment of a record whose FIRST part
+                        // was lost to an earlier resync: skip just it.
+                        self.records_salvaged += 1;
+                        self.bytes_dropped += (HEADER_SIZE + len) as u64;
+                    }
                 },
                 RecordType::Last => match assembled.take() {
                     Some(mut buf) => {
                         buf.extend_from_slice(payload);
                         return Ok(Some(buf));
                     }
-                    None => return Err(Error::corruption("orphan LAST record")),
+                    None => {
+                        if !self.salvage {
+                            return Err(Error::corruption("orphan LAST record"));
+                        }
+                        self.records_salvaged += 1;
+                        self.bytes_dropped += (HEADER_SIZE + len) as u64;
+                    }
                 },
             }
         }
@@ -284,8 +369,99 @@ mod tests {
         assert!(r.read_record().is_err());
     }
 
+    #[test]
+    fn salvage_resynchronizes_at_block_boundary() {
+        // ~1 KiB records spanning several blocks; corrupt one early in
+        // block 0. Paranoid reading fails; salvage reading recovers every
+        // record before the damage and every record framed after the next
+        // block boundary.
+        let records: Vec<Vec<u8>> = (0..90u8).map(|i| vec![i; 1000]).collect();
+        let mut data = write_records(&records);
+        assert!(data.len() > 2 * BLOCK_SIZE);
+        data[2100] ^= 0xff; // inside record 2's payload
+
+        let mut paranoid = LogReader::new(&data);
+        assert!(paranoid.read_all().is_err());
+
+        let mut r = LogReader::new_salvaging(&data);
+        let out = r.read_all().unwrap();
+        assert!(r.records_salvaged() > 0);
+        assert!(r.bytes_dropped() > 0);
+        // Records 0 and 1 precede the damage; the final record sits well
+        // past the first block boundary.
+        assert_eq!(&out[..2], &records[..2]);
+        assert_eq!(out.last(), records.last());
+        // Nothing fabricated: the output is a subsequence of the input.
+        let mut want = records.iter();
+        for got in &out {
+            assert!(
+                want.any(|w| w == got),
+                "salvaged a record that was never written"
+            );
+        }
+    }
+
+    #[test]
+    fn salvage_skips_unknown_record_type() {
+        let records: Vec<Vec<u8>> = (0..90u8).map(|i| vec![i; 1000]).collect();
+        let mut data = write_records(&records);
+        // Overwrite a record's type byte mid-block-0 with garbage. The
+        // record starts at 1007·k offsets (7-byte header + 1000 payload).
+        data[2 * 1007 + 6] = 0x77;
+        let mut r = LogReader::new_salvaging(&data);
+        let out = r.read_all().unwrap();
+        assert_eq!(&out[..2], &records[..2]);
+        assert_eq!(out.last(), records.last());
+        assert!(r.records_salvaged() > 0);
+    }
+
+    #[test]
+    fn salvage_clean_log_reads_everything() {
+        let records = vec![b"one".to_vec(), vec![7u8; BLOCK_SIZE * 2], b"x".to_vec()];
+        let data = write_records(&records);
+        let mut r = LogReader::new_salvaging(&data);
+        assert_eq!(r.read_all().unwrap(), records);
+        assert_eq!(r.records_salvaged(), 0);
+        assert_eq!(r.bytes_dropped(), 0);
+    }
+
+    #[test]
+    fn salvage_drops_partial_of_interrupted_fragmented_record() {
+        // A record fragmented across blocks 0→1 whose continuation is
+        // damaged: the partial must be abandoned, not returned, and the
+        // records after the damaged block must still be recovered.
+        let big = vec![9u8; BLOCK_SIZE + 500]; // FIRST in block 0, LAST in 1
+        let records = vec![big, b"tail-a".to_vec(), b"tail-b".to_vec()];
+        let mut data = write_records(&records);
+        data[BLOCK_SIZE + 10] ^= 0xff; // damage the LAST fragment
+        let mut r = LogReader::new_salvaging(&data);
+        let out = r.read_all().unwrap();
+        // Block 1 also held the two tail records; they die with the block.
+        assert!(out.is_empty(), "{out:?}");
+        assert!(r.records_salvaged() > 0);
+        assert!(r.bytes_dropped() as usize > BLOCK_SIZE / 2);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn prop_salvage_never_errors_never_fabricates(
+            records in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 0..2000), 1..30),
+            flip_fraction in 0.0f64..1.0)
+        {
+            let mut data = write_records(&records);
+            let at = (((data.len() - 1) as f64) * flip_fraction) as usize;
+            data[at] ^= 0x5a;
+            let mut r = LogReader::new_salvaging(&data);
+            let out = r.read_all().unwrap();
+            // Whatever survives must be a subsequence of what was written.
+            let mut want = records.iter();
+            for got in &out {
+                prop_assert!(want.any(|w| w == got));
+            }
+        }
 
         #[test]
         fn prop_roundtrip(records in proptest::collection::vec(

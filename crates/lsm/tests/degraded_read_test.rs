@@ -1,0 +1,115 @@
+//! Paranoid vs. permissive read degradation, and the table-cache eviction
+//! that keeps degradation honest.
+//!
+//! These tests run on [`DiskEnv`] deliberately: a cached table handle holds
+//! an open file descriptor plus the index/filter blocks loaded at open
+//! time, so overwriting the file on disk is exactly the situation
+//! `repair_db` creates when it rewrites a damaged table — and a stale
+//! cached handle would keep serving the old layout forever.
+
+use ldbpp_lsm::db::{Db, DbOptions};
+use ldbpp_lsm::env::DiskEnv;
+use ldbpp_lsm::version::table_file_name;
+
+fn opts(paranoid: bool) -> DbOptions {
+    DbOptions {
+        auto_compact: false,
+        paranoid_checks: paranoid,
+        ..DbOptions::small()
+    }
+}
+
+fn key(i: usize) -> Vec<u8> {
+    format!("key{i:04}").into_bytes()
+}
+
+fn tmpdir(tag: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("ldbpp-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_str().unwrap().to_string()
+}
+
+/// Build a one-L0-file database at `dir` whose values carry `tag`, and
+/// return the table file's number.
+fn build(dir: &str, tag: &str, paranoid: bool) -> u64 {
+    let db = Db::open(DiskEnv::new(), dir, opts(paranoid)).unwrap();
+    for i in 0..10 {
+        db.put(&key(i), format!("{tag}-{i:04}").as_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+    let files = db.current_version().files[0].clone();
+    assert_eq!(files.len(), 1);
+    files[0].number
+}
+
+#[test]
+fn paranoid_read_aborts_on_corrupt_block() {
+    let dir = tmpdir("paranoid");
+    let number = build(&dir, "val", true);
+    let db = Db::open(DiskEnv::new(), &dir, opts(true)).unwrap();
+    assert!(db.get(&key(0)).unwrap().is_some());
+    // Flip a byte inside the first data block, in place.
+    let path = table_file_name(&dir, number);
+    let mut data = std::fs::read(&path).unwrap();
+    data[32] ^= 0xff;
+    std::fs::write(&path, &data).unwrap();
+    let err = db.get(&key(0)).unwrap_err();
+    assert!(err.is_corruption(), "paranoid read must fail loudly: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn permissive_read_degrades_and_counts() {
+    let dir = tmpdir("permissive");
+    let number = build(&dir, "val", false);
+    let db = Db::open(DiskEnv::new(), &dir, opts(false)).unwrap();
+    assert!(db.get(&key(0)).unwrap().is_some());
+    let path = table_file_name(&dir, number);
+    let original = std::fs::read(&path).unwrap();
+    let mut data = original.clone();
+    data[32] ^= 0xff;
+    std::fs::write(&path, &data).unwrap();
+    // Degraded: the corrupt block reads as absent, with a diagnostic
+    // counter instead of an error.
+    let before = db.stats().snapshot().corrupt_blocks_skipped;
+    assert_eq!(db.get(&key(0)).unwrap(), None);
+    let after = db.stats().snapshot().corrupt_blocks_skipped;
+    assert!(after > before, "degraded read must be counted");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_read_evicts_cached_table_handle() {
+    let dir = tmpdir("evict");
+    let number = build(&dir, "old", false);
+    // A second database with the same keys but different-length values:
+    // its table has the same key range yet a different block layout, i.e.
+    // what `repair_db` produces when it rewrites a damaged file.
+    let dir2 = tmpdir("evict-replacement");
+    let number2 = build(&dir2, "replacement-with-a-longer-payload", false);
+
+    let db = Db::open(DiskEnv::new(), &dir, opts(false)).unwrap();
+    // Cache the handle (open fd + in-memory index of the OLD layout).
+    assert_eq!(
+        db.get(&key(3)).unwrap().as_deref(),
+        Some(b"old-0003".as_slice())
+    );
+    let path = table_file_name(&dir, number);
+    let mut data = std::fs::read(&path).unwrap();
+    data[32] ^= 0xff;
+    std::fs::write(&path, &data).unwrap();
+    // The corruption is observed through the cached handle — and must
+    // evict it.
+    assert_eq!(db.get(&key(3)).unwrap(), None);
+    // "Repair" replaces the file wholesale with the relaid-out table.
+    std::fs::copy(table_file_name(&dir2, number2), &path).unwrap();
+    // A stale handle would apply the old index offsets to the new file and
+    // read garbage; the evicted cache re-opens the file and serves the
+    // replacement content.
+    assert_eq!(
+        db.get(&key(3)).unwrap().as_deref(),
+        Some(b"replacement-with-a-longer-payload-0003".as_slice())
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dir2).unwrap();
+}

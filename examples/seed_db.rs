@@ -1,0 +1,41 @@
+//! Build a small on-disk database — the seeder for tooling walkthroughs
+//! and the CI repair smoke stage (`scripts/repair_smoke.sh`).
+//!
+//! ```text
+//! cargo run --release --example seed_db -- path/to/dbdir [records=400]
+//! ```
+//!
+//! Writes `records` JSON documents (primary keys `rec00000`…) spanning
+//! several data blocks, flushes, and exits. The directory can then be
+//! inspected with `ldbpp_tool`, validated with `check`, corrupted by
+//! hand, and salvaged with `ldbpp_tool repair`.
+
+use leveldbpp::{DbOptions, DiskEnv, Document, IndexKind, SecondaryDb, SecondaryDbOptions, Value};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(dir) = args.next() else {
+        eprintln!("usage: seed_db <db-dir> [records]");
+        std::process::exit(2);
+    };
+    let records: usize = args.next().and_then(|n| n.parse().ok()).unwrap_or(400);
+    let db = SecondaryDb::open(
+        DiskEnv::new(),
+        &dir,
+        SecondaryDbOptions {
+            base: DbOptions::small(),
+            ..Default::default()
+        },
+        &[("UserID", IndexKind::Embedded)],
+    )
+    .expect("open");
+    for i in 0..records {
+        let mut doc = Document::new();
+        doc.set("UserID", Value::str(format!("u{}", i % 16)))
+            .set("N", Value::Int(i as i64))
+            .set("Body", Value::str("x".repeat(48)));
+        db.put(format!("rec{i:05}"), &doc).expect("put");
+    }
+    db.flush().expect("flush");
+    println!("seeded {records} records into {dir}");
+}

@@ -17,7 +17,10 @@
 #      with lock-order-cycle/re-entrancy detection plus the vector-clock
 #      checker on the lock-free read path — including the seeded-inversion
 #      regression proving the detector fires);
-#   6. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
+#   6. repair smoke: build a real on-disk database, corrupt a table,
+#      `ldbpp_tool repair` it (must exit non-zero and quarantine the
+#      damaged file), verify with the `check` binary, and reopen;
+#   7. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
 #      plus markdown link check).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,6 +51,9 @@ cargo test -q -p ldbpp-lsm --features check
 echo "== crash-recovery sweep (CRASH_SWEEP_FULL=${CRASH_SWEEP_FULL:-0}) =="
 CRASH_SWEEP_FULL="${CRASH_SWEEP_FULL:-0}" cargo test -q -p ldbpp-lsm --test crash
 CRASH_SWEEP_FULL="${CRASH_SWEEP_FULL:-0}" cargo test -q -p ldbpp-core --test crash_secondary
+
+echo "== repair smoke: corrupt -> repair -> check -> reopen =="
+./scripts/repair_smoke.sh
 
 ./scripts/check_docs.sh
 

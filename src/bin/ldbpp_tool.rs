@@ -6,21 +6,28 @@
 //! ldbpp_tool tables <db-dir>             # per-SSTable metadata incl. zone maps
 //! ldbpp_tool get    <db-dir> <key>       # point lookup
 //! ldbpp_tool scan   <db-dir> [prefix] [limit]
+//! ldbpp_tool repair <db-dir>             # salvage a damaged database
 //! ```
 //!
-//! Opens the database read-mostly (recovery runs as usual; no writes are
-//! issued).
+//! All commands but `repair` open the database read-mostly (recovery runs
+//! as usual; no writes are issued). `repair` rebuilds the MANIFEST from
+//! whatever is readable on disk, quarantining unreadable files in `lost/`,
+//! then re-opens the result and runs the structural integrity checker.
+//! Exit status: 0 when nothing was quarantined and the checker is clean,
+//! 1 otherwise, 2 on usage errors.
 
-use leveldbpp::{Db, DbOptions, DiskEnv};
+use leveldbpp::{repair_db, Db, DbOptions, DiskEnv};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ldbpp_tool <stats|tables|get|scan> <db-dir> [args]\n\
+        "usage: ldbpp_tool <stats|tables|get|scan|repair> <db-dir> [args]\n\
          \n\
          stats  <db>            tree shape and counters\n\
          tables <db>            per-file metadata (levels, ranges, zone maps)\n\
          get    <db> <key>      point lookup\n\
-         scan   <db> [prefix] [limit=20]   range scan of live records"
+         scan   <db> [prefix] [limit=20]   range scan of live records\n\
+         repair <db>            salvage a damaged database (quarantines\n\
+                                unreadable files in <db>/lost/), then verify"
     );
     std::process::exit(2);
 }
@@ -132,6 +139,59 @@ fn main() {
                 }
             }
             eprintln!("({shown} records)");
+        }
+        ("repair", [dir]) => {
+            if !std::path::Path::new(dir).is_dir() {
+                eprintln!("{dir} is not a directory");
+                std::process::exit(1);
+            }
+            let env: std::sync::Arc<dyn leveldbpp::Env> = DiskEnv::new();
+            let report = match repair_db(&env, dir, &DbOptions::default()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("repair failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            println!(
+                "tables: {} kept, {} rewritten, {} from WAL ({} entries, last seq {})",
+                report.tables_kept,
+                report.tables_rewritten,
+                report.tables_from_wal,
+                report.entries_recovered,
+                report.last_sequence
+            );
+            if report.corrupt_blocks_skipped > 0 {
+                println!("corrupt blocks skipped: {}", report.corrupt_blocks_skipped);
+            }
+            if report.wal_records_recovered > 0 || report.wal_records_salvaged > 0 {
+                println!(
+                    "wal: {} records recovered, {} salvaged past damage ({} bytes dropped)",
+                    report.wal_records_recovered,
+                    report.wal_records_salvaged,
+                    report.wal_bytes_dropped
+                );
+            }
+            for name in &report.quarantined {
+                println!("quarantined: lost/{name}");
+            }
+            // Re-open the repaired database and verify the result.
+            let db = match Db::open(DiskEnv::new(), dir, DbOptions::default()) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("repaired database failed to open: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let check = db.check_integrity();
+            for v in &check.violations {
+                eprintln!("violation: {:?}: {}", v.code, v.detail);
+            }
+            if report.is_clean() && check.is_clean() {
+                println!("ok: database is clean");
+            } else {
+                std::process::exit(1);
+            }
         }
         _ => usage(),
     }

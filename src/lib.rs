@@ -29,11 +29,12 @@
 
 pub use ldbpp_common::{json::Value, Error, Result};
 pub use ldbpp_core::{
-    advisor, cost, CheckCode, Document, IndexKind, IntegrityReport, LookupHit, SecondaryDb,
-    SecondaryDbOptions, Violation,
+    advisor, cost, CheckCode, Document, HealReport, IndexKind, IntegrityReport, LookupHit,
+    SecondaryDb, SecondaryDbOptions, Violation,
 };
 pub use ldbpp_lsm::db::{Db, DbOptions};
 pub use ldbpp_lsm::env::{
     DiskEnv, Env, FaultEnv, FaultOp, FaultPlan, IoCategory, IoSnapshot, IoStats, MemEnv,
 };
+pub use ldbpp_lsm::{repair_db, RepairReport};
 pub use ldbpp_workload as workload;

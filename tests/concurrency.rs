@@ -232,7 +232,13 @@ fn background_secondary_db_indexes_stay_coherent() {
                 while !stop.load(Ordering::Acquire) && rounds < 400 {
                     let hits = db.lookup("UserID", &Value::str("u4"), Some(5)).unwrap();
                     for w in hits.windows(2) {
-                        assert!(w[0].seq > w[1].seq, "recency ordering under churn");
+                        assert!(
+                            w[0].seq > w[1].seq,
+                            "recency ordering under churn: {:?}",
+                            hits.iter()
+                                .map(|h| (String::from_utf8_lossy(&h.key).into_owned(), h.seq))
+                                .collect::<Vec<_>>()
+                        );
                     }
                     for h in &hits {
                         assert_eq!(h.doc.get("UserID").unwrap().as_str(), Some("u4"));

@@ -93,6 +93,82 @@ fn tool_inspects_a_real_database() {
 }
 
 #[test]
+fn repair_cli_salvages_and_reports() {
+    let dir = std::env::temp_dir().join(format!("ldbpp-repair-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().unwrap().to_string();
+
+    {
+        let db = Db::open(DiskEnv::new(), &db_path, DbOptions::small()).unwrap();
+        for i in 0..200usize {
+            db.put(
+                format!("k{i:05}").as_bytes(),
+                format!("v{i}-{}", "x".repeat(40)).as_bytes(),
+            )
+            .unwrap();
+        }
+        db.flush().unwrap();
+    }
+
+    // Clean database: exit 0 and an explicit verdict.
+    let out = tool().args(["repair", &db_path]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok: database is clean"));
+
+    // Corrupt a data block: repair must quarantine the damaged original,
+    // exit non-zero, and leave a database that re-opens clean.
+    let table = std::fs::read_dir(&db_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".ldb"))
+        .expect("no table file on disk")
+        .path();
+    let mut data = std::fs::read(&table).unwrap();
+    data[32] ^= 0xff;
+    std::fs::write(&table, &data).unwrap();
+    let out = tool().args(["repair", &db_path]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("quarantined: lost/"), "{stdout}");
+    assert!(
+        db_dir.join("lost").read_dir().unwrap().next().is_some(),
+        "quarantine directory is empty"
+    );
+
+    // The repaired tree is clean: a second repair finds nothing wrong.
+    let out = tool().args(["repair", &db_path]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Surviving records are served through the normal read path.
+    let out = tool().args(["get", &db_path, "k00199"]).output().unwrap();
+    assert!(out.status.success(), "survivor key unreadable after repair");
+
+    // Refuses directories that hold no database files at all.
+    let empty = dir.join("not-a-db");
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = tool()
+        .args(["repair", empty.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+
+    // Bad usage exits with code 2.
+    let out = tool().args(["repair"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn check_cli_diagnoses_databases() {
     let dir = std::env::temp_dir().join(format!("ldbpp-check-cli-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

@@ -9,14 +9,16 @@
 //! Each experiment prints its series as an aligned table and writes
 //! `<out>/<id>.tsv` (default `results/`).
 
-use ldbpp_bench::experiments::{appendix_c, fig10_11, fig12_15, fig7, fig8, fig9, tables};
+use ldbpp_bench::experiments::{
+    appendix_c, fig10_11, fig12_15, fig7, fig8, fig9, tables, write_scaling,
+};
 use ldbpp_bench::harness::Series;
 use ldbpp_bench::setup::Scale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--smoke] [--tweets N] [--seed S] [--out DIR] <experiment>...\n\
-         experiments: all fig7 fig8 fig9 fig10 fig11 fig12 tab3 tab5 appc1 appc2 ablations"
+         experiments: all fig7 fig8 fig9 fig10 fig11 fig12 tab3 tab5 appc1 appc2 ablations write_scaling"
     );
     std::process::exit(2);
 }
@@ -49,7 +51,7 @@ fn main() {
     if experiments.is_empty() {
         usage();
     }
-    const KNOWN: [&str; 16] = [
+    const KNOWN: [&str; 17] = [
         "all",
         "fig7",
         "fig8",
@@ -66,6 +68,7 @@ fn main() {
         "appc1",
         "appc2",
         "ablations",
+        "write_scaling",
     ];
     // Validate everything up front: a typo must not discard an hour of
     // completed experiments (results are only written at the end).
@@ -88,6 +91,7 @@ fn main() {
             "appc1",
             "appc2",
             "ablations",
+            "write_scaling",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -124,6 +128,7 @@ fn main() {
             "tab5" => produced.push(tables::tab5(scale)),
             "appc1" => produced.push(appendix_c::bloom_sweep(scale)),
             "appc2" => produced.push(appendix_c::compression(scale)),
+            "write_scaling" => produced.push(write_scaling::run(scale)),
             "ablations" => {
                 produced.push(appendix_c::zonemap_granularity(scale));
                 produced.push(appendix_c::getlite_validation(scale));

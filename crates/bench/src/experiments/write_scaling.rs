@@ -1,0 +1,154 @@
+//! Beyond the paper: contended write scaling under group commit.
+//!
+//! N writer threads drive independent YCSB-style insert streams into one
+//! database whose WAL fsync is made artificially expensive
+//! ([`SyncLatencyEnv`]), the configuration where commit latency — not
+//! CPU — bounds throughput. Without group commit, aggregate throughput
+//! would be flat in N (one sync per write, serialized); with the writer
+//! queue of DESIGN.md §14, concurrent batches share one sync, so
+//! throughput scales with the mean group size. The series reports, per
+//! thread count: aggregate throughput, PUT p50/p99, mean group size,
+//! syncs per write, and the full group-size histogram.
+
+use crate::harness::{fnum, LatencyStats, Series};
+use crate::setup::{bench_opts, bench_stats, Scale};
+use ldbpp_lsm::db::Db;
+use ldbpp_lsm::env::{MemEnv, SyncLatencyEnv};
+use ldbpp_workload::TweetGenerator;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Thread counts of the scaling curve.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Simulated fsync cost. Large against MemEnv's ~ns appends *and* the
+/// per-put CPU work (record generation + memtable insert, ~100 µs), so
+/// the run is firmly fsync-bound (the regime where group commit pays);
+/// small enough that the full curve stays in benchtop seconds.
+const SYNC_DELAY: Duration = Duration::from_micros(500);
+
+/// Histogram bucket labels, mirroring `IoStats::group_size_bucket`.
+const HIST_LABELS: [&str; 6] = ["g1", "g2", "g3_4", "g5_8", "g9_16", "g17p"];
+
+/// One cell of the curve: `threads` writers insert `total_ops` records
+/// (split evenly) into a fresh fsync-bound database. Returns the merged
+/// per-put latencies, the wall time, and the I/O-stat delta.
+fn run_cell(
+    threads: usize,
+    total_ops: usize,
+    seed: u64,
+) -> (LatencyStats, Duration, ldbpp_lsm::env::IoSnapshot) {
+    let env = SyncLatencyEnv::new(MemEnv::new(), SYNC_DELAY);
+    let mut opts = bench_opts();
+    // Fsync-bound config: sync the WAL on every commit, and keep flushes
+    // rare (big memtable) so the sync cost dominates the measurement.
+    opts.wal_sync = true;
+    opts.write_buffer_size = 4 << 20;
+    opts.background_work = true;
+    let db = Arc::new(Db::open(env, "db", opts).unwrap());
+
+    let before = db.stats().snapshot();
+    let per_thread = total_ops / threads;
+    let started = Instant::now();
+    let mut merged = LatencyStats::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    // Per-thread generator and key prefix: disjoint streams,
+                    // deterministic for a fixed (seed, thread) pair.
+                    let mut generator =
+                        TweetGenerator::new(bench_stats(), per_thread, seed ^ (t as u64) << 32);
+                    let mut lat = LatencyStats::new();
+                    for _ in 0..per_thread {
+                        let tweet = generator.next_tweet();
+                        let key = format!("w{t}-{}", tweet.id);
+                        let value = tweet.document().to_string();
+                        lat.time(|| db.put(key.as_bytes(), value.as_bytes()).unwrap());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            merged.merge(&h.join().unwrap());
+        }
+    });
+    let elapsed = started.elapsed();
+    let delta = db.stats().snapshot().since(&before);
+    (merged, elapsed, delta)
+}
+
+/// The full 1/2/4/8-writer scaling sweep.
+pub fn run(scale: Scale) -> Series {
+    let mut headers = vec![
+        "threads",
+        "ops",
+        "kops_s",
+        "put_p50_us",
+        "put_p99_us",
+        "groups",
+        "mean_group",
+        "syncs_per_op",
+    ];
+    headers.extend(HIST_LABELS);
+    let mut series = Series::new(
+        "write_scaling",
+        "Contended PUT throughput vs writer threads (fsync-bound, group commit)",
+        &headers,
+    );
+
+    // Fixed total work per cell so cells are comparable: more threads must
+    // win by grouping, not by doing less per thread.
+    let total_ops = (scale.mixed_ops / 10).max(1_000);
+    for threads in THREAD_COUNTS {
+        let (lat, elapsed, delta) = run_cell(threads, total_ops, scale.seed);
+        let ops = lat.len();
+        let kops = ops as f64 / elapsed.as_secs_f64() / 1e3;
+        let mean_group = delta.grouped_writes as f64 / delta.group_commits.max(1) as f64;
+        let mut row = vec![
+            threads.to_string(),
+            ops.to_string(),
+            fnum(kops),
+            fnum(lat.percentile_us(0.50)),
+            fnum(lat.percentile_us(0.99)),
+            delta.group_commits.to_string(),
+            fnum(mean_group),
+            fnum(delta.wal_syncs as f64 / ops as f64),
+        ];
+        row.extend(delta.group_size_hist.iter().map(|c| c.to_string()));
+        series.push(row);
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_writers_at_least_double_one_writer_throughput() {
+        let s = run(Scale::smoke());
+        let kops = |threads: f64| {
+            s.value(|r| r[0].parse::<f64>().unwrap() == threads, "kops_s")
+                .unwrap()
+        };
+        let (one, four) = (kops(1.0), kops(4.0));
+        assert!(
+            four >= 2.0 * one,
+            "group commit must amortize the fsync: 4 writers {four} kops/s \
+             vs 1 writer {one} kops/s"
+        );
+        // In the fsync-bound config a lone writer pays one sync per write;
+        // grouped writers pay strictly fewer.
+        let syncs = |threads: f64| {
+            s.value(|r| r[0].parse::<f64>().unwrap() == threads, "syncs_per_op")
+                .unwrap()
+        };
+        assert!(syncs(1.0) > 0.9, "single writer should sync ~every write");
+        assert!(syncs(4.0) < syncs(1.0), "groups must share syncs");
+        let mean_group = s.value(|r| r[0] == "4", "mean_group").unwrap();
+        assert!(mean_group > 1.0, "no grouping happened at 4 writers");
+    }
+}

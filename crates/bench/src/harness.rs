@@ -55,6 +55,20 @@ impl LatencyStats {
         sorted[idx.min(sorted.len() - 1)]
     }
 
+    /// Arbitrary percentile in microseconds, `p` in `[0, 1]` (e.g. `0.99`
+    /// for the tail the write-scaling curves report).
+    pub fn percentile_us(&self, p: f64) -> f64 {
+        let mut sorted = self.samples_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Self::percentile(&sorted, p)
+    }
+
+    /// Fold another collection's samples into this one (used to combine
+    /// per-thread stats from a contended run).
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+    }
+
     /// `(min, p25, median, p75, max, mean)` in microseconds — the
     /// box-and-whisker numbers of Figures 10 and 11.
     pub fn summary(&self) -> BoxSummary {

@@ -22,4 +22,5 @@ pub mod experiments {
     pub mod fig8;
     pub mod fig9;
     pub mod tables;
+    pub mod write_scaling;
 }

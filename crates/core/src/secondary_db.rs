@@ -238,11 +238,15 @@ impl SecondaryDb {
         // false positives that every lookup already filters out by
         // validating candidates against the primary. The opposite order
         // would strand primary records invisible to LOOKUP (false
-        // negatives), which nothing repairs. The sequence the primary write
-        // will use is predicted; writes are serialized by the callers that
-        // care about exact recency ordering, and validation re-reads the
-        // primary anyway, so a concurrent-writer race only skews the
-        // recency hint stored in the posting.
+        // negatives), which nothing repairs. This contract holds *per
+        // logical batch* under the primary's group-commit queue (DESIGN.md
+        // §14): each `put` finishes its index writes before enqueueing its
+        // primary write, so whichever group the primary write lands in,
+        // its index entries are already durable-or-earlier. The sequence
+        // the primary write will use is predicted; concurrent writers
+        // grouping ahead of us can make the real sequence larger, but
+        // validation re-reads the primary anyway, so the race only skews
+        // the recency hint stored in the posting.
         let predicted_seq = self.primary.last_sequence() + 1;
         for index in &self.indexes {
             if index.kind() != IndexKind::Embedded {

@@ -33,11 +33,11 @@ use crate::version::{
     Version, VersionEdit, VersionSet,
 };
 use crate::wal::{LogReader, LogWriter};
-use crate::write_batch::WriteBatch;
+use crate::write_batch::{self, WriteBatch};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ldbpp_common::{Error, Result};
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -99,13 +99,58 @@ enum WorkerMsg {
     Shutdown,
 }
 
+/// One queued logical write: the encoded operation bodies of a single
+/// [`WriteBatch`] plus the slot its group's leader fills with the outcome.
+///
+/// The request is the unit of the group-commit protocol (DESIGN.md §14):
+/// the queue-front request's thread is the *leader*; it commits a prefix
+/// of the queue as one WAL record, then either hands each follower its
+/// start sequence (or the group's shared error) through `state`, or —
+/// for the next request still in the queue — hands over leadership.
+struct WriteRequest {
+    /// Operation count of this batch.
+    count: u32,
+    /// Encoded operation bodies ([`WriteBatch::op_bytes`]).
+    body: Vec<u8>,
+    /// Outcome slot; a leaf lock (acquired while holding nothing else by
+    /// waiting followers, and nothing below it by the leader).
+    state: Mutex<WriteOutcome>,
+    /// Signalled when `state` gains a result or leadership.
+    cond: Condvar,
+}
+
+impl WriteRequest {
+    fn new(batch: &WriteBatch) -> Arc<WriteRequest> {
+        Arc::new(WriteRequest {
+            count: batch.count(),
+            body: batch.op_bytes().to_vec(),
+            state: Mutex::new(WriteOutcome::default()),
+            cond: Condvar::new(),
+        })
+    }
+}
+
+/// What a follower wakes up to: a result, or a promotion to leader.
+#[derive(Default)]
+struct WriteOutcome {
+    /// The batch's start sequence number, or the group's shared error.
+    result: Option<Result<u64>>,
+    /// Set when the previous leader hands this (queue-front) request the
+    /// leader role instead of a result.
+    leader: bool,
+}
+
 /// Shared core of a [`Db`]: everything the public handle and the background
 /// worker both need.
 ///
-/// Lock order (outermost first): `maintenance` → `inner` → `read` →
-/// memtable latch → leaves (`tables`, `pinned`, `bg_error`, `pending_gc`,
-/// `live_versions`, `work_tx`). Never acquire leftwards while holding a
-/// lock to the right.
+/// Lock order (outermost first): `maintenance` → `inner` → {`writers`,
+/// `read` → memtable latch} → leaves (`tables`, `pinned`, `bg_error`,
+/// `pending_gc`, `live_versions`, `work_tx`, per-request
+/// [`WriteRequest::state`]). Never acquire leftwards while holding a
+/// lock to the right. The write path adds two disciplines on top
+/// (DESIGN.md §14): `writers` is only ever held briefly (enqueue, group
+/// collection, group pop — never across I/O or a condvar wait), and a
+/// request's `state` is never held while acquiring any other lock.
 struct DbCore {
     name: String,
     opts: DbOptions,
@@ -161,6 +206,11 @@ struct DbCore {
     /// Channel to the background worker (None in foreground mode and
     /// after shutdown).
     work_tx: Mutex<Option<Sender<WorkerMsg>>>,
+    /// Group-commit writer queue (DESIGN.md §14). Invariants: a request
+    /// is in the queue from enqueue until its group's leader pops the
+    /// whole group after distributing leadership; the front request's
+    /// thread is the only leader; only the leader pops.
+    writers: Mutex<VecDeque<Arc<WriteRequest>>>,
 }
 
 /// A LevelDB-style LSM key-value store.
@@ -334,6 +384,7 @@ impl Db {
             live_versions: Mutex::new(vec![Arc::downgrade(&version)]),
             pending_gc: Mutex::new(Vec::new()),
             work_tx: Mutex::new(None),
+            writers: Mutex::new(VecDeque::new()),
         });
         core.remove_obsolete_files();
 
@@ -449,7 +500,15 @@ impl Db {
     /// Apply a batch atomically. Returns the sequence number of its first
     /// operation.
     ///
-    /// In foreground mode a write that finds the memtable full pays for
+    /// Concurrent callers go through the group-commit writer queue
+    /// (DESIGN.md §14): each enqueues its batch, the queue-front *leader*
+    /// commits a prefix of the queue as one WAL record (one append, at
+    /// most one fsync, one memtable publish), and followers are woken
+    /// with their rebased start sequences. A single uncontended writer is
+    /// always its own leader of a group of one, producing byte-for-byte
+    /// the WAL record the pre-queue engine produced.
+    ///
+    /// In foreground mode a leader that finds the memtable full pays for
     /// the flush (and any due compactions) inline; in background mode it
     /// freezes the memtable, hands it to the worker and returns — stalling
     /// only under L0 backpressure (see
@@ -460,17 +519,29 @@ impl Db {
         }
         let core = &self.core;
         core.check_fatal()?;
-        if core.opts.background_work {
-            core.maybe_slowdown();
-            let mut inner = core.inner.lock();
-            core.make_room_bg(&mut inner)?;
-            core.append_batch(&mut inner, batch)
-        } else {
-            let _maintenance = core.maintenance.lock();
-            core.make_room_sync()?;
-            let mut inner = core.inner.lock();
-            core.append_batch(&mut inner, batch)
+        let req = WriteRequest::new(batch);
+        let is_leader = {
+            let mut writers = core.writers.lock();
+            let was_empty = writers.is_empty();
+            writers.push_back(Arc::clone(&req));
+            was_empty
+        };
+        if !is_leader {
+            // Follower: wait on our own slot for a result or a promotion.
+            // The guard is dropped before leading, so `state` stays a
+            // leaf in the lock graph.
+            let mut state = req.state.lock();
+            loop {
+                if let Some(result) = state.result.take() {
+                    return result;
+                }
+                if state.leader {
+                    break;
+                }
+                req.cond.wait(&mut state);
+            }
         }
+        core.lead_group(&req)
     }
 
     /// Flush all in-memory entries to L0 (then run any due compactions,
@@ -1142,42 +1213,191 @@ impl DbCore {
 
     // -- write path ---------------------------------------------------------
 
-    /// WAL append + memtable insert. Caller holds `inner` and has already
-    /// made room.
-    fn append_batch(&self, inner: &mut DbInner, batch: &mut WriteBatch) -> Result<u64> {
-        let start_seq = inner.versions.last_sequence + 1;
-        if ikey::MAX_SEQUENCE - start_seq < batch.count() as u64 {
-            return Err(Error::invalid("sequence space exhausted"));
+    /// Lead one group commit on behalf of `own` (the queue-front request)
+    /// and return `own`'s result.
+    ///
+    /// Every exit path pops the committed group (at minimum `own` itself)
+    /// from the writer queue and promotes the next queued request to
+    /// leader — otherwise the queue would deadlock behind a request
+    /// nobody is driving.
+    fn lead_group(&self, own: &Arc<WriteRequest>) -> Result<u64> {
+        let (group, outcome) = self.commit_group(own);
+        self.finish_group(own, &group, outcome)
+    }
+
+    /// Make room, collect the group and commit it. Returns the committed
+    /// (or failed) group — always containing at least `own` — plus the
+    /// group's shared outcome: the group start sequence, or the error
+    /// every member gets.
+    fn commit_group(&self, own: &Arc<WriteRequest>) -> (Vec<Arc<WriteRequest>>, Result<u64>) {
+        // A promoted leader may be running after a previous group
+        // poisoned the database; re-check before touching anything.
+        if let Err(e) = self.check_fatal() {
+            return (vec![Arc::clone(own)], Err(e));
         }
-        let payload_len = {
-            let payload = batch.encode(start_seq);
+        if self.opts.background_work {
+            self.maybe_slowdown();
+            let mut inner = self.inner.lock();
+            if let Err(e) = self.make_room_bg(&mut inner) {
+                // Make-room failure fails only the leader (LevelDB's
+                // contract): queued followers may well succeed once the
+                // backlog clears, so they get a fresh leader, not our
+                // error.
+                return (vec![Arc::clone(own)], Err(e));
+            }
+            self.append_group(&mut inner, own)
+        } else {
+            let _maintenance = self.maintenance.lock();
+            if let Err(e) = self.make_room_sync() {
+                return (vec![Arc::clone(own)], Err(e));
+            }
+            let mut inner = self.inner.lock();
+            self.append_group(&mut inner, own)
+        }
+    }
+
+    /// Collect the leader's group: the queue-front prefix whose payload
+    /// bytes fit the group cap ([`DbOptions::max_group_commit_bytes`]).
+    /// The leader's own batch always fits; when it is small the cap is
+    /// tightened (LevelDB's refinement) so a tiny write's latency is
+    /// never held hostage by a large group forming behind it.
+    fn collect_group(&self, own: &Arc<WriteRequest>) -> Vec<Arc<WriteRequest>> {
+        let writers = self.writers.lock();
+        debug_assert!(writers.front().is_some_and(|f| Arc::ptr_eq(f, own)));
+        let small = self.opts.max_group_commit_bytes / 8;
+        let cap = if own.body.len() <= small {
+            own.body.len() + small
+        } else {
+            self.opts.max_group_commit_bytes
+        };
+        let mut total = 0usize;
+        let mut group = Vec::new();
+        for req in writers.iter() {
+            if !group.is_empty() && total + req.body.len() > cap {
+                break;
+            }
+            total += req.body.len();
+            group.push(Arc::clone(req));
+        }
+        group
+    }
+
+    /// One WAL append (+ at most one fsync) + one memtable publish for a
+    /// whole group, under one sequence allocation. Caller holds `inner`
+    /// and has already made room.
+    fn append_group(
+        &self,
+        inner: &mut DbInner,
+        own: &Arc<WriteRequest>,
+    ) -> (Vec<Arc<WriteRequest>>, Result<u64>) {
+        let group = self.collect_group(own);
+        let start_seq = inner.versions.last_sequence + 1;
+        let total_count: u64 = group.iter().map(|r| u64::from(r.count)).sum();
+        if ikey::MAX_SEQUENCE - start_seq < total_count {
+            return (group, Err(Error::invalid("sequence space exhausted")));
+        }
+        // Decode every body before touching the WAL or memtable, so a
+        // malformed batch fails the group with no state mutated at all.
+        let mut decoded = Vec::with_capacity(group.len());
+        for req in &group {
+            match write_batch::decode_ops(&req.body, req.count) {
+                Ok(ops) => decoded.push(ops),
+                Err(e) => return (group, Err(e)),
+            }
+        }
+        if inner.wal.is_some() {
+            let parts: Vec<(&[u8], u32)> =
+                group.iter().map(|r| (r.body.as_slice(), r.count)).collect();
+            let payload = write_batch::encode_group(start_seq, &parts);
             if let Some(wal) = inner.wal.as_mut() {
                 // A failed append leaves a partial record at the WAL tail;
                 // recovery reads it as a clean truncated-tail EOF, but only
                 // if nothing is appended after it — poison the write path.
-                wal.add_record(payload).map_err(|e| self.set_fatal(e))?;
+                // Every batch in the group shared the failed record, so
+                // every member gets the error (the failure contract of
+                // DESIGN.md §14).
+                if let Err(e) = wal.add_record(&payload) {
+                    return (group, Err(self.set_fatal(e)));
+                }
+                if self.opts.wal_sync {
+                    // A failed fsync means unknown durability for a record
+                    // the policy promises durable — poison, like a failed
+                    // append.
+                    if let Err(e) = wal.sync() {
+                        return (group, Err(self.set_fatal(e)));
+                    }
+                    IoStats::add(&self.stats.wal_syncs, 1);
+                }
             }
-            payload.len()
-        };
-        if inner.wal.is_some() {
-            IoStats::add(&self.stats.wal_bytes_written, payload_len as u64);
+            IoStats::add(&self.stats.wal_bytes_written, payload.len() as u64);
         }
-        let ops = batch.ops()?;
         {
             let rs = self.read_state();
             let mut mem = rs.mem.write();
-            for (i, op) in ops.iter().enumerate() {
-                mem.add(start_seq + i as u64, op.vtype, &op.key, &op.value);
+            let mut seq = start_seq;
+            for ops in &decoded {
+                for op in ops {
+                    mem.add(seq, op.vtype, &op.key, &op.value);
+                    seq += 1;
+                }
             }
         }
-        inner.versions.last_sequence = start_seq + ops.len() as u64 - 1;
+        inner.versions.last_sequence = start_seq + total_count - 1;
         // Release-publish only after the memtable insert: a reader that
         // Acquire-loads this value is guaranteed to find the entries.
         #[cfg(feature = "check")]
         self.vc.publish(inner.versions.last_sequence);
         self.last_seq
             .store(inner.versions.last_sequence, Ordering::Release);
-        Ok(start_seq)
+        IoStats::add(&self.stats.group_commits, 1);
+        IoStats::add(&self.stats.grouped_writes, group.len() as u64);
+        IoStats::add(
+            &self.stats.group_size_hist[IoStats::group_size_bucket(group.len())],
+            1,
+        );
+        (group, Ok(start_seq))
+    }
+
+    /// Pop the group from the queue, hand leadership to the next queued
+    /// writer, and distribute per-batch results (rebased start sequences,
+    /// or the shared error) to every follower in the group. Returns
+    /// `own`'s result. Caller holds no locks.
+    fn finish_group(
+        &self,
+        own: &Arc<WriteRequest>,
+        group: &[Arc<WriteRequest>],
+        outcome: Result<u64>,
+    ) -> Result<u64> {
+        let next = {
+            let mut writers = self.writers.lock();
+            for _ in 0..group.len() {
+                writers.pop_front();
+            }
+            writers.front().cloned()
+        };
+        if let Some(next) = next {
+            let mut state = next.state.lock();
+            state.leader = true;
+            next.cond.notify_one();
+        }
+        // Sequence rebasing: batch i's start sequence is the group start
+        // plus the operation counts of batches 0..i.
+        let mut own_result = outcome.clone();
+        let mut next_seq = outcome;
+        for req in group {
+            let result = next_seq.clone();
+            if let Ok(seq) = &mut next_seq {
+                *seq += u64::from(req.count);
+            }
+            if Arc::ptr_eq(req, own) {
+                own_result = result;
+            } else {
+                let mut state = req.state.lock();
+                state.result = Some(result);
+                req.cond.notify_one();
+            }
+        }
+        own_result
     }
 
     /// Foreground room-making: flush + compact inline, exactly the seed

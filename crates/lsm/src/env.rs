@@ -92,58 +92,98 @@ pub enum IoCategory {
 /// phase.
 #[derive(Debug, Default)]
 pub struct IoStats {
-    /// Data blocks fetched from storage for queries (excludes cache hits).
+    /// Count of data blocks fetched from storage for queries; incremented
+    /// once per block read that missed (or bypassed) the block cache.
     pub block_reads: AtomicU64,
-    /// Bytes fetched for those block reads.
+    /// Bytes (compressed, on-storage size) fetched by those query block
+    /// reads; incremented together with `block_reads`.
     pub block_read_bytes: AtomicU64,
-    /// Query block requests served by the block cache.
+    /// Count of query block requests served by the block cache;
+    /// incremented once per cache hit (no storage read happened).
     pub cache_hits: AtomicU64,
-    /// SSTable footer/index loads caused by table-cache misses. The lazy
-    /// read path promises zero of these before an iterator's first seek.
+    /// Count of SSTable footer/index loads caused by table-cache misses;
+    /// incremented once per table opened. The lazy read path promises
+    /// zero of these before an iterator's first seek.
     pub table_opens: AtomicU64,
-    /// Blocks read by compactions.
+    /// Count of blocks read by compactions; incremented once per input
+    /// block as compaction input iterators advance.
     pub compaction_blocks_read: AtomicU64,
-    /// Bytes read by compactions.
+    /// Bytes (on-storage size) read by compactions; incremented together
+    /// with `compaction_blocks_read`.
     pub compaction_bytes_read: AtomicU64,
-    /// Blocks written by compactions.
+    /// Count of blocks written by compactions; incremented once per
+    /// output block flushed by a compaction's table builder.
     pub compaction_blocks_written: AtomicU64,
-    /// Bytes written by compactions.
+    /// Bytes (on-storage size) written by compactions; incremented
+    /// together with `compaction_blocks_written`.
     pub compaction_bytes_written: AtomicU64,
-    /// Blocks written by memtable flushes.
+    /// Count of blocks written by memtable flushes; incremented once per
+    /// output block while building an L0 table.
     pub flush_blocks_written: AtomicU64,
-    /// Bytes written by memtable flushes.
+    /// Bytes (on-storage size) written by memtable flushes; incremented
+    /// together with `flush_blocks_written`.
     pub flush_bytes_written: AtomicU64,
-    /// Bytes appended to the write-ahead log.
+    /// Bytes of batch payload appended to the write-ahead log (excludes
+    /// the log format's per-record framing); incremented once per
+    /// successful group-commit WAL append.
     pub wal_bytes_written: AtomicU64,
-    /// Bloom-filter membership probes (CPU cost tracker — the paper notes
-    /// this cost "cannot be neglected" for the Embedded Index).
+    /// Count of bloom-filter membership probes; incremented once per
+    /// filter consulted (CPU cost tracker — the paper notes this cost
+    /// "cannot be neglected" for the Embedded Index).
     pub bloom_checks: AtomicU64,
-    /// Probes answered "definitely absent".
+    /// Count of probes answered "definitely absent"; incremented when a
+    /// bloom probe lets a read skip a block or file entirely.
     pub bloom_negatives: AtomicU64,
-    /// Blocks skipped thanks to zone maps.
+    /// Count of blocks skipped thanks to per-block zone maps; incremented
+    /// once per block a range predicate pruned without reading it.
     pub zonemap_prunes: AtomicU64,
-    /// Whole files skipped thanks to file-level zone maps.
+    /// Count of whole files skipped thanks to file-level zone maps;
+    /// incremented once per file pruned before any block I/O.
     pub file_zonemap_prunes: AtomicU64,
-    /// Number of compactions run.
+    /// Count of compactions run; incremented once per completed
+    /// compaction (foreground or background).
     pub compactions: AtomicU64,
-    /// Number of memtable flushes.
+    /// Count of memtable flushes; incremented once per L0 table installed
+    /// from a (frozen or live) memtable.
     pub flushes: AtomicU64,
-    /// Faults injected by a [`FaultEnv`] mirroring into these stats (see
+    /// Count of faults injected by a [`FaultEnv`] mirroring into these
+    /// stats; incremented once per injected failure (see
     /// [`FaultEnv::mirror_stats`]).
     pub injected_faults: AtomicU64,
-    /// WAL records replayed into the memtable while opening the database.
+    /// Count of WAL records replayed into the memtable while opening the
+    /// database; incremented once per batch record during recovery.
     pub wal_replays: AtomicU64,
-    /// MANIFEST version edits applied while recovering the version state.
+    /// Count of MANIFEST version edits applied while recovering the
+    /// version state; incremented once per edit during open.
     pub manifest_replays: AtomicU64,
-    /// Corruption events the salvaging WAL reader resynchronized past
-    /// during recovery (permissive mode only; see
-    /// `DbOptions::paranoid_checks`).
+    /// Count of corruption events the salvaging WAL reader resynchronized
+    /// past during recovery; incremented once per resync (permissive mode
+    /// only; see `DbOptions::paranoid_checks`).
     pub wal_records_salvaged: AtomicU64,
-    /// WAL bytes dropped while resynchronizing past corruption.
+    /// Bytes of WAL content dropped while resynchronizing past
+    /// corruption; incremented by the skipped span per salvage event.
     pub wal_bytes_dropped: AtomicU64,
-    /// Corrupt table blocks treated as absent by permissive reads instead
-    /// of failing the query (the "absent-with-diagnostic" counter).
+    /// Count of corrupt table blocks treated as absent by permissive
+    /// reads instead of failing the query (the "absent-with-diagnostic"
+    /// counter); incremented once per corrupt block skipped.
     pub corrupt_blocks_skipped: AtomicU64,
+    /// Count of group commits: each is one leader round that appended one
+    /// WAL record covering ≥ 1 logical batch; incremented once per round.
+    /// `grouped_writes / group_commits` is the mean group size.
+    pub group_commits: AtomicU64,
+    /// Count of logical batches committed through the group-commit queue
+    /// (every `Db::put` / `delete` / `merge` / `write` is one logical
+    /// batch); incremented by the group size once per group commit.
+    pub grouped_writes: AtomicU64,
+    /// Count of WAL fsyncs issued by the write path; incremented once per
+    /// group commit when `DbOptions::wal_sync` is on (zero otherwise —
+    /// flush/compaction table syncs are not counted here).
+    pub wal_syncs: AtomicU64,
+    /// Histogram of group sizes, in logical batches per group commit.
+    /// Buckets count groups of size 1, 2, 3–4, 5–8, 9–16 and ≥ 17
+    /// respectively (see [`IoStats::group_size_bucket`]); the bucket for
+    /// a group's size is incremented once per group commit.
+    pub group_size_hist: [AtomicU64; 6],
 }
 
 /// A point-in-time copy of [`IoStats`]; each field freezes the counter of
@@ -196,6 +236,14 @@ pub struct IoSnapshot {
     pub wal_bytes_dropped: u64,
     /// Corrupt table blocks treated as absent by permissive reads.
     pub corrupt_blocks_skipped: u64,
+    /// Group commits (leader rounds, one WAL record each).
+    pub group_commits: u64,
+    /// Logical batches committed through the group-commit queue.
+    pub grouped_writes: u64,
+    /// WAL fsyncs issued by the write path.
+    pub wal_syncs: u64,
+    /// Histogram of group sizes (buckets: 1, 2, 3–4, 5–8, 9–16, ≥ 17).
+    pub group_size_hist: [u64; 6],
 }
 
 impl IoSnapshot {
@@ -239,6 +287,12 @@ impl IoSnapshot {
             wal_records_salvaged: self.wal_records_salvaged - earlier.wal_records_salvaged,
             wal_bytes_dropped: self.wal_bytes_dropped - earlier.wal_bytes_dropped,
             corrupt_blocks_skipped: self.corrupt_blocks_skipped - earlier.corrupt_blocks_skipped,
+            group_commits: self.group_commits - earlier.group_commits,
+            grouped_writes: self.grouped_writes - earlier.grouped_writes,
+            wal_syncs: self.wal_syncs - earlier.wal_syncs,
+            group_size_hist: std::array::from_fn(|i| {
+                self.group_size_hist[i] - earlier.group_size_hist[i]
+            }),
         }
     }
 }
@@ -273,6 +327,12 @@ impl std::ops::Add for IoSnapshot {
             wal_records_salvaged: self.wal_records_salvaged + b.wal_records_salvaged,
             wal_bytes_dropped: self.wal_bytes_dropped + b.wal_bytes_dropped,
             corrupt_blocks_skipped: self.corrupt_blocks_skipped + b.corrupt_blocks_skipped,
+            group_commits: self.group_commits + b.group_commits,
+            grouped_writes: self.grouped_writes + b.grouped_writes,
+            wal_syncs: self.wal_syncs + b.wal_syncs,
+            group_size_hist: std::array::from_fn(|i| {
+                self.group_size_hist[i] + b.group_size_hist[i]
+            }),
         }
     }
 }
@@ -309,12 +369,31 @@ impl IoStats {
             wal_records_salvaged: self.wal_records_salvaged.load(Ordering::Relaxed),
             wal_bytes_dropped: self.wal_bytes_dropped.load(Ordering::Relaxed),
             corrupt_blocks_skipped: self.corrupt_blocks_skipped.load(Ordering::Relaxed),
+            group_commits: self.group_commits.load(Ordering::Relaxed),
+            grouped_writes: self.grouped_writes.load(Ordering::Relaxed),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            group_size_hist: std::array::from_fn(|i| {
+                self.group_size_hist[i].load(Ordering::Relaxed)
+            }),
         }
     }
 
     /// Bump a counter by `n` (relaxed; counters are advisory).
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Index into [`IoStats::group_size_hist`] for a group of `n` logical
+    /// batches (buckets: 1, 2, 3–4, 5–8, 9–16, ≥ 17).
+    pub fn group_size_bucket(n: usize) -> usize {
+        match n {
+            0..=1 => 0,
+            2 => 1,
+            3..=4 => 2,
+            5..=8 => 3,
+            9..=16 => 4,
+            _ => 5,
+        }
     }
 }
 
@@ -492,6 +571,110 @@ impl Env for MemEnv {
 
     fn mkdir_all(&self, _dir: &str) -> Result<()> {
         Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SyncLatencyEnv
+// ---------------------------------------------------------------------------
+
+/// An [`Env`] decorator that charges a fixed wall-clock latency for every
+/// [`WritableFile::sync`], simulating the fsync cost of a real device on
+/// top of a (free-to-sync) [`MemEnv`].
+///
+/// The write-scaling experiment (EXPERIMENTS.md) uses this to build an
+/// *fsync-bound* configuration deterministically: with
+/// `DbOptions::wal_sync` on, each group commit pays exactly one delayed
+/// sync, so aggregate throughput measures how well group commit amortizes
+/// the scarce resource across concurrent writers — without the variance
+/// of a physical disk.
+pub struct SyncLatencyEnv {
+    inner: Arc<dyn Env>,
+    delay: std::time::Duration,
+    /// Shared with every writable handle, so files outliving the caller's
+    /// env reference still feed the env-level count.
+    syncs: Arc<AtomicU64>,
+}
+
+impl SyncLatencyEnv {
+    /// Wrap `inner`, delaying every `sync` by `delay`.
+    pub fn new(inner: Arc<dyn Env>, delay: std::time::Duration) -> Arc<SyncLatencyEnv> {
+        Arc::new(SyncLatencyEnv {
+            inner,
+            delay,
+            syncs: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Number of (delayed) syncs issued through this env so far.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+}
+
+struct SyncLatencyWritable {
+    inner: Box<dyn WritableFile>,
+    delay: std::time::Duration,
+    syncs: Arc<AtomicU64>,
+}
+
+impl WritableFile for SyncLatencyWritable {
+    fn append(&mut self, data: &[u8]) -> Result<()> {
+        self.inner.append(data)
+    }
+    fn sync(&mut self) -> Result<()> {
+        std::thread::sleep(self.delay);
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        self.inner.sync()
+    }
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+}
+
+impl Env for SyncLatencyEnv {
+    fn new_writable(&self, path: &str) -> Result<Box<dyn WritableFile>> {
+        Ok(Box::new(SyncLatencyWritable {
+            inner: self.inner.new_writable(path)?,
+            delay: self.delay,
+            syncs: Arc::clone(&self.syncs),
+        }))
+    }
+
+    fn open_random(&self, path: &str) -> Result<Arc<dyn RandomAccessFile>> {
+        self.inner.open_random(path)
+    }
+
+    fn read_all(&self, path: &str) -> Result<Vec<u8>> {
+        self.inner.read_all(path)
+    }
+
+    fn write_all(&self, path: &str, data: &[u8]) -> Result<()> {
+        self.inner.write_all(path, data)
+    }
+
+    fn remove(&self, path: &str) -> Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn list(&self, dir: &str) -> Result<Vec<String>> {
+        self.inner.list(dir)
+    }
+
+    fn file_size(&self, path: &str) -> Result<u64> {
+        self.inner.file_size(path)
+    }
+
+    fn mkdir_all(&self, dir: &str) -> Result<()> {
+        self.inner.mkdir_all(dir)
     }
 }
 

@@ -79,6 +79,28 @@ pub struct DbOptions {
     /// `kL0_StopWritesTrigger`). Ignored when `auto_compact` is off, since
     /// nothing would ever reduce L0.
     pub l0_stall_trigger: usize,
+    /// Upper bound, in WAL-payload bytes, on one group commit.
+    ///
+    /// Concurrent writers enqueue on the writer queue; the queue-front
+    /// *leader* drains queued batches into a single WAL record (one
+    /// append, at most one fsync, one memtable publish) until the next
+    /// batch would push the group past this size. The leader's own batch
+    /// always commits, even when it alone exceeds the cap. When the
+    /// leader's batch is small (≤ 1/8 of the cap) the effective cap is
+    /// tightened to `leader_bytes + cap/8` — LevelDB's refinement — so a
+    /// tiny write's latency is never held hostage by a huge group forming
+    /// behind it. See DESIGN.md §14 for the full protocol.
+    pub max_group_commit_bytes: usize,
+    /// Sync the WAL to durable storage once per group commit.
+    ///
+    /// Default **false** (LevelDB's non-`sync` writes): an acknowledged
+    /// write survives a process crash (the record is in the OS page
+    /// cache) but a power cut may drop the buffered tail. When **true**,
+    /// every group pays exactly one [`crate::env::WritableFile::sync`]
+    /// after its WAL append, and group commit amortizes that fsync across
+    /// all batches in the group — the amortization measured by the
+    /// contended write-scaling experiment (EXPERIMENTS.md).
+    pub wal_sync: bool,
     /// Abort on the first sign of stored-data corruption (LevelDB's
     /// `paranoid_checks`, here defaulted **on**).
     ///
@@ -112,6 +134,8 @@ impl std::fmt::Debug for DbOptions {
             .field("background_work", &self.background_work)
             .field("l0_slowdown_trigger", &self.l0_slowdown_trigger)
             .field("l0_stall_trigger", &self.l0_stall_trigger)
+            .field("max_group_commit_bytes", &self.max_group_commit_bytes)
+            .field("wal_sync", &self.wal_sync)
             .field("paranoid_checks", &self.paranoid_checks)
             .finish_non_exhaustive()
     }
@@ -140,6 +164,8 @@ impl Default for DbOptions {
             background_work: false,
             l0_slowdown_trigger: 8,
             l0_stall_trigger: 12,
+            max_group_commit_bytes: 1 << 20,
+            wal_sync: false,
             paranoid_checks: true,
         }
     }
@@ -170,6 +196,8 @@ impl DbOptions {
             background_work: false,
             l0_slowdown_trigger: 8,
             l0_stall_trigger: 12,
+            max_group_commit_bytes: 64 << 10,
+            wal_sync: false,
             paranoid_checks: true,
         }
     }

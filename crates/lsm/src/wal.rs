@@ -5,6 +5,16 @@
 //! and may be fragmented across blocks using FULL/FIRST/MIDDLE/LAST types.
 //! Checksums are masked CRC32C over `type ‖ payload`. A reader tolerates a
 //! truncated tail (the crash case) but reports mid-file corruption.
+//!
+//! The log layer is payload-agnostic, which is what keeps group commit
+//! (DESIGN.md §14) replay-compatible: a multi-batch group is encoded by
+//! [`crate::write_batch::encode_group`] as *one* record — a single
+//! `seq(8) count(4)` batch header whose count is the group's total op
+//! count, followed by the members' concatenated op bodies — so recovery
+//! decodes it with the unchanged single-batch [`crate::write_batch`]
+//! format and replays the whole group atomically (all of it or, on a
+//! torn tail, none of it). A group of one is byte-identical to the
+//! pre-group-commit encoding; nothing in this module changed for it.
 
 use ldbpp_common::{crc32c, Error, Result};
 

@@ -81,6 +81,14 @@ impl WriteBatch {
         self.rep.len()
     }
 
+    /// The encoded operation bodies — everything after the 12-byte
+    /// header. This is the unit of concatenation for group commit:
+    /// bodies from several batches glued behind a single header decode
+    /// as one batch with consecutive sequence numbers.
+    pub fn op_bytes(&self) -> &[u8] {
+        &self.rep[HEADER..]
+    }
+
     /// Stamp the starting sequence number and return the WAL payload.
     pub fn encode(&mut self, seq: u64) -> &[u8] {
         let mut head = Vec::with_capacity(HEADER);
@@ -96,35 +104,8 @@ impl WriteBatch {
             return Err(Error::corruption("write batch too small"));
         }
         let seq = decode_fixed64(&payload[..8]);
-        let count = decode_fixed32(&payload[8..12]) as usize;
-        let mut ops = Vec::with_capacity(count);
-        let mut pos = HEADER;
-        for _ in 0..count {
-            if pos >= payload.len() {
-                return Err(Error::corruption("write batch truncated"));
-            }
-            let tag = ValueType::from_u8(payload[pos])?;
-            pos += 1;
-            let (key, n) = get_length_prefixed(&payload[pos..])?;
-            pos += n;
-            let value = match tag {
-                ValueType::Deletion => Vec::new(),
-                _ => {
-                    let (v, n) = get_length_prefixed(&payload[pos..])?;
-                    pos += n;
-                    v.to_vec()
-                }
-            };
-            ops.push(BatchOp {
-                vtype: tag,
-                key: key.to_vec(),
-                value,
-            });
-        }
-        if pos != payload.len() {
-            return Err(Error::corruption("write batch trailing bytes"));
-        }
-        Ok((seq, ops))
+        let count = decode_fixed32(&payload[8..12]);
+        Ok((seq, decode_ops(&payload[HEADER..], count)?))
     }
 
     /// Iterate the queued operations without consuming the batch.
@@ -138,6 +119,63 @@ impl WriteBatch {
         rep[..HEADER].copy_from_slice(&head);
         Ok(WriteBatch::decode(&rep)?.1)
     }
+}
+
+/// Build the WAL payload for a group commit: one `seq(8) count(4)` header
+/// stamped with `start_seq` and the summed operation count, followed by
+/// each batch's operation bodies (see [`WriteBatch::op_bytes`]) in queue
+/// order.
+///
+/// The result decodes with [`WriteBatch::decode`] exactly like a single
+/// batch — the WAL format is unchanged, and recovery replays a group
+/// without knowing it was one. A group of one is byte-for-byte identical
+/// to [`WriteBatch::encode`] on that batch, which is what keeps
+/// single-writer foreground runs deterministic. Batch *i*'s start
+/// sequence inside the group is `start_seq` plus the operation counts of
+/// batches `0..i` (sequence rebasing).
+pub fn encode_group(start_seq: u64, parts: &[(&[u8], u32)]) -> Vec<u8> {
+    let body_len: usize = parts.iter().map(|(b, _)| b.len()).sum();
+    let total: u32 = parts.iter().map(|&(_, c)| c).sum();
+    let mut payload = Vec::with_capacity(HEADER + body_len);
+    put_fixed64(&mut payload, start_seq);
+    put_fixed32(&mut payload, total);
+    for (body, _) in parts {
+        payload.extend_from_slice(body);
+    }
+    payload
+}
+
+/// Decode `count` operations from a headerless operation-body slice (the
+/// inverse of [`WriteBatch::op_bytes`]).
+pub fn decode_ops(body: &[u8], count: u32) -> Result<Vec<BatchOp>> {
+    let mut ops = Vec::with_capacity(count as usize);
+    let mut pos = 0usize;
+    for _ in 0..count {
+        if pos >= body.len() {
+            return Err(Error::corruption("write batch truncated"));
+        }
+        let tag = ValueType::from_u8(body[pos])?;
+        pos += 1;
+        let (key, n) = get_length_prefixed(&body[pos..])?;
+        pos += n;
+        let value = match tag {
+            ValueType::Deletion => Vec::new(),
+            _ => {
+                let (v, n) = get_length_prefixed(&body[pos..])?;
+                pos += n;
+                v.to_vec()
+            }
+        };
+        ops.push(BatchOp {
+            vtype: tag,
+            key: key.to_vec(),
+            value,
+        });
+    }
+    if pos != body.len() {
+        return Err(Error::corruption("write batch trailing bytes"));
+    }
+    Ok(ops)
 }
 
 /// One decoded operation from a batch.
@@ -217,6 +255,54 @@ mod tests {
         let mut payload = b.encode(1).to_vec();
         payload.push(0);
         assert!(WriteBatch::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn group_of_one_matches_single_encode() {
+        let mut b = WriteBatch::new();
+        b.put(b"k1", b"v1");
+        b.delete(b"k2");
+        let single = b.encode(42).to_vec();
+        let grouped = encode_group(42, &[(b.op_bytes(), b.count())]);
+        assert_eq!(single, grouped, "group of 1 must be byte-identical");
+    }
+
+    #[test]
+    fn group_concatenation_decodes_with_rebased_sequences() {
+        let mut a = WriteBatch::new();
+        a.put(b"a1", b"x");
+        a.put(b"a2", b"y");
+        let mut b = WriteBatch::new();
+        b.delete(b"b1");
+        let mut c = WriteBatch::new();
+        c.merge(b"c1", b"[\"t\"]");
+        let payload = encode_group(
+            100,
+            &[
+                (a.op_bytes(), a.count()),
+                (b.op_bytes(), b.count()),
+                (c.op_bytes(), c.count()),
+            ],
+        );
+        let (seq, ops) = WriteBatch::decode(&payload).unwrap();
+        assert_eq!(seq, 100);
+        assert_eq!(ops.len(), 4);
+        // Queue order is preserved: batch b's op sits at offset 2 → seq 102,
+        // batch c's at offset 3 → seq 103 (sequence rebasing by prefix count).
+        assert_eq!(ops[0].key, b"a1");
+        assert_eq!(ops[2].vtype, ValueType::Deletion);
+        assert_eq!(ops[3].vtype, ValueType::Merge);
+    }
+
+    #[test]
+    fn decode_ops_roundtrips_op_bytes() {
+        let mut b = WriteBatch::new();
+        b.put(b"k", b"v");
+        b.delete(b"d");
+        let ops = decode_ops(b.op_bytes(), b.count()).unwrap();
+        assert_eq!(ops, b.ops().unwrap());
+        assert!(decode_ops(b.op_bytes(), b.count() + 1).is_err());
+        assert!(decode_ops(&b.op_bytes()[..3], b.count()).is_err());
     }
 
     #[test]

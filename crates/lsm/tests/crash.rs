@@ -254,6 +254,175 @@ fn crash_sweep_background() {
     crash_sweep(true);
 }
 
+// ---------------------------------------------------------------------------
+// Multi-writer grouped workload (group commit, DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+/// One logical batch issued by a writer thread: two keys that must be
+/// durable together or absent together, the value both carry, and whether
+/// the write was acknowledged.
+struct MwBatch {
+    keys: [Vec<u8>; 2],
+    value: Vec<u8>,
+    acked: bool,
+}
+
+struct MwRun {
+    image: Arc<MemEnv>,
+    batches: Vec<MwBatch>,
+    total_ops: u64,
+}
+
+const MW_THREADS: usize = 4;
+
+fn mw_opts() -> DbOptions {
+    let mut o = opts(true);
+    // Sync once per group so the sweep also crashes at Sync indices and
+    // exercises the append-ok/sync-failed window.
+    o.wal_sync = true;
+    o.merge_operator = None;
+    o
+}
+
+/// Drive `writes` two-op batches per thread from `MW_THREADS` concurrent
+/// writers against a `FaultEnv`, optionally crashing at operation
+/// `crash_at`. Threads keep issuing after the crash point (everything
+/// fails, as syscalls after a power cut would) so acknowledgement
+/// tracking stays honest. Keys are disjoint per thread, so the recovered
+/// image is checkable without knowing the interleaving.
+fn mw_run(writes: usize, crash_at: Option<u64>) -> MwRun {
+    let mem = MemEnv::new();
+    let fenv = FaultEnv::new(mem.clone());
+    if let Some(k) = crash_at {
+        fenv.set_crash_point(k);
+    }
+    let db = Db::open(fenv.clone(), "db", mw_opts());
+    let mut batches = Vec::new();
+    if let Ok(db) = &db {
+        let mut per_thread: Vec<Vec<MwBatch>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..MW_THREADS)
+                .map(|t| {
+                    let db = &db;
+                    s.spawn(move || {
+                        (0..writes)
+                            .map(|i| {
+                                let keys = [
+                                    format!("t{t}-a{i:03}").into_bytes(),
+                                    format!("t{t}-b{i:03}").into_bytes(),
+                                ];
+                                let value =
+                                    format!("mw-{t}-{i:03}-{}", "z".repeat(40)).into_bytes();
+                                let mut batch = ldbpp_lsm::write_batch::WriteBatch::new();
+                                batch.put(&keys[0], &value);
+                                batch.put(&keys[1], &value);
+                                let acked = db.write(&mut batch).is_ok();
+                                MwBatch { keys, value, acked }
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_thread.push(h.join().expect("mw writer thread panicked"));
+            }
+        });
+        batches = per_thread.into_iter().flatten().collect();
+    }
+    drop(db); // joins the background worker before the image is cloned
+    MwRun {
+        image: mem.deep_clone(),
+        batches,
+        total_ops: fenv.op_count(),
+    }
+}
+
+/// Reopen a (possibly crashed) multi-writer image and check the per-batch
+/// contract: acked ⇒ both keys durable with the exact value; un-acked ⇒
+/// both keys present together or absent together (a successful append
+/// followed by a crashed fsync leaves a durable-but-unacknowledged batch,
+/// which is allowed — a torn batch is not). Structural integrity must be
+/// clean and the database writable.
+fn check_mw_recovery(run: &MwRun, context: &str) {
+    let image = run.image.deep_clone();
+    let db = Db::open(image, "db", opts(false))
+        .unwrap_or_else(|e| panic!("mw reopen must succeed ({context}): {e}"));
+
+    let report = db.check_integrity();
+    assert!(
+        report.is_clean(),
+        "integrity violations after mw recovery ({context}):\n{report}"
+    );
+
+    for batch in &run.batches {
+        let got: Vec<Option<Vec<u8>>> = batch
+            .keys
+            .iter()
+            .map(|k| db.get(k).expect("mw get"))
+            .collect();
+        if batch.acked {
+            for (key, v) in batch.keys.iter().zip(&got) {
+                assert_eq!(
+                    v.as_deref(),
+                    Some(batch.value.as_slice()),
+                    "acked batch key {:?} lost or wrong ({context})",
+                    String::from_utf8_lossy(key)
+                );
+            }
+        } else {
+            let present = got.iter().filter(|v| v.is_some()).count();
+            assert!(
+                present == 0 || present == got.len(),
+                "un-acked batch torn ({context}): {:?} → {} of {} keys present",
+                String::from_utf8_lossy(&batch.keys[0]),
+                present,
+                got.len()
+            );
+            for v in got.iter().flatten() {
+                assert_eq!(
+                    v.as_slice(),
+                    batch.value.as_slice(),
+                    "un-acked-but-durable batch has wrong value ({context})"
+                );
+            }
+        }
+    }
+
+    db.put(b"probe-key", b"probe-value")
+        .expect("post-recovery put (mw)");
+    assert_eq!(
+        db.get(b"probe-key")
+            .expect("post-recovery get (mw)")
+            .as_deref(),
+        Some(&b"probe-value"[..]),
+        "post-recovery write not visible ({context})"
+    );
+}
+
+/// Crash a contended multi-writer grouped workload at every I/O-operation
+/// index (capped like the single-writer sweeps). The probe run's op count
+/// bounds the sweep; individual crashed runs interleave differently, which
+/// is fine — each run is checked against its own acknowledgement log.
+#[test]
+fn crash_sweep_multi_writer_grouped() {
+    let full = std::env::var("CRASH_SWEEP_FULL").is_ok_and(|v| v == "1");
+    let writes = if full { 60 } else { 25 };
+    let probe = mw_run(writes, None);
+    assert!(
+        probe.batches.iter().all(|b| b.acked),
+        "no-crash probe must acknowledge every batch"
+    );
+    check_mw_recovery(&probe, "no crash");
+    assert!(
+        probe.total_ops > 50,
+        "mw workload too small to be interesting"
+    );
+    for k in sweep_points(probe.total_ops) {
+        let run = mw_run(writes, Some(k));
+        check_mw_recovery(&run, &format!("crash at op {k}/{}", probe.total_ops));
+    }
+}
+
 /// Crashing *during recovery* must not lose anything: a database with a
 /// populated tree and a non-empty WAL is reopened with a crash at every
 /// operation index of the open itself, then reopened cleanly.

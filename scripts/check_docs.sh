@@ -4,7 +4,11 @@
 #      (crates/lsm additionally enforces #![deny(missing_docs)] at build
 #      time, so public API docs cannot regress silently);
 #   2. every relative markdown link (and intra-file anchor) in the
-#      top-level *.md files must resolve.
+#      top-level *.md files must resolve;
+#   3. load-bearing sections must exist: DESIGN.md must keep §14
+#      (write-path concurrency / group commit) and the README must keep
+#      describing the group-commit write path — docs that tests and
+#      comments point at may not silently disappear.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -53,5 +57,14 @@ if errors:
     sys.exit(1)
 print(f"all markdown links resolve")
 PYEOF
+
+echo "== required sections =="
+grep -q "^## 14\. Write-path concurrency" DESIGN.md \
+    || { echo "DESIGN.md: missing §14 'Write-path concurrency'"; exit 1; }
+grep -Eq "group[ -]commit" README.md \
+    || { echo "README.md: no longer documents the group-commit write path"; exit 1; }
+grep -q "Tuning write concurrency" README.md \
+    || { echo "README.md: missing the 'Tuning write concurrency' subsection"; exit 1; }
+echo "required sections present"
 
 echo "docs OK"

@@ -17,11 +17,17 @@
 #      with lock-order-cycle/re-entrancy detection plus the vector-clock
 #      checker on the lock-free read path — including the seeded-inversion
 #      regression proving the detector fires);
-#   6. repair smoke: build a real on-disk database, corrupt a table,
+#   6. contended-writer smoke: the group-commit suites — multi-writer
+#      correctness/failure-contract tests (crates/lsm/tests/
+#      group_commit_test.rs), the contended facade tests in
+#      tests/concurrency.rs, and the fsync-bound write-scaling bench
+#      assertion (4 writers must at least double 1 writer's throughput);
+#   7. repair smoke: build a real on-disk database, corrupt a table,
 #      `ldbpp_tool repair` it (must exit non-zero and quarantine the
 #      damaged file), verify with the `check` binary, and reopen;
-#   7. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
-#      plus markdown link check).
+#   8. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
+#      plus markdown link check, and grep gates pinning DESIGN.md §14 +
+#      the README's group-commit coverage).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,6 +57,11 @@ cargo test -q -p ldbpp-lsm --features check
 echo "== crash-recovery sweep (CRASH_SWEEP_FULL=${CRASH_SWEEP_FULL:-0}) =="
 CRASH_SWEEP_FULL="${CRASH_SWEEP_FULL:-0}" cargo test -q -p ldbpp-lsm --test crash
 CRASH_SWEEP_FULL="${CRASH_SWEEP_FULL:-0}" cargo test -q -p ldbpp-core --test crash_secondary
+
+echo "== contended-writer smoke: group commit under multi-writer load =="
+cargo test -q -p ldbpp-lsm --test group_commit_test
+cargo test -q --test concurrency contended_
+cargo test -q -p ldbpp-bench --release write_scaling
 
 echo "== repair smoke: corrupt -> repair -> check -> reopen =="
 ./scripts/repair_smoke.sh

@@ -262,6 +262,127 @@ fn background_secondary_db_indexes_stay_coherent() {
     assert_eq!(total, N);
 }
 
+/// Contended writers through the group-commit queue: N threads × M keys
+/// of disjoint key spaces, all writing concurrently. Every acknowledged
+/// write must be readable with its exact value, per-writer sequence
+/// numbers must be monotone in issue order, and the group-commit
+/// accounting must cover every logical batch (grouped_writes == total
+/// puts, histogram sums to the commit count).
+#[test]
+fn contended_writers_group_commit_correctness() {
+    use leveldbpp::{Db, MemEnv};
+    const THREADS: usize = 8;
+    const M: usize = 400;
+
+    let env = MemEnv::new();
+    let bg_opts = DbOptions {
+        background_work: true,
+        ..opts()
+    };
+    let db = Arc::new(Db::open(env.clone(), "gcdb", bg_opts.clone()).unwrap());
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = Arc::clone(&db);
+            s.spawn(move |_| {
+                let mut last_seq = 0u64;
+                for i in 0..M {
+                    let key = format!("w{t}-{i:05}");
+                    let value = format!("{key}={}", "g".repeat(24));
+                    let seq = db.put(key.as_bytes(), value.as_bytes()).unwrap();
+                    assert!(
+                        seq > last_seq,
+                        "writer {t}: sequence regressed ({seq} after {last_seq})"
+                    );
+                    last_seq = seq;
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    db.wait_for_background_idle().unwrap();
+    for t in 0..THREADS {
+        for i in 0..M {
+            let key = format!("w{t}-{i:05}");
+            let expected = format!("{key}={}", "g".repeat(24));
+            assert_eq!(
+                db.get(key.as_bytes()).unwrap().as_deref(),
+                Some(expected.as_bytes()),
+                "acked write {key} lost or torn"
+            );
+        }
+    }
+    let snap = db.stats().snapshot();
+    assert_eq!(snap.grouped_writes, (THREADS * M) as u64);
+    assert!(snap.group_commits >= 1);
+    assert_eq!(snap.group_size_hist.iter().sum::<u64>(), snap.group_commits);
+
+    // Reopen: the grouped WAL records replay like any other batch.
+    drop(Arc::try_unwrap(db).unwrap_or_else(|_| panic!("all Db clones should be gone")));
+    let db = Db::open(env, "gcdb", bg_opts).unwrap();
+    for t in 0..THREADS {
+        for i in (0..M).step_by(89) {
+            let key = format!("w{t}-{i:05}");
+            assert!(
+                db.get(key.as_bytes()).unwrap().is_some(),
+                "{key} must survive reopen"
+            );
+        }
+    }
+}
+
+/// Concurrent `SecondaryDb` writers: the index-first maintenance contract
+/// holds per logical batch even when the primary writes of different
+/// batches share one group commit — every acknowledged document must be
+/// reachable both by primary GET and by index LOOKUP afterwards.
+#[test]
+fn contended_secondary_writers_stay_indexed() {
+    const THREADS: usize = 4;
+    const M: usize = 500;
+
+    let base = DbOptions {
+        background_work: true,
+        ..opts()
+    };
+    let db = Arc::new(
+        SecondaryDb::open_in_memory(base, &[("UserID", IndexKind::LazyStandalone)]).unwrap(),
+    );
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = Arc::clone(&db);
+            s.spawn(move |_| {
+                for i in 0..M {
+                    let mut doc = Document::new();
+                    doc.set("UserID", Value::str(format!("u{}", (t * M + i) % 10)))
+                        .set("Text", Value::str(format!("tweet {t}/{i}")));
+                    db.put(format!("c{t}-{i:05}"), &doc).unwrap();
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    db.wait_for_background_idle().unwrap();
+    for t in 0..THREADS {
+        for i in 0..M {
+            assert!(
+                db.get(format!("c{t}-{i:05}")).unwrap().is_some(),
+                "acked document c{t}-{i:05} lost"
+            );
+        }
+    }
+    let total: usize = (0..10)
+        .map(|u| {
+            db.lookup("UserID", &Value::str(format!("u{u}")), None)
+                .unwrap()
+                .len()
+        })
+        .sum();
+    assert_eq!(total, THREADS * M, "index lost documents under contention");
+}
+
 #[test]
 fn parallel_lookups_on_static_data_agree() {
     let db =

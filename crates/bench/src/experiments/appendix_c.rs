@@ -187,6 +187,7 @@ pub fn getlite_validation(scale: Scale) -> Series {
             SecondaryDbOptions {
                 base: bench_opts(),
                 embedded_validation: mode,
+                ..Default::default()
             },
             &[("UserID", IndexKind::Embedded)],
         )

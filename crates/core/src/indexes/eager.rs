@@ -130,12 +130,18 @@ impl SecondaryIndex for EagerIndex {
         hi: &AttrValue,
         k: Option<usize>,
     ) -> Result<Vec<LookupHit>> {
-        // Stream the K-prefix of each matching list into a min-heap keyed
-        // by sequence number (Algorithm: "retrieve K most recent primary
-        // keys from the posting list ... add to the min-heap"). Index keys
-        // are exactly `AttrValue::encode`, so the encoded bounds make a
-        // tight range for the lazy cursor: no list outside `[lo, hi]` is
-        // decoded and no index file outside the range is opened.
+        // Stream every matching list into a min-heap keyed by sequence
+        // number (Algorithm: "retrieve primary keys from the posting list
+        // ... add to the min-heap"). Each list is fully decoded by the
+        // cursor anyway, so admitting all live entries costs no extra I/O
+        // — and, unlike truncating each list to a K-prefix up front, it
+        // cannot under-fill K when stale entries (updates that moved a key
+        // to another value) occupy a list's newest slots: validation below
+        // keeps drawing older candidates until K *valid* hits are found.
+        // Index keys are exactly `AttrValue::encode`, so the encoded
+        // bounds make a tight range for the lazy cursor: no list outside
+        // `[lo, hi]` is decoded and no index file outside the range is
+        // opened.
         let mut candidates: TopK<Vec<u8>> = TopK::new(None);
         let mut it = self.table.range_iter(&lo.encode(), &hi.encode())?;
         while let Some((key, _seq, bytes)) = it.next_entry()? {
@@ -143,12 +149,9 @@ impl SecondaryIndex for EagerIndex {
             if av > *hi {
                 break; // defensive: range_iter already ends at hi
             }
-            for p in decode_postings(&bytes)?
-                .iter()
-                .take(k.unwrap_or(usize::MAX))
-            {
+            for p in decode_postings(&bytes)? {
                 if !p.deleted {
-                    candidates.add(p.seq, p.pk.clone());
+                    candidates.add(p.seq, p.pk);
                 }
             }
         }

@@ -25,4 +25,4 @@ pub mod topk;
 pub use doc::{Document, JsonAttrExtractor};
 pub use indexes::{IndexKind, LookupHit};
 pub use ldbpp_lsm::check::{CheckCode, IntegrityReport, Violation};
-pub use secondary_db::{HealReport, SecondaryDb, SecondaryDbOptions};
+pub use secondary_db::{shard_layout, HealReport, SecondaryDb, SecondaryDbOptions};

@@ -1,33 +1,88 @@
 //! The unified database facade: LevelDB++.
 //!
-//! A [`SecondaryDb`] is a primary LSM table plus, per indexed attribute,
-//! one of the paper's index techniques. It exposes exactly the paper's
-//! operation set (Table 1): `GET`, `PUT`, `DEL`, `LOOKUP(A, a, K)` and
-//! `RANGELOOKUP(A, a, b, K)`.
+//! A [`SecondaryDb`] is a router over `N` hash-partitioned **engine
+//! shards**. Each shard is an independent primary LSM table — its own
+//! directory, memtable, WAL, group-commit queue, and background worker —
+//! plus, per indexed attribute, one of the paper's index techniques. The
+//! facade exposes exactly the paper's operation set (Table 1): `GET`,
+//! `PUT`, `DEL`, `LOOKUP(A, a, K)` and `RANGELOOKUP(A, a, b, K)`.
+//!
+//! * **Writes** route by a hash of the primary key: a `PUT`/`DEL` touches
+//!   exactly one shard, so the group-commit protocol (DESIGN.md §14) and
+//!   the index-before-primary crash-consistency contract apply per shard
+//!   unchanged.
+//! * **Reads** (`LOOKUP`, `RANGELOOKUP`, `scan_primary`) scatter across
+//!   all shards in parallel and gather through the K-bounded merges in
+//!   [`crate::topk`]. Cross-shard recency ordering is exact because all
+//!   shards allocate sequence numbers from one shared
+//!   [`SharedSequence`] clock.
+//! * **Maintenance** (`check_integrity`, `heal`, `flush`, backfill /
+//!   rebuild, size and I/O accessors) fans out and aggregates per-shard
+//!   results.
+//!
+//! The default `shards = 1` configuration bypasses the clock and the
+//! shard directory scheme entirely: the on-disk layout and every byte the
+//! engine writes are identical to the pre-sharding engine, so databases
+//! created before this refactor open without migration. See DESIGN.md §15
+//! for the full sharding model.
 
 use crate::doc::{Document, JsonAttrExtractor};
 use crate::indexes::{
     CompositeIndex, EagerIndex, EmbeddedIndex, EmbeddedValidation, IndexKind, LazyIndex, LookupHit,
     SecondaryIndex,
 };
-use crate::topk::TopK;
+use crate::topk::{merge_key_ordered, merge_newest_first, TopK};
 use ldbpp_common::json::Value;
 use ldbpp_common::{Error, Result};
 use ldbpp_lsm::attr::AttrValue;
 use ldbpp_lsm::check::{CheckCode, IntegrityReport};
-use ldbpp_lsm::db::{Db, DbOptions};
+use ldbpp_lsm::db::{Db, DbOptions, SharedSequence};
 use ldbpp_lsm::env::{Env, IoSnapshot, MemEnv};
 use std::sync::Arc;
 
 /// Configuration for a [`SecondaryDb`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SecondaryDbOptions {
-    /// Sizing/compression options applied to the primary table and (unless
-    /// overridden) every stand-alone index table.
+    /// Sizing/compression options applied to every shard's primary table
+    /// and (unless overridden) every stand-alone index table.
     pub base: DbOptions,
     /// Validation mode for Embedded indexes (ablation knob; the default
     /// GetLite-with-confirmation is both exact and cheap).
     pub embedded_validation: EmbeddedValidation,
+    /// Number of hash-partitioned engine shards.
+    ///
+    /// `1` (the default) keeps the classic single-engine layout,
+    /// byte-for-byte identical to the pre-sharding engine. `N > 1` splits
+    /// the key space by primary-key hash over `N` independent engines
+    /// under `name/shard-0 .. name/shard-N-1`, recorded in a root-level
+    /// `LAYOUT` descriptor that [`SecondaryDb::open`] validates on every
+    /// reopen — a shard-count mismatch is a hard error, never a silent
+    /// reshard. `0` is treated as `1`.
+    pub shards: usize,
+}
+
+impl Default for SecondaryDbOptions {
+    fn default() -> Self {
+        SecondaryDbOptions {
+            base: DbOptions::default(),
+            embedded_validation: EmbeddedValidation::default(),
+            shards: 1,
+        }
+    }
+}
+
+impl SecondaryDbOptions {
+    /// Shard count from the `LDBPP_SHARDS` environment variable, falling
+    /// back to `1` when unset, unparsable, or zero. Lets existing test
+    /// suites and smoke scripts run against a sharded engine without code
+    /// changes ([`SecondaryDb::open_in_memory`] honours it).
+    pub fn shards_from_env() -> usize {
+        std::env::var("LDBPP_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|n| *n >= 1)
+            .unwrap_or(1)
+    }
 }
 
 /// Convert a JSON scalar to a typed attribute value.
@@ -41,7 +96,7 @@ pub fn attr_from_json(v: &Value) -> Result<AttrValue> {
     }
 }
 
-/// What [`SecondaryDb::heal`] found and did.
+/// What [`SecondaryDb::heal`] found and did (aggregated over all shards).
 #[must_use = "healing may have left violations; inspect the report"]
 #[derive(Debug, Clone, Default)]
 pub struct HealReport {
@@ -51,7 +106,7 @@ pub struct HealReport {
     /// equal to `violations_before` when no rebuild was needed or the
     /// damage is in the primary table, which index rebuilds cannot fix).
     pub violations_after: usize,
-    /// Whether the index tables were dropped and rebuilt.
+    /// Whether any shard's index tables were dropped and rebuilt.
     pub rebuilt: bool,
     /// Primary records replayed into stand-alone indexes by the rebuild.
     pub replayed: usize,
@@ -61,6 +116,452 @@ impl HealReport {
     /// True when no violations remain.
     pub fn is_clean(&self) -> bool {
         self.violations_after == 0
+    }
+
+    fn absorb(&mut self, other: HealReport) {
+        self.violations_before += other.violations_before;
+        self.violations_after += other.violations_after;
+        self.rebuilt |= other.rebuilt;
+        self.replayed += other.replayed;
+    }
+}
+
+// -- shard layout descriptor ------------------------------------------------
+
+/// First line of the root-level `LAYOUT` descriptor.
+const LAYOUT_MAGIC: &str = "ldbpp-shard-layout v1";
+/// The only routing hash this engine speaks; recorded so a future hash
+/// change cannot silently misroute an existing database.
+const ROUTING_HASH: &str = "fnv1a64";
+
+fn layout_path(root: &str) -> String {
+    format!("{root}/LAYOUT")
+}
+
+fn shard_dir(root: &str, shard: usize) -> String {
+    format!("{root}/shard-{shard}")
+}
+
+/// Read the shard count recorded in `root`'s `LAYOUT` descriptor.
+///
+/// Returns `Ok(None)` when no descriptor exists (a legacy single-engine
+/// database, or nothing at all); `Ok(Some(n))` for a sharded root; an
+/// error when the descriptor is present but unreadable, malformed, or
+/// declares a routing hash this build does not implement. Shared with
+/// `ldbpp_tool`, which uses it to discover shard directories for `check`
+/// and `repair`.
+pub fn shard_layout(env: &Arc<dyn Env>, root: &str) -> Result<Option<usize>> {
+    let path = layout_path(root);
+    if !env.exists(&path) {
+        return Ok(None);
+    }
+    let data = env.read_all(&path)?;
+    let text = std::str::from_utf8(&data)
+        .map_err(|_| Error::corruption(format!("{path}: layout descriptor is not UTF-8")))?;
+    let mut lines = text.lines();
+    if lines.next() != Some(LAYOUT_MAGIC) {
+        return Err(Error::corruption(format!(
+            "{path}: bad layout magic (expected '{LAYOUT_MAGIC}')"
+        )));
+    }
+    let mut shards = None;
+    for line in lines {
+        if let Some(n) = line.strip_prefix("shards=") {
+            shards = n.parse::<usize>().ok();
+        } else if let Some(h) = line.strip_prefix("hash=") {
+            if h != ROUTING_HASH {
+                return Err(Error::not_supported(format!(
+                    "{path}: routing hash '{h}' not supported (expected '{ROUTING_HASH}')"
+                )));
+            }
+        }
+    }
+    match shards {
+        Some(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(Error::corruption(format!(
+            "{path}: missing or invalid shard count"
+        ))),
+    }
+}
+
+fn write_layout(env: &Arc<dyn Env>, root: &str, shards: usize) -> Result<()> {
+    env.mkdir_all(root)?;
+    let body = format!("{LAYOUT_MAGIC}\nshards={shards}\nhash={ROUTING_HASH}\n");
+    env.write_all(&layout_path(root), body.as_bytes())
+}
+
+/// FNV-1a 64-bit over the primary key — the routing hash. Stable across
+/// platforms and recorded in the layout descriptor, because every byte of
+/// on-disk state depends on it: rehashing an existing database would
+/// strand records on the wrong shard.
+fn route_hash(pk: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in pk {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// -- one engine shard -------------------------------------------------------
+
+/// One hash-partition of the key space: an independent primary `Db` plus
+/// this shard's slice of every declared index. All the single-engine
+/// semantics (crash-consistency ordering, validation, healing) live here,
+/// unchanged from the pre-sharding engine; [`SecondaryDb`] routes and
+/// aggregates.
+struct EngineShard {
+    primary: Arc<Db>,
+    indexes: Vec<Box<dyn SecondaryIndex>>,
+    /// Attributes declared with [`IndexKind::None`] (full-scan fallback).
+    unindexed: Vec<String>,
+}
+
+impl EngineShard {
+    fn open(
+        env: &Arc<dyn Env>,
+        name: &str,
+        opts: &SecondaryDbOptions,
+        specs: &[(&str, IndexKind)],
+        clock: Option<Arc<SharedSequence>>,
+    ) -> Result<EngineShard> {
+        let mut primary_opts = opts.base.clone();
+        primary_opts.sequence_clock = clock;
+        let embedded_attrs: Vec<String> = specs
+            .iter()
+            .filter(|(_, k)| *k == IndexKind::Embedded)
+            .map(|(a, _)| a.to_string())
+            .collect();
+        if !embedded_attrs.is_empty() {
+            primary_opts.indexed_attrs = embedded_attrs;
+            primary_opts.extractor = Some(Arc::new(JsonAttrExtractor));
+        }
+        let primary = Arc::new(Db::open(Arc::clone(env), name, primary_opts)?);
+
+        let mut indexes: Vec<Box<dyn SecondaryIndex>> = Vec::new();
+        let mut unindexed = Vec::new();
+        for (attr, kind) in specs {
+            let path = format!("{name}_idx_{attr}");
+            match kind {
+                IndexKind::None => unindexed.push(attr.to_string()),
+                IndexKind::Embedded => indexes.push(Box::new(EmbeddedIndex::with_validation(
+                    attr,
+                    opts.embedded_validation,
+                ))),
+                IndexKind::EagerStandalone => indexes.push(Box::new(EagerIndex::open(
+                    Arc::clone(env),
+                    &path,
+                    attr,
+                    &opts.base,
+                )?)),
+                IndexKind::LazyStandalone => indexes.push(Box::new(LazyIndex::open(
+                    Arc::clone(env),
+                    &path,
+                    attr,
+                    &opts.base,
+                )?)),
+                IndexKind::CompositeStandalone => indexes.push(Box::new(CompositeIndex::open(
+                    Arc::clone(env),
+                    &path,
+                    attr,
+                    &opts.base,
+                )?)),
+            }
+        }
+        Ok(EngineShard {
+            primary,
+            indexes,
+            unindexed,
+        })
+    }
+
+    /// The index handling `attr`, if any.
+    fn index_for(&self, attr: &str) -> Option<&dyn SecondaryIndex> {
+        self.indexes
+            .iter()
+            .map(|b| b.as_ref())
+            .find(|i| i.attr() == attr)
+    }
+
+    /// Write a record and maintain this shard's indexes.
+    ///
+    /// Crash-consistency ordering: maintain the *stand-alone* indexes
+    /// BEFORE the primary write. A crash between the two steps can then
+    /// only strand index entries whose primary record never landed —
+    /// false positives that every lookup already filters out by
+    /// validating candidates against the primary. The opposite order
+    /// would strand primary records invisible to LOOKUP (false
+    /// negatives), which nothing repairs. This contract holds *per
+    /// logical batch* under the shard's group-commit queue (DESIGN.md
+    /// §14): each `put` finishes its index writes before enqueueing its
+    /// primary write, so whichever group the primary write lands in,
+    /// its index entries are already durable-or-earlier. The sequence
+    /// the primary write will use is predicted by the caller; concurrent
+    /// writers grouping ahead of us can make the real sequence larger,
+    /// but validation re-reads the primary anyway, so the race only
+    /// skews the recency hint stored in the posting.
+    fn put(&self, pk: &[u8], doc: &Document, predicted_seq: u64) -> Result<u64> {
+        for index in &self.indexes {
+            if index.kind() != IndexKind::Embedded {
+                index.on_put(&self.primary, pk, doc, predicted_seq)?;
+            }
+        }
+        let seq = self.primary.put(pk, &doc.to_bytes())?;
+        // The Embedded Index shadows the memtable: it must record the real
+        // sequence of an entry that actually exists, so it stays after the
+        // primary write (it is memory-only — rebuilt on recovery — so the
+        // ordering has no crash-consistency cost).
+        for index in &self.indexes {
+            if index.kind() == IndexKind::Embedded {
+                index.on_put(&self.primary, pk, doc, seq)?;
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Delete a record and maintain this shard's indexes.
+    fn delete(&self, pk: &[u8]) -> Result<()> {
+        // Stand-alone indexes need the old record to find which posting
+        // list / composite key to mark; the Embedded Index does not (its
+        // validity checks absorb stale entries), keeping its DEL at a
+        // single write as in the paper's Table 3.
+        let needs_old = self.indexes.iter().any(|i| i.kind() != IndexKind::Embedded);
+        let old_doc = if needs_old {
+            match self.primary.get(pk)? {
+                Some(bytes) => Some(Document::parse(&bytes)?),
+                None => None,
+            }
+        } else {
+            None
+        };
+        // Deletes keep the opposite ordering from puts (primary first): a
+        // crash after the tombstone but before the index cleanup leaves a
+        // stale index entry, which validation against the primary filters
+        // out. Cleaning the index first would instead make a still-live
+        // record unfindable if the crash lands between the two steps.
+        let seq = self.primary.delete(pk)?;
+        for index in &self.indexes {
+            index.on_delete(&self.primary, pk, old_doc.as_ref(), seq)?;
+        }
+        Ok(())
+    }
+
+    /// This shard's `LOOKUP`: dispatch to the index, the full-scan
+    /// fallback, or an error. Hits come back newest-first, K-bounded.
+    fn lookup_attr(
+        &self,
+        attr: &str,
+        value: &AttrValue,
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>> {
+        match self.index_for(attr) {
+            Some(index) => index.lookup(&self.primary, value, k),
+            None if self.unindexed.iter().any(|a| a == attr) => {
+                self.full_scan_on(attr, |v| v == value, k)
+            }
+            None => Err(Error::not_supported(format!(
+                "no index declared on attribute '{attr}'"
+            ))),
+        }
+    }
+
+    /// This shard's `RANGELOOKUP` (range already validated by the router).
+    fn range_lookup_attr(
+        &self,
+        attr: &str,
+        lo: &AttrValue,
+        hi: &AttrValue,
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>> {
+        match self.index_for(attr) {
+            Some(index) => index.range_lookup(&self.primary, lo, hi, k),
+            None if self.unindexed.iter().any(|a| a == attr) => {
+                let (lo, hi) = (lo.clone(), hi.clone());
+                self.full_scan_on(attr, move |v| lo <= *v && *v <= hi, k)
+            }
+            None => Err(Error::not_supported(format!(
+                "no index declared on attribute '{attr}'"
+            ))),
+        }
+    }
+
+    /// This shard's slice of a primary-key range scan, in key order.
+    fn scan_primary(
+        &self,
+        lo: &[u8],
+        hi: &[u8],
+        limit: Option<usize>,
+    ) -> Result<Vec<(Vec<u8>, Document)>> {
+        // Bounded cursor: only files overlapping [lo, hi] are merged and
+        // the stream ends at hi without touching further blocks.
+        let mut it = self.primary.range_iter(lo, hi)?;
+        let mut out = Vec::new();
+        while let Some((key, _seq, bytes)) = it.next_entry()? {
+            out.push((key, Document::parse(&bytes)?));
+            if limit.is_some_and(|l| out.len() >= l) {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The NoIndex baseline: scan this shard's entire primary table.
+    fn full_scan_on(
+        &self,
+        attr: &str,
+        pred: impl Fn(&AttrValue) -> bool,
+        k: Option<usize>,
+    ) -> Result<Vec<LookupHit>> {
+        let mut heap: TopK<(Vec<u8>, Document)> = TopK::new(k);
+        let mut it = self.primary.resolved_iter()?;
+        it.seek_to_first();
+        while let Some((pk, seq, bytes)) = it.next_entry()? {
+            let Ok(doc) = Document::parse(&bytes) else {
+                continue;
+            };
+            if let Some(v) = doc.attr(attr) {
+                if pred(&v) {
+                    heap.add(seq, (pk, doc));
+                }
+            }
+        }
+        Ok(heap
+            .into_sorted()
+            .into_iter()
+            .map(|(seq, (key, doc))| LookupHit { key, seq, doc })
+            .collect())
+    }
+
+    /// Run the full structural invariant catalogue over this shard.
+    fn check_integrity(&self) -> IntegrityReport {
+        let mut report = self.primary.check_integrity();
+        for index in &self.indexes {
+            if let Err(e) = index.check_integrity(&self.primary, &mut report) {
+                report.push(
+                    CheckCode::TableUnreadable,
+                    format!(
+                        "{} index '{}': integrity scan failed: {e}",
+                        index.kind(),
+                        index.attr()
+                    ),
+                );
+            }
+        }
+        report
+    }
+
+    /// Backfill late-declared indexes on this shard; see
+    /// [`SecondaryDb::backfill_indexes`].
+    fn backfill_indexes(&self) -> Result<usize> {
+        self.compact_if_embedded_stale()?;
+        let to_fill: Vec<&dyn SecondaryIndex> = self
+            .indexes
+            .iter()
+            .map(|b| b.as_ref())
+            .filter(|i| i.needs_backfill())
+            .collect();
+        if to_fill.is_empty() {
+            return Ok(0);
+        }
+        self.replay_primary_into(&to_fill)
+    }
+
+    /// Drop and rebuild this shard's indexes; see
+    /// [`SecondaryDb::rebuild_indexes`].
+    fn rebuild_indexes(&self) -> Result<usize> {
+        self.compact_if_embedded_stale()?;
+        let standalone: Vec<&dyn SecondaryIndex> = self
+            .indexes
+            .iter()
+            .map(|b| b.as_ref())
+            .filter(|i| i.kind() != IndexKind::Embedded)
+            .collect();
+        if standalone.is_empty() {
+            return Ok(0);
+        }
+        for index in &standalone {
+            index.clear()?;
+        }
+        self.replay_primary_into(&standalone)
+    }
+
+    /// Embedded attrs: any file missing the attribute's file-level zone
+    /// map predates the declaration (or survived repair verbatim);
+    /// rewrite every file with regenerated per-block filters + zone maps.
+    fn compact_if_embedded_stale(&self) -> Result<()> {
+        let embedded_attrs: Vec<&str> = self
+            .indexes
+            .iter()
+            .filter(|i| i.kind() == IndexKind::Embedded)
+            .map(|i| i.attr())
+            .collect();
+        if embedded_attrs.is_empty() {
+            return Ok(());
+        }
+        let version = self.primary.current_version();
+        let stale = version.files.iter().flatten().any(|f| {
+            embedded_attrs
+                .iter()
+                .any(|attr| f.file_zone(attr).is_none())
+        });
+        if stale {
+            self.primary.major_compact()?;
+        }
+        Ok(())
+    }
+
+    /// Replay every live primary record into `targets` with its original
+    /// sequence number (so recency ordering is preserved). Idempotent —
+    /// postings and composite entries dedup by primary key.
+    fn replay_primary_into(&self, targets: &[&dyn SecondaryIndex]) -> Result<usize> {
+        let mut it = self.primary.resolved_iter()?;
+        it.seek_to_first();
+        let mut replayed = 0usize;
+        while let Some((pk, seq, bytes)) = it.next_entry()? {
+            let Ok(doc) = Document::parse(&bytes) else {
+                continue;
+            };
+            for index in targets {
+                index.on_put(&self.primary, &pk, &doc, seq)?;
+            }
+            replayed += 1;
+        }
+        Ok(replayed)
+    }
+
+    /// Check this shard and, if its indexes disagree with its primary,
+    /// rebuild them and re-check; see [`SecondaryDb::heal`].
+    fn heal(&self) -> Result<HealReport> {
+        let full = self.check_integrity();
+        let violations_before = full.violations.len();
+        // Index-attributed violations = full report minus the primary's own.
+        let primary_only = self.primary.check_integrity().violations.len();
+        if violations_before <= primary_only {
+            return Ok(HealReport {
+                violations_before,
+                violations_after: violations_before,
+                rebuilt: false,
+                replayed: 0,
+            });
+        }
+        let replayed = self.rebuild_indexes()?;
+        let after = self.check_integrity();
+        Ok(HealReport {
+            violations_before,
+            violations_after: after.violations.len(),
+            rebuilt: true,
+            replayed,
+        })
+    }
+
+    /// Combined I/O snapshot of this shard's stand-alone index tables.
+    fn index_io(&self) -> IoSnapshot {
+        IoSnapshot::merge(
+            self.indexes
+                .iter()
+                .filter_map(|i| i.index_stats())
+                .map(|stats| stats.snapshot()),
+        )
     }
 }
 
@@ -87,141 +588,197 @@ impl HealReport {
 /// assert!(db.get("t1").unwrap().is_none());
 /// ```
 pub struct SecondaryDb {
-    primary: Arc<Db>,
-    indexes: Vec<Box<dyn SecondaryIndex>>,
-    /// Attributes declared with [`IndexKind::None`] (full-scan fallback).
-    unindexed: Vec<String>,
+    shards: Vec<EngineShard>,
+    /// Present iff `shards.len() > 1`: the cross-shard sequence clock
+    /// that keeps top-K recency ordering globally meaningful.
+    clock: Option<Arc<SharedSequence>>,
 }
 
 impl SecondaryDb {
     /// Open a database at `name` with the given per-attribute indexes.
+    ///
+    /// With `opts.shards == 1` (the default) this is the classic
+    /// single-engine layout: the primary table lives directly at `name`
+    /// and stand-alone index tables at `{name}_idx_{attr}` — byte-for-byte
+    /// what the pre-sharding engine wrote, with no layout descriptor.
+    ///
+    /// With `opts.shards == N > 1`, `name` becomes a root directory
+    /// holding a `LAYOUT` descriptor plus `N` shard engines
+    /// (`name/shard-i` primaries, `name/shard-i_idx_{attr}` index
+    /// tables). Reopening validates the descriptor: a shard count
+    /// mismatch — including asking for shards on an existing unsharded
+    /// database — is a hard error, never a silent reshard.
     pub fn open(
         env: Arc<dyn Env>,
         name: &str,
         opts: SecondaryDbOptions,
         specs: &[(&str, IndexKind)],
     ) -> Result<SecondaryDb> {
-        let mut primary_opts = opts.base.clone();
-        let embedded_attrs: Vec<String> = specs
-            .iter()
-            .filter(|(_, k)| *k == IndexKind::Embedded)
-            .map(|(a, _)| a.to_string())
-            .collect();
-        if !embedded_attrs.is_empty() {
-            primary_opts.indexed_attrs = embedded_attrs;
-            primary_opts.extractor = Some(Arc::new(JsonAttrExtractor));
-        }
-        let primary = Arc::new(Db::open(Arc::clone(&env), name, primary_opts)?);
-
-        let mut indexes: Vec<Box<dyn SecondaryIndex>> = Vec::new();
-        let mut unindexed = Vec::new();
-        for (attr, kind) in specs {
-            let path = format!("{name}_idx_{attr}");
-            match kind {
-                IndexKind::None => unindexed.push(attr.to_string()),
-                IndexKind::Embedded => indexes.push(Box::new(EmbeddedIndex::with_validation(
-                    attr,
-                    opts.embedded_validation,
-                ))),
-                IndexKind::EagerStandalone => indexes.push(Box::new(EagerIndex::open(
-                    Arc::clone(&env),
-                    &path,
-                    attr,
-                    &opts.base,
-                )?)),
-                IndexKind::LazyStandalone => indexes.push(Box::new(LazyIndex::open(
-                    Arc::clone(&env),
-                    &path,
-                    attr,
-                    &opts.base,
-                )?)),
-                IndexKind::CompositeStandalone => indexes.push(Box::new(CompositeIndex::open(
-                    Arc::clone(&env),
-                    &path,
-                    attr,
-                    &opts.base,
-                )?)),
+        let requested = opts.shards.max(1);
+        let shard_count = match shard_layout(&env, name)? {
+            Some(recorded) if recorded != requested => {
+                return Err(Error::invalid(format!(
+                    "{name}: shard layout mismatch: directory records {recorded} shard(s) but \
+                     open requested {requested}; resharding is not supported — reopen with \
+                     shards = {recorded}"
+                )));
             }
+            Some(recorded) => recorded,
+            None => {
+                if requested > 1 {
+                    if env.exists(&format!("{name}/CURRENT")) {
+                        return Err(Error::invalid(format!(
+                            "{name}: existing unsharded database cannot be opened with \
+                             shards = {requested}; reopen with shards = 1"
+                        )));
+                    }
+                    write_layout(&env, name, requested)?;
+                }
+                requested
+            }
+        };
+        let clock = if shard_count > 1 {
+            Some(SharedSequence::new())
+        } else {
+            None
+        };
+        let mut shards = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let shard_name = if shard_count == 1 {
+                name.to_string()
+            } else {
+                shard_dir(name, i)
+            };
+            shards.push(EngineShard::open(
+                &env,
+                &shard_name,
+                &opts,
+                specs,
+                clock.clone(),
+            )?);
         }
-        Ok(SecondaryDb {
-            primary,
-            indexes,
-            unindexed,
-        })
+        Ok(SecondaryDb { shards, clock })
     }
 
     /// Open in a fresh in-memory environment (tests, examples, benches).
+    ///
+    /// Honours `LDBPP_SHARDS` (see
+    /// [`SecondaryDbOptions::shards_from_env`]), so existing suites can be
+    /// re-run against a sharded engine by exporting the variable.
     pub fn open_in_memory(base: DbOptions, specs: &[(&str, IndexKind)]) -> Result<SecondaryDb> {
         SecondaryDb::open(
             MemEnv::new(),
             "db",
             SecondaryDbOptions {
                 base,
+                shards: SecondaryDbOptions::shards_from_env(),
                 ..Default::default()
             },
             specs,
         )
     }
 
-    /// The primary table.
-    pub fn primary(&self) -> &Arc<Db> {
-        &self.primary
+    /// Number of engine shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Run the full structural invariant catalogue: the LSM checker over
-    /// the primary table, then over every stand-alone index table, plus
-    /// the cross-check that no live index entry references a primary key
-    /// without any record (see
-    /// [`SecondaryIndex::check_integrity`] for the
-    /// crash-consistency tolerances). Intended for a quiesced
+    /// Which shard `pk` routes to (always 0 at `shards = 1`).
+    pub fn shard_of(&self, pk: impl AsRef<[u8]>) -> usize {
+        if self.shards.len() == 1 {
+            return 0;
+        }
+        (route_hash(pk.as_ref()) % self.shards.len() as u64) as usize
+    }
+
+    /// The primary table of shard 0 — at `shards = 1` (the default), *the*
+    /// primary table. Single-engine experiments and tools use this; code
+    /// that must work sharded should use [`SecondaryDb::shard_primary`].
+    pub fn primary(&self) -> &Arc<Db> {
+        &self.shards[0].primary
+    }
+
+    /// The primary table of shard `i`, if it exists.
+    pub fn shard_primary(&self, i: usize) -> Option<&Arc<Db>> {
+        self.shards.get(i).map(|s| &s.primary)
+    }
+
+    /// Run the full structural invariant catalogue — the LSM checker over
+    /// every shard's primary table, then over every stand-alone index
+    /// table, plus the cross-check that no live index entry references a
+    /// primary key without any record (see
+    /// [`SecondaryIndex::check_integrity`] for the crash-consistency
+    /// tolerances). On a multi-shard database each violation is prefixed
+    /// with its shard (`shard-i: …`), so corruption is attributed to — and
+    /// confined within — the shard that holds it. Intended for a quiesced
     /// database; never fails — errors while scanning an index become
     /// violations in the report.
     #[must_use = "the report lists violations; ignoring it defeats the check"]
     pub fn check_integrity(&self) -> IntegrityReport {
-        let mut report = self.primary.check_integrity();
-        for index in &self.indexes {
-            if let Err(e) = index.check_integrity(&self.primary, &mut report) {
-                report.push(
-                    CheckCode::TableUnreadable,
-                    format!(
-                        "{} index '{}': integrity scan failed: {e}",
-                        index.kind(),
-                        index.attr()
-                    ),
-                );
-            }
+        if self.shards.len() == 1 {
+            return self.shards[0].check_integrity();
+        }
+        let mut report = IntegrityReport::default();
+        for (i, shard) in self.shards.iter().enumerate() {
+            report.merge(&format!("shard-{i}"), shard.check_integrity());
         }
         report
     }
 
-    /// The index handling `attr`, if any.
-    fn index_for(&self, attr: &str) -> Option<&dyn SecondaryIndex> {
-        self.indexes
-            .iter()
-            .map(|b| b.as_ref())
-            .find(|i| i.attr() == attr)
-    }
-
-    /// Which technique indexes `attr`.
+    /// Which technique indexes `attr` (identical on every shard).
     pub fn index_kind(&self, attr: &str) -> IndexKind {
-        match self.index_for(attr) {
+        match self.shards[0].index_for(attr) {
             Some(i) => i.kind(),
             None => IndexKind::None,
         }
     }
 
+    /// Run `query` against every shard — in parallel when there is more
+    /// than one — and collect the per-shard results *in shard order*, so
+    /// downstream merges are deterministic. The first shard error aborts
+    /// the gather; a panicking shard thread is resumed on the caller.
+    fn scatter<T, F>(&self, query: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&EngineShard) -> Result<T> + Sync,
+    {
+        if self.shards.len() == 1 {
+            return Ok(vec![query(&self.shards[0])?]);
+        }
+        let results: Vec<Result<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let query = &query;
+                    scope.spawn(move || query(shard))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
     // -- Table 1 operations --------------------------------------------------
 
-    /// `PUT(k, v)`: write (or overwrite) a record and maintain every index.
+    /// `PUT(k, v)`: write (or overwrite) a record on its shard and
+    /// maintain that shard's indexes. Exactly one shard is touched.
     pub fn put(&self, pk: impl AsRef<[u8]>, doc: &Document) -> Result<u64> {
         let pk = pk.as_ref();
         if pk.is_empty() {
             return Err(Error::invalid("empty primary key"));
         }
+        let shard = &self.shards[self.shard_of(pk)];
         // Reject inputs an index would later refuse *before* the primary
         // write, so a failed put never leaves the primary and its indexes
         // divergent (posting-list indexes serialize keys into JSON).
-        let needs_text_pk = self.indexes.iter().any(|i| {
+        let needs_text_pk = shard.indexes.iter().any(|i| {
             matches!(
                 i.kind(),
                 IndexKind::EagerStandalone | IndexKind::LazyStandalone
@@ -232,77 +789,36 @@ impl SecondaryDb {
                 "posting-list indexes require UTF-8 primary keys",
             ));
         }
-        // Crash-consistency ordering: maintain the *stand-alone* indexes
-        // BEFORE the primary write. A crash between the two steps can then
-        // only strand index entries whose primary record never landed —
-        // false positives that every lookup already filters out by
-        // validating candidates against the primary. The opposite order
-        // would strand primary records invisible to LOOKUP (false
-        // negatives), which nothing repairs. This contract holds *per
-        // logical batch* under the primary's group-commit queue (DESIGN.md
-        // §14): each `put` finishes its index writes before enqueueing its
-        // primary write, so whichever group the primary write lands in,
-        // its index entries are already durable-or-earlier. The sequence
-        // the primary write will use is predicted; concurrent writers
-        // grouping ahead of us can make the real sequence larger, but
-        // validation re-reads the primary anyway, so the race only skews
-        // the recency hint stored in the posting.
-        let predicted_seq = self.primary.last_sequence() + 1;
-        for index in &self.indexes {
-            if index.kind() != IndexKind::Embedded {
-                index.on_put(&self.primary, pk, doc, predicted_seq)?;
-            }
-        }
-        let seq = self.primary.put(pk, &doc.to_bytes())?;
-        // The Embedded Index shadows the memtable: it must record the real
-        // sequence of an entry that actually exists, so it stays after the
-        // primary write (it is memory-only — rebuilt on recovery — so the
-        // ordering has no crash-consistency cost).
-        for index in &self.indexes {
-            if index.kind() == IndexKind::Embedded {
-                index.on_put(&self.primary, pk, doc, seq)?;
-            }
-        }
-        Ok(seq)
+        // Recency hint for the stand-alone index write that precedes the
+        // primary write (see `EngineShard::put`). Sharded, the prediction
+        // comes from the shared clock — the next allocation is at least
+        // `current() + 1`, preserving the hint's "no smaller than the real
+        // sequence's predecessor" contract across shards.
+        let predicted_seq = match &self.clock {
+            Some(clock) => clock.current() + 1,
+            None => shard.primary.last_sequence() + 1,
+        };
+        shard.put(pk, doc, predicted_seq)
     }
 
-    /// `DEL(k)`: delete a record and maintain every index.
+    /// `DEL(k)`: delete a record on its shard and maintain that shard's
+    /// indexes. Exactly one shard is touched.
     pub fn delete(&self, pk: impl AsRef<[u8]>) -> Result<()> {
         let pk = pk.as_ref();
-        // Stand-alone indexes need the old record to find which posting
-        // list / composite key to mark; the Embedded Index does not (its
-        // validity checks absorb stale entries), keeping its DEL at a
-        // single write as in the paper's Table 3.
-        let needs_old = self.indexes.iter().any(|i| i.kind() != IndexKind::Embedded);
-        let old_doc = if needs_old {
-            match self.primary.get(pk)? {
-                Some(bytes) => Some(Document::parse(&bytes)?),
-                None => None,
-            }
-        } else {
-            None
-        };
-        // Deletes keep the opposite ordering from puts (primary first): a
-        // crash after the tombstone but before the index cleanup leaves a
-        // stale index entry, which validation against the primary filters
-        // out. Cleaning the index first would instead make a still-live
-        // record unfindable if the crash lands between the two steps.
-        let seq = self.primary.delete(pk)?;
-        for index in &self.indexes {
-            index.on_delete(&self.primary, pk, old_doc.as_ref(), seq)?;
-        }
-        Ok(())
+        self.shards[self.shard_of(pk)].delete(pk)
     }
 
-    /// `GET(k)`: fetch a record by primary key.
+    /// `GET(k)`: fetch a record by primary key (routed, single shard).
     pub fn get(&self, pk: impl AsRef<[u8]>) -> Result<Option<Document>> {
-        match self.primary.get(pk.as_ref())? {
+        let pk = pk.as_ref();
+        match self.shards[self.shard_of(pk)].primary.get(pk)? {
             Some(bytes) => Ok(Some(Document::parse(&bytes)?)),
             None => Ok(None),
         }
     }
 
-    /// `LOOKUP(A, a, K)`: the K most recent records with `val(A) = a`.
+    /// `LOOKUP(A, a, K)`: the K most recent records with `val(A) = a`,
+    /// scattered across every shard and gathered newest-first.
     pub fn lookup(&self, attr: &str, value: &Value, k: Option<usize>) -> Result<Vec<LookupHit>> {
         self.lookup_attr(attr, &attr_from_json(value)?, k)
     }
@@ -314,19 +830,13 @@ impl SecondaryDb {
         value: &AttrValue,
         k: Option<usize>,
     ) -> Result<Vec<LookupHit>> {
-        match self.index_for(attr) {
-            Some(index) => index.lookup(&self.primary, value, k),
-            None if self.unindexed.iter().any(|a| a == attr) => {
-                self.full_scan_on(attr, |v| v == value, k)
-            }
-            None => Err(Error::not_supported(format!(
-                "no index declared on attribute '{attr}'"
-            ))),
-        }
+        let per_shard = self.scatter(|shard| shard.lookup_attr(attr, value, k))?;
+        Ok(merge_newest_first(per_shard, k, |h| h.seq))
     }
 
     /// `RANGELOOKUP(A, a, b, K)`: the K most recent records with
-    /// `a ≤ val(A) ≤ b`.
+    /// `a ≤ val(A) ≤ b`, scattered across every shard and gathered
+    /// newest-first.
     pub fn range_lookup(
         &self,
         attr: &str,
@@ -348,23 +858,16 @@ impl SecondaryDb {
         if lo > hi {
             return Err(Error::invalid("inverted range"));
         }
-        match self.index_for(attr) {
-            Some(index) => index.range_lookup(&self.primary, lo, hi, k),
-            None if self.unindexed.iter().any(|a| a == attr) => {
-                let (lo, hi) = (lo.clone(), hi.clone());
-                let attr = attr.to_string();
-                self.full_scan_on(&attr, move |v| lo <= *v && *v <= hi, k)
-            }
-            None => Err(Error::not_supported(format!(
-                "no index declared on attribute '{attr}'"
-            ))),
-        }
+        let per_shard = self.scatter(|shard| shard.range_lookup_attr(attr, lo, hi, k))?;
+        Ok(merge_newest_first(per_shard, k, |h| h.seq))
     }
 
     /// Range scan over **primary keys** in `[lo, hi]` (inclusive),
     /// newest-version-resolved, in key order — LevelDB's range-query API
-    /// surfaced through the facade (the Eager index uses it internally for
-    /// RANGELOOKUP).
+    /// surfaced through the facade. Each shard streams its own bounded
+    /// cursor; the per-shard key-ordered slices are gathered through a
+    /// K-bounded merge (hash partitioning interleaves keys across shards,
+    /// so the merge is what restores global key order).
     pub fn scan_primary(
         &self,
         lo: impl AsRef<[u8]>,
@@ -375,17 +878,8 @@ impl SecondaryDb {
         if lo > hi {
             return Err(Error::invalid("inverted range"));
         }
-        // Bounded cursor: only files overlapping [lo, hi] are merged and
-        // the stream ends at hi without touching further blocks.
-        let mut it = self.primary.range_iter(lo, hi)?;
-        let mut out = Vec::new();
-        while let Some((key, _seq, bytes)) = it.next_entry()? {
-            out.push((key, Document::parse(&bytes)?));
-            if limit.is_some_and(|l| out.len() >= l) {
-                break;
-            }
-        }
-        Ok(out)
+        let per_shard = self.scatter(|shard| shard.scan_primary(lo, hi, limit))?;
+        Ok(merge_key_ordered(per_shard, limit, |(key, _)| key.clone()))
     }
 
     /// Conjunctive multi-attribute lookup: the K most recent records
@@ -396,7 +890,8 @@ impl SecondaryDb {
     /// Strategy: probe the indexed attribute expected to be most selective
     /// (the first indexed one given), then filter its hits on the remaining
     /// predicates — a standard index-intersection plan specialized to one
-    /// driving index.
+    /// driving index. The driving probe is itself a scatter-gather
+    /// [`SecondaryDb::lookup`], so the plan is unchanged by sharding.
     pub fn lookup_all(
         &self,
         predicates: &[(&str, Value)],
@@ -408,7 +903,7 @@ impl SecondaryDb {
         // Driving attribute: the first with a real index.
         let driver = predicates
             .iter()
-            .position(|(attr, _)| self.index_for(attr).is_some())
+            .position(|(attr, _)| self.shards[0].index_for(attr).is_some())
             .unwrap_or(0);
         let (driver_attr, driver_value) = &predicates[driver];
         let rest: Vec<(&str, AttrValue)> = predicates
@@ -440,38 +935,12 @@ impl SecondaryDb {
         }
     }
 
-    /// The NoIndex baseline: scan the entire primary table.
-    fn full_scan_on(
-        &self,
-        attr: &str,
-        pred: impl Fn(&AttrValue) -> bool,
-        k: Option<usize>,
-    ) -> Result<Vec<LookupHit>> {
-        let mut heap: TopK<(Vec<u8>, Document)> = TopK::new(k);
-        let mut it = self.primary.resolved_iter()?;
-        it.seek_to_first();
-        while let Some((pk, seq, bytes)) = it.next_entry()? {
-            let Ok(doc) = Document::parse(&bytes) else {
-                continue;
-            };
-            if let Some(v) = doc.attr(attr) {
-                if pred(&v) {
-                    heap.add(seq, (pk, doc));
-                }
-            }
-        }
-        Ok(heap
-            .into_sorted()
-            .into_iter()
-            .map(|(seq, (key, doc))| LookupHit { key, seq, doc })
-            .collect())
-    }
-
     // -- maintenance & accounting ---------------------------------------------
 
-    /// Build indexes that were declared after data already existed.
+    /// Build indexes that were declared after data already existed, on
+    /// every shard.
     ///
-    /// Two cases are handled:
+    /// Two cases are handled per shard:
     ///
     /// * **Stand-alone indexes whose tables have never been written** are
     ///   populated by scanning every live primary record and replaying
@@ -479,56 +948,21 @@ impl SecondaryDb {
     ///   ordering is preserved). The operation is idempotent — postings
     ///   and composite entries dedup by primary key.
     /// * **Embedded attributes missing from existing SSTables** trigger a
-    ///   major compaction of the primary table, which rewrites every file
-    ///   with the now-declared per-block filters and zone maps.
+    ///   major compaction of the shard's primary table, which rewrites
+    ///   every file with the now-declared per-block filters and zone maps.
     ///
-    /// Returns the number of records replayed into stand-alone indexes.
+    /// Returns the number of records replayed into stand-alone indexes,
+    /// summed over shards.
     pub fn backfill_indexes(&self) -> Result<usize> {
-        // Embedded: any file missing the attribute's file-level zone map
-        // predates the declaration.
-        let embedded_attrs: Vec<&str> = self
-            .indexes
-            .iter()
-            .filter(|i| i.kind() == IndexKind::Embedded)
-            .map(|i| i.attr())
-            .collect();
-        if !embedded_attrs.is_empty() {
-            let version = self.primary.current_version();
-            let stale = version.files.iter().flatten().any(|f| {
-                embedded_attrs
-                    .iter()
-                    .any(|attr| f.file_zone(attr).is_none())
-            });
-            if stale {
-                self.primary.major_compact()?;
-            }
-        }
-
-        let to_fill: Vec<&dyn SecondaryIndex> = self
-            .indexes
-            .iter()
-            .map(|b| b.as_ref())
-            .filter(|i| i.needs_backfill())
-            .collect();
-        if to_fill.is_empty() {
-            return Ok(0);
-        }
-        let mut it = self.primary.resolved_iter()?;
-        it.seek_to_first();
-        let mut replayed = 0usize;
-        while let Some((pk, seq, bytes)) = it.next_entry()? {
-            let Ok(doc) = Document::parse(&bytes) else {
-                continue;
-            };
-            for index in &to_fill {
-                index.on_put(&self.primary, &pk, &doc, seq)?;
-            }
-            replayed += 1;
+        let mut replayed = 0;
+        for shard in &self.shards {
+            replayed += shard.backfill_indexes()?;
         }
         Ok(replayed)
     }
 
-    /// Drop and rebuild every index from a scan of the primary table.
+    /// Drop and rebuild every index from a scan of its shard's primary
+    /// table.
     ///
     /// The recovery-path counterpart of [`SecondaryDb::backfill_indexes`]:
     /// where backfill only populates indexes that have *never* been
@@ -544,147 +978,113 @@ impl SecondaryDb {
     ///   zone map trigger a major compaction, which rewrites every file
     ///   with regenerated per-block filters and zone maps.
     ///
-    /// Returns the number of records replayed into stand-alone indexes.
+    /// Returns the number of records replayed into stand-alone indexes,
+    /// summed over shards.
     pub fn rebuild_indexes(&self) -> Result<usize> {
-        // Embedded: regenerate in-file metadata if any file lacks it
-        // (repair's partial-table rewrite recomputes it, but tables kept
-        // verbatim from before the attribute was declared would not have it).
-        let embedded_attrs: Vec<&str> = self
-            .indexes
-            .iter()
-            .filter(|i| i.kind() == IndexKind::Embedded)
-            .map(|i| i.attr())
-            .collect();
-        if !embedded_attrs.is_empty() {
-            let version = self.primary.current_version();
-            let stale = version.files.iter().flatten().any(|f| {
-                embedded_attrs
-                    .iter()
-                    .any(|attr| f.file_zone(attr).is_none())
-            });
-            if stale {
-                self.primary.major_compact()?;
-            }
-        }
-
-        let standalone: Vec<&dyn SecondaryIndex> = self
-            .indexes
-            .iter()
-            .map(|b| b.as_ref())
-            .filter(|i| i.kind() != IndexKind::Embedded)
-            .collect();
-        if standalone.is_empty() {
-            return Ok(0);
-        }
-        for index in &standalone {
-            index.clear()?;
-        }
-        let mut it = self.primary.resolved_iter()?;
-        it.seek_to_first();
-        let mut replayed = 0usize;
-        while let Some((pk, seq, bytes)) = it.next_entry()? {
-            let Ok(doc) = Document::parse(&bytes) else {
-                continue;
-            };
-            for index in &standalone {
-                index.on_put(&self.primary, &pk, &doc, seq)?;
-            }
-            replayed += 1;
+        let mut replayed = 0;
+        for shard in &self.shards {
+            replayed += shard.rebuild_indexes()?;
         }
         Ok(replayed)
     }
 
-    /// Check integrity and, if the indexes disagree with the primary,
-    /// rebuild them and re-check — the self-healing step that follows
-    /// [`ldbpp_lsm::repair_db`]. A rebuild is triggered only by violations
-    /// the indexes contribute (dangling/ghost postings, unreadable index
-    /// tables); damage confined to the primary table is reported untouched,
-    /// since rebuilding indexes from a broken primary cannot help.
+    /// Check integrity and, if any shard's indexes disagree with its
+    /// primary, rebuild that shard's indexes and re-check — the
+    /// self-healing step that follows [`ldbpp_lsm::repair_db`]. Healing is
+    /// per shard: a rebuild is triggered only on shards whose indexes
+    /// contribute violations (dangling/ghost postings, unreadable index
+    /// tables), so damage confined to one shard never causes rebuild churn
+    /// — or downtime — on the others. Damage confined to a primary table
+    /// is reported untouched, since rebuilding indexes from a broken
+    /// primary cannot help. The returned report aggregates all shards.
     pub fn heal(&self) -> Result<HealReport> {
-        let full = self.check_integrity();
-        let violations_before = full.violations.len();
-        // Index-attributed violations = full report minus the primary's own.
-        let primary_only = self.primary.check_integrity().violations.len();
-        if violations_before <= primary_only {
-            return Ok(HealReport {
-                violations_before,
-                violations_after: violations_before,
-                rebuilt: false,
-                replayed: 0,
-            });
+        let mut total = HealReport::default();
+        for shard in &self.shards {
+            total.absorb(shard.heal()?);
         }
-        let replayed = self.rebuild_indexes()?;
-        let after = self.check_integrity();
-        Ok(HealReport {
-            violations_before,
-            violations_after: after.violations.len(),
-            rebuilt: true,
-            replayed,
-        })
+        Ok(total)
     }
 
-    /// Flush the primary memtable and every stand-alone index table.
+    /// Flush every shard's primary memtable and stand-alone index tables.
     pub fn flush(&self) -> Result<()> {
-        self.primary.flush()?;
-        for index in &self.indexes {
-            index.flush()?;
+        for shard in &self.shards {
+            shard.primary.flush()?;
+            for index in &shard.indexes {
+                index.flush()?;
+            }
         }
         Ok(())
     }
 
-    /// With `background_work` enabled, block until the primary table and
-    /// every stand-alone index table have no pending background flush or
-    /// compaction (no-op otherwise). Call before measuring tree shapes or
-    /// byte counts so the numbers describe a settled database.
+    /// With `background_work` enabled, block until every shard's primary
+    /// table and stand-alone index tables have no pending background flush
+    /// or compaction (no-op otherwise). Call before measuring tree shapes
+    /// or byte counts so the numbers describe a settled database.
     pub fn wait_for_background_idle(&self) -> Result<()> {
-        self.primary.wait_for_background_idle()?;
-        for index in &self.indexes {
-            index.wait_for_background_idle()?;
+        for shard in &self.shards {
+            shard.primary.wait_for_background_idle()?;
+            for index in &shard.indexes {
+                index.wait_for_background_idle()?;
+            }
         }
         Ok(())
     }
 
-    /// Bytes of live SSTables in the primary table.
+    /// Bytes of live SSTables across every shard's primary table.
     pub fn primary_bytes(&self) -> u64 {
-        self.primary.table_bytes()
+        self.shards.iter().map(|s| s.primary.table_bytes()).sum()
     }
 
-    /// Bytes of live SSTables across all stand-alone index tables.
+    /// Bytes of live SSTables across all stand-alone index tables of all
+    /// shards.
     pub fn index_bytes(&self) -> u64 {
-        self.indexes.iter().map(|i| i.table_bytes()).sum()
+        self.shards
+            .iter()
+            .flat_map(|s| s.indexes.iter())
+            .map(|i| i.table_bytes())
+            .sum()
     }
 
-    /// Total database size (primary + indexes).
+    /// Total database size (primary + indexes, all shards).
     pub fn total_bytes(&self) -> u64 {
         self.primary_bytes() + self.index_bytes()
     }
 
-    /// Per-attribute stand-alone index table sizes (embedded attrs report 0).
+    /// Per-attribute stand-alone index table sizes, summed over shards
+    /// (embedded attrs report 0).
     pub fn index_bytes_by_attr(&self) -> Vec<(String, u64)> {
-        self.indexes
+        self.shards[0]
+            .indexes
             .iter()
-            .map(|i| (i.attr().to_string(), i.table_bytes()))
+            .enumerate()
+            .map(|(pos, i)| {
+                let total = self
+                    .shards
+                    .iter()
+                    .filter_map(|s| s.indexes.get(pos))
+                    .map(|idx| idx.table_bytes())
+                    .sum();
+                (i.attr().to_string(), total)
+            })
             .collect()
     }
 
-    /// The I/O counters of one attribute's stand-alone index table.
+    /// The live I/O counters of one attribute's stand-alone index table on
+    /// shard 0 — at `shards = 1`, *the* index table. (A live
+    /// [`ldbpp_lsm::env::IoStats`] handle cannot be aggregated across
+    /// shards; for cross-shard totals snapshot [`SecondaryDb::index_io`].)
     pub fn index_stats_of(&self, attr: &str) -> Option<Arc<ldbpp_lsm::env::IoStats>> {
-        self.index_for(attr).and_then(|i| i.index_stats())
+        self.shards[0].index_for(attr).and_then(|i| i.index_stats())
     }
 
-    /// Combined I/O snapshot of every stand-alone index table.
+    /// Combined I/O snapshot of every stand-alone index table on every
+    /// shard.
     pub fn index_io(&self) -> IoSnapshot {
-        let mut total = IoSnapshot::default();
-        for index in &self.indexes {
-            if let Some(stats) = index.index_stats() {
-                total = total + stats.snapshot();
-            }
-        }
-        total
+        IoSnapshot::merge(self.shards.iter().map(EngineShard::index_io))
     }
 
-    /// I/O snapshot of the primary table.
+    /// Combined I/O snapshot of every shard's primary table.
     pub fn primary_io(&self) -> IoSnapshot {
-        self.primary.stats().snapshot()
+        IoSnapshot::merge(self.shards.iter().map(|s| s.primary.stats().snapshot()))
     }
 }

@@ -1,8 +1,16 @@
-//! The top-K min-heap of the paper's Algorithm 1.
+//! The top-K min-heap of the paper's Algorithm 1, plus the multi-shard
+//! K-bounded merges used by the scatter-gather read path.
 //!
 //! "To efficiently compute the top-k entries, we maintain a min-heap
 //! ordered by the sequence number": the heap keeps the K most-recent
 //! candidates; a new candidate replaces the root only if it is newer.
+//!
+//! A hash-partitioned [`crate::SecondaryDb`] answers LOOKUP/RANGELOOKUP by
+//! asking every shard for its own (already K-bounded, newest-first) hit
+//! list and merging the lists through [`merge_newest_first`]; primary-key
+//! range scans gather per-shard key-ordered streams through
+//! [`merge_key_ordered`]. Both merges stop as soon as K results are out,
+//! touching at most `K + shards - 1` input entries.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -91,6 +99,83 @@ impl<T> TopK<T> {
     }
 }
 
+/// K-bounded heap merge of per-shard top-K results.
+///
+/// Every input list must already be sorted newest-first (descending
+/// sequence) — exactly what each index technique's `lookup`/`range_lookup`
+/// returns — and the output preserves that order globally: the K largest
+/// sequences across all lists, ties broken toward the lower shard index so
+/// the merge is deterministic even for equal sequences (which cannot occur
+/// between shards sharing one [`ldbpp_lsm::db::SharedSequence`] clock, but
+/// can in ad-hoc unit-test inputs). `k = None` concatenates everything in
+/// global recency order.
+pub fn merge_newest_first<T>(
+    lists: Vec<Vec<T>>,
+    k: Option<usize>,
+    seq_of: impl Fn(&T) -> u64,
+) -> Vec<T> {
+    merge_by_rank(lists, k, |item| Reverse(seq_of(item)))
+}
+
+/// Bounded heap merge of per-shard key-ordered streams (ascending by the
+/// rank `key_of` returns) — the scatter-gather form of a primary-key range
+/// scan, where each shard contributes a disjoint, sorted slice of the key
+/// space. Ties (impossible for hash-partitioned primaries, possible in
+/// arbitrary inputs) break toward the lower shard index.
+pub fn merge_key_ordered<T, R: Ord>(
+    lists: Vec<Vec<T>>,
+    limit: Option<usize>,
+    key_of: impl Fn(&T) -> R,
+) -> Vec<T> {
+    merge_by_rank(lists, limit, key_of)
+}
+
+/// Shared merge body: repeatedly emit the head with the smallest rank
+/// (`Reverse<seq>` for newest-first merges, the key itself for ascending
+/// ones), stopping at `k`. The heap holds one entry per non-exhausted
+/// list, so the merge is `O((k + n) log n)` for `n` shards.
+fn merge_by_rank<T, R: Ord>(
+    mut lists: Vec<Vec<T>>,
+    k: Option<usize>,
+    rank_of: impl Fn(&T) -> R,
+) -> Vec<T> {
+    if k == Some(0) {
+        return Vec::new();
+    }
+    // Single-shard fast path: the list is already in output order.
+    if lists.len() == 1 {
+        let mut only = lists.pop().unwrap_or_default();
+        if let Some(k) = k {
+            only.truncate(k);
+        }
+        return only;
+    }
+    let mut iters: Vec<std::vec::IntoIter<T>> = lists.into_iter().map(Vec::into_iter).collect();
+    let mut heads: Vec<Option<T>> = iters.iter_mut().map(Iterator::next).collect();
+    // Min-heap via Reverse: pop order is (rank asc, shard index asc).
+    let mut heap: BinaryHeap<Reverse<(R, usize)>> = heads
+        .iter()
+        .enumerate()
+        .filter_map(|(shard, head)| head.as_ref().map(|t| Reverse((rank_of(t), shard))))
+        .collect();
+    let mut out = Vec::new();
+    while let Some(Reverse((_, shard))) = heap.pop() {
+        // Invariant: every heap entry was pushed together with its head.
+        let Some(item) = heads[shard].take() else {
+            continue;
+        };
+        out.push(item);
+        if k.is_some_and(|k| out.len() >= k) {
+            break;
+        }
+        if let Some(next) = iters[shard].next() {
+            heap.push(Reverse((rank_of(&next), shard)));
+            heads[shard] = Some(next);
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +235,54 @@ mod tests {
         let mut h = TopK::new(Some(0));
         assert!(!h.add(5, ()));
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_newest_first_is_k_bounded_and_ordered() {
+        let lists = vec![
+            vec![(9u64, "a9"), (5, "a5"), (1, "a1")],
+            vec![(8u64, "b8"), (7, "b7"), (2, "b2")],
+        ];
+        let out = merge_newest_first(lists.clone(), Some(4), |e| e.0);
+        assert_eq!(out, vec![(9, "a9"), (8, "b8"), (7, "b7"), (5, "a5")]);
+        let all = merge_newest_first(lists, None, |e| e.0);
+        let seqs: Vec<u64> = all.iter().map(|e| e.0).collect();
+        assert_eq!(seqs, vec![9, 8, 7, 5, 2, 1]);
+    }
+
+    #[test]
+    fn merge_newest_first_breaks_ties_by_shard_index() {
+        let lists = vec![vec![(5u64, "shard0")], vec![(5u64, "shard1")]];
+        let out = merge_newest_first(lists, None, |e| e.0);
+        assert_eq!(out, vec![(5, "shard0"), (5, "shard1")]);
+    }
+
+    #[test]
+    fn merge_newest_first_single_list_passthrough() {
+        let out = merge_newest_first(vec![vec![(3u64, ()), (1, ())]], Some(1), |e| e.0);
+        assert_eq!(out, vec![(3, ())]);
+        assert!(merge_newest_first(Vec::<Vec<(u64, ())>>::new(), None, |e| e.0).is_empty());
+        assert!(merge_newest_first(vec![vec![(3u64, ())]], Some(0), |e| e.0).is_empty());
+    }
+
+    #[test]
+    fn merge_key_ordered_interleaves_disjoint_ranges() {
+        let lists = vec![
+            vec![b"b".to_vec(), b"d".to_vec()],
+            vec![b"a".to_vec(), b"c".to_vec(), b"e".to_vec()],
+        ];
+        let out = merge_key_ordered(lists, None, Clone::clone);
+        assert_eq!(
+            out,
+            vec![
+                b"a".to_vec(),
+                b"b".to_vec(),
+                b"c".to_vec(),
+                b"d".to_vec(),
+                b"e".to_vec(),
+            ]
+        );
+        let bounded = merge_key_ordered(vec![vec![2u64, 9], vec![1, 3]], Some(3), |&k| k);
+        assert_eq!(bounded, vec![1, 2, 3]);
     }
 }

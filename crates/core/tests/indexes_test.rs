@@ -368,6 +368,7 @@ fn embedded_validation_modes_agree_on_exactness() {
             SecondaryDbOptions {
                 base: tiny_opts(),
                 embedded_validation: mode,
+                ..Default::default()
             },
             &[("UserID", IndexKind::Embedded)],
         )

@@ -44,6 +44,50 @@ use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::Duration;
 
+/// A monotone sequence-number allocator shared by several `Db` instances,
+/// so that writes routed across hash-partitioned engine shards still carry
+/// one global recency clock (the ordering key of every top-K lookup).
+///
+/// Install the same clock in each shard's [`DbOptions::sequence_clock`]
+/// before opening it. During recovery every shard calls
+/// [`SharedSequence::observe`] with its recovered last sequence, so the
+/// clock starts past everything already durable in any shard; afterwards
+/// each group commit draws its contiguous sequence range from the clock
+/// (`SharedSequence::allocate`) instead of `last_sequence + 1`. Per-shard
+/// sequence spaces therefore become sparse (a shard only owns the ranges
+/// its own commits drew), which the engine tolerates everywhere — WAL
+/// records carry their own start sequence and the MANIFEST only tracks the
+/// per-shard maximum.
+///
+/// Without a clock installed (the default, and the only configuration the
+/// single-shard paper reproduction uses) sequence allocation is unchanged
+/// and byte-for-byte deterministic.
+#[derive(Debug, Default)]
+pub struct SharedSequence(AtomicU64);
+
+impl SharedSequence {
+    /// A fresh clock starting at sequence 0 (first allocation returns 1).
+    pub fn new() -> Arc<SharedSequence> {
+        Arc::new(SharedSequence(AtomicU64::new(0)))
+    }
+
+    /// Raise the clock to at least `seq` (used while recovering a shard:
+    /// nothing allocated later may collide with what is already durable).
+    pub fn observe(&self, seq: u64) {
+        self.0.fetch_max(seq, Ordering::SeqCst);
+    }
+
+    /// The last sequence number handed out (or observed) so far.
+    pub fn current(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Reserve `n` consecutive sequence numbers; returns the first.
+    pub(crate) fn allocate(&self, n: u64) -> u64 {
+        self.0.fetch_add(n, Ordering::SeqCst) + 1
+    }
+}
+
 /// Identifies where a key's entries came from, in newest-to-oldest order:
 /// the memtable, the frozen (flushing) memtable, then each L0 file (newest
 /// file first), then each level.
@@ -346,6 +390,11 @@ impl Db {
 
         let version = versions.current();
         let last_sequence = versions.last_sequence;
+        // A shared clock must start past everything this shard already
+        // holds, or a later allocation could collide with recovered data.
+        if let Some(clock) = &opts.sequence_clock {
+            clock.observe(last_sequence);
+        }
         let table_cache_entries = opts.table_cache_entries.max(16);
         let background = opts.background_work;
         #[cfg(feature = "check")]
@@ -1291,8 +1340,14 @@ impl DbCore {
         own: &Arc<WriteRequest>,
     ) -> (Vec<Arc<WriteRequest>>, Result<u64>) {
         let group = self.collect_group(own);
-        let start_seq = inner.versions.last_sequence + 1;
         let total_count: u64 = group.iter().map(|r| u64::from(r.count)).sum();
+        // A shared clock (multi-shard routing) hands out globally unique,
+        // monotone ranges; without one, allocation is the classic
+        // `last_sequence + 1` and stays byte-for-byte deterministic.
+        let start_seq = match &self.opts.sequence_clock {
+            Some(clock) => clock.allocate(total_count),
+            None => inner.versions.last_sequence + 1,
+        };
         if ikey::MAX_SEQUENCE - start_seq < total_count {
             return (group, Err(Error::invalid("sequence space exhausted")));
         }

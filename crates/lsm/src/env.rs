@@ -259,6 +259,22 @@ impl IoSnapshot {
         self.flush_bytes_written + self.compaction_bytes_written + self.wal_bytes_written
     }
 
+    /// Counter-wise sum of any number of snapshots — the aggregation
+    /// helper for everything that reports across several tables at once:
+    /// a [`crate::db::Db`] per engine shard, or one per stand-alone index.
+    /// An empty iterator yields the zero snapshot, so callers need no
+    /// special case for "no shards / no indexes". Built on the
+    /// [`std::ops::Add`] impl below, which is kept field-exhaustive next
+    /// to [`IoSnapshot::since`] so a new counter joins all three or none.
+    pub fn merge<I>(snapshots: I) -> IoSnapshot
+    where
+        I: IntoIterator<Item = IoSnapshot>,
+    {
+        snapshots
+            .into_iter()
+            .fold(IoSnapshot::default(), |acc, s| acc + s)
+    }
+
     /// Counter-wise difference (`self - earlier`).
     pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
         IoSnapshot {

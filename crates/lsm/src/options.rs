@@ -115,6 +115,12 @@ pub struct DbOptions {
     ///   absent-with-diagnostic (`corrupt_blocks_skipped`) instead of a
     ///   query error — serving every record that is still readable.
     pub paranoid_checks: bool,
+    /// Sequence-number allocator shared with other `Db` instances (the
+    /// shard-routing configuration; see
+    /// [`crate::db::SharedSequence`]). `None` — the default — keeps the
+    /// classic per-database `last_sequence + 1` allocation, byte-for-byte
+    /// identical to the unsharded engine.
+    pub sequence_clock: Option<Arc<crate::db::SharedSequence>>,
 }
 
 impl std::fmt::Debug for DbOptions {
@@ -167,6 +173,7 @@ impl Default for DbOptions {
             max_group_commit_bytes: 1 << 20,
             wal_sync: false,
             paranoid_checks: true,
+            sequence_clock: None,
         }
     }
 }
@@ -199,6 +206,7 @@ impl DbOptions {
             max_group_commit_bytes: 64 << 10,
             wal_sync: false,
             paranoid_checks: true,
+            sequence_clock: None,
         }
     }
 

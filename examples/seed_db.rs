@@ -9,6 +9,10 @@
 //! several data blocks, flushes, and exits. The directory can then be
 //! inspected with `ldbpp_tool`, validated with `check`, corrupted by
 //! hand, and salvaged with `ldbpp_tool repair`.
+//!
+//! Set `LDBPP_SHARDS=N` to seed a hash-partitioned database instead
+//! (DESIGN.md §15) — the CI sharded smoke stage seeds a 2-shard one and
+//! runs `ldbpp_tool check` over it.
 
 use leveldbpp::{DbOptions, DiskEnv, Document, IndexKind, SecondaryDb, SecondaryDbOptions, Value};
 
@@ -24,6 +28,7 @@ fn main() {
         &dir,
         SecondaryDbOptions {
             base: DbOptions::small(),
+            shards: SecondaryDbOptions::shards_from_env(),
             ..Default::default()
         },
         &[("UserID", IndexKind::Embedded)],

@@ -6,9 +6,10 @@
 #   2. every relative markdown link (and intra-file anchor) in the
 #      top-level *.md files must resolve;
 #   3. load-bearing sections must exist: DESIGN.md must keep §14
-#      (write-path concurrency / group commit) and the README must keep
-#      describing the group-commit write path — docs that tests and
-#      comments point at may not silently disappear.
+#      (write-path concurrency / group commit) and §15 (sharding), and
+#      the README must keep describing the group-commit write path and
+#      the sharded engine — docs that tests and comments point at may
+#      not silently disappear.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -65,6 +66,10 @@ grep -Eq "group[ -]commit" README.md \
     || { echo "README.md: no longer documents the group-commit write path"; exit 1; }
 grep -q "Tuning write concurrency" README.md \
     || { echo "README.md: missing the 'Tuning write concurrency' subsection"; exit 1; }
+grep -q "^## 15\. Shard-per-core" DESIGN.md \
+    || { echo "DESIGN.md: missing §15 'Shard-per-core'"; exit 1; }
+grep -q "Sharding: scaling past one engine" README.md \
+    || { echo "README.md: missing the 'Sharding' subsection"; exit 1; }
 echo "required sections present"
 
 echo "docs OK"

@@ -22,12 +22,19 @@
 #      group_commit_test.rs), the contended facade tests in
 #      tests/concurrency.rs, and the fsync-bound write-scaling bench
 #      assertion (4 writers must at least double 1 writer's throughput);
-#   7. repair smoke: build a real on-disk database, corrupt a table,
+#   7. sharded smoke: re-run the contended facade suite and the tier-1
+#      crash smoke with LDBPP_SHARDS=2 (every SecondaryDb in those
+#      suites becomes a 2-shard hash-partitioned engine, DESIGN.md §15),
+#      run the sharded concurrency tests under the lock-order sanitizer
+#      (--features check), then seed a real 2-shard on-disk database via
+#      examples/seed_db.rs and `ldbpp_tool check` it (per-shard + aggregate
+#      report must be clean);
+#   8. repair smoke: build a real on-disk database, corrupt a table,
 #      `ldbpp_tool repair` it (must exit non-zero and quarantine the
 #      damaged file), verify with the `check` binary, and reopen;
-#   8. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
-#      plus markdown link check, and grep gates pinning DESIGN.md §14 +
-#      the README's group-commit coverage).
+#   9. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
+#      plus markdown link check, and grep gates pinning DESIGN.md §14,
+#      §15 + the README's group-commit and sharding coverage).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,6 +69,18 @@ echo "== contended-writer smoke: group commit under multi-writer load =="
 cargo test -q -p ldbpp-lsm --test group_commit_test
 cargo test -q --test concurrency contended_
 cargo test -q -p ldbpp-bench --release write_scaling
+
+echo "== sharded smoke: facade suites at LDBPP_SHARDS=2 =="
+LDBPP_SHARDS=2 cargo test -q --test concurrency
+LDBPP_SHARDS=2 cargo test -q --test crash_smoke
+LDBPP_SHARDS=2 cargo test -q --features check --test concurrency
+
+echo "== sharded smoke: seed a 2-shard db on disk and check it =="
+sharded_dir="$(mktemp -d)"
+trap 'rm -rf "$sharded_dir"' EXIT
+LDBPP_SHARDS=2 cargo run --release --quiet --example seed_db -- "$sharded_dir/db" 300
+test -f "$sharded_dir/db/LAYOUT" || { echo "seed_db: no LAYOUT descriptor"; exit 1; }
+./target/release/ldbpp_tool check "$sharded_dir/db"
 
 echo "== repair smoke: corrupt -> repair -> check -> reopen =="
 ./scripts/repair_smoke.sh

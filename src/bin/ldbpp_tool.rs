@@ -6,8 +6,18 @@
 //! ldbpp_tool tables <db-dir>             # per-SSTable metadata incl. zone maps
 //! ldbpp_tool get    <db-dir> <key>       # point lookup
 //! ldbpp_tool scan   <db-dir> [prefix] [limit]
+//! ldbpp_tool check  <db-dir>             # structural integrity check
 //! ldbpp_tool repair <db-dir>             # salvage a damaged database
 //! ```
+//!
+//! `check` and `repair` understand the sharded layout (DESIGN.md §15): on
+//! a root directory holding a `LAYOUT` descriptor they iterate every
+//! engine under it — each `shard-i` primary plus each `shard-i_idx_<attr>`
+//! stand-alone index table — report per-shard results, and aggregate.
+//! Damage is attributed to the engine that holds it, so one corrupt shard
+//! never blocks diagnosing (or repairing) the others. `stats`, `tables`,
+//! `get`, and `scan` operate on one engine directory; pointed at a sharded
+//! root they list the shard directories to inspect instead.
 //!
 //! All commands but `repair` open the database read-mostly (recovery runs
 //! as usual; no writes are issued). `repair` rebuilds the MANIFEST from
@@ -16,27 +26,72 @@
 //! Exit status: 0 when nothing was quarantined and the checker is clean,
 //! 1 otherwise, 2 on usage errors.
 
-use leveldbpp::{repair_db, Db, DbOptions, DiskEnv};
+use leveldbpp::{repair_db, shard_layout, Db, DbOptions, DiskEnv};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ldbpp_tool <stats|tables|get|scan|repair> <db-dir> [args]\n\
+        "usage: ldbpp_tool <stats|tables|get|scan|check|repair> <db-dir> [args]\n\
          \n\
          stats  <db>            tree shape and counters\n\
          tables <db>            per-file metadata (levels, ranges, zone maps)\n\
          get    <db> <key>      point lookup\n\
          scan   <db> [prefix] [limit=20]   range scan of live records\n\
+         check  <db>            structural integrity check (per shard on a\n\
+                                sharded root, plus the aggregate)\n\
          repair <db>            salvage a damaged database (quarantines\n\
-                                unreadable files in <db>/lost/), then verify"
+                                unreadable files in <db>/lost/), then verify;\n\
+                                repairs every engine of a sharded root"
     );
     std::process::exit(2);
+}
+
+/// Engines under `dir` when it is a sharded root: each shard primary,
+/// then each stand-alone index table (`shard-i_idx_<attr>`), as
+/// `(label, path)` pairs in deterministic order. `None` for a classic
+/// single-engine directory; exits on an unreadable layout descriptor.
+fn sharded_engines(dir: &str) -> Option<Vec<(String, String)>> {
+    let env: std::sync::Arc<dyn leveldbpp::Env> = DiskEnv::new();
+    let shards = match shard_layout(&env, dir) {
+        Ok(layout) => layout?,
+        Err(e) => {
+            eprintln!("{dir}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut engines: Vec<(String, String)> = (0..shards)
+        .map(|i| (format!("shard-{i}"), format!("{dir}/shard-{i}")))
+        .collect();
+    let mut index_tables: Vec<String> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().is_dir())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|name| name.starts_with("shard-") && name.contains("_idx_"))
+                .collect()
+        })
+        .unwrap_or_default();
+    index_tables.sort();
+    for name in index_tables {
+        let path = format!("{dir}/{name}");
+        engines.push((name, path));
+    }
+    Some(engines)
 }
 
 fn open(dir: &str) -> Db {
     // Refuse to "open" (i.e. create) a directory that is not a database —
     // an inspection tool must never initialize state.
     if !std::path::Path::new(dir).join("CURRENT").exists() {
-        eprintln!("{dir} is not a LevelDB++ database (no CURRENT file)");
+        if sharded_engines(dir).is_some() {
+            eprintln!(
+                "{dir} is a sharded database root; run this command against \
+                 one engine directory ({dir}/shard-0, ...) or use \
+                 `check`/`repair`, which iterate all shards"
+            );
+        } else {
+            eprintln!("{dir} is not a LevelDB++ database (no CURRENT file)");
+        }
         std::process::exit(1);
     }
     match Db::open(DiskEnv::new(), dir, DbOptions::default()) {
@@ -46,6 +101,83 @@ fn open(dir: &str) -> Db {
             std::process::exit(1);
         }
     }
+}
+
+/// Integrity-check one engine; returns the number of violations found
+/// (an unopenable engine counts as one). `prefix` is the per-line label
+/// on sharded roots, empty for a single engine.
+fn check_one(prefix: &str, dir: &str) -> usize {
+    if !std::path::Path::new(dir).join("CURRENT").exists() {
+        println!("{prefix}not a database (no CURRENT file)");
+        return 1;
+    }
+    let db = match Db::open(DiskEnv::new(), dir, DbOptions::default()) {
+        Ok(db) => db,
+        Err(e) => {
+            println!("{prefix}failed to open: {e}");
+            return 1;
+        }
+    };
+    let report = db.check_integrity();
+    if report.is_clean() {
+        println!("{prefix}clean");
+        0
+    } else {
+        println!("{prefix}{} violation(s)", report.violations.len());
+        for v in &report.violations {
+            println!("{prefix}  [{:?}] {}", v.code, v.detail);
+        }
+        report.violations.len()
+    }
+}
+
+/// Repair one engine and verify the result; returns `true` when nothing
+/// was quarantined and the re-check is clean.
+fn repair_one(prefix: &str, dir: &str) -> bool {
+    let env: std::sync::Arc<dyn leveldbpp::Env> = DiskEnv::new();
+    let report = match repair_db(&env, dir, &DbOptions::default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{prefix}repair failed: {e}");
+            return false;
+        }
+    };
+    println!(
+        "{prefix}tables: {} kept, {} rewritten, {} from WAL ({} entries, last seq {})",
+        report.tables_kept,
+        report.tables_rewritten,
+        report.tables_from_wal,
+        report.entries_recovered,
+        report.last_sequence
+    );
+    if report.corrupt_blocks_skipped > 0 {
+        println!(
+            "{prefix}corrupt blocks skipped: {}",
+            report.corrupt_blocks_skipped
+        );
+    }
+    if report.wal_records_recovered > 0 || report.wal_records_salvaged > 0 {
+        println!(
+            "{prefix}wal: {} records recovered, {} salvaged past damage ({} bytes dropped)",
+            report.wal_records_recovered, report.wal_records_salvaged, report.wal_bytes_dropped
+        );
+    }
+    for name in &report.quarantined {
+        println!("{prefix}quarantined: lost/{name}");
+    }
+    // Re-open the repaired engine and verify the result.
+    let db = match Db::open(DiskEnv::new(), dir, DbOptions::default()) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("{prefix}repaired database failed to open: {e}");
+            return false;
+        }
+    };
+    let check = db.check_integrity();
+    for v in &check.violations {
+        eprintln!("{prefix}violation: {:?}: {}", v.code, v.detail);
+    }
+    report.is_clean() && check.is_clean()
 }
 
 fn main() {
@@ -140,54 +272,52 @@ fn main() {
             }
             eprintln!("({shown} records)");
         }
+        ("check", [dir]) => {
+            if !std::path::Path::new(dir).is_dir() {
+                eprintln!("{dir} is not a directory");
+                std::process::exit(1);
+            }
+            let total = match sharded_engines(dir) {
+                Some(engines) => {
+                    let mut total = 0usize;
+                    for (label, path) in &engines {
+                        total += check_one(&format!("{label}: "), path);
+                    }
+                    println!(
+                        "total: {total} violation(s) across {} engine(s)",
+                        engines.len()
+                    );
+                    total
+                }
+                None => check_one("", dir),
+            };
+            if total > 0 {
+                std::process::exit(1);
+            }
+            println!("ok: database is clean");
+        }
         ("repair", [dir]) => {
             if !std::path::Path::new(dir).is_dir() {
                 eprintln!("{dir} is not a directory");
                 std::process::exit(1);
             }
-            let env: std::sync::Arc<dyn leveldbpp::Env> = DiskEnv::new();
-            let report = match repair_db(&env, dir, &DbOptions::default()) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("repair failed: {e}");
-                    std::process::exit(1);
+            let clean = match sharded_engines(dir) {
+                Some(engines) => {
+                    let mut dirty = 0usize;
+                    for (label, path) in &engines {
+                        if !repair_one(&format!("{label}: "), path) {
+                            dirty += 1;
+                        }
+                    }
+                    println!(
+                        "total: {dirty} of {} engine(s) needed salvage or stayed dirty",
+                        engines.len()
+                    );
+                    dirty == 0
                 }
+                None => repair_one("", dir),
             };
-            println!(
-                "tables: {} kept, {} rewritten, {} from WAL ({} entries, last seq {})",
-                report.tables_kept,
-                report.tables_rewritten,
-                report.tables_from_wal,
-                report.entries_recovered,
-                report.last_sequence
-            );
-            if report.corrupt_blocks_skipped > 0 {
-                println!("corrupt blocks skipped: {}", report.corrupt_blocks_skipped);
-            }
-            if report.wal_records_recovered > 0 || report.wal_records_salvaged > 0 {
-                println!(
-                    "wal: {} records recovered, {} salvaged past damage ({} bytes dropped)",
-                    report.wal_records_recovered,
-                    report.wal_records_salvaged,
-                    report.wal_bytes_dropped
-                );
-            }
-            for name in &report.quarantined {
-                println!("quarantined: lost/{name}");
-            }
-            // Re-open the repaired database and verify the result.
-            let db = match Db::open(DiskEnv::new(), dir, DbOptions::default()) {
-                Ok(db) => db,
-                Err(e) => {
-                    eprintln!("repaired database failed to open: {e}");
-                    std::process::exit(1);
-                }
-            };
-            let check = db.check_integrity();
-            for v in &check.violations {
-                eprintln!("violation: {:?}: {}", v.code, v.detail);
-            }
-            if report.is_clean() && check.is_clean() {
+            if clean {
                 println!("ok: database is clean");
             } else {
                 std::process::exit(1);

@@ -29,10 +29,10 @@
 
 pub use ldbpp_common::{json::Value, Error, Result};
 pub use ldbpp_core::{
-    advisor, cost, CheckCode, Document, HealReport, IndexKind, IntegrityReport, LookupHit,
-    SecondaryDb, SecondaryDbOptions, Violation,
+    advisor, cost, shard_layout, CheckCode, Document, HealReport, IndexKind, IntegrityReport,
+    LookupHit, SecondaryDb, SecondaryDbOptions, Violation,
 };
-pub use ldbpp_lsm::db::{Db, DbOptions};
+pub use ldbpp_lsm::db::{Db, DbOptions, SharedSequence};
 pub use ldbpp_lsm::env::{
     DiskEnv, Env, FaultEnv, FaultOp, FaultPlan, IoCategory, IoSnapshot, IoStats, MemEnv,
 };

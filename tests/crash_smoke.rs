@@ -25,6 +25,9 @@ fn opts() -> SecondaryDbOptions {
     base.write_buffer_size = 1024;
     SecondaryDbOptions {
         base,
+        // CI re-runs this suite with LDBPP_SHARDS=2 to sweep the sharded
+        // engine through the same crash points (scripts/ci.sh).
+        shards: SecondaryDbOptions::shards_from_env(),
         ..Default::default()
     }
 }

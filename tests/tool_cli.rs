@@ -169,6 +169,117 @@ fn repair_cli_salvages_and_reports() {
 }
 
 #[test]
+fn tool_check_and_repair_iterate_shards() {
+    let dir = std::env::temp_dir().join(format!("ldbpp-shard-cli-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db_dir = dir.join("db");
+    let db_path = db_dir.to_str().unwrap().to_string();
+
+    // Build a 2-shard database on disk, with a stand-alone index so the
+    // tool has `shard-i_idx_*` engines to iterate too.
+    {
+        let db = SecondaryDb::open(
+            DiskEnv::new(),
+            &db_path,
+            leveldbpp::SecondaryDbOptions {
+                base: DbOptions::small(),
+                shards: 2,
+                ..Default::default()
+            },
+            &[("UserID", IndexKind::CompositeStandalone)],
+        )
+        .unwrap();
+        for i in 0..200usize {
+            let mut doc = Document::new();
+            doc.set("UserID", Value::str(format!("u{}", i % 4)))
+                .set("N", Value::Int(i as i64));
+            db.put(format!("rec{i:05}"), &doc).unwrap();
+        }
+        db.flush().unwrap();
+    }
+    assert!(db_dir.join("LAYOUT").exists());
+
+    // `check` on the root: per-shard lines plus the aggregate, exit 0.
+    let out = tool().args(["check", &db_path]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("shard-0: clean"), "{stdout}");
+    assert!(stdout.contains("shard-1: clean"), "{stdout}");
+    assert!(stdout.contains("shard-0_idx_UserID: clean"), "{stdout}");
+    assert!(stdout.contains("shard-1_idx_UserID: clean"), "{stdout}");
+    assert!(stdout.contains("total: 0 violation(s)"), "{stdout}");
+    assert!(stdout.contains("ok: database is clean"), "{stdout}");
+
+    // `stats` on the root points at the shard directories instead.
+    let out = tool().args(["stats", &db_path]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sharded database root"));
+    let shard0 = db_dir.join("shard-0");
+    let out = tool()
+        .args(["stats", shard0.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Corrupt one table file in shard-1 only: `check` must attribute the
+    // damage to shard-1 and keep reporting shard-0 clean (confinement).
+    let table = std::fs::read_dir(db_dir.join("shard-1"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with(".ldb"))
+        .expect("no table file in shard-1")
+        .path();
+    let full = std::fs::read(&table).unwrap();
+    std::fs::write(&table, &full[..64]).unwrap();
+    let out = tool().args(["check", &db_path]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("shard-0: clean"), "{stdout}");
+    assert!(stdout.contains("shard-1: 2 violation(s)"), "{stdout}");
+    assert!(stdout.contains("shard-1:   [FileSize]"), "{stdout}");
+
+    // `repair` iterates every engine: shard-1 quarantines the torn table,
+    // every other engine reports clean, and the aggregate names the one
+    // dirty engine. Exit code 1, same contract as single-engine repair.
+    let out = tool().args(["repair", &db_path]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("shard-1: quarantined: lost/"), "{stdout}");
+    assert!(
+        stdout.contains("total: 1 of 4 engine(s) needed salvage or stayed dirty"),
+        "{stdout}"
+    );
+    assert!(
+        db_dir
+            .join("shard-1")
+            .join("lost")
+            .read_dir()
+            .unwrap()
+            .next()
+            .is_some(),
+        "quarantine directory is empty"
+    );
+
+    // After salvage the whole tree is clean again: repair exits 0, and the
+    // surviving records on the undamaged shard are all intact.
+    let out = tool().args(["repair", &db_path]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok: database is clean"));
+    let out = tool().args(["check", &db_path]).output().unwrap();
+    assert!(out.status.success());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn check_cli_diagnoses_databases() {
     let dir = std::env::temp_dir().join(format!("ldbpp-check-cli-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

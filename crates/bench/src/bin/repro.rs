@@ -10,15 +10,18 @@
 //! `<out>/<id>.tsv` (default `results/`).
 
 use ldbpp_bench::experiments::{
-    appendix_c, fig10_11, fig12_15, fig7, fig8, fig9, tables, write_scaling,
+    appendix_c, fig10_11, fig12_15, fig7, fig8, fig9, net_ycsb, tables, write_scaling,
 };
 use ldbpp_bench::harness::Series;
 use ldbpp_bench::setup::Scale;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--smoke] [--tweets N] [--seed S] [--out DIR] <experiment>...\n\
-         experiments: all fig7 fig8 fig9 fig10 fig11 fig12 tab3 tab5 appc1 appc2 ablations write_scaling"
+        "usage: repro [--smoke] [--tweets N] [--seed S] [--out DIR] \
+         [--server ADDR] [--clients N] <experiment>...\n\
+         experiments: all fig7 fig8 fig9 fig10 fig11 fig12 tab3 tab5 appc1 appc2 ablations write_scaling net_ycsb\n\
+         --server/--clients apply to net_ycsb: drive an external ldbpp_server\n\
+         instead of the in-process shards x clients grid"
     );
     std::process::exit(2);
 }
@@ -27,6 +30,8 @@ fn main() {
     let mut scale = Scale::default_scale();
     let mut out_dir = "results".to_string();
     let mut experiments: Vec<String> = Vec::new();
+    let mut server_addr: Option<String> = None;
+    let mut clients = 4usize;
 
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
@@ -35,6 +40,14 @@ fn main() {
             "--out" => match args.next() {
                 Some(dir) => out_dir = dir,
                 None => usage(),
+            },
+            "--server" => match args.next() {
+                Some(addr) => server_addr = Some(addr),
+                None => usage(),
+            },
+            "--clients" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => clients = n,
+                _ => usage(),
             },
             "--tweets" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) => scale.tweets = n,
@@ -51,7 +64,8 @@ fn main() {
     if experiments.is_empty() {
         usage();
     }
-    const KNOWN: [&str; 17] = [
+    const KNOWN: [&str; 18] = [
+        "net_ycsb",
         "all",
         "fig7",
         "fig8",
@@ -92,6 +106,7 @@ fn main() {
             "appc2",
             "ablations",
             "write_scaling",
+            "net_ycsb",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -129,6 +144,10 @@ fn main() {
             "appc1" => produced.push(appendix_c::bloom_sweep(scale)),
             "appc2" => produced.push(appendix_c::compression(scale)),
             "write_scaling" => produced.push(write_scaling::run(scale)),
+            "net_ycsb" => produced.push(match &server_addr {
+                Some(addr) => net_ycsb::run_external(addr, clients, scale),
+                None => net_ycsb::run(scale),
+            }),
             "ablations" => {
                 produced.push(appendix_c::zonemap_granularity(scale));
                 produced.push(appendix_c::getlite_validation(scale));

@@ -1,0 +1,288 @@
+//! Beyond the paper: YCSB-style throughput over the wire protocol.
+//!
+//! N client threads each hold one TCP connection to an `ldbpp_server`
+//! (DESIGN.md §16) and drive a mixed op stream — 70% PUT, 20% GET, 10%
+//! LOOKUP(UserID, K=10) — after a BATCH-loaded warm dataset. Two modes:
+//!
+//! * [`run`]: the full {1,2,4}-shard × {1,4,8}-client grid against
+//!   in-process servers over `MemEnv`, so the grid isolates protocol +
+//!   server-threading cost from disk noise. This is the experiment
+//!   `EXPERIMENTS.md` tabulates.
+//! * [`run_external`]: one row against an already-running server
+//!   (`repro --server ADDR --clients N net_ycsb`) — the CI smoke stage
+//!   drives a real `ldbpp_server` process on `DiskEnv` this way.
+//!
+//! Fixed total work per cell, as in `write_scaling`: more clients (or
+//! shards) must win by concurrency, not by doing less.
+
+use crate::harness::{fnum, LatencyStats, Series};
+use crate::setup::{bench_opts, bench_stats, doc_of, Scale};
+use ldbpp_core::{SecondaryDb, SecondaryDbOptions};
+use ldbpp_lsm::env::MemEnv;
+use ldbpp_proto::{Client, Server, ServerConfig, WireValue, WriteOp};
+use ldbpp_workload::TweetGenerator;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shard counts of the in-process grid.
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Client-connection counts of the grid.
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Records preloaded over BATCH before measurement (GET/LOOKUP targets).
+const PRELOAD: usize = 500;
+
+/// Writes per BATCH frame during the preload.
+const BATCH_SIZE: usize = 100;
+
+/// Per-thread measured latencies, split by op for the tail columns.
+#[derive(Default)]
+struct OpStats {
+    all: LatencyStats,
+    put: LatencyStats,
+    get: LatencyStats,
+    lookup: LatencyStats,
+    lookup_hits: u64,
+}
+
+impl OpStats {
+    fn merge(&mut self, other: &OpStats) {
+        self.all.merge(&other.all);
+        self.put.merge(&other.put);
+        self.get.merge(&other.get);
+        self.lookup.merge(&other.lookup);
+        self.lookup_hits += other.lookup_hits;
+    }
+}
+
+/// BATCH-load `PRELOAD` tweets through one connection; returns the keys
+/// and user ids the measured GET/LOOKUP streams will target.
+fn preload(addr: SocketAddr, seed: u64) -> (Vec<String>, Vec<String>) {
+    let mut client =
+        Client::connect_with_timeout(addr, Duration::from_secs(60)).expect("connect for preload");
+    let mut generator = TweetGenerator::new(bench_stats(), PRELOAD, seed);
+    let mut keys = Vec::with_capacity(PRELOAD);
+    let mut users = Vec::with_capacity(PRELOAD);
+    let mut pending: Vec<WriteOp> = Vec::with_capacity(BATCH_SIZE);
+    for _ in 0..PRELOAD {
+        let tweet = generator.next_tweet();
+        let key = format!("warm-{}", tweet.id);
+        pending.push(WriteOp::Put {
+            pk: key.clone().into_bytes(),
+            doc: doc_of(&tweet).to_bytes(),
+        });
+        keys.push(key);
+        users.push(tweet.user.clone());
+        if pending.len() == BATCH_SIZE {
+            let (applied, _) = client
+                .batch(std::mem::take(&mut pending))
+                .expect("batch load");
+            assert_eq!(applied as usize, BATCH_SIZE);
+        }
+    }
+    if !pending.is_empty() {
+        client.batch(pending).expect("batch load tail");
+    }
+    (keys, users)
+}
+
+/// One client thread's measured stream: `ops` operations in a 70/20/10
+/// PUT/GET/LOOKUP mix, deterministic for a fixed `(seed, thread)` pair.
+fn client_stream(
+    addr: SocketAddr,
+    thread: usize,
+    ops: usize,
+    seed: u64,
+    keys: &[String],
+    users: &[String],
+) -> OpStats {
+    let mut client =
+        Client::connect_with_timeout(addr, Duration::from_secs(60)).expect("connect client");
+    let mut generator = TweetGenerator::new(bench_stats(), ops, seed ^ ((thread as u64) << 32));
+    // xorshift for op selection, disjoint from the tweet generator's RNG.
+    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (thread as u64 + 1);
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut stats = OpStats::default();
+    for _ in 0..ops {
+        let op = next() % 10;
+        let started = Instant::now();
+        match op {
+            0..=6 => {
+                let tweet = generator.next_tweet();
+                let key = format!("c{thread}-{}", tweet.id);
+                client
+                    .put(key.as_bytes(), &doc_of(&tweet).to_bytes())
+                    .expect("put");
+                stats.put.record(started.elapsed());
+            }
+            7..=8 => {
+                let key = &keys[next() as usize % keys.len()];
+                let got = client.get(key.as_bytes()).expect("get");
+                assert!(got.is_some(), "preloaded key {key} missing");
+                stats.get.record(started.elapsed());
+            }
+            _ => {
+                let user = &users[next() as usize % users.len()];
+                let hits = client
+                    .lookup("UserID", WireValue::Str(user.clone()), Some(10))
+                    .expect("lookup");
+                stats.lookup_hits += hits.len() as u64;
+                stats.lookup.record(started.elapsed());
+            }
+        }
+        stats.all.record(started.elapsed());
+    }
+    stats
+}
+
+/// Drive `clients` concurrent connections for `total_ops` operations
+/// (split evenly) against the server at `addr`; returns the merged stats
+/// and the wall time of the measured phase.
+fn drive(addr: SocketAddr, clients: usize, total_ops: usize, seed: u64) -> (OpStats, Duration) {
+    let (keys, users) = preload(addr, seed);
+    let per_client = (total_ops / clients).max(1);
+    let started = Instant::now();
+    let mut merged = OpStats::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let (keys, users) = (&keys, &users);
+                s.spawn(move || client_stream(addr, t, per_client, seed, keys, users))
+            })
+            .collect();
+        for h in handles {
+            merged.merge(&h.join().expect("client thread"));
+        }
+    });
+    (merged, started.elapsed())
+}
+
+fn headers() -> [&'static str; 10] {
+    [
+        "shards",
+        "clients",
+        "ops",
+        "kops_s",
+        "p50_us",
+        "p99_us",
+        "put_p99_us",
+        "get_p99_us",
+        "lookup_p99_us",
+        "lookup_hits",
+    ]
+}
+
+fn row(shards: &str, clients: usize, stats: &OpStats, elapsed: Duration) -> Vec<String> {
+    let ops = stats.all.len();
+    vec![
+        shards.to_string(),
+        clients.to_string(),
+        ops.to_string(),
+        fnum(ops as f64 / elapsed.as_secs_f64() / 1e3),
+        fnum(stats.all.percentile_us(0.50)),
+        fnum(stats.all.percentile_us(0.99)),
+        fnum(stats.put.percentile_us(0.99)),
+        fnum(stats.get.percentile_us(0.99)),
+        fnum(stats.lookup.percentile_us(0.99)),
+        stats.lookup_hits.to_string(),
+    ]
+}
+
+/// The full {1,2,4}-shard × {1,4,8}-client grid against in-process
+/// servers (fresh `MemEnv` database per cell).
+pub fn run(scale: Scale) -> Series {
+    let mut series = Series::new(
+        "net_ycsb",
+        "Networked YCSB mix (70/20/10 put/get/lookup) vs shards and client connections",
+        &headers(),
+    );
+    let total_ops = (scale.mixed_ops / 4).max(800);
+    for shards in SHARD_COUNTS {
+        for clients in CLIENT_COUNTS {
+            let db = Arc::new(
+                SecondaryDb::open(
+                    MemEnv::new(),
+                    "db",
+                    SecondaryDbOptions {
+                        base: bench_opts(),
+                        shards,
+                        ..Default::default()
+                    },
+                    &[("UserID", ldbpp_core::IndexKind::LazyStandalone)],
+                )
+                .expect("open database"),
+            );
+            let handle = Server::start(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default())
+                .expect("start server");
+            let addr = handle.local_addr();
+            let (stats, elapsed) = drive(addr, clients, total_ops, scale.seed);
+            series.push(row(&shards.to_string(), clients, &stats, elapsed));
+            let mut shutter = Client::connect_with_timeout(addr, Duration::from_secs(60))
+                .expect("connect for shutdown");
+            shutter.shutdown().expect("graceful shutdown");
+            handle.join().expect("join server");
+        }
+    }
+    series
+}
+
+/// One row against an external, already-running server — the CI smoke
+/// stage's mode. The server's shard count is not knowable from here, so
+/// the column reports `ext`.
+pub fn run_external(addr: &str, clients: usize, scale: Scale) -> Series {
+    let addr: SocketAddr = addr.parse().expect("--server must be host:port");
+    let mut series = Series::new(
+        "net_ycsb_external",
+        "Networked YCSB mix against an external ldbpp_server",
+        &headers(),
+    );
+    let total_ops = (scale.mixed_ops / 4).max(800);
+    let (stats, elapsed) = drive(addr, clients, total_ops, scale.seed);
+    series.push(row("ext", clients, &stats, elapsed));
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_grid_cell_is_sound() {
+        // One in-process cell at the smallest scale: the mix must execute
+        // end-to-end, the lookups must see the preloaded users, and the
+        // throughput must be finite and positive.
+        let db = Arc::new(
+            SecondaryDb::open(
+                MemEnv::new(),
+                "db",
+                SecondaryDbOptions {
+                    base: bench_opts(),
+                    shards: 2,
+                    ..Default::default()
+                },
+                &[("UserID", ldbpp_core::IndexKind::LazyStandalone)],
+            )
+            .expect("open"),
+        );
+        let handle =
+            Server::start(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).expect("start");
+        let addr = handle.local_addr();
+        let (stats, elapsed) = drive(addr, 4, 400, 7);
+        assert_eq!(stats.all.len(), 400);
+        assert!(!stats.put.is_empty() && !stats.get.is_empty() && !stats.lookup.is_empty());
+        assert!(stats.lookup_hits > 0, "lookups must reach the preload");
+        assert!(elapsed.as_secs_f64() > 0.0);
+        let mut shutter =
+            Client::connect_with_timeout(addr, Duration::from_secs(60)).expect("connect");
+        shutter.shutdown().expect("shutdown");
+        handle.join().expect("join");
+        assert!(db.check_integrity().is_clean());
+    }
+}

@@ -21,6 +21,7 @@ pub mod experiments {
     pub mod fig7;
     pub mod fig8;
     pub mod fig9;
+    pub mod net_ycsb;
     pub mod tables;
     pub mod write_scaling;
 }

@@ -268,4 +268,29 @@ impl SecondaryIndex for CompositeIndex {
         }
         Ok(())
     }
+
+    fn reconcile_dangling(&self, primary: &Db) -> Result<usize> {
+        // Composite entries are individually addressable, so a stranded
+        // entry is removed with an ordinary LSM tombstone on its composite
+        // key; a later re-insert writes a newer entry that shadows it.
+        // Collect-then-apply keeps the scan independent of the deletes.
+        let mut stranded = Vec::new();
+        let mut it = self.table.resolved_iter()?;
+        it.seek_to_first();
+        while let Some((key, _seq, value)) = it.next_entry()? {
+            // Undecodable or malformed entries are the checker's
+            // department; recovery only touches well-formed live entries.
+            let Ok((_av, pk)) = AttrValue::decode_composite(&key) else {
+                continue;
+            };
+            if value.len() == 8 && primary.newest_record(pk)?.is_none() {
+                stranded.push(key);
+            }
+        }
+        let removed = stranded.len();
+        for key in stranded {
+            self.table.delete(&key)?;
+        }
+        Ok(removed)
+    }
 }

@@ -209,4 +209,20 @@ impl SecondaryIndex for EagerIndex {
     ) -> Result<()> {
         crate::indexes::check_posting_table(self.kind(), &self.attr, &self.table, primary, report)
     }
+
+    fn reconcile_dangling(&self, primary: &Db) -> Result<usize> {
+        // Eager lists are read-modify-write anyway, so crash-stranded
+        // entries can be physically dropped from each affected list.
+        let mut removed = 0usize;
+        for (key, dangling) in crate::indexes::collect_dangling_postings(&self.table, primary)? {
+            let Some(bytes) = self.table.get(&key)? else {
+                continue;
+            };
+            let mut list = decode_postings(&bytes)?;
+            list.retain(|p| !dangling.contains(&p.pk));
+            self.table.put(&key, &encode_postings(&list)?)?;
+            removed += dangling.len();
+        }
+        Ok(removed)
+    }
 }

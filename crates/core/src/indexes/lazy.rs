@@ -278,4 +278,25 @@ impl SecondaryIndex for LazyIndex {
     ) -> Result<()> {
         crate::indexes::check_posting_table(self.kind(), &self.attr, &self.table, primary, report)
     }
+
+    fn reconcile_dangling(&self, primary: &Db) -> Result<usize> {
+        // Lazy stays append-only even here: merge a deletion-marker
+        // fragment over each stranded posting. Shadowing in both the
+        // merge fold and the lookup walk is by *encounter order* (newest
+        // fragment first), not the embedded sequence, so the marker hides
+        // the stranded entry and any later re-insert of the same pk
+        // shadows the marker in turn — the marker's own seq is only a
+        // recency hint.
+        let mut removed = 0usize;
+        let marker_seq = primary.last_sequence();
+        for (key, dangling) in crate::indexes::collect_dangling_postings(&self.table, primary)? {
+            removed += dangling.len();
+            let markers: Vec<Posting> = dangling
+                .into_iter()
+                .map(|pk| Posting::delete(pk, marker_seq))
+                .collect();
+            self.table.merge(&key, &encode_postings(&markers)?)?;
+        }
+        Ok(removed)
+    }
 }

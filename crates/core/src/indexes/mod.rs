@@ -156,6 +156,27 @@ pub trait SecondaryIndex: Send + Sync {
     fn check_integrity(&self, _primary: &Db, _report: &mut IntegrityReport) -> Result<()> {
         Ok(())
     }
+    /// Remove index entries stranded by a crash: live entries whose primary
+    /// key has *no record at all* (the index-first write path committed the
+    /// index side, the primary write never landed, and no ack went out).
+    ///
+    /// Only sound right after recovery, before any new writes: with no
+    /// in-flight writers, "no primary record" cannot be a transient state,
+    /// and the caller additionally gates on [`Db::erased_keys`]` == 0`
+    /// (once base-level compaction erased a key's history, an orphaned
+    /// stale posting is legitimate, not crash garbage). Read-time
+    /// validation already ignores these entries, so removal never changes
+    /// query results — it only restores the invariant the strict
+    /// [`SecondaryIndex::check_integrity`] cross-check verifies, which
+    /// under concurrent group-commit writers cannot be recovered by
+    /// sequence arithmetic alone (another writer may push the primary's
+    /// last sequence past a stranded posting's predicted sequence).
+    /// Returns the number of entries removed.
+    ///
+    /// Default: nothing persisted to reconcile (Embedded / None).
+    fn reconcile_dangling(&self, _primary: &Db) -> Result<usize> {
+        Ok(0)
+    }
 }
 
 /// Shared [`SecondaryIndex::check_integrity`] body for the two
@@ -211,6 +232,41 @@ pub(crate) fn check_posting_table(
         }
     }
     Ok(())
+}
+
+/// Crash-stranded postings grouped by index key: `(encoded index key,
+/// dangling pks)` pairs, as collected by [`collect_dangling_postings`].
+pub(crate) type DanglingPostings = Vec<(Vec<u8>, Vec<Vec<u8>>)>;
+
+/// Shared [`SecondaryIndex::reconcile_dangling`] scan for the two
+/// posting-list indexes: the live postings (newest per primary key, as in
+/// [`check_posting_table`]) whose primary key has no record at all,
+/// grouped as `(encoded index key, dangling pks)`. Collect-then-apply —
+/// the caller's fixups run only after the scan finishes, so the iterator
+/// never races the writes it feeds.
+pub(crate) fn collect_dangling_postings(table: &Db, primary: &Db) -> Result<DanglingPostings> {
+    let mut out: DanglingPostings = Vec::new();
+    let mut it = table.resolved_iter()?;
+    it.seek_to_first();
+    while let Some((key, _seq, value)) = it.next_entry()? {
+        // Undecodable lists are the checker's department, not ours.
+        let Ok(postings) = posting::decode_postings(&value) else {
+            continue;
+        };
+        let mut dangling = Vec::new();
+        for p in fold_postings(&[postings], true) {
+            // No sequence exemption here (unlike the checker): recovery
+            // runs single-threaded, so every live entry without a primary
+            // record is un-acked crash garbage regardless of its seq.
+            if !p.deleted && primary.newest_record(&p.pk)?.is_none() {
+                dangling.push(p.pk);
+            }
+        }
+        if !dangling.is_empty() {
+            out.push((key, dangling));
+        }
+    }
+    Ok(out)
 }
 
 /// Shared [`SecondaryIndex::clear`] body for the stand-alone indexes:

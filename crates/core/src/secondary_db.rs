@@ -268,11 +268,40 @@ impl EngineShard {
                 )?)),
             }
         }
-        Ok(EngineShard {
+        let shard = EngineShard {
             primary,
             indexes,
             unindexed,
-        })
+        };
+        shard.reconcile_after_recovery()?;
+        Ok(shard)
+    }
+
+    /// Crash-recovery hygiene for the index-first write path: after an
+    /// *unclean* open (any WAL replayed records — a clean shutdown flushes
+    /// and rotates every log, so clean reopens replay nothing), drop index
+    /// entries whose primary write never landed. Runs before the shard
+    /// serves any request, so "no primary record" is definitive; see
+    /// [`SecondaryIndex::reconcile_dangling`] for why the strict integrity
+    /// cross-check cannot absorb these by sequence arithmetic once
+    /// concurrent writers have interleaved group commits.
+    fn reconcile_after_recovery(&self) -> Result<()> {
+        let unclean = self.primary.stats().snapshot().wal_replays > 0
+            || self
+                .indexes
+                .iter()
+                .filter_map(|i| i.index_stats())
+                .any(|s| s.snapshot().wal_replays > 0);
+        // The erased-keys gate mirrors the checker's: once any key's full
+        // history is gone from the primary, a record-less pk in an index
+        // is no longer evidence that the entry is crash garbage.
+        if !unclean || self.primary.erased_keys() != 0 {
+            return Ok(());
+        }
+        for index in &self.indexes {
+            index.reconcile_dangling(&self.primary)?;
+        }
+        Ok(())
     }
 
     /// The index handling `attr`, if any.

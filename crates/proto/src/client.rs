@@ -1,0 +1,185 @@
+//! A blocking TCP client for the LevelDB++ wire protocol.
+//!
+//! One [`Client`] owns one connection and runs one request at a time
+//! (send frame, read the matching response). Request ids are assigned
+//! from a per-connection counter and verified against the echoed id, so
+//! a desynchronized stream is detected instead of silently mismatching
+//! answers. The raw [`Client::send_raw`] / [`Client::read_response`]
+//! escape hatches exist for protocol tests that need to put malformed
+//! bytes on the wire.
+
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use ldbpp_common::{Error, Result};
+
+use crate::wire::{read_frame, Hit, Request, Response, WireValue, WriteOp};
+
+/// Default per-call read timeout. Generous because a `STATS` with
+/// integrity check or a `SHUTDOWN` drain can legitimately take seconds.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A blocking connection to an `ldbpp_server`.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connect with the default timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Client::connect_with_timeout(addr, DEFAULT_TIMEOUT)
+    }
+
+    /// Connect and apply `timeout` to every read and write on the socket.
+    pub fn connect_with_timeout(addr: impl ToSocketAddrs, timeout: Duration) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| Error::io(format!("connect: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| Error::io(format!("set_nodelay: {e}")))?;
+        stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| Error::io(format!("set_read_timeout: {e}")))?;
+        stream
+            .set_write_timeout(Some(timeout))
+            .map_err(|e| Error::io(format!("set_write_timeout: {e}")))?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Change the read/write timeout of an open connection.
+    pub fn set_timeout(&mut self, timeout: Duration) -> Result<()> {
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| self.stream.set_write_timeout(Some(timeout)))
+            .map_err(|e| Error::io(format!("set timeout: {e}")))
+    }
+
+    /// Send one request and return the raw [`Response`]. Error responses
+    /// are returned as `Ok(Response::Err { .. })`; transport failures as
+    /// `Err`. Most callers want the typed wrappers below instead.
+    pub fn call(&mut self, req: &Request) -> Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = req.encode(id);
+        self.stream
+            .write_all(&frame)
+            .map_err(|e| Error::io(format!("send request: {e}")))?;
+        let (got_id, resp) = self.read_response()?;
+        if got_id != id {
+            return Err(Error::corruption(format!(
+                "response id {got_id} does not match request id {id}"
+            )));
+        }
+        Ok(resp)
+    }
+
+    /// Write raw bytes to the connection (test hook for malformed frames).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<()> {
+        self.stream
+            .write_all(bytes)
+            .map_err(|e| Error::io(format!("send raw: {e}")))
+    }
+
+    /// Read and decode one response frame (test hook).
+    pub fn read_response(&mut self) -> Result<(u64, Response)> {
+        let payload = read_frame(&mut self.stream)?;
+        Response::decode(&payload)
+    }
+
+    fn expect_unit(resp: Response) -> Result<()> {
+        match resp {
+            Response::Ok => Ok(()),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// `PUT(k, v)`: store `doc` (serialized JSON) under `pk`, returning
+    /// the committed sequence number.
+    pub fn put(&mut self, pk: &[u8], doc: &[u8]) -> Result<u64> {
+        match self.call(&Request::Put {
+            pk: pk.to_vec(),
+            doc: doc.to_vec(),
+        })? {
+            Response::Seq(seq) => Ok(seq),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// `GET(k)`: fetch the serialized document under `pk`, if present.
+    pub fn get(&mut self, pk: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.call(&Request::Get { pk: pk.to_vec() })? {
+            Response::Doc(doc) => Ok(doc),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// `DEL(k)`.
+    pub fn del(&mut self, pk: &[u8]) -> Result<()> {
+        let resp = self.call(&Request::Del { pk: pk.to_vec() })?;
+        Self::expect_unit(resp)
+    }
+
+    /// `LOOKUP(A, a, K)`: top-K newest records with `val(A) = a`.
+    pub fn lookup(&mut self, attr: &str, value: WireValue, k: Option<u64>) -> Result<Vec<Hit>> {
+        match self.call(&Request::Lookup {
+            attr: attr.to_string(),
+            value,
+            k,
+        })? {
+            Response::Hits(hits) => Ok(hits),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// `RANGELOOKUP(A, a, b, K)`: top-K newest with `a ≤ val(A) ≤ b`.
+    pub fn range_lookup(
+        &mut self,
+        attr: &str,
+        lo: WireValue,
+        hi: WireValue,
+        k: Option<u64>,
+    ) -> Result<Vec<Hit>> {
+        match self.call(&Request::RangeLookup {
+            attr: attr.to_string(),
+            lo,
+            hi,
+            k,
+        })? {
+            Response::Hits(hits) => Ok(hits),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Apply several writes in one round trip. Returns
+    /// `(applied, last_seq)`.
+    pub fn batch(&mut self, ops: Vec<WriteOp>) -> Result<(u64, u64)> {
+        match self.call(&Request::Batch { ops })? {
+            Response::Batch { applied, last_seq } => Ok((applied, last_seq)),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fetch the server's stats JSON. With `include_integrity` the server
+    /// quiesces background work and runs the structural checker first.
+    pub fn stats(&mut self, include_integrity: bool) -> Result<String> {
+        match self.call(&Request::Stats { include_integrity })? {
+            Response::Stats(json) => Ok(json),
+            Response::Err { code, message } => Err(code.to_error(&message)),
+            other => Err(Error::corruption(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Ask the server to shut down gracefully. Returns once the server
+    /// has drained in-flight requests, flushed, and acked.
+    pub fn shutdown(&mut self) -> Result<()> {
+        let resp = self.call(&Request::Shutdown)?;
+        Self::expect_unit(resp)
+    }
+}

@@ -1,0 +1,24 @@
+//! # ldbpp-proto — the LevelDB++ network layer
+//!
+//! The wire protocol ([`wire`]), blocking client ([`client`]), and
+//! threaded TCP server ([`server`]) that put the paper's five
+//! operations — PUT, GET, DEL, LOOKUP, RANGELOOKUP — plus BATCH, STATS
+//! and SHUTDOWN on a socket in front of a sharded
+//! [`SecondaryDb`](ldbpp_core::secondary_db::SecondaryDb).
+//!
+//! The `ldbpp_server` binary in the workspace root is a thin CLI around
+//! [`Server::start`]; tests and benchmarks embed the same server
+//! in-process.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use wire::{
+    encode_frame, read_frame, ErrorCode, Hit, Request, Response, WireValue, WriteOp, MAX_FRAME_LEN,
+    MIN_FRAME_LEN,
+};

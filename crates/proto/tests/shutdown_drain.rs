@@ -1,0 +1,111 @@
+//! Regression test pinning the shutdown drain contract (DESIGN.md §16):
+//! a `SHUTDOWN` issued while a slow batch sits in the group-commit queue
+//! must wait for — and ack — that batch before the shutdown ack goes out
+//! and the sockets close.
+//!
+//! The batch is made slow with a [`SyncLatencyEnv`] (every WAL fsync
+//! pays a fixed sleep) plus `wal_sync = true`, so a 40-write batch holds
+//! the write path for hundreds of milliseconds — plenty of time for the
+//! concurrent `SHUTDOWN` to arrive first if the drain were broken. The
+//! whole test is timeout-guarded by the clients' socket timeouts, so a
+//! drain deadlock fails fast instead of hanging the suite (including
+//! under `--features check`, where everything runs slower).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ldbpp_core::doc::Document;
+use ldbpp_core::indexes::IndexKind;
+use ldbpp_core::secondary_db::{SecondaryDb, SecondaryDbOptions};
+use ldbpp_lsm::env::{MemEnv, SyncLatencyEnv};
+use ldbpp_lsm::options::DbOptions;
+use ldbpp_proto::{Client, Server, ServerConfig, WriteOp};
+
+const BATCH_SIZE: usize = 40;
+const SYNC_DELAY: Duration = Duration::from_millis(8);
+
+#[test]
+fn shutdown_waits_for_inflight_batch() {
+    let env = SyncLatencyEnv::new(MemEnv::new(), SYNC_DELAY);
+    let mut base = DbOptions::small();
+    base.wal_sync = true;
+    let db = Arc::new(
+        SecondaryDb::open(
+            env,
+            "db",
+            SecondaryDbOptions {
+                base,
+                shards: 2,
+                ..Default::default()
+            },
+            &[("UserID", IndexKind::LazyStandalone)],
+        )
+        .expect("open"),
+    );
+    let handle =
+        Server::start(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).expect("start");
+    let addr = handle.local_addr();
+
+    let batch_acked = Arc::new(AtomicBool::new(false));
+    let acked_flag = Arc::clone(&batch_acked);
+
+    let writer = thread::spawn(move || {
+        let mut client =
+            Client::connect_with_timeout(addr, Duration::from_secs(60)).expect("connect writer");
+        let doc = Document::parse(br#"{"UserID":"u1"}"#)
+            .expect("doc")
+            .to_bytes();
+        let ops: Vec<WriteOp> = (0..BATCH_SIZE)
+            .map(|i| WriteOp::Put {
+                pk: format!("slow-{i:03}").into_bytes(),
+                doc: doc.clone(),
+            })
+            .collect();
+        let started = Instant::now();
+        let (applied, last_seq) = client.batch(ops).expect("slow batch must be acked");
+        acked_flag.store(true, Ordering::SeqCst);
+        (applied, last_seq, started.elapsed(), Instant::now())
+    });
+
+    // Give the server time to start executing the batch (each write pays
+    // an 8 ms fsync, so the batch is still far from done), then shut down.
+    thread::sleep(Duration::from_millis(120));
+    let mut shutter =
+        Client::connect_with_timeout(addr, Duration::from_secs(60)).expect("connect shutter");
+    shutter.shutdown().expect("graceful shutdown must succeed");
+    let shutdown_acked_at = Instant::now();
+
+    assert!(
+        batch_acked.load(Ordering::SeqCst),
+        "drain contract broken: SHUTDOWN acked while the batch was still in flight"
+    );
+
+    let (applied, last_seq, batch_elapsed, batch_acked_at) = writer.join().expect("writer thread");
+    assert_eq!(
+        applied as usize, BATCH_SIZE,
+        "every write in the batch acked"
+    );
+    assert!(last_seq >= BATCH_SIZE as u64);
+    assert!(
+        batch_acked_at <= shutdown_acked_at,
+        "batch ack must precede the shutdown ack"
+    );
+    // Sanity: the batch really was slow (i.e. the race was real). With
+    // wal_sync on, 40 writes cost well over the 120 ms head start even
+    // with perfect group commit.
+    assert!(
+        batch_elapsed >= Duration::from_millis(150),
+        "batch finished in {batch_elapsed:?}; too fast for the race to mean anything"
+    );
+
+    handle.join().expect("join server");
+
+    // The acked batch is durable: reopen-free check via the live handle.
+    for i in 0..BATCH_SIZE {
+        let got = db.get(format!("slow-{i:03}")).expect("get");
+        assert!(got.is_some(), "acked write slow-{i:03} missing after drain");
+    }
+    assert!(db.check_integrity().is_clean());
+}

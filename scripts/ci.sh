@@ -29,12 +29,19 @@
 #      (--features check), then seed a real 2-shard on-disk database via
 #      examples/seed_db.rs and `ldbpp_tool check` it (per-shard + aggregate
 #      report must be clean);
-#   8. repair smoke: build a real on-disk database, corrupt a table,
+#   8. server smoke: start a release ldbpp_server (2 shards, ephemeral
+#      port), drive a bounded networked YCSB mix through the wire
+#      protocol (`repro --server ... net_ycsb`), shut down gracefully,
+#      `ldbpp_tool check` the resulting database, and run the 8-client
+#      e2e harness once under the concurrency sanitizer
+#      (`--features check`, DESIGN.md §16);
+#   9. repair smoke: build a real on-disk database, corrupt a table,
 #      `ldbpp_tool repair` it (must exit non-zero and quarantine the
 #      damaged file), verify with the `check` binary, and reopen;
-#   9. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
+#  10. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
 #      plus markdown link check, and grep gates pinning DESIGN.md §14,
-#      §15 + the README's group-commit and sharding coverage).
+#      §15, §16 + the README's group-commit, sharding, and server
+#      coverage).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -77,10 +84,42 @@ LDBPP_SHARDS=2 cargo test -q --features check --test concurrency
 
 echo "== sharded smoke: seed a 2-shard db on disk and check it =="
 sharded_dir="$(mktemp -d)"
-trap 'rm -rf "$sharded_dir"' EXIT
+server_dir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$sharded_dir" "$server_dir"
+}
+trap cleanup EXIT
 LDBPP_SHARDS=2 cargo run --release --quiet --example seed_db -- "$sharded_dir/db" 300
 test -f "$sharded_dir/db/LAYOUT" || { echo "seed_db: no LAYOUT descriptor"; exit 1; }
 ./target/release/ldbpp_tool check "$sharded_dir/db"
+
+echo "== server smoke: networked YCSB against a real ldbpp_server process =="
+# Start a 2-shard server on an ephemeral port, parse the port off its
+# stdout, drive a bounded networked YCSB mix through the wire protocol,
+# shut down gracefully, then structurally check the resulting database.
+./target/release/ldbpp_server "$server_dir/db" \
+    --listen 127.0.0.1:0 --shards 2 --index UserID=lazy \
+    > "$server_dir/stdout" &
+server_pid=$!
+server_addr=""
+for _ in $(seq 1 100); do
+    server_addr="$(sed -n 's/^listening on //p' "$server_dir/stdout")"
+    [ -n "$server_addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "ldbpp_server died at startup"; cat "$server_dir/stdout"; exit 1; }
+    sleep 0.1
+done
+[ -n "$server_addr" ] || { echo "ldbpp_server never announced its port"; exit 1; }
+cargo run --release --quiet -p ldbpp-bench --bin repro -- \
+    --smoke --out "$server_dir/results" \
+    --server "$server_addr" --clients 4 net_ycsb
+./target/release/ldbpp_server --shutdown "$server_addr"
+wait "$server_pid"
+server_pid=""
+./target/release/ldbpp_tool check "$server_dir/db"
+# One sanitizer-instrumented pass of the 8-client e2e harness.
+cargo test -q --features check --test server_e2e
 
 echo "== repair smoke: corrupt -> repair -> check -> reopen =="
 ./scripts/repair_smoke.sh

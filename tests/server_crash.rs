@@ -1,0 +1,161 @@
+//! Networked analogue of `tests/crash_smoke.rs`: SIGKILL the server
+//! mid-write-storm (no graceful drain) and prove that every write whose
+//! ack reached a client is durable and the reopened database passes the
+//! structural integrity checker.
+//!
+//! The server runs with its default `wal_sync = true`, so an ack implies
+//! the WAL record was flushed out of user space and fsynced before the
+//! response frame went out — the property this test pins across the
+//! process boundary.
+
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use ldbpp_proto::Client;
+use leveldbpp::{DbOptions, DiskEnv, Document, IndexKind, SecondaryDb, SecondaryDbOptions, Value};
+
+const WRITERS: usize = 4;
+const KILL_AFTER_ACKS: usize = 400;
+
+#[test]
+fn acked_writes_survive_sigkill() {
+    let dir = std::env::temp_dir().join(format!("ldbpp-crash-net-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let db_dir = dir.join("db").to_str().expect("utf8 path").to_string();
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ldbpp_server"))
+        .args([
+            &db_dir,
+            "--listen",
+            "127.0.0.1:0",
+            "--shards",
+            "2",
+            "--index",
+            "UserID=lazy",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn ldbpp_server");
+    let addr = {
+        use std::io::{BufRead, BufReader};
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut lines = BufReader::new(stdout).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("server exited early")
+                .expect("read stdout");
+            if let Some(rest) = line.strip_prefix("listening on ") {
+                break rest.parse::<std::net::SocketAddr>().expect("addr");
+            }
+        };
+        thread::spawn(move || for _ in lines {});
+        addr
+    };
+
+    let acks = Arc::new(AtomicUsize::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Each writer returns the keys it saw acked; no shared collection
+    // needed, and an ack that races the SIGKILL still counts (the ack
+    // implies the fsync already happened).
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let acks = Arc::clone(&acks);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut acked: Vec<String> = Vec::new();
+                let Ok(mut client) = Client::connect_with_timeout(addr, Duration::from_secs(30))
+                else {
+                    return acked;
+                };
+                for i in 0..20_000usize {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let key = format!("c{t}-k{i:05}");
+                    let mut doc = Document::new();
+                    doc.set("UserID", Value::str(format!("u{}", i % 8)))
+                        .set("N", Value::Int(i as i64));
+                    match client.put(key.as_bytes(), &doc.to_bytes()) {
+                        Ok(_) => {
+                            acked.push(key);
+                            acks.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => break, // server died mid-request
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+
+    // Let the storm run until enough writes are acked, then SIGKILL —
+    // no drain, no flush, memtables full of unflushed records.
+    while acks.load(Ordering::Relaxed) < KILL_AFTER_ACKS {
+        thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL server");
+    child.wait().expect("reap server");
+    stop.store(true, Ordering::Relaxed);
+
+    let mut all_acked: Vec<String> = Vec::new();
+    for w in writers {
+        all_acked.extend(w.join().expect("writer thread"));
+    }
+    assert!(
+        all_acked.len() >= KILL_AFTER_ACKS,
+        "only {} acks before the kill",
+        all_acked.len()
+    );
+
+    // Reopen: WAL replay must resurrect every acked write.
+    let db = SecondaryDb::open(
+        DiskEnv::new(),
+        &db_dir,
+        SecondaryDbOptions {
+            base: DbOptions::default(),
+            shards: 2,
+            ..Default::default()
+        },
+        &[("UserID", IndexKind::LazyStandalone)],
+    )
+    .expect("reopen after SIGKILL");
+
+    let mut missing = Vec::new();
+    for key in &all_acked {
+        if db.get(key).expect("get").is_none() {
+            missing.push(key.clone());
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "{} acked write(s) lost after SIGKILL, e.g. {:?}",
+        missing.len(),
+        &missing[..missing.len().min(5)]
+    );
+
+    let report = db.check_integrity();
+    assert!(report.is_clean(), "integrity dirty after crash: {report}");
+
+    // The index survived too: every record is reachable through LOOKUP.
+    let mut via_index = 0usize;
+    for u in 0..8 {
+        via_index += db
+            .lookup("UserID", &Value::str(format!("u{u}")), None)
+            .expect("lookup")
+            .len();
+    }
+    assert!(
+        via_index >= all_acked.len(),
+        "index reaches {via_index} records but {} were acked",
+        all_acked.len()
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}

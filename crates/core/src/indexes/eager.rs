@@ -142,7 +142,18 @@ impl SecondaryIndex for EagerIndex {
         // bounds make a tight range for the lazy cursor: no list outside
         // `[lo, hi]` is decoded and no index file outside the range is
         // opened.
-        let mut candidates: TopK<Vec<u8>> = TopK::new(None);
+        // Seeded bug (model-checker fault injection, off by default):
+        // bound the candidate heap at K before validation, re-creating
+        // the under-fill described above.
+        #[cfg(feature = "check")]
+        let cap = if crate::model_bugs::eager_k_prefix() {
+            k
+        } else {
+            None
+        };
+        #[cfg(not(feature = "check"))]
+        let cap = None;
+        let mut candidates: TopK<Vec<u8>> = TopK::new(cap);
         let mut it = self.table.range_iter(&lo.encode(), &hi.encode())?;
         while let Some((key, _seq, bytes)) = it.next_entry()? {
             let av = AttrValue::decode(&key)?;

@@ -1,0 +1,41 @@
+//! Seeded ordering bugs in the index layer for the model checker
+//! (compiled only with the `check` feature; every flag defaults to off
+//! and the instrumented code is the correct path unless a test flips
+//! one). See `ldbpp_lsm::model_bugs` for the engine-level flags and the
+//! rationale; `ldbpp-model`'s seeded fault tests prove the detectors
+//! fire by asserting exploration finds a failing schedule.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static EAGER_K_PREFIX: AtomicBool = AtomicBool::new(false);
+static TOMBSTONE_AFTER_CLEANUP: AtomicBool = AtomicBool::new(false);
+
+/// Seeded bug (the PR 7 Eager range-lookup bug): truncate the candidate
+/// heap to a K-prefix *before* validating candidates against the
+/// primary. Stale postings (updates that moved a key to another value)
+/// occupying a list's newest slots then crowd out valid older entries
+/// and the lookup under-fills K — caught by the model's serial-oracle
+/// history check.
+pub fn eager_k_prefix() -> bool {
+    EAGER_K_PREFIX.load(Ordering::Relaxed)
+}
+
+/// Enable or disable [`eager_k_prefix`].
+pub fn set_eager_k_prefix(on: bool) {
+    EAGER_K_PREFIX.store(on, Ordering::Relaxed)
+}
+
+/// Seeded bug (the PR 8 dangling-posting ordering): run a delete's
+/// index cleanup *before* its primary tombstone. A put racing the
+/// delete on the same key can then interleave its index write between
+/// the two steps, leaving a live posting whose primary record is
+/// deleted — the dangling entry `check_integrity` flags and the
+/// index-first write contract exists to prevent.
+pub fn tombstone_after_cleanup() -> bool {
+    TOMBSTONE_AFTER_CLEANUP.load(Ordering::Relaxed)
+}
+
+/// Enable or disable [`tombstone_after_cleanup`].
+pub fn set_tombstone_after_cleanup(on: bool) {
+    TOMBSTONE_AFTER_CLEANUP.store(on, Ordering::Relaxed)
+}

@@ -363,6 +363,21 @@ impl EngineShard {
         } else {
             None
         };
+        // Seeded bug (model-checker fault injection, off by default): run
+        // the index cleanup *before* the primary tombstone. A concurrent
+        // put of the same key can then land its index entry between the
+        // two steps and its primary write before the tombstone, leaving a
+        // live posting for a deleted record — the dangling entry the
+        // correct ordering below makes impossible.
+        #[cfg(feature = "check")]
+        if crate::model_bugs::tombstone_after_cleanup() {
+            let seq = self.primary.last_sequence() + 1;
+            for index in &self.indexes {
+                index.on_delete(&self.primary, pk, old_doc.as_ref(), seq)?;
+            }
+            self.primary.delete(pk)?;
+            return Ok(());
+        }
         // Deletes keep the opposite ordering from puts (primary first): a
         // crash after the tombstone but before the index cleanup leaves a
         // stale index entry, which validation against the primary filters
@@ -774,13 +789,17 @@ impl SecondaryDb {
         if self.shards.len() == 1 {
             return Ok(vec![query(&self.shards[0])?]);
         }
-        let results: Vec<Result<T>> = std::thread::scope(|scope| {
+        // The crossbeam shim's scope: identical to `std::thread::scope` in
+        // the default build; under the model checker each scatter child is
+        // registered as a model thread, so the explorer interleaves the
+        // per-shard reads against concurrent writers.
+        let results: Vec<Result<T>> = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
                 .map(|shard| {
                     let query = &query;
-                    scope.spawn(move || query(shard))
+                    scope.spawn(move |_| query(shard))
                 })
                 .collect();
             handles
@@ -790,7 +809,8 @@ impl SecondaryDb {
                     Err(panic) => std::panic::resume_unwind(panic),
                 })
                 .collect()
-        });
+        })
+        .expect("scatter scope never fails");
         results.into_iter().collect()
     }
 

@@ -27,6 +27,7 @@ use crate::iterator::{DbIterator, MergingIterator};
 use crate::memtable::{MemTable, SnapshotMemIter};
 use crate::merge::MergeOperatorRef;
 pub use crate::options::DbOptions;
+use crate::sync::{AtomicU64, Ordering};
 use crate::table::{BlockCache, ConcatIter, ReadPurpose, Table, TableBuilder, TableProvider};
 use crate::version::{
     current_file_name, current_tmp_file_name, log_file_name, table_file_name, FileMetaData,
@@ -39,7 +40,6 @@ use ldbpp_common::{Error, Result};
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread;
 use std::time::Duration;
@@ -62,29 +62,62 @@ use std::time::Duration;
 /// Without a clock installed (the default, and the only configuration the
 /// single-shard paper reproduction uses) sequence allocation is unchanged
 /// and byte-for-byte deterministic.
-#[derive(Debug, Default)]
-pub struct SharedSequence(AtomicU64);
+pub struct SharedSequence {
+    v: AtomicU64,
+    /// Checker-only domain tracking allocate/observe/load happens-before
+    /// edges and range disjointness on this clock (DESIGN.md §17).
+    #[cfg(feature = "check")]
+    vc: crate::vclock::SeqDomain,
+}
 
 impl SharedSequence {
     /// A fresh clock starting at sequence 0 (first allocation returns 1).
     pub fn new() -> Arc<SharedSequence> {
-        Arc::new(SharedSequence(AtomicU64::new(0)))
+        Arc::new(SharedSequence {
+            v: AtomicU64::new(0),
+            #[cfg(feature = "check")]
+            vc: crate::vclock::SeqDomain::new(0),
+        })
     }
 
     /// Raise the clock to at least `seq` (used while recovering a shard:
     /// nothing allocated later may collide with what is already durable).
     pub fn observe(&self, seq: u64) {
-        self.0.fetch_max(seq, Ordering::SeqCst);
+        self.v.fetch_max(seq, Ordering::SeqCst);
+        #[cfg(feature = "check")]
+        self.vc.observe(seq);
     }
 
     /// The last sequence number handed out (or observed) so far.
     pub fn current(&self) -> u64 {
-        self.0.load(Ordering::SeqCst)
+        let seq = self.v.load(Ordering::SeqCst);
+        #[cfg(feature = "check")]
+        self.vc.load();
+        seq
     }
 
     /// Reserve `n` consecutive sequence numbers; returns the first.
     pub(crate) fn allocate(&self, n: u64) -> u64 {
-        self.0.fetch_add(n, Ordering::SeqCst) + 1
+        let start = self.v.fetch_add(n, Ordering::SeqCst) + 1;
+        #[cfg(feature = "check")]
+        self.vc.allocate(start, n);
+        start
+    }
+}
+
+impl Default for SharedSequence {
+    fn default() -> SharedSequence {
+        SharedSequence {
+            v: AtomicU64::new(0),
+            #[cfg(feature = "check")]
+            vc: crate::vclock::SeqDomain::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedSequence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SharedSequence").field(&self.v).finish()
     }
 }
 
@@ -1386,6 +1419,18 @@ impl DbCore {
             }
             IoStats::add(&self.stats.wal_bytes_written, payload.len() as u64);
         }
+        // Seeded bug (model-checker fault injection, off by default): store
+        // `last_seq` *before* the memtable insert. A concurrent reader can
+        // then Acquire-load a sequence whose entries it cannot find — the
+        // exact publish-ordering bug the vclock consume check exists to
+        // catch. The correct path below is untouched when the flag is off.
+        #[cfg(feature = "check")]
+        let early_publish = crate::model_bugs::publish_before_insert();
+        #[cfg(feature = "check")]
+        if early_publish {
+            self.last_seq
+                .store(start_seq + total_count - 1, Ordering::Release);
+        }
         {
             let rs = self.read_state();
             let mut mem = rs.mem.write();
@@ -1402,6 +1447,12 @@ impl DbCore {
         // Acquire-loads this value is guaranteed to find the entries.
         #[cfg(feature = "check")]
         self.vc.publish(inner.versions.last_sequence);
+        #[cfg(feature = "check")]
+        if !early_publish {
+            self.last_seq
+                .store(inner.versions.last_sequence, Ordering::Release);
+        }
+        #[cfg(not(feature = "check"))]
         self.last_seq
             .store(inner.versions.last_sequence, Ordering::Release);
         IoStats::add(&self.stats.group_commits, 1);
@@ -1433,6 +1484,15 @@ impl DbCore {
         if let Some(next) = next {
             let mut state = next.state.lock();
             state.leader = true;
+            // Seeded bug (model-checker fault injection, off by default):
+            // promote the next leader but drop the wakeup. A follower that
+            // already entered `cond.wait` sleeps forever — the classic lost
+            // notify, caught by the scheduler's deadlock detector.
+            #[cfg(feature = "check")]
+            if !crate::model_bugs::skip_leader_notify() {
+                next.cond.notify_one();
+            }
+            #[cfg(not(feature = "check"))]
             next.cond.notify_one();
         }
         // Sequence rebasing: batch i's start sequence is the group start

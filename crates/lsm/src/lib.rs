@@ -48,8 +48,11 @@ pub mod ikey;
 pub mod iterator;
 pub mod memtable;
 pub mod merge;
+#[cfg(feature = "check")]
+pub mod model_bugs;
 pub mod options;
 pub mod repair;
+pub mod sync;
 pub mod table;
 #[cfg(feature = "check")]
 pub mod vclock;

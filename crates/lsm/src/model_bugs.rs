@@ -1,0 +1,43 @@
+//! Seeded ordering bugs for the model checker (compiled only with the
+//! `check` feature; every flag defaults to off and the instrumented
+//! code is byte-for-byte the correct path unless a test flips one).
+//!
+//! The `ldbpp-model` explorer proves its detectors actually fire by
+//! deliberately re-introducing ordering bugs the engine has (or could
+//! have) had, behind these process-global flags, and asserting the
+//! exploration finds a failing schedule and prints a replayable seed.
+//! Flags are read at the affected code site on every execution; model
+//! tests run serialised (the explorer holds a process-wide lock), so a
+//! flag set inside one model's instance factory cannot leak into a
+//! concurrently running model.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static PUBLISH_BEFORE_INSERT: AtomicBool = AtomicBool::new(false);
+static SKIP_LEADER_NOTIFY: AtomicBool = AtomicBool::new(false);
+
+/// Seeded bug: Release-store `last_seq` *before* the memtable insert in
+/// `append_group`, breaking the publish happens-before edge readers
+/// rely on (a reader can Acquire-load a sequence whose entries are not
+/// yet visible). Caught by the vclock consume check / read invariants.
+pub fn publish_before_insert() -> bool {
+    PUBLISH_BEFORE_INSERT.load(Ordering::Relaxed)
+}
+
+/// Enable or disable [`publish_before_insert`].
+pub fn set_publish_before_insert(on: bool) {
+    PUBLISH_BEFORE_INSERT.store(on, Ordering::Relaxed);
+}
+
+/// Seeded bug: `finish_group` promotes the next queue-front writer
+/// (sets `state.leader`) but drops the condvar notify. A follower that
+/// already entered `cond.wait` sleeps forever — the classic lost
+/// wakeup. Caught by the scheduler's deadlock detector.
+pub fn skip_leader_notify() -> bool {
+    SKIP_LEADER_NOTIFY.load(Ordering::Relaxed)
+}
+
+/// Enable or disable [`skip_leader_notify`].
+pub fn set_skip_leader_notify(on: bool) {
+    SKIP_LEADER_NOTIFY.store(on, Ordering::Relaxed);
+}

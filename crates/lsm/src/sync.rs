@@ -1,0 +1,22 @@
+//! Atomic types for engine concurrency state.
+//!
+//! Engine code that participates in cross-thread protocols (the
+//! `last_seq` publish edge, the shared sequence clock, drain counters)
+//! uses these aliases instead of `std::sync::atomic` directly. In the
+//! default build they *are* the std types — zero cost, zero
+//! indirection. With the `check` feature they resolve to the model
+//! checker's instrumented atomics (`parking_lot::sched::atomic`),
+//! which park at every access when the calling thread belongs to a
+//! model run so the explorer can interleave at instruction granularity
+//! (DESIGN.md §17).
+//!
+//! `scripts/lint.sh` enforces the division: raw `Ordering::Relaxed` /
+//! `Ordering::SeqCst` atomics in engine code must either go through
+//! this module or carry a justification in `scripts/lint-allow.txt`.
+
+#[cfg(feature = "check")]
+pub use parking_lot::sched::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+#[cfg(not(feature = "check"))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize};
+
+pub use std::sync::atomic::Ordering;

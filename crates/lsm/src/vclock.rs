@@ -31,12 +31,27 @@
 //!   the domain's publication watermark is a write leaking to readers
 //!   without the happens-before edge.
 //!
+//! A second domain kind, [`SeqDomain`], covers the *cross-shard*
+//! `SharedSequence` clock (DESIGN.md §15): `allocate` hands out
+//! sequence ranges via a SeqCst RMW chain, so successive allocations
+//! are totally ordered and transitively synchronised — the checker
+//! verifies ranges never overlap and never dip below the observed
+//! recovery watermark, and propagates the RMW chain's happens-before
+//! into thread clocks. (Range/watermark bookkeeping assumes checker
+//! calls happen in RMW order; under the model scheduler this is exact
+//! because execution is serialised, and in ordinary `check` tests
+//! opens — the only `observe` callers — don't race allocations.)
+//!
 //! All state lives behind one `std::sync` mutex; the module is compiled
 //! out entirely without `check`, so the production read path keeps its
-//! zero-overhead claim.
+//! zero-overhead claim. [`reset`] clears every clock between model
+//! executions (thousands of short-lived threads would otherwise grow
+//! clock vectors without bound); callers must drop all live domains
+//! first.
 
 use std::cell::Cell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex as StdMutex;
 
 use crate::ikey::MAX_SEQUENCE;
@@ -72,26 +87,49 @@ struct DomainState {
     cumulative: Clock,
 }
 
+/// One `SharedSequence` clock's allocation history.
+struct SeqDomainState {
+    /// Allocated ranges `start -> end` (inclusive), pairwise disjoint.
+    ranges: BTreeMap<u64, u64>,
+    /// Highest sequence known handed out or observed.
+    watermark: u64,
+    /// Join of every allocator/observer clock (the RMW chain's
+    /// cumulative happens-before).
+    cumulative: Clock,
+}
+
 #[derive(Default)]
 struct State {
-    next_domain: u64,
     clocks: Vec<Clock>,
     thread_names: Vec<String>,
     domains: HashMap<u64, DomainState>,
+    seq_domains: HashMap<u64, SeqDomainState>,
 }
 
 static STATE: StdMutex<Option<State>> = StdMutex::new(None);
 
+/// Domain ids stay process-unique across [`reset`] so a stale stamped
+/// id (e.g. in a memtable that outlived its domain) can never alias a
+/// newly registered domain.
+static NEXT_DOMAIN: AtomicU64 = AtomicU64::new(1);
+
+/// Bumped by [`reset`]; thread slots from older generations are
+/// re-registered on next use.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
 thread_local! {
-    static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    static SLOT: Cell<(u64, usize)> = const { Cell::new((0, usize::MAX)) };
 }
 
 fn with_state<R>(f: impl FnOnce(&mut State, usize) -> R) -> R {
     let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
     let st = guard.get_or_insert_with(State::default);
+    let gen = GENERATION.load(Ordering::Relaxed);
     let slot = SLOT.with(|s| {
-        if s.get() == usize::MAX {
-            s.set(st.clocks.len());
+        let (slot_gen, idx) = s.get();
+        if slot_gen != gen || idx == usize::MAX {
+            let fresh = st.clocks.len();
+            s.set((gen, fresh));
             st.clocks.push(Vec::new());
             st.thread_names.push(
                 std::thread::current()
@@ -99,10 +137,27 @@ fn with_state<R>(f: impl FnOnce(&mut State, usize) -> R) -> R {
                     .unwrap_or("<unnamed>")
                     .to_string(),
             );
+            fresh
+        } else {
+            idx
         }
-        s.get()
     });
     f(st, slot)
+}
+
+/// Drop all checker state (clocks, thread slots, domain records) and
+/// start a fresh generation. The model-checker explorer calls this
+/// between executions — each run spawns fresh threads, and clock
+/// vectors are indexed by thread slot, so thousands of runs would
+/// otherwise grow every clock to thousands of components.
+///
+/// Callers must ensure no live [`Domain`]/[`SeqDomain`] spans the
+/// reset (drop the previous execution's `Db`s first): publishing on a
+/// cleared domain panics as "unregistered".
+pub fn reset() {
+    let mut guard = STATE.lock().unwrap_or_else(|e| e.into_inner());
+    *guard = None;
+    GENERATION.fetch_add(1, Ordering::Relaxed);
 }
 
 /// One `Db` instance's sequence space in the checker. Created at open
@@ -118,8 +173,7 @@ impl Domain {
     /// record).
     pub fn new(base: u64) -> Domain {
         with_state(|st, _| {
-            st.next_domain += 1;
-            let id = st.next_domain;
+            let id = NEXT_DOMAIN.fetch_add(1, Ordering::Relaxed);
             st.domains.insert(
                 id,
                 DomainState {
@@ -257,4 +311,121 @@ pub fn observe(domain: u64, seq: u64, snapshot: u64) {
             );
         }
     });
+}
+
+/// One `SharedSequence` clock's sequence space in the checker
+/// (cross-shard allocate/observe edges, DESIGN.md §15). Created by
+/// `SharedSequence::new` with the base watermark; dropping it
+/// unregisters the domain.
+pub struct SeqDomain {
+    id: u64,
+}
+
+impl SeqDomain {
+    /// Register a new shared-clock domain; sequences at or below `base`
+    /// are considered already handed out.
+    pub fn new(base: u64) -> SeqDomain {
+        with_state(|st, _| {
+            let id = NEXT_DOMAIN.fetch_add(1, Ordering::Relaxed);
+            st.seq_domains.insert(
+                id,
+                SeqDomainState {
+                    ranges: BTreeMap::new(),
+                    watermark: base,
+                    cumulative: Vec::new(),
+                },
+            );
+            SeqDomain { id }
+        })
+    }
+
+    /// Allocation edge: this thread's `allocate(n)` RMW returned the
+    /// range `[start, start + n - 1]`. Verifies the range is disjoint
+    /// from every earlier allocation and above the observed watermark
+    /// (either failure means two shards could stamp the same sequence),
+    /// then joins clocks both ways — each SeqCst RMW synchronises with
+    /// the whole chain before it.
+    pub fn allocate(&self, start: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let end = start + (n - 1);
+        with_state(|st, slot| {
+            let Some(ds) = st.seq_domains.get_mut(&self.id) else {
+                return;
+            };
+            if let Some((&prev_start, &prev_end)) = ds.ranges.range(..=end).next_back() {
+                if prev_end >= start {
+                    let me = st.thread_names[slot].clone();
+                    panic!(
+                        "vclock: shared-clock domain {}: thread '{me}' allocated \
+                         seq range [{start}, {end}] overlapping the earlier \
+                         allocation [{prev_start}, {prev_end}] — the clock handed \
+                         out the same sequence twice",
+                        self.id
+                    );
+                }
+            }
+            if start <= ds.watermark {
+                let me = st.thread_names[slot].clone();
+                panic!(
+                    "vclock: shared-clock domain {}: thread '{me}' allocated seq \
+                     range [{start}, {end}] at or below the observed watermark \
+                     {} — recovered sequences could be re-issued",
+                    self.id, ds.watermark
+                );
+            }
+            ds.ranges.insert(start, end);
+            ds.watermark = ds.watermark.max(end);
+            let clock = &mut st.clocks[slot];
+            if clock.len() <= slot {
+                clock.resize(slot + 1, 0);
+            }
+            clock[slot] += 1;
+            join(&mut ds.cumulative, clock);
+            let cum = ds.cumulative.clone();
+            join(&mut st.clocks[slot], &cum);
+        });
+    }
+
+    /// Observation edge: `observe(seq)` ran `fetch_max(seq)` (recovery
+    /// advancing the clock past an on-disk tail). Raises the watermark
+    /// and joins clocks both ways (fetch_max is part of the RMW chain).
+    pub fn observe(&self, seq: u64) {
+        with_state(|st, slot| {
+            let Some(ds) = st.seq_domains.get_mut(&self.id) else {
+                return;
+            };
+            ds.watermark = ds.watermark.max(seq);
+            let clock = &mut st.clocks[slot];
+            if clock.len() <= slot {
+                clock.resize(slot + 1, 0);
+            }
+            clock[slot] += 1;
+            join(&mut ds.cumulative, clock);
+            let cum = ds.cumulative.clone();
+            join(&mut st.clocks[slot], &cum);
+        });
+    }
+
+    /// Load edge: `current()` SeqCst-loaded the clock. Pure acquire —
+    /// joins the chain's cumulative clock into this thread's clock
+    /// without contributing to it.
+    pub fn load(&self) {
+        with_state(|st, slot| {
+            let Some(ds) = st.seq_domains.get(&self.id) else {
+                return;
+            };
+            let cum = ds.cumulative.clone();
+            join(&mut st.clocks[slot], &cum);
+        });
+    }
+}
+
+impl Drop for SeqDomain {
+    fn drop(&mut self) {
+        with_state(|st, _| {
+            st.seq_domains.remove(&self.id);
+        });
+    }
 }

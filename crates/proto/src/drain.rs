@@ -1,0 +1,105 @@
+//! The graceful-drain gate shared by the accept loop, connection
+//! threads, and `SHUTDOWN` handlers (DESIGN.md §16).
+//!
+//! Extracted from the server loop so the protocol is testable — and
+//! model-checkable — without a socket: the gate is pure counter
+//! arithmetic over three atomics, and every transition a connection
+//! thread makes (register → serve → finish) or a shutdown handler makes
+//! (begin → await → end) is a method here. The invariant the drain
+//! provides: when [`DrainGate::await_drained`] returns, every request
+//! registered before it was called has finished (its ack was sent), so
+//! the shutdown ack only follows fully-acked work.
+//!
+//! Concurrent `SHUTDOWN`s cannot deadlock on each other: the drain is
+//! complete when `active <= shutdown_waiters`, i.e. everyone still
+//! active is itself a shutdown handler.
+//!
+//! Under the `check` feature the atomics are the model checker's
+//! instrumented types and `await_drained` parks on a predicate gate of
+//! the cooperative scheduler instead of sleep-polling, so the explorer
+//! can interleave the drain against in-flight requests exactly.
+
+use ldbpp_lsm::sync::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Counters and flag implementing the graceful-drain protocol. See the
+/// module doc for the invariant.
+#[derive(Debug, Default)]
+pub struct DrainGate {
+    /// Set by the first `SHUTDOWN`; checked by every poll loop.
+    draining: AtomicBool,
+    /// Requests currently being processed (including `SHUTDOWN`s).
+    active: AtomicUsize,
+    /// `SHUTDOWN` handlers currently waiting for the drain.
+    shutdown_waiters: AtomicUsize,
+}
+
+impl DrainGate {
+    /// A fresh gate: not draining, nothing active.
+    pub fn new() -> DrainGate {
+        DrainGate::default()
+    }
+
+    /// True once a `SHUTDOWN` has started the drain.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// A request frame fully arrived and is about to be processed.
+    /// Must be called *before* the reader returns the frame, so a
+    /// concurrently arriving `SHUTDOWN` is guaranteed to wait for it.
+    pub fn register_request(&self) {
+        self.active.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The registered request's response has been written (or the write
+    /// failed — either way it will never be worked on again).
+    pub fn finish_request(&self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// This thread's `SHUTDOWN` request starts (or joins) the drain.
+    /// The caller must already hold a [`register_request`] registration
+    /// (the `SHUTDOWN` frame itself is an active request).
+    ///
+    /// [`register_request`]: DrainGate::register_request
+    pub fn begin_shutdown(&self) {
+        self.shutdown_waiters.fetch_add(1, Ordering::SeqCst);
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until every active request is a shutdown handler. Engine
+    /// flush and the shutdown ack happen after this returns; pair with
+    /// [`end_shutdown`](DrainGate::end_shutdown).
+    pub fn await_drained(this: &Arc<DrainGate>) {
+        #[cfg(feature = "check")]
+        {
+            if parking_lot::sched::active() {
+                let gate = Arc::clone(this);
+                parking_lot::sched::blocking_point(
+                    parking_lot::sched::OpKind::Gate,
+                    0,
+                    Arc::new(move || gate.drained()),
+                );
+                return;
+            }
+        }
+        // The parking_lot shim has no Condvar::wait_timeout, so poll;
+        // the interval is tiny next to any real drain.
+        while !this.drained() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// This thread's `SHUTDOWN` handler is done (flush finished, about
+    /// to ack). The drain flag stays up forever — a drained server never
+    /// un-drains.
+    pub fn end_shutdown(&self) {
+        self.shutdown_waiters.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn drained(&self) -> bool {
+        self.active.load(Ordering::SeqCst) <= self.shutdown_waiters.load(Ordering::SeqCst)
+    }
+}

@@ -13,6 +13,7 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod drain;
 pub mod server;
 pub mod wire;
 

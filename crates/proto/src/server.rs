@@ -32,7 +32,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -44,6 +44,7 @@ use ldbpp_core::doc::Document;
 use ldbpp_core::secondary_db::SecondaryDb;
 use ldbpp_lsm::env::IoSnapshot;
 
+use crate::drain::DrainGate;
 use crate::wire::{
     check_frame, salvage_request_id, ErrorCode, Hit, Request, Response, WireValue, WriteOp,
     MAX_FRAME_LEN, MIN_FRAME_LEN,
@@ -81,15 +82,9 @@ impl Default for ServerConfig {
 struct Shared {
     db: Arc<SecondaryDb>,
     cfg: ServerConfig,
-    /// Set by the first `SHUTDOWN`; checked by every poll loop.
-    draining: AtomicBool,
-    /// Requests currently being processed (including `SHUTDOWN`s).
-    active: AtomicUsize,
-    /// `SHUTDOWN` handlers currently waiting for the drain. The drain is
-    /// complete when `active <= shutdown_waiters` — i.e. everyone still
-    /// active is itself a shutdown handler — so concurrent `SHUTDOWN`s
-    /// from different connections cannot deadlock on each other.
-    shutdown_waiters: AtomicUsize,
+    /// The graceful-drain protocol state (see [`crate::drain`]): the
+    /// drain flag, active-request count, and shutdown-waiter count.
+    gate: Arc<DrainGate>,
     /// Live connection threads.
     conns: AtomicUsize,
     /// Connections ever accepted (including rejected-busy ones).
@@ -119,7 +114,7 @@ impl ServerHandle {
 
     /// True once a `SHUTDOWN` request has started the drain.
     pub fn is_draining(&self) -> bool {
-        self.shared.draining.load(Ordering::SeqCst)
+        self.shared.gate.is_draining()
     }
 
     /// Block until the server has fully shut down (accept loop exited,
@@ -152,9 +147,7 @@ impl Server {
         let shared = Arc::new(Shared {
             db,
             cfg,
-            draining: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
-            shutdown_waiters: AtomicUsize::new(0),
+            gate: Arc::new(DrainGate::new()),
             conns: AtomicUsize::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
@@ -175,7 +168,7 @@ impl Server {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    while !shared.draining.load(Ordering::SeqCst) {
+    while !shared.gate.is_draining() {
         match listener.accept() {
             Ok((stream, _)) => {
                 shared.accepted.fetch_add(1, Ordering::Relaxed);
@@ -251,7 +244,7 @@ fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> ReadOutcome {
     let mut drain_deadline: Option<Instant> = None;
 
     loop {
-        if shared.draining.load(Ordering::SeqCst) {
+        if shared.gate.is_draining() {
             if got == 0 && !reading_body {
                 return ReadOutcome::Draining; // idle connection
             }
@@ -290,7 +283,7 @@ fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> ReadOutcome {
                     return match check_frame(&body) {
                         Ok(payload) => {
                             // Register before returning: see doc comment.
-                            shared.active.fetch_add(1, Ordering::SeqCst);
+                            shared.gate.register_request();
                             ReadOutcome::Frame(payload.to_vec())
                         }
                         Err(e) => ReadOutcome::BadCrc(e.to_string()),
@@ -357,7 +350,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                         (id, resp, true)
                     }
                     Ok((id, req)) => {
-                        let resp = if shared.draining.load(Ordering::SeqCst) {
+                        let resp = if shared.gate.is_draining() {
                             // Raced past the drain check in the reader;
                             // refuse rather than extend the drain.
                             Response::Err {
@@ -373,7 +366,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
                 let frame = resp.encode(id);
                 let sent = stream.write_all(&frame);
-                shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.gate.finish_request();
                 if close || sent.is_err() {
                     return;
                 }
@@ -385,19 +378,14 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
 /// Graceful-drain implementation. Runs on the connection thread that
 /// received the `SHUTDOWN`; `active` includes this request.
 fn handle_shutdown(shared: &Shared) -> Response {
-    shared.shutdown_waiters.fetch_add(1, Ordering::SeqCst);
-    shared.draining.store(true, Ordering::SeqCst);
+    shared.gate.begin_shutdown();
     // Wait until every active request is a shutdown handler like us.
-    // The parking_lot shim has no Condvar::wait_timeout, so poll; the
-    // interval is tiny next to any real drain.
-    while shared.active.load(Ordering::SeqCst) > shared.shutdown_waiters.load(Ordering::SeqCst) {
-        thread::sleep(Duration::from_millis(1));
-    }
+    DrainGate::await_drained(&shared.gate);
     let resp = match shared.db.flush() {
         Ok(()) => Response::Ok,
         Err(e) => Response::from_error(&e),
     };
-    shared.shutdown_waiters.fetch_sub(1, Ordering::SeqCst);
+    shared.gate.end_shutdown();
     resp
 }
 
@@ -558,9 +546,6 @@ fn server_counters(shared: &Shared) -> Value {
             "protocol_errors",
             Value::Int(shared.protocol_errors.load(Ordering::Relaxed) as i64),
         ),
-        (
-            "draining",
-            Value::Bool(shared.draining.load(Ordering::SeqCst)),
-        ),
+        ("draining", Value::Bool(shared.gate.is_draining())),
     ])
 }

@@ -3,14 +3,139 @@
 //! Provides the subset the workspace uses: `crossbeam::channel`
 //! (unbounded MPSC channels, here built on `std::sync::mpsc`) and
 //! `crossbeam::thread::scope` (built on `std::thread::scope`).
+//!
+//! With the `check` feature, channels and scoped threads double as
+//! scheduling points of the deterministic model checker (DESIGN.md
+//! §17): sends/receives park at a coordinator decision, scoped spawns
+//! register the child as a model thread, and joins park until the child
+//! finished so the real join never blocks. Threads outside a model run
+//! fall through to the plain std behaviour; the default build compiles
+//! none of the instrumentation.
 
 /// Multi-producer channels (subset of `crossbeam::channel`).
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    #[cfg(feature = "check")]
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    #[cfg(feature = "check")]
+    use std::sync::Arc;
+
+    /// Shared channel bookkeeping for the model checker: queue length
+    /// and live-sender count drive receive enabledness, so a model
+    /// thread never enters a real blocking `recv`.
+    #[cfg(feature = "check")]
+    struct Meta {
+        id: u64,
+        len: AtomicUsize,
+        senders: AtomicUsize,
+    }
+
+    /// Sending half of an unbounded channel (clonable).
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::Sender<T>,
+        #[cfg(feature = "check")]
+        meta: Arc<Meta>,
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+        #[cfg(feature = "check")]
+        meta: Arc<Meta>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a value; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            #[cfg(feature = "check")]
+            parking_lot::sched::op_point(parking_lot::sched::OpKind::ChanSend, self.meta.id);
+            let r = self.inner.send(value);
+            #[cfg(feature = "check")]
+            if r.is_ok() {
+                self.meta.len.fetch_add(1, Ordering::SeqCst);
+            }
+            r
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            #[cfg(feature = "check")]
+            self.meta.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: self.inner.clone(),
+                #[cfg(feature = "check")]
+                meta: Arc::clone(&self.meta),
+            }
+        }
+    }
+
+    #[cfg(feature = "check")]
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            self.meta.senders.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue a value, blocking until one is available; fails when
+        /// the channel is empty and every sender was dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            #[cfg(feature = "check")]
+            {
+                let meta = Arc::clone(&self.meta);
+                parking_lot::sched::blocking_point(
+                    parking_lot::sched::OpKind::ChanRecv,
+                    self.meta.id,
+                    Arc::new(move || {
+                        meta.len.load(Ordering::SeqCst) > 0
+                            || meta.senders.load(Ordering::SeqCst) == 0
+                    }),
+                );
+            }
+            let r = self.inner.recv();
+            #[cfg(feature = "check")]
+            if r.is_ok() {
+                self.meta.len.fetch_sub(1, Ordering::SeqCst);
+            }
+            r
+        }
+
+        /// Dequeue a value without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            #[cfg(feature = "check")]
+            parking_lot::sched::op_point(parking_lot::sched::OpKind::ChanRecv, self.meta.id);
+            let r = self.inner.try_recv();
+            #[cfg(feature = "check")]
+            if r.is_ok() {
+                self.meta.len.fetch_sub(1, Ordering::SeqCst);
+            }
+            r
+        }
+    }
 
     /// Create an unbounded FIFO channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        std::sync::mpsc::channel()
+        let (tx, rx) = std::sync::mpsc::channel();
+        #[cfg(feature = "check")]
+        let meta = Arc::new(Meta {
+            id: parking_lot::sched::chan_id(),
+            len: AtomicUsize::new(0),
+            senders: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: tx,
+                #[cfg(feature = "check")]
+                meta: Arc::clone(&meta),
+            },
+            Receiver {
+                inner: rx,
+                #[cfg(feature = "check")]
+                meta,
+            },
+        )
     }
 }
 
@@ -25,18 +150,59 @@ pub mod thread {
     }
 
     /// Join handle for a thread spawned inside a scope.
-    pub type ScopedJoinHandle<'scope, T> = std::thread::ScopedJoinHandle<'scope, T>;
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        #[cfg(feature = "check")]
+        model_idx: Option<usize>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic
+        /// payload, as with `std::thread`.
+        pub fn join(self) -> std::thread::Result<T> {
+            // Under a model run, park at a Join scheduling point until
+            // the child has logically finished, so the real join below
+            // returns without blocking.
+            #[cfg(feature = "check")]
+            if let Some(idx) = self.model_idx {
+                parking_lot::sched::join_child(idx);
+            }
+            self.inner.join()
+        }
+    }
 
     impl<'scope, 'env> Scope<'scope, 'env> {
         /// Spawn a scoped thread. The closure receives a `&Scope` so it
         /// can spawn further threads, matching crossbeam's API.
+        ///
+        /// When the spawning thread belongs to a model run, the child
+        /// is registered as a model thread *before* the OS thread
+        /// starts, so the coordinator controls its every step.
         pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
         where
             F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
             T: Send + 'scope,
         {
             let inner = self.inner;
-            inner.spawn(move || f(&Scope { inner }))
+            #[cfg(feature = "check")]
+            let reg = parking_lot::sched::register_child("scoped");
+            #[cfg(feature = "check")]
+            let model_idx = reg.as_ref().map(parking_lot::sched::ChildReg::index);
+            let handle = inner.spawn(move || {
+                let body = move || f(&Scope { inner });
+                #[cfg(feature = "check")]
+                match reg {
+                    Some(r) => parking_lot::sched::run_child(r, body),
+                    None => body(),
+                }
+                #[cfg(not(feature = "check"))]
+                body()
+            });
+            ScopedJoinHandle {
+                inner: handle,
+                #[cfg(feature = "check")]
+                model_idx,
+            }
         }
     }
 
@@ -58,6 +224,21 @@ mod tests {
         let (tx, rx) = super::channel::unbounded();
         tx.send(7u32).unwrap();
         assert_eq!(rx.recv().unwrap(), 7);
+        assert!(matches!(
+            rx.try_recv(),
+            Err(super::channel::TryRecvError::Empty)
+        ));
+    }
+
+    #[test]
+    fn channel_disconnect() {
+        let (tx, rx) = super::channel::unbounded::<u32>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(1).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(rx.recv().is_err());
     }
 
     #[test]

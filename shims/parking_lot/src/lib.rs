@@ -9,12 +9,21 @@
 //! cycles and re-entrant acquisition panic immediately with the acquisition
 //! stacks of both sides of the inversion. The default build compiles none
 //! of the instrumentation — guards are plain newtypes over `std::sync`.
+//!
+//! Also with `check`, every primitive doubles as a scheduling point of
+//! the deterministic model checker (the `sched` module): when the
+//! calling thread belongs to an active model run, acquisitions, condvar
+//! waits and notifies park the thread and let the run's coordinator
+//! choose the interleaving. Threads outside a model run (all of
+//! production, and ordinary tests) take the plain path.
 
 use std::fmt;
 use std::sync::TryLockError;
 
 #[cfg(feature = "check")]
 pub mod lockcheck;
+#[cfg(feature = "check")]
+pub mod sched;
 
 /// A mutual-exclusion primitive. `lock()` returns the guard directly;
 /// a poisoned lock (panicked holder) is entered anyway, like parking_lot.
@@ -34,6 +43,10 @@ pub struct MutexGuard<'a, T: ?Sized> {
     lock: &'a std::sync::Mutex<T>,
     #[cfg(feature = "check")]
     token: lockcheck::HeldToken,
+    // Declared after `inner` and `token`: drop order releases the real
+    // lock, then the held record, then the scheduler's logical lock.
+    #[cfg(feature = "check")]
+    grant: Option<sched::Grant>,
 }
 
 impl<T> Mutex<T> {
@@ -58,18 +71,44 @@ impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
         #[cfg(feature = "check")]
         let token = lockcheck::acquire(&self.id, lockcheck::Kind::Mutex, true);
+        // Under a model run the scheduler parks here until the logical
+        // mutex is free, so the real acquisition below never blocks.
+        #[cfg(feature = "check")]
+        let grant = sched::mutex_lock(&self.id);
         let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         MutexGuard {
             inner: Some(guard),
             lock: &self.inner,
             #[cfg(feature = "check")]
             token,
+            #[cfg(feature = "check")]
+            grant,
         }
     }
 
     /// Try to acquire the mutex without blocking.
     #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        // Under a model run try_lock is still a scheduling point (its
+        // outcome depends on the interleaving); the coordinator decides
+        // success against the logical owner.
+        #[cfg(feature = "check")]
+        if let Some(outcome) = sched::mutex_try_lock(&self.id) {
+            let grant = outcome?;
+            let inner = match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(TryLockError::Poisoned(e)) => e.into_inner(),
+                Err(TryLockError::WouldBlock) => {
+                    unreachable!("sched granted try_lock but the std mutex is held")
+                }
+            };
+            return Some(MutexGuard {
+                inner: Some(inner),
+                lock: &self.inner,
+                token: lockcheck::acquire(&self.id, lockcheck::Kind::Mutex, false),
+                grant: Some(grant),
+            });
+        }
         let inner = match self.inner.try_lock() {
             Ok(g) => g,
             Err(TryLockError::Poisoned(e)) => e.into_inner(),
@@ -80,6 +119,8 @@ impl<T: ?Sized> Mutex<T> {
             lock: &self.inner,
             #[cfg(feature = "check")]
             token: lockcheck::acquire(&self.id, lockcheck::Kind::Mutex, false),
+            #[cfg(feature = "check")]
+            grant: None,
         })
     }
 
@@ -134,6 +175,8 @@ pub struct RwLockReadGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockReadGuard<'a, T>,
     #[cfg(feature = "check")]
     _token: lockcheck::HeldToken,
+    #[cfg(feature = "check")]
+    _grant: Option<sched::Grant>,
 }
 
 /// Exclusive-write guard returned by [`RwLock::write`].
@@ -141,6 +184,8 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
     inner: std::sync::RwLockWriteGuard<'a, T>,
     #[cfg(feature = "check")]
     _token: lockcheck::HeldToken,
+    #[cfg(feature = "check")]
+    _grant: Option<sched::Grant>,
 }
 
 impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
@@ -185,10 +230,14 @@ impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         #[cfg(feature = "check")]
         let token = lockcheck::acquire(&self.id, lockcheck::Kind::Read, true);
+        #[cfg(feature = "check")]
+        let grant = sched::rw_read(&self.id);
         RwLockReadGuard {
             inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
             #[cfg(feature = "check")]
             _token: token,
+            #[cfg(feature = "check")]
+            _grant: grant,
         }
     }
 
@@ -197,10 +246,14 @@ impl<T: ?Sized> RwLock<T> {
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         #[cfg(feature = "check")]
         let token = lockcheck::acquire(&self.id, lockcheck::Kind::Write, true);
+        #[cfg(feature = "check")]
+        let grant = sched::rw_write(&self.id);
         RwLockWriteGuard {
             inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
             #[cfg(feature = "check")]
             _token: token,
+            #[cfg(feature = "check")]
+            _grant: grant,
         }
     }
 
@@ -228,6 +281,8 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
 /// A condition variable usable with [`Mutex`]/[`MutexGuard`].
 #[derive(Default)]
 pub struct Condvar {
+    #[cfg(feature = "check")]
+    id: lockcheck::LockId,
     inner: std::sync::Condvar,
 }
 
@@ -235,6 +290,8 @@ impl Condvar {
     /// Create a new condition variable.
     pub const fn new() -> Condvar {
         Condvar {
+            #[cfg(feature = "check")]
+            id: lockcheck::LockId::new(),
             inner: std::sync::Condvar::new(),
         }
     }
@@ -244,6 +301,27 @@ impl Condvar {
     /// mutates the guard in place).
     #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // Under a model run the wait is modelled logically: release the
+        // real and logical mutex, join the condvar's FIFO queue, and
+        // park until a modelled notify plus a granted reacquisition.
+        // The std condvar is never involved (nothing would signal it).
+        #[cfg(feature = "check")]
+        if sched::active() {
+            let grant = guard.grant.take().unwrap_or_else(|| {
+                panic!(
+                    "sched: condvar wait on a mutex that was acquired \
+                     outside the model run (unsupported pattern)"
+                )
+            });
+            let std_guard = guard.inner.take().expect("guard already taken");
+            drop(std_guard);
+            guard.token.suspend();
+            let regrant = sched::condvar_wait(&self.id, grant);
+            guard.inner = Some(guard.lock.lock().unwrap_or_else(|e| e.into_inner()));
+            guard.token.resume();
+            guard.grant = Some(regrant);
+            return;
+        }
         let std_guard = guard.inner.take().expect("guard already taken");
         // The mutex is released for the duration of the wait: suspend its
         // held record so other acquisitions don't order against it, then
@@ -263,6 +341,8 @@ impl Condvar {
     /// Wake one waiting thread. Returns whether a thread was woken
     /// (std cannot report this, so this conservatively returns false).
     pub fn notify_one(&self) -> bool {
+        #[cfg(feature = "check")]
+        sched::condvar_notify(&self.id, false);
         self.inner.notify_one();
         false
     }
@@ -270,6 +350,8 @@ impl Condvar {
     /// Wake all waiting threads. Returns the number woken (std cannot
     /// report this, so this conservatively returns 0).
     pub fn notify_all(&self) -> usize {
+        #[cfg(feature = "check")]
+        sched::condvar_notify(&self.id, true);
         self.inner.notify_all();
         0
     }

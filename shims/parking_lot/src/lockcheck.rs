@@ -90,7 +90,7 @@ impl LockId {
         LockId(AtomicU64::new(0))
     }
 
-    fn get(&self) -> u64 {
+    pub(crate) fn get(&self) -> u64 {
         let cur = self.0.load(Ordering::Relaxed);
         if cur != 0 {
             return cur;

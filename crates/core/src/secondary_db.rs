@@ -430,15 +430,21 @@ impl EngineShard {
     }
 
     /// This shard's slice of a primary-key range scan, in key order.
+    /// `snapshot` pins the cursor at a sequence (multi-shard scans pass
+    /// the shared clock's value so every shard cuts at the same point).
     fn scan_primary(
         &self,
         lo: &[u8],
         hi: &[u8],
         limit: Option<usize>,
+        snapshot: Option<u64>,
     ) -> Result<Vec<(Vec<u8>, Document)>> {
         // Bounded cursor: only files overlapping [lo, hi] are merged and
         // the stream ends at hi without touching further blocks.
-        let mut it = self.primary.range_iter(lo, hi)?;
+        let mut it = match snapshot {
+            Some(snap) => self.primary.range_iter_at(lo, hi, snap)?,
+            None => self.primary.range_iter(lo, hi)?,
+        };
         let mut out = Vec::new();
         while let Some((key, _seq, bytes)) = it.next_entry()? {
             out.push((key, Document::parse(&bytes)?));
@@ -927,7 +933,14 @@ impl SecondaryDb {
         if lo > hi {
             return Err(Error::invalid("inverted range"));
         }
-        let per_shard = self.scatter(|shard| shard.scan_primary(lo, hi, limit))?;
+        // Pin the scatter at the shared clock *before* fanning out: every
+        // shard cursor cuts at the same sequence, so a scan cannot return
+        // a later write on one shard while missing an earlier write on
+        // another (cross-shard read skew). Anything committed before the
+        // pin is at or below it; anything allocated after is above it.
+        // Single-shard scans read one engine and need no pin.
+        let snapshot = self.clock.as_ref().map(|c| c.current());
+        let per_shard = self.scatter(|shard| shard.scan_primary(lo, hi, limit, snapshot))?;
         Ok(merge_key_ordered(per_shard, limit, |(key, _)| key.clone()))
     }
 

@@ -1167,6 +1167,24 @@ impl Db {
         Ok(it)
     }
 
+    /// [`Db::range_iter`] pinned at `snapshot`: entries with a sequence
+    /// greater than `snapshot` are invisible, so the scan observes the
+    /// database as of that point in sequence time even while concurrent
+    /// writers keep appending. Tombstones above the snapshot are ignored
+    /// too — a key deleted after the pin still yields its pinned value.
+    ///
+    /// The cursor holds its sources (memtables, version) from creation,
+    /// so compactions starting mid-scan cannot perturb it; as with
+    /// [`Db::get_at`], versions compacted away *before* creation are
+    /// best-effort, and [`Db::pin_snapshot`] makes them exact.
+    pub fn range_iter_at(&self, lo: &[u8], hi: &[u8], snapshot: u64) -> Result<ResolvedIter> {
+        let sources = self.source_iterators_range(Some((lo, hi)))?;
+        let mut it = self.resolve_sources(sources, Some(hi.to_vec()));
+        it.snapshot = Some(snapshot);
+        it.seek(lo);
+        Ok(it)
+    }
+
     fn resolve_sources(
         &self,
         sources: Vec<(KeySource, Box<dyn DbIterator>)>,
@@ -1178,6 +1196,7 @@ impl Db {
             merge_op: self.core.opts.merge_operator.clone(),
             positioned: false,
             end,
+            snapshot: None,
         }
     }
 }
@@ -2237,6 +2256,9 @@ pub struct ResolvedIter {
     /// Inclusive user-key upper bound ([`Db::range_iter`]); the stream
     /// ends at the first key beyond it without touching further blocks.
     end: Option<Vec<u8>>,
+    /// Sequence-time pin ([`Db::range_iter_at`]): entries newer than
+    /// this are skipped, exposing the pre-pin version of each key.
+    snapshot: Option<u64>,
 }
 
 impl ResolvedIter {
@@ -2262,6 +2284,13 @@ impl ResolvedIter {
                 if user_key > end.as_slice() {
                     return Ok(None);
                 }
+            }
+            // Versions of one key sort newest-first, so stepping past the
+            // too-new ones lands on the newest entry at or below the pin;
+            // from there resolution proceeds as usual.
+            if self.snapshot.is_some_and(|snap| newest_seq > snap) {
+                self.it.next();
+                continue;
             }
             let user_key = user_key.to_vec();
 

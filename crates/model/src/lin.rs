@@ -1,0 +1,172 @@
+//! Linearizability checking of recorded operation histories (Wing &
+//! Gong's algorithm).
+//!
+//! Model threads record every operation they perform against the real
+//! engine as an [`Event`] — the operation, its actual return value, and
+//! invoke/finish timestamps from a shared logical clock. After the run,
+//! [`check_linearizable`] searches for a total order of the events that
+//! (a) respects real time (an event that finished before another was
+//! invoked must come first) and (b) replays correctly against a serial
+//! oracle ([`Spec`]). If no such order exists, the schedule exposed a
+//! non-linearizable behavior.
+//!
+//! The search is exponential in history length, which is fine here:
+//! bounded models record well under a dozen events per run.
+//!
+//! Timestamps come from a plain `std` atomic on purpose: recording must
+//! not create scheduling points, or the act of observing a schedule
+//! would perturb the space being explored. Since the cooperative
+//! scheduler runs exactly one model thread at a time, the recorder's
+//! internal mutex is always uncontended and never blocks.
+
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A sequential specification: the serial oracle histories are checked
+/// against.
+pub trait Spec {
+    /// Operation type.
+    type Op: Clone + Debug;
+    /// Return-value type; compared against what the engine returned.
+    type Ret: PartialEq + Clone + Debug;
+    /// Oracle state.
+    type State: Clone;
+    /// The state before any operation.
+    fn init(&self) -> Self::State;
+    /// Apply `op` serially, yielding the next state and the return
+    /// value a serial execution would produce.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+}
+
+/// One completed operation of a recorded history.
+#[derive(Debug, Clone)]
+pub struct Event<O, R> {
+    /// The operation.
+    pub op: O,
+    /// What the engine actually returned.
+    pub ret: R,
+    /// Logical time at invocation.
+    pub invoke: u64,
+    /// Logical time at completion.
+    pub finish: u64,
+}
+
+/// Shared history recorder for one model run.
+pub struct Recorder<O, R> {
+    clock: AtomicU64,
+    events: Mutex<Vec<Event<O, R>>>,
+}
+
+impl<O, R> Recorder<O, R> {
+    /// Fresh recorder with an empty history and the clock at zero.
+    pub fn new() -> Arc<Recorder<O, R>> {
+        Arc::new(Recorder {
+            clock: AtomicU64::new(0),
+            events: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Stamp an invocation; pass the returned timestamp to [`finish`].
+    ///
+    /// [`finish`]: Recorder::finish
+    pub fn invoke(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Stamp the completion of the operation invoked at `invoke` and
+    /// append the event to the history.
+    pub fn finish(&self, invoke: u64, op: O, ret: R) {
+        let finish = self.clock.fetch_add(1, Ordering::SeqCst);
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Event {
+                op,
+                ret,
+                invoke,
+                finish,
+            });
+    }
+
+    /// Drain the recorded history.
+    pub fn take(&self) -> Vec<Event<O, R>> {
+        std::mem::take(
+            &mut *self
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
+    }
+}
+
+/// Check that `events` is linearizable with respect to `spec`.
+///
+/// Returns `Err` with a rendering of the history when no valid
+/// linearization exists.
+pub fn check_linearizable<S: Spec>(
+    spec: &S,
+    events: &[Event<S::Op, S::Ret>],
+) -> Result<(), String> {
+    assert!(
+        events.len() <= 16,
+        "WGL search is exponential; keep bounded models tiny ({} events)",
+        events.len()
+    );
+    let mut done = vec![false; events.len()];
+    if search(spec, events, &mut done, &spec.init(), events.len()) {
+        Ok(())
+    } else {
+        Err(format!("history not linearizable:{}", render(events)))
+    }
+}
+
+fn search<S: Spec>(
+    spec: &S,
+    events: &[Event<S::Op, S::Ret>],
+    done: &mut [bool],
+    state: &S::State,
+    remaining: usize,
+) -> bool {
+    if remaining == 0 {
+        return true;
+    }
+    // Only an event invoked before every pending event's finish can be
+    // linearized next: anything else would reorder it after an
+    // operation that completed before it began.
+    let min_finish = events
+        .iter()
+        .zip(done.iter())
+        .filter(|(_, d)| !**d)
+        .map(|(e, _)| e.finish)
+        .min()
+        .expect("remaining > 0");
+    for i in 0..events.len() {
+        if done[i] || events[i].invoke > min_finish {
+            continue;
+        }
+        let (next, ret) = spec.apply(state, &events[i].op);
+        if ret != events[i].ret {
+            continue;
+        }
+        done[i] = true;
+        if search(spec, events, done, &next, remaining - 1) {
+            return true;
+        }
+        done[i] = false;
+    }
+    false
+}
+
+fn render<O: Debug, R: Debug>(events: &[Event<O, R>]) -> String {
+    let mut sorted: Vec<&Event<O, R>> = events.iter().collect();
+    sorted.sort_by_key(|e| e.invoke);
+    let mut out = String::new();
+    for e in sorted {
+        out.push_str(&format!(
+            "\n  [{:>3}..{:>3}] {:?} -> {:?}",
+            e.invoke, e.finish, e.op, e.ret
+        ));
+    }
+    out
+}

@@ -1,0 +1,119 @@
+//! Model (c): `SHUTDOWN` drain vs. in-flight `BATCH` (DESIGN.md §16).
+//!
+//! The model runs the real [`DrainGate`] with two connection threads
+//! and one shutdown thread. A connection mirrors the server loop:
+//! register the request, re-check the drain flag (refusing if set),
+//! append its batch to a shared commit log, acknowledge it, and
+//! unregister. The shutdown thread mirrors `handle_shutdown`: register
+//! itself, raise the drain flag, wait for the gate to drain, snapshot
+//! the log (the "final flush"), and release the gate.
+//!
+//! Invariant: **every acknowledged batch is in the flushed snapshot** —
+//! a client that got an ACK must find its write after the shutdown
+//! completes.
+//!
+//! The seeded fault (`late_register`) re-creates the classic TOCTOU:
+//! the connection checks the drain flag *before* registering. In the
+//! window between check and register the gate can drain with the
+//! request invisible, so the shutdown flushes without it and the
+//! connection acks afterwards.
+
+use crate::explore::Instance;
+use ldbpp_proto::drain::DrainGate;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Two connections (each serving two batches back-to-back, like the
+/// server's per-connection loop) vs. one shutdown over the real drain
+/// gate. `late_register` seeds the check-before-register fault in the
+/// connection loop (a model-local fault: the server's real loop
+/// registers first).
+pub fn drain(late_register: bool) -> Instance {
+    super::reset_faults();
+    let gate = Arc::new(DrainGate::new());
+    // The "WAL": what the engine has durably applied.
+    let log = Arc::new(Mutex::new(Vec::<u32>::new()));
+    // What each client saw acknowledged / what the final flush covered.
+    // Plain std mutexes: recording must not add scheduling points.
+    let acked = Arc::new(std::sync::Mutex::new(Vec::<u32>::new()));
+    let flushed = Arc::new(std::sync::Mutex::new(Option::<Vec<u32>>::None));
+
+    fn conn(
+        gate: Arc<DrainGate>,
+        log: Arc<Mutex<Vec<u32>>>,
+        acked: Arc<std::sync::Mutex<Vec<u32>>>,
+        late_register: bool,
+        i: u32,
+    ) -> impl FnOnce() + Send {
+        move || {
+            for batch in [i, i + 10] {
+                if late_register {
+                    // Seeded TOCTOU: decide on the flag, then register.
+                    if gate.is_draining() {
+                        return;
+                    }
+                    gate.register_request();
+                } else {
+                    // Real server order: the request is visible to the
+                    // gate before the drain flag is consulted.
+                    gate.register_request();
+                    if gate.is_draining() {
+                        gate.finish_request();
+                        return;
+                    }
+                }
+                log.lock().push(batch);
+                acked.lock().unwrap().push(batch);
+                gate.finish_request();
+            }
+        }
+    }
+    let shutdown = {
+        let gate = Arc::clone(&gate);
+        let log = Arc::clone(&log);
+        let flushed = Arc::clone(&flushed);
+        move || {
+            gate.register_request();
+            gate.begin_shutdown();
+            DrainGate::await_drained(&gate);
+            *flushed.lock().unwrap() = Some(log.lock().clone());
+            gate.end_shutdown();
+            gate.finish_request();
+        }
+    };
+
+    let c1 = conn(
+        Arc::clone(&gate),
+        Arc::clone(&log),
+        Arc::clone(&acked),
+        late_register,
+        1,
+    );
+    let c2 = conn(
+        Arc::clone(&gate),
+        Arc::clone(&log),
+        Arc::clone(&acked),
+        late_register,
+        2,
+    );
+    Instance {
+        threads: vec![
+            ("conn-1".to_string(), Box::new(c1)),
+            ("conn-2".to_string(), Box::new(c2)),
+            ("shutdown".to_string(), Box::new(shutdown)),
+        ],
+        check: Box::new(move || {
+            let acked = acked.lock().unwrap().clone();
+            let flushed = flushed.lock().unwrap().clone().expect("shutdown ran");
+            for i in &acked {
+                if !flushed.contains(i) {
+                    return Err(format!(
+                        "batch {i} was acknowledged but missing from the shutdown \
+                         flush (acked {acked:?}, flushed {flushed:?})"
+                    ));
+                }
+            }
+            Ok(())
+        }),
+    }
+}

@@ -1,0 +1,143 @@
+//! Model (a): group-commit leader handoff + sequence rebase
+//! (DESIGN.md §14).
+//!
+//! Two writers race `Db::put` on one engine — the schedule space covers
+//! both one-batch-each and leader-collects-both groupings, plus every
+//! placement of the leader handoff — while a reader polls
+//! `last_sequence()` and point-reads both keys. The oracle is a serial
+//! KV map with a monotone sequence counter: puts must return the
+//! globally next sequence number and reads must see a prefix-consistent
+//! state.
+//!
+//! Seeded faults ([`Config`]):
+//!
+//! * `early_publish` — `last_seq` is Release-stored *before* the
+//!   memtable insert; the vclock `consume` detector fires on the
+//!   reader's Acquire load.
+//! * `skip_leader_notify` — the retiring leader promotes its successor
+//!   without `notify_one`; the lost wakeup surfaces as a deadlock.
+
+use crate::explore::Instance;
+use crate::lin::{check_linearizable, Recorder, Spec};
+use ldbpp_lsm::db::Db;
+use ldbpp_lsm::env::MemEnv;
+use std::sync::Arc;
+
+/// Seeded-fault switches for this model (all off = correct engine).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Config {
+    /// Publish `last_seq` before the memtable insert (bug A).
+    pub early_publish: bool,
+    /// Drop the condvar notify on leader handoff (bug B).
+    pub skip_leader_notify: bool,
+}
+
+/// History operations: key puts, point reads, and sequence polls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// `Db::put(key, key.to_uppercase())`.
+    Put(&'static str),
+    /// `Db::get(key)`.
+    Read(&'static str),
+    /// `Db::last_sequence()`.
+    LastSeq,
+}
+
+/// Observed return values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Ret {
+    /// Sequence number a put or `LastSeq` returned.
+    Seq(u64),
+    /// Value a read returned (mapped back to the static key set).
+    Doc(Option<&'static str>),
+}
+
+/// Serial oracle: (last sequence, value of "a", value of "b").
+struct KvSpec;
+
+impl Spec for KvSpec {
+    type Op = Op;
+    type Ret = Ret;
+    type State = (u64, Option<&'static str>, Option<&'static str>);
+
+    fn init(&self) -> Self::State {
+        (0, None, None)
+    }
+
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret) {
+        let mut next = *state;
+        match op {
+            Op::Put("a") => {
+                next.0 += 1;
+                next.1 = Some("A");
+                (next, Ret::Seq(next.0))
+            }
+            Op::Put(_) => {
+                next.0 += 1;
+                next.2 = Some("B");
+                (next, Ret::Seq(next.0))
+            }
+            Op::Read("a") => (next, Ret::Doc(state.1)),
+            Op::Read(_) => (next, Ret::Doc(state.2)),
+            Op::LastSeq => (next, Ret::Seq(state.0)),
+        }
+    }
+}
+
+/// Build one disposable run of the model.
+pub fn instance(cfg: Config) -> Instance {
+    super::reset_faults();
+    ldbpp_lsm::model_bugs::set_publish_before_insert(cfg.early_publish);
+    ldbpp_lsm::model_bugs::set_skip_leader_notify(cfg.skip_leader_notify);
+    let db = Arc::new(Db::open(MemEnv::new(), "gc", super::model_opts()).expect("open"));
+    let rec = Recorder::<Op, Ret>::new();
+
+    fn writer(
+        db: Arc<Db>,
+        rec: Arc<Recorder<Op, Ret>>,
+        key: &'static str,
+        val: &'static [u8],
+    ) -> impl FnOnce() + Send {
+        move || {
+            let inv = rec.invoke();
+            let seq = db.put(key.as_bytes(), val).expect("put");
+            rec.finish(inv, Op::Put(key), Ret::Seq(seq));
+        }
+    }
+    let reader = {
+        let db = Arc::clone(&db);
+        let rec = Arc::clone(&rec);
+        move || {
+            let inv = rec.invoke();
+            let seq = db.last_sequence();
+            rec.finish(inv, Op::LastSeq, Ret::Seq(seq));
+            for key in ["a", "b"] {
+                let inv = rec.invoke();
+                let got = db.get(key.as_bytes()).expect("get");
+                let doc = match got.as_deref() {
+                    None => None,
+                    Some(b"A") => Some("A"),
+                    Some(b"B") => Some("B"),
+                    Some(other) => panic!("unexpected value {other:?}"),
+                };
+                rec.finish(inv, Op::Read(key), Ret::Doc(doc));
+            }
+        }
+    };
+
+    let wa = writer(Arc::clone(&db), Arc::clone(&rec), "a", b"A");
+    let wb = writer(Arc::clone(&db), Arc::clone(&rec), "b", b"B");
+    Instance {
+        threads: vec![
+            ("writer-a".to_string(), Box::new(wa)),
+            ("writer-b".to_string(), Box::new(wb)),
+            ("reader".to_string(), Box::new(reader)),
+        ],
+        check: Box::new(move || {
+            let events = rec.take();
+            check_linearizable(&KvSpec, &events)?;
+            drop(db);
+            Ok(())
+        }),
+    }
+}

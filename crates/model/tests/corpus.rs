@@ -1,0 +1,86 @@
+//! Minimized-schedule regression corpus: the witness seed for every
+//! seeded protocol bug, replayed deterministically — no exploration, one
+//! schedule per test. A corpus failure means either the detector rotted
+//! (violation no longer reproduced) or the model's instruction stream
+//! changed (replay divergence); in the latter case re-mint the seed from
+//! the corresponding `model_checks` catch test and update it here.
+#![cfg(feature = "check")]
+
+use ldbpp_model::explore::{replay, Instance};
+use ldbpp_model::models::{drain, group_commit, scatter};
+
+/// Replay `seed` against a fresh instance and require the violation to
+/// reproduce on the first (and only) run, mentioning `expect`.
+fn assert_replays(seed: &str, instance: Instance, what: &str, expect: &str) {
+    let v = replay(seed, instance)
+        .unwrap_or_else(|e| panic!("{what}: corpus seed {seed} diverged: {e}"))
+        .unwrap_or_else(|| panic!("{what}: corpus seed {seed} no longer reproduces"));
+    assert!(
+        v.description.contains(expect),
+        "{what}: corpus seed {seed} reproduced a different violation: {}",
+        v.description
+    );
+}
+
+#[test]
+fn corpus_group_commit_early_publish() {
+    let _g = ldbpp_model::exclusive();
+    let cfg = group_commit::Config {
+        early_publish: true,
+        ..Default::default()
+    };
+    assert_replays(
+        "v1:0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.1.1.1:78d761e8",
+        group_commit::instance(cfg),
+        "early-publish",
+        "vclock",
+    );
+}
+
+#[test]
+fn corpus_group_commit_lost_leader_wakeup() {
+    let _g = ldbpp_model::exclusive();
+    let cfg = group_commit::Config {
+        skip_leader_notify: true,
+        ..Default::default()
+    };
+    assert_replays(
+        "v1:0.0.0.0.0.0.0.0.0.0.0.0.1.1.1.1.0.0.0.0.0.0.0.0.0.0:8811dd54",
+        group_commit::instance(cfg),
+        "skip-notify",
+        "deadlock",
+    );
+}
+
+#[test]
+fn corpus_eager_k_prefix_truncation() {
+    let _g = ldbpp_model::exclusive();
+    assert_replays(
+        "v1:0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0:7200be59",
+        scatter::eager_range(true),
+        "eager-k-prefix",
+        "not linearizable",
+    );
+}
+
+#[test]
+fn corpus_cleanup_before_tombstone() {
+    let _g = ldbpp_model::exclusive();
+    assert_replays(
+        "v1:0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.1.1.1.1.1.1.1.0.0:7e598a3d",
+        scatter::delete_vs_lookup(true),
+        "tombstone-reorder",
+        "not linearizable",
+    );
+}
+
+#[test]
+fn corpus_drain_late_registration() {
+    let _g = ldbpp_model::exclusive();
+    assert_replays(
+        "v1:0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.1.1.1.1.1.1.1.1.0.0.0:fc08e71c",
+        drain::drain(true),
+        "late-register",
+        "acknowledged",
+    );
+}

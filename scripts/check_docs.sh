@@ -6,11 +6,11 @@
 #   2. every relative markdown link (and intra-file anchor) in the
 #      top-level *.md files must resolve;
 #   3. load-bearing sections must exist: DESIGN.md must keep §14
-#      (write-path concurrency / group commit), §15 (sharding), and §16
-#      (the networked service layer), and the README must keep
-#      describing the group-commit write path, the sharded engine, and
-#      the server quickstart — docs that tests and comments point at
-#      may not silently disappear.
+#      (write-path concurrency / group commit), §15 (sharding), §16
+#      (the networked service layer), and §17 (model checking), and the
+#      README must keep describing the group-commit write path, the
+#      sharded engine, the server quickstart, and the model checker —
+#      docs that tests and comments point at may not silently disappear.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -75,6 +75,10 @@ grep -q "^## 16\. The networked service layer" DESIGN.md \
     || { echo "DESIGN.md: missing §16 'The networked service layer'"; exit 1; }
 grep -q "Serving over the network" README.md \
     || { echo "README.md: missing the 'Serving over the network' subsection"; exit 1; }
+grep -q "^## 17\. Model checking" DESIGN.md \
+    || { echo "DESIGN.md: missing §17 'Model checking'"; exit 1; }
+grep -q "Model checker" README.md \
+    || { echo "README.md: no longer documents the model checker"; exit 1; }
 echo "required sections present"
 
 echo "docs OK"

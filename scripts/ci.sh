@@ -16,7 +16,13 @@
 #      sanitizer-enabled test pass (`--features check`: instrumented locks
 #      with lock-order-cycle/re-entrancy detection plus the vector-clock
 #      checker on the lock-free read path — including the seeded-inversion
-#      regression proving the detector fires);
+#      regression proving the detector fires), plus the deterministic
+#      model checker (ldbpp-model): bounded schedule exploration of the
+#      group-commit, scatter-gather, and shutdown-drain protocol models
+#      with seeded-fault catch tests and the pinned-seed regression
+#      corpus. The default budget is bounded (preemption-bounded DFS,
+#      ~1.2k schedules per model); set MODEL_FULL=1 for the exhaustive
+#      sweep;
 #   6. contended-writer smoke: the group-commit suites — multi-writer
 #      correctness/failure-contract tests (crates/lsm/tests/
 #      group_commit_test.rs), the contended facade tests in
@@ -67,6 +73,9 @@ echo "== concurrency sanitizer: tier-1 + engine suites with --features check =="
 cargo test -q --features check
 cargo test -q -p parking_lot --features check
 cargo test -q -p ldbpp-lsm --features check
+
+echo "== model checker: schedule exploration (MODEL_FULL=${MODEL_FULL:-0}) =="
+MODEL_FULL="${MODEL_FULL:-0}" cargo test -q -p ldbpp-model --features check
 
 echo "== crash-recovery sweep (CRASH_SWEEP_FULL=${CRASH_SWEEP_FULL:-0}) =="
 CRASH_SWEEP_FULL="${CRASH_SWEEP_FULL:-0}" cargo test -q -p ldbpp-lsm --test crash

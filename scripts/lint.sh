@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Custom lint pass (invoked from scripts/ci.sh), three rules:
+# Custom lint pass (invoked from scripts/ci.sh), four rules:
 #
 #   1. No `.unwrap()` / `.expect(` in non-test code under crates/lsm/src
 #      and crates/core/src. Test modules (`#[cfg(test)]`-gated blocks and
@@ -13,7 +13,16 @@
 #      one exception (the sanitizer's own internals must not instrument
 #      themselves) is allowlisted.
 #
-#   3. Public fallible / diagnostic APIs must be `#[must_use]`:
+#   3. No raw `std::sync::atomic` (the source of unchecked
+#      `Ordering::Relaxed` / `Ordering::SeqCst` traffic) in the engine
+#      crates (crates/lsm, crates/core, crates/proto): atomics that take
+#      part in cross-thread protocols must go through the
+#      `ldbpp_lsm::sync` shim so the `check` feature's model checker can
+#      interleave at every access. Diagnostics-only counters and the
+#      checker's own internals are enumerated in scripts/lint-allow.txt
+#      with a reason each.
+#
+#   4. Public fallible / diagnostic APIs must be `#[must_use]`:
 #      `Result`-returning public fns get this from `Result` itself (the
 #      script verifies the workspace `Result` alias resolves to
 #      `std::result::Result`, which is `#[must_use]`); public fns returning
@@ -107,7 +116,17 @@ for path in rust_files(MUTEX_DIRS):
         if re.search(r'std::sync::(Mutex|RwLock)\b', code) and not allowed(path, code):
             violations.append(f"{path}:{i}: raw std::sync lock (use the parking_lot shim): {code.strip()}")
 
-# --- Rule 3: #[must_use] coverage of public fallible/report APIs ----------
+# --- Rule 3: raw std::sync::atomic in engine crates -----------------------
+ATOMIC_DIRS = ["crates/lsm/src", "crates/core/src", "crates/proto/src"]
+for path in rust_files(ATOMIC_DIRS):
+    for i, code in non_test_lines(path):
+        if re.search(r'std::sync::atomic\b', code) and not allowed(path, code):
+            violations.append(
+                f"{path}:{i}: raw std::sync::atomic (route protocol atomics through "
+                f"ldbpp_lsm::sync so the model checker sees them): {code.strip()}"
+            )
+
+# --- Rule 4: #[must_use] coverage of public fallible/report APIs ----------
 alias = open("crates/common/src/error.rs").read()
 if not re.search(r'pub type Result<T>\s*=\s*std::result::Result<T,\s*Error>', alias):
     violations.append(

@@ -10,7 +10,7 @@
 //! `<out>/<id>.tsv` (default `results/`).
 
 use ldbpp_bench::experiments::{
-    appendix_c, fig10_11, fig12_15, fig7, fig8, fig9, net_ycsb, tables, write_scaling,
+    appendix_c, chaos, fig10_11, fig12_15, fig7, fig8, fig9, net_ycsb, tables, write_scaling,
 };
 use ldbpp_bench::harness::Series;
 use ldbpp_bench::setup::Scale;
@@ -19,9 +19,10 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--smoke] [--tweets N] [--seed S] [--out DIR] \
          [--server ADDR] [--clients N] <experiment>...\n\
-         experiments: all fig7 fig8 fig9 fig10 fig11 fig12 tab3 tab5 appc1 appc2 ablations write_scaling net_ycsb\n\
-         --server/--clients apply to net_ycsb: drive an external ldbpp_server\n\
-         instead of the in-process shards x clients grid"
+         experiments: all fig7 fig8 fig9 fig10 fig11 fig12 tab3 tab5 appc1 appc2 ablations write_scaling net_ycsb chaos\n\
+         --server/--clients apply to net_ycsb and chaos: drive an external\n\
+         ldbpp_server instead of the in-process grid (chaos puts its fault\n\
+         proxy in front of the given address)"
     );
     std::process::exit(2);
 }
@@ -64,8 +65,9 @@ fn main() {
     if experiments.is_empty() {
         usage();
     }
-    const KNOWN: [&str; 18] = [
+    const KNOWN: [&str; 19] = [
         "net_ycsb",
+        "chaos",
         "all",
         "fig7",
         "fig8",
@@ -107,6 +109,7 @@ fn main() {
             "ablations",
             "write_scaling",
             "net_ycsb",
+            "chaos",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -147,6 +150,10 @@ fn main() {
             "net_ycsb" => produced.push(match &server_addr {
                 Some(addr) => net_ycsb::run_external(addr, clients, scale),
                 None => net_ycsb::run(scale),
+            }),
+            "chaos" => produced.push(match &server_addr {
+                Some(addr) => chaos::run_external(addr, scale),
+                None => chaos::run(scale),
             }),
             "ablations" => {
                 produced.push(appendix_c::zonemap_granularity(scale));

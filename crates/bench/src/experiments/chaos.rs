@@ -1,0 +1,429 @@
+//! Beyond the paper: the networked YCSB mix of `net_ycsb` driven
+//! *through a chaos proxy* (DESIGN.md §18) — what fault injection costs
+//! a retrying client, and proof that the exactly-once machinery holds
+//! while paying it.
+//!
+//! Each row is one fault profile (clean / drop / delay / drop+delay)
+//! with every fault decision derived from the run's seed. The client
+//! threads use [`RetryClient`] — reconnect, bounded backoff, idempotent
+//! write sessions — so every operation eventually succeeds; the
+//! faulted columns report what that persistence cost (retries,
+//! redials) next to the injected-fault count. The in-process mode then
+//! closes the loop: the shard sequence clock must equal the number of
+//! acked writes (no lost ack, no duplicate apply) and
+//! `check_integrity` must come back clean, reported in the
+//! `exactly_once` column.
+//!
+//! `run_external` drives an already-running `ldbpp_server` through a
+//! local proxy (`repro --server ADDR chaos`) — the CI chaos smoke
+//! stage's mode. The server's internals are not reachable from here,
+//! so `exactly_once` is verified by reading every acked key back over
+//! a clean connection instead of by the sequence clock.
+
+use crate::harness::{fnum, LatencyStats, Series};
+use crate::setup::{bench_opts, bench_stats, doc_of, Scale};
+use ldbpp_core::{SecondaryDb, SecondaryDbOptions};
+use ldbpp_lsm::env::MemEnv;
+use ldbpp_proto::{
+    ChaosProxy, DirectedFaults, NetFaultPlan, RetryClient, RetryPolicy, Server, ServerConfig,
+    WireValue, WriteOp,
+};
+use ldbpp_workload::TweetGenerator;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Client connections per cell.
+const CLIENTS: usize = 4;
+
+/// Records preloaded over BATCH before measurement.
+const PRELOAD: usize = 200;
+
+/// Writes per BATCH frame during the preload (one idempotency unit).
+const BATCH_SIZE: usize = 50;
+
+/// The named fault profiles of the grid. Rates are per-mille per frame
+/// in *both* directions; they are tuned so a budgeted retry client
+/// always gets through while every profile visibly bites.
+fn profiles(seed: u64) -> Vec<(&'static str, NetFaultPlan)> {
+    let drop = DirectedFaults {
+        drop_per_mille: 20,
+        ..DirectedFaults::default()
+    };
+    let delay = DirectedFaults {
+        delay_per_mille: 100,
+        delay: Duration::from_micros(500),
+        ..DirectedFaults::default()
+    };
+    let both = DirectedFaults {
+        drop_per_mille: 15,
+        delay_per_mille: 80,
+        delay: Duration::from_micros(500),
+        ..DirectedFaults::default()
+    };
+    let plan = |dir: &DirectedFaults| NetFaultPlan {
+        seed,
+        to_server: dir.clone(),
+        to_client: dir.clone(),
+    };
+    vec![
+        ("clean", NetFaultPlan::clean(seed)),
+        ("drop", plan(&drop)),
+        ("delay", plan(&delay)),
+        ("drop+delay", plan(&both)),
+    ]
+}
+
+fn retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 12,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(40),
+        timeout: Duration::from_millis(150),
+    }
+}
+
+/// What one cell measured, summed over its client threads.
+#[derive(Default)]
+struct CellStats {
+    lat: LatencyStats,
+    acked_puts: u64,
+    lookup_hits: u64,
+    attempts: u64,
+    retries: u64,
+    reconnects: u64,
+}
+
+/// BATCH-load the warm dataset through the proxy; returns the keys and
+/// users the measured GET/LOOKUP streams target, plus the acked write
+/// count (every batched put allocates one sequence).
+fn preload(addr: SocketAddr, seed: u64) -> (Vec<String>, Vec<String>, u64) {
+    let mut client = RetryClient::with_session(addr.to_string(), retry_policy(), seed ^ 0xb00d);
+    let mut generator = TweetGenerator::new(bench_stats(), PRELOAD, seed);
+    let mut keys = Vec::with_capacity(PRELOAD);
+    let mut users = Vec::with_capacity(PRELOAD);
+    let mut pending: Vec<WriteOp> = Vec::with_capacity(BATCH_SIZE);
+    let mut acked = 0u64;
+    for _ in 0..PRELOAD {
+        let tweet = generator.next_tweet();
+        let key = format!("warm-{}", tweet.id);
+        pending.push(WriteOp::Put {
+            pk: key.clone().into_bytes(),
+            doc: doc_of(&tweet).to_bytes(),
+        });
+        keys.push(key);
+        users.push(tweet.user.clone());
+        if pending.len() == BATCH_SIZE {
+            let n = pending.len() as u64;
+            client
+                .batch(std::mem::take(&mut pending))
+                .expect("batch load");
+            acked += n;
+        }
+    }
+    if !pending.is_empty() {
+        let n = pending.len() as u64;
+        client.batch(pending).expect("batch load tail");
+        acked += n;
+    }
+    (keys, users, acked)
+}
+
+/// One client thread's measured stream: the 70/20/10 PUT/GET/LOOKUP mix
+/// of `net_ycsb`, but through a [`RetryClient`] so injected faults cost
+/// retries rather than failures.
+fn client_stream(
+    addr: SocketAddr,
+    thread: usize,
+    ops: usize,
+    seed: u64,
+    keys: &[String],
+    users: &[String],
+) -> CellStats {
+    let session = seed ^ ((thread as u64 + 1) << 40);
+    let mut client = RetryClient::with_session(addr.to_string(), retry_policy(), session);
+    let mut generator = TweetGenerator::new(bench_stats(), ops, seed ^ ((thread as u64) << 32));
+    let mut rng = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (thread as u64 + 1);
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+    let mut stats = CellStats::default();
+    for _ in 0..ops {
+        let op = next() % 10;
+        let started = Instant::now();
+        match op {
+            0..=6 => {
+                let tweet = generator.next_tweet();
+                let key = format!("c{thread}-{}", tweet.id);
+                client
+                    .put(key.as_bytes(), &doc_of(&tweet).to_bytes())
+                    .expect("put through chaos");
+                stats.acked_puts += 1;
+            }
+            7..=8 => {
+                let key = &keys[next() as usize % keys.len()];
+                let got = client.get(key.as_bytes()).expect("get through chaos");
+                assert!(got.is_some(), "preloaded key {key} missing");
+            }
+            _ => {
+                let user = &users[next() as usize % users.len()];
+                let hits = client
+                    .lookup("UserID", WireValue::Str(user.clone()), Some(10))
+                    .expect("lookup through chaos");
+                stats.lookup_hits += hits.len() as u64;
+            }
+        }
+        stats.lat.record(started.elapsed());
+    }
+    let retry = client.retry_stats();
+    stats.attempts = retry.attempts;
+    stats.retries = retry.retries;
+    stats.reconnects = retry.reconnects;
+    stats
+}
+
+/// Drive the mix through the proxy at `addr`; returns the merged cell
+/// stats, the measured-phase wall time, and the preloaded keys (for
+/// clean-link read-back verification). `acked_writes` accumulates
+/// every write the workload got acked (preload included).
+fn drive(
+    addr: SocketAddr,
+    total_ops: usize,
+    seed: u64,
+    acked_writes: &mut u64,
+) -> (CellStats, Duration, Vec<String>) {
+    let (keys, users, preloaded) = preload(addr, seed);
+    *acked_writes += preloaded;
+    let per_client = (total_ops / CLIENTS).max(1);
+    let started = Instant::now();
+    let mut merged = CellStats::default();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|t| {
+                let (keys, users) = (&keys, &users);
+                s.spawn(move || client_stream(addr, t, per_client, seed, keys, users))
+            })
+            .collect();
+        for h in handles {
+            let cell = h.join().expect("client thread");
+            merged.lat.merge(&cell.lat);
+            merged.acked_puts += cell.acked_puts;
+            merged.lookup_hits += cell.lookup_hits;
+            merged.attempts += cell.attempts;
+            merged.retries += cell.retries;
+            merged.reconnects += cell.reconnects;
+        }
+    });
+    let elapsed = started.elapsed();
+    *acked_writes += merged.acked_puts;
+    (merged, elapsed, keys)
+}
+
+fn headers() -> [&'static str; 10] {
+    [
+        "profile",
+        "clients",
+        "ops",
+        "kops_s",
+        "p50_us",
+        "p99_us",
+        "retries",
+        "reconnects",
+        "faults",
+        "exactly_once",
+    ]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn row(
+    profile: &str,
+    stats: &CellStats,
+    elapsed: Duration,
+    faults: u64,
+    exactly_once: &str,
+) -> Vec<String> {
+    let ops = stats.lat.len();
+    vec![
+        profile.to_string(),
+        CLIENTS.to_string(),
+        ops.to_string(),
+        fnum(ops as f64 / elapsed.as_secs_f64() / 1e3),
+        fnum(stats.lat.percentile_us(0.50)),
+        fnum(stats.lat.percentile_us(0.99)),
+        stats.retries.to_string(),
+        stats.reconnects.to_string(),
+        faults.to_string(),
+        exactly_once.to_string(),
+    ]
+}
+
+/// The in-process grid: a fresh 2-shard `MemEnv` server per profile,
+/// with the sequence-clock exactly-once check and a final integrity
+/// sweep closing each row.
+pub fn run(scale: Scale) -> Series {
+    let mut series = Series::new(
+        "chaos",
+        "Networked YCSB mix through a chaos proxy: fault profiles vs retry cost, \
+         with the exactly-once invariant checked per row",
+        &headers(),
+    );
+    let total_ops = (scale.mixed_ops / 8).max(400);
+    for (profile, plan) in profiles(scale.seed) {
+        let db = Arc::new(
+            SecondaryDb::open(
+                MemEnv::new(),
+                "db",
+                SecondaryDbOptions {
+                    base: bench_opts(),
+                    shards: 2,
+                    ..Default::default()
+                },
+                &[("UserID", ldbpp_core::IndexKind::LazyStandalone)],
+            )
+            .expect("open database"),
+        );
+        let handle = Server::start(
+            Arc::clone(&db),
+            "127.0.0.1:0",
+            ServerConfig {
+                read_poll: Duration::from_millis(10),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start server");
+        let mut proxy = ChaosProxy::start(handle.local_addr(), plan).expect("start proxy");
+        let mut acked_writes = 0u64;
+        let (stats, elapsed, _keys) =
+            drive(proxy.local_addr(), total_ops, scale.seed, &mut acked_writes);
+        let faults = proxy.stats().faults_injected();
+        proxy.stop();
+
+        // Graceful shutdown over a clean connection, then the invariant.
+        let mut ctl = RetryClient::with_session(
+            handle.local_addr().to_string(),
+            retry_policy(),
+            scale.seed ^ 0xc7f,
+        );
+        let _ = ctl.call(&ldbpp_proto::Request::Shutdown);
+        handle.join().expect("join server");
+        let seq_clock = (0..db.shard_count())
+            .filter_map(|i| db.shard_primary(i))
+            .map(|d| d.last_sequence())
+            .max()
+            .unwrap_or(0);
+        assert_eq!(
+            seq_clock, acked_writes,
+            "{profile}: sequence clock disagrees with acked writes"
+        );
+        db.wait_for_background_idle().expect("quiesce");
+        assert!(
+            db.check_integrity().is_clean(),
+            "{profile}: integrity violations after chaos"
+        );
+        series.push(row(profile, &stats, elapsed, faults, "yes"));
+    }
+    series
+}
+
+/// One proxy-per-profile pass against an external, already-running
+/// server — the CI chaos smoke stage's mode. Exactly-once is verified
+/// by reading every acked key back over a clean (un-proxied)
+/// connection; the server's sequence clock is not reachable from here.
+pub fn run_external(addr: &str, scale: Scale) -> Series {
+    let upstream: SocketAddr = addr.parse().expect("--server must be host:port");
+    let mut series = Series::new(
+        "chaos_external",
+        "Networked YCSB mix through a chaos proxy against an external ldbpp_server",
+        &headers(),
+    );
+    let total_ops = (scale.mixed_ops / 8).max(400);
+    for (profile, plan) in [
+        ("clean", NetFaultPlan::clean(scale.seed)),
+        (
+            "drop+delay",
+            profiles(scale.seed).pop().expect("profiles is non-empty").1,
+        ),
+    ] {
+        let mut proxy = ChaosProxy::start(upstream, plan).expect("start proxy");
+        let mut acked_writes = 0u64;
+        let (stats, elapsed, keys) =
+            drive(proxy.local_addr(), total_ops, scale.seed, &mut acked_writes);
+        let faults = proxy.stats().faults_injected();
+        proxy.stop();
+
+        // Clean-link verification: every acked preload key must still
+        // read back once the chaos is gone.
+        let mut direct =
+            RetryClient::with_session(upstream.to_string(), retry_policy(), scale.seed ^ 0xfee1);
+        for key in &keys {
+            let got = direct.get(key.as_bytes()).expect("verify get");
+            assert!(got.is_some(), "{profile}: acked key {key} lost after chaos");
+        }
+        series.push(row(profile, &stats, elapsed, faults, "read-back"));
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_profile_cell_is_sound() {
+        // One in-process cell under the drop profile at a tiny scale:
+        // the mix must complete, the exactly-once invariant must hold,
+        // and the proxy must have actually dropped something (20‰ over
+        // hundreds of frames makes an all-clean run a broken injector,
+        // not bad luck).
+        let db = Arc::new(
+            SecondaryDb::open(
+                MemEnv::new(),
+                "db",
+                SecondaryDbOptions {
+                    base: bench_opts(),
+                    shards: 2,
+                    ..Default::default()
+                },
+                &[("UserID", ldbpp_core::IndexKind::LazyStandalone)],
+            )
+            .expect("open"),
+        );
+        let handle = Server::start(
+            Arc::clone(&db),
+            "127.0.0.1:0",
+            ServerConfig {
+                read_poll: Duration::from_millis(10),
+                ..ServerConfig::default()
+            },
+        )
+        .expect("start");
+        let plan = profiles(7)
+            .into_iter()
+            .find(|(name, _)| *name == "drop")
+            .expect("drop profile exists")
+            .1;
+        let mut proxy = ChaosProxy::start(handle.local_addr(), plan).expect("proxy");
+        let mut acked_writes = 0u64;
+        let (stats, elapsed, _keys) = drive(proxy.local_addr(), 200, 7, &mut acked_writes);
+        let faults = proxy.stats().faults_injected();
+        proxy.stop();
+        assert_eq!(stats.lat.len(), 200);
+        assert!(faults > 0, "the drop profile never dropped a frame");
+        assert!(elapsed.as_secs_f64() > 0.0);
+
+        let mut ctl =
+            RetryClient::with_session(handle.local_addr().to_string(), retry_policy(), 0xc7f);
+        let _ = ctl.call(&ldbpp_proto::Request::Shutdown);
+        handle.join().expect("join");
+        let seq_clock = (0..db.shard_count())
+            .filter_map(|i| db.shard_primary(i))
+            .map(|d| d.last_sequence())
+            .max()
+            .unwrap_or(0);
+        assert_eq!(seq_clock, acked_writes, "lost ack or duplicate apply");
+        assert!(db.check_integrity().is_clean());
+    }
+}

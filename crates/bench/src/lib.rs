@@ -16,6 +16,7 @@ pub mod setup;
 pub mod experiments {
     //! One module per paper artifact.
     pub mod appendix_c;
+    pub mod chaos;
     pub mod fig10_11;
     pub mod fig12_15;
     pub mod fig7;

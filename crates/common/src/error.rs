@@ -25,6 +25,14 @@ pub enum Error {
     /// callers can distinguish a full disk (retryable after freeing space,
     /// never a data-integrity problem) from arbitrary I/O failures.
     NoSpace(String),
+    /// The server (or a shared resource) is overloaded and shed this
+    /// request. Transient by construction: the operation was *not*
+    /// executed and may be retried after a backoff.
+    Busy(String),
+    /// An operation exceeded its deadline (socket read/write timeout,
+    /// stalled peer). The outcome of the in-flight operation is unknown,
+    /// so retries must be idempotent.
+    Timeout(String),
 }
 
 impl Error {
@@ -77,6 +85,39 @@ impl Error {
     pub fn no_space(msg: impl Into<String>) -> Self {
         Error::NoSpace(msg.into())
     }
+
+    /// True if this error is [`Error::Busy`].
+    pub fn is_busy(&self) -> bool {
+        matches!(self, Error::Busy(_))
+    }
+
+    /// Convenience constructor for [`Error::Busy`].
+    pub fn busy(msg: impl Into<String>) -> Self {
+        Error::Busy(msg.into())
+    }
+
+    /// True if this error is [`Error::Timeout`].
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, Error::Timeout(_))
+    }
+
+    /// Convenience constructor for [`Error::Timeout`].
+    pub fn timeout(msg: impl Into<String>) -> Self {
+        Error::Timeout(msg.into())
+    }
+
+    /// True if a client may safely retry the operation that produced this
+    /// error (after reconnecting and backing off).
+    ///
+    /// `Busy` means the request was shed before execution; `Timeout` means
+    /// the outcome is unknown, which is safe to retry only because writes
+    /// carry idempotency ids (see the `ldbpp-proto` retry layer). All other
+    /// categories are treated as fatal for the *request*: they describe a
+    /// property of the arguments or of stored data that a retry cannot
+    /// change.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::Busy(_) | Error::Timeout(_))
+    }
 }
 
 impl fmt::Display for Error {
@@ -88,6 +129,8 @@ impl fmt::Display for Error {
             Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
             Error::Io(m) => write!(f, "io error: {m}"),
             Error::NoSpace(m) => write!(f, "no space: {m}"),
+            Error::Busy(m) => write!(f, "busy: {m}"),
+            Error::Timeout(m) => write!(f, "timeout: {m}"),
         }
     }
 }
@@ -139,6 +182,22 @@ mod tests {
         assert!(Error::from(io).is_not_found());
         let io = std::io::Error::other("boom");
         assert!(matches!(Error::from(io), Error::Io(_)));
+    }
+
+    #[test]
+    fn busy_and_timeout_are_retryable() {
+        let b = Error::busy("shed");
+        assert!(b.is_busy());
+        assert!(b.is_retryable());
+        assert!(!b.is_io());
+        assert_eq!(b.to_string(), "busy: shed");
+        let t = Error::timeout("read deadline");
+        assert!(t.is_timeout());
+        assert!(t.is_retryable());
+        assert_eq!(t.to_string(), "timeout: read deadline");
+        assert!(!Error::io("reset").is_retryable());
+        assert!(!Error::corruption("crc").is_retryable());
+        assert!(!Error::no_space("full").is_retryable());
     }
 
     #[test]

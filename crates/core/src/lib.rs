@@ -27,4 +27,6 @@ pub mod topk;
 pub use doc::{Document, JsonAttrExtractor};
 pub use indexes::{IndexKind, LookupHit};
 pub use ldbpp_lsm::check::{CheckCode, IntegrityReport, Violation};
-pub use secondary_db::{shard_layout, HealReport, SecondaryDb, SecondaryDbOptions};
+pub use secondary_db::{
+    shard_layout, DegradedStats, HealReport, Partial, ReadMode, SecondaryDb, SecondaryDbOptions,
+};

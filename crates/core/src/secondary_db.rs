@@ -38,7 +38,66 @@ use ldbpp_lsm::attr::AttrValue;
 use ldbpp_lsm::check::{CheckCode, IntegrityReport};
 use ldbpp_lsm::db::{Db, DbOptions, SharedSequence};
 use ldbpp_lsm::env::{Env, IoSnapshot, MemEnv};
+use ldbpp_lsm::sync::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// How a scatter-gather read treats a failing shard (DESIGN.md §18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadMode {
+    /// Any shard error fails the whole read (the historical behavior):
+    /// the caller either sees the complete answer or an error.
+    #[default]
+    Strict,
+    /// Opt-in availability-over-completeness: shards that cannot be read
+    /// — their query errors, or their engine carries a sticky
+    /// [`fatal_error`](ldbpp_lsm::db::Db::fatal_error) poison — are
+    /// skipped, and the surviving shards' results are returned tagged
+    /// with the failed-shard set. Only an *all*-shards failure is an
+    /// error.
+    Degraded,
+}
+
+/// A scatter-gather result that may be missing some shards' contribution.
+///
+/// `failed_shards` is empty for a complete result; a non-empty set means
+/// `value` is correct for every shard *not* listed — records routed to a
+/// failed shard are simply absent, never wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partial<T> {
+    /// The merged result from the shards that answered.
+    pub value: T,
+    /// Indexes of shards whose contribution is missing.
+    pub failed_shards: Vec<usize>,
+}
+
+impl<T> Partial<T> {
+    /// A result every shard contributed to.
+    pub fn complete(value: T) -> Partial<T> {
+        Partial {
+            value,
+            failed_shards: Vec::new(),
+        }
+    }
+
+    /// True when no shard failed.
+    pub fn is_complete(&self) -> bool {
+        self.failed_shards.is_empty()
+    }
+}
+
+/// Rows of a primary-key range scan: `(key, document)` pairs in key
+/// order.
+pub type ScanRows = Vec<(Vec<u8>, Document)>;
+
+/// Degraded-read counters (surfaced through the server's STATS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradedStats {
+    /// Degraded-mode reads that returned with at least one shard missing.
+    pub degraded_reads: u64,
+    /// Individual shard failures skipped by degraded reads (≥
+    /// `degraded_reads`; one read can lose several shards).
+    pub failed_shard_reads: u64,
+}
 
 /// Configuration for a [`SecondaryDb`].
 #[derive(Clone, Debug)]
@@ -642,6 +701,10 @@ pub struct SecondaryDb {
     /// Present iff `shards.len() > 1`: the cross-shard sequence clock
     /// that keeps top-K recency ordering globally meaningful.
     clock: Option<Arc<SharedSequence>>,
+    /// Degraded reads that returned partial results.
+    degraded_reads: AtomicU64,
+    /// Shard failures skipped by degraded reads.
+    failed_shard_reads: AtomicU64,
 }
 
 impl SecondaryDb {
@@ -707,7 +770,12 @@ impl SecondaryDb {
                 clock.clone(),
             )?);
         }
-        Ok(SecondaryDb { shards, clock })
+        Ok(SecondaryDb {
+            shards,
+            clock,
+            degraded_reads: AtomicU64::new(0),
+            failed_shard_reads: AtomicU64::new(0),
+        })
     }
 
     /// Open in a fresh in-memory environment (tests, examples, benches).
@@ -784,22 +852,24 @@ impl SecondaryDb {
     }
 
     /// Run `query` against every shard — in parallel when there is more
-    /// than one — and collect the per-shard results *in shard order*, so
-    /// downstream merges are deterministic. The first shard error aborts
-    /// the gather; a panicking shard thread is resumed on the caller.
-    fn scatter<T, F>(&self, query: F) -> Result<Vec<T>>
+    /// than one — and collect every per-shard outcome *in shard order*,
+    /// so downstream merges are deterministic. No short-circuiting: a
+    /// failing shard's error sits in its slot (degraded reads need to
+    /// know *which* shards failed); a panicking shard thread is resumed
+    /// on the caller.
+    fn scatter_results<T, F>(&self, query: F) -> Vec<Result<T>>
     where
         T: Send,
         F: Fn(&EngineShard) -> Result<T> + Sync,
     {
         if self.shards.len() == 1 {
-            return Ok(vec![query(&self.shards[0])?]);
+            return vec![query(&self.shards[0])];
         }
         // The crossbeam shim's scope: identical to `std::thread::scope` in
         // the default build; under the model checker each scatter child is
         // registered as a model thread, so the explorer interleaves the
         // per-shard reads against concurrent writers.
-        let results: Vec<Result<T>> = crossbeam::thread::scope(|scope| {
+        crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
@@ -816,8 +886,64 @@ impl SecondaryDb {
                 })
                 .collect()
         })
-        .expect("scatter scope never fails");
-        results.into_iter().collect()
+        .expect("scatter scope never fails")
+    }
+
+    /// Strict scatter: the first shard error fails the whole gather.
+    fn scatter<T, F>(&self, query: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&EngineShard) -> Result<T> + Sync,
+    {
+        self.scatter_results(query).into_iter().collect()
+    }
+
+    /// Scatter under a [`ReadMode`]. Strict delegates to
+    /// [`SecondaryDb::scatter`]; degraded drops failing shards — a shard
+    /// counts as failed when its query errors or its engine is poisoned
+    /// by a sticky fatal error (its answer could not be trusted to be
+    /// current) — and reports which. All shards failing is still an
+    /// error (the first one), not an empty success.
+    fn scatter_mode<T, F>(&self, mode: ReadMode, query: F) -> Result<Partial<Vec<T>>>
+    where
+        T: Send,
+        F: Fn(&EngineShard) -> Result<T> + Sync,
+    {
+        if mode == ReadMode::Strict {
+            return self.scatter(query).map(Partial::complete);
+        }
+        let outcomes = self.scatter_results(|shard| {
+            if let Some(fatal) = shard.primary.fatal_error() {
+                return Err(Error::io(format!("shard poisoned: {fatal}")));
+            }
+            query(shard)
+        });
+        let mut value = Vec::with_capacity(outcomes.len());
+        let mut failed_shards = Vec::new();
+        let mut first_err = None;
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(v) => value.push(v),
+                Err(e) => {
+                    failed_shards.push(i);
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if value.is_empty() {
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+        }
+        if !failed_shards.is_empty() {
+            self.degraded_reads.fetch_add(1, Ordering::Relaxed);
+            self.failed_shard_reads
+                .fetch_add(failed_shards.len() as u64, Ordering::Relaxed);
+        }
+        Ok(Partial {
+            value,
+            failed_shards,
+        })
     }
 
     // -- Table 1 operations --------------------------------------------------
@@ -878,6 +1004,19 @@ impl SecondaryDb {
         self.lookup_attr(attr, &attr_from_json(value)?, k)
     }
 
+    /// [`SecondaryDb::lookup`] under an explicit [`ReadMode`]. In
+    /// degraded mode the result may be partial; inspect
+    /// [`Partial::failed_shards`].
+    pub fn lookup_mode(
+        &self,
+        attr: &str,
+        value: &Value,
+        k: Option<usize>,
+        mode: ReadMode,
+    ) -> Result<Partial<Vec<LookupHit>>> {
+        self.lookup_attr_mode(attr, &attr_from_json(value)?, k, mode)
+    }
+
     /// Typed variant of [`SecondaryDb::lookup`].
     pub fn lookup_attr(
         &self,
@@ -885,8 +1024,23 @@ impl SecondaryDb {
         value: &AttrValue,
         k: Option<usize>,
     ) -> Result<Vec<LookupHit>> {
-        let per_shard = self.scatter(|shard| shard.lookup_attr(attr, value, k))?;
-        Ok(merge_newest_first(per_shard, k, |h| h.seq))
+        self.lookup_attr_mode(attr, value, k, ReadMode::Strict)
+            .map(|p| p.value)
+    }
+
+    /// Typed variant of [`SecondaryDb::lookup_mode`].
+    pub fn lookup_attr_mode(
+        &self,
+        attr: &str,
+        value: &AttrValue,
+        k: Option<usize>,
+        mode: ReadMode,
+    ) -> Result<Partial<Vec<LookupHit>>> {
+        let per_shard = self.scatter_mode(mode, |shard| shard.lookup_attr(attr, value, k))?;
+        Ok(Partial {
+            value: merge_newest_first(per_shard.value, k, |h| h.seq),
+            failed_shards: per_shard.failed_shards,
+        })
     }
 
     /// `RANGELOOKUP(A, a, b, K)`: the K most recent records with
@@ -902,6 +1056,18 @@ impl SecondaryDb {
         self.range_lookup_attr(attr, &attr_from_json(lo)?, &attr_from_json(hi)?, k)
     }
 
+    /// [`SecondaryDb::range_lookup`] under an explicit [`ReadMode`].
+    pub fn range_lookup_mode(
+        &self,
+        attr: &str,
+        lo: &Value,
+        hi: &Value,
+        k: Option<usize>,
+        mode: ReadMode,
+    ) -> Result<Partial<Vec<LookupHit>>> {
+        self.range_lookup_attr_mode(attr, &attr_from_json(lo)?, &attr_from_json(hi)?, k, mode)
+    }
+
     /// Typed variant of [`SecondaryDb::range_lookup`].
     pub fn range_lookup_attr(
         &self,
@@ -910,11 +1076,28 @@ impl SecondaryDb {
         hi: &AttrValue,
         k: Option<usize>,
     ) -> Result<Vec<LookupHit>> {
+        self.range_lookup_attr_mode(attr, lo, hi, k, ReadMode::Strict)
+            .map(|p| p.value)
+    }
+
+    /// Typed variant of [`SecondaryDb::range_lookup_mode`].
+    pub fn range_lookup_attr_mode(
+        &self,
+        attr: &str,
+        lo: &AttrValue,
+        hi: &AttrValue,
+        k: Option<usize>,
+        mode: ReadMode,
+    ) -> Result<Partial<Vec<LookupHit>>> {
         if lo > hi {
             return Err(Error::invalid("inverted range"));
         }
-        let per_shard = self.scatter(|shard| shard.range_lookup_attr(attr, lo, hi, k))?;
-        Ok(merge_newest_first(per_shard, k, |h| h.seq))
+        let per_shard =
+            self.scatter_mode(mode, |shard| shard.range_lookup_attr(attr, lo, hi, k))?;
+        Ok(Partial {
+            value: merge_newest_first(per_shard.value, k, |h| h.seq),
+            failed_shards: per_shard.failed_shards,
+        })
     }
 
     /// Range scan over **primary keys** in `[lo, hi]` (inclusive),
@@ -929,6 +1112,20 @@ impl SecondaryDb {
         hi: impl AsRef<[u8]>,
         limit: Option<usize>,
     ) -> Result<Vec<(Vec<u8>, Document)>> {
+        self.scan_primary_mode(lo, hi, limit, ReadMode::Strict)
+            .map(|p| p.value)
+    }
+
+    /// [`SecondaryDb::scan_primary`] under an explicit [`ReadMode`]: in
+    /// degraded mode, keys routed to a failed shard are absent from the
+    /// scan and the shard is listed in [`Partial::failed_shards`].
+    pub fn scan_primary_mode(
+        &self,
+        lo: impl AsRef<[u8]>,
+        hi: impl AsRef<[u8]>,
+        limit: Option<usize>,
+        mode: ReadMode,
+    ) -> Result<Partial<ScanRows>> {
         let (lo, hi) = (lo.as_ref(), hi.as_ref());
         if lo > hi {
             return Err(Error::invalid("inverted range"));
@@ -940,8 +1137,12 @@ impl SecondaryDb {
         // pin is at or below it; anything allocated after is above it.
         // Single-shard scans read one engine and need no pin.
         let snapshot = self.clock.as_ref().map(|c| c.current());
-        let per_shard = self.scatter(|shard| shard.scan_primary(lo, hi, limit, snapshot))?;
-        Ok(merge_key_ordered(per_shard, limit, |(key, _)| key.clone()))
+        let per_shard =
+            self.scatter_mode(mode, |shard| shard.scan_primary(lo, hi, limit, snapshot))?;
+        Ok(Partial {
+            value: merge_key_ordered(per_shard.value, limit, |(key, _)| key.clone()),
+            failed_shards: per_shard.failed_shards,
+        })
     }
 
     /// Conjunctive multi-attribute lookup: the K most recent records
@@ -1148,5 +1349,13 @@ impl SecondaryDb {
     /// Combined I/O snapshot of every shard's primary table.
     pub fn primary_io(&self) -> IoSnapshot {
         IoSnapshot::merge(self.shards.iter().map(|s| s.primary.stats().snapshot()))
+    }
+
+    /// Degraded-read counters since open.
+    pub fn degraded_stats(&self) -> DegradedStats {
+        DegradedStats {
+            degraded_reads: self.degraded_reads.load(Ordering::Relaxed),
+            failed_shard_reads: self.failed_shard_reads.load(Ordering::Relaxed),
+        }
     }
 }

@@ -1,0 +1,193 @@
+//! Degraded scatter-gather reads (DESIGN.md §18): when a shard is
+//! write-poisoned (its WAL append failed, setting the engine's sticky
+//! fatal error), [`ReadMode::Degraded`] skips it and reports it in
+//! [`Partial::failed_shards`] instead of failing the whole query, while
+//! [`ReadMode::Strict`] keeps the historical all-or-nothing contract.
+
+use std::sync::Arc;
+
+use ldbpp_common::json::Value;
+use ldbpp_core::secondary_db::{ReadMode, SecondaryDb, SecondaryDbOptions};
+use ldbpp_core::{Document, IndexKind};
+use ldbpp_lsm::db::DbOptions;
+use ldbpp_lsm::env::{FaultEnv, FaultPlan, MemEnv};
+
+const USERS: &str = "UserID";
+const SCORE: &str = "Score";
+
+fn open(shards: usize) -> (Arc<FaultEnv>, SecondaryDb) {
+    let fault = FaultEnv::new(MemEnv::new());
+    let db = SecondaryDb::open(
+        fault.clone(),
+        "db",
+        SecondaryDbOptions {
+            base: DbOptions::small(),
+            shards,
+            ..Default::default()
+        },
+        &[
+            (USERS, IndexKind::LazyStandalone),
+            (SCORE, IndexKind::CompositeStandalone),
+        ],
+    )
+    .expect("open sharded db");
+    (fault, db)
+}
+
+fn doc(user: &str, score: i64) -> Document {
+    let mut d = Document::new();
+    d.set(USERS, Value::str(user)).set(SCORE, Value::Int(score));
+    d
+}
+
+/// Write `n` documents with a shared indexed value and return the keys
+/// grouped by shard.
+fn seed_keys(db: &SecondaryDb, n: usize) -> Vec<Vec<String>> {
+    let mut by_shard = vec![Vec::new(); db.shard_count()];
+    for i in 0..n {
+        let key = format!("pk-{i:03}");
+        db.put(key.as_bytes(), &doc("u1", i as i64)).expect("put");
+        by_shard[db.shard_of(key.as_bytes())].push(key);
+    }
+    by_shard
+}
+
+/// Fail the next mutating I/O under `shard-{i}/`, then issue a write
+/// routed there so the engine records its sticky fatal error. The
+/// trailing slash keeps `shard-1/` from also matching the index
+/// tables' `shard-1_idx_*` directories.
+fn poison_shard(fault: &FaultEnv, db: &SecondaryDb, shard: usize) {
+    fault.set_plan(FaultPlan {
+        crash_at: Some(0),
+        match_path: Some(format!("shard-{shard}/")),
+        ..FaultPlan::default()
+    });
+    let key = (0..256)
+        .map(|i| format!("poison-{i}"))
+        .find(|k| db.shard_of(k.as_bytes()) == shard)
+        .expect("a key routed to the target shard");
+    let err = db.put(key.as_bytes(), &doc("ux", -1)).unwrap_err();
+    assert!(err.is_io(), "poisoning write fails with Io: {err}");
+    fault.clear_plan();
+    let fatal = db.shard_primary(shard).expect("shard exists").fatal_error();
+    assert!(fatal.is_some(), "the failed WAL append must stick");
+}
+
+#[test]
+fn degraded_lookup_skips_the_poisoned_shard() {
+    let (fault, db) = open(2);
+    let by_shard = seed_keys(&db, 24);
+    assert!(
+        !by_shard[0].is_empty() && !by_shard[1].is_empty(),
+        "seed keys must land on both shards"
+    );
+    poison_shard(&fault, &db, 1);
+
+    // Strict reads keep serving: the data under the poison is intact.
+    let strict = db
+        .lookup_mode(USERS, &Value::str("u1"), None, ReadMode::Strict)
+        .expect("strict lookup");
+    assert_eq!(strict.value.len(), 24);
+    assert!(strict.failed_shards.is_empty());
+    assert!(strict.is_complete());
+
+    // Degraded reads skip the poisoned shard and report it.
+    let partial = db
+        .lookup_mode(USERS, &Value::str("u1"), None, ReadMode::Degraded)
+        .expect("degraded lookup");
+    assert_eq!(partial.failed_shards, vec![1]);
+    assert!(!partial.is_complete());
+    let mut got: Vec<String> = partial
+        .value
+        .iter()
+        .map(|h| String::from_utf8(h.key.clone()).expect("utf8 key"))
+        .collect();
+    got.sort();
+    let mut want = by_shard[0].clone();
+    want.sort();
+    assert_eq!(got, want, "exactly the healthy shard's records survive");
+
+    let stats = db.degraded_stats();
+    assert_eq!(stats.degraded_reads, 1);
+    assert_eq!(stats.failed_shard_reads, 1);
+}
+
+#[test]
+fn degraded_range_lookup_and_scan_report_the_failed_shard() {
+    let (fault, db) = open(2);
+    let by_shard = seed_keys(&db, 24);
+    poison_shard(&fault, &db, 1);
+
+    let partial = db
+        .range_lookup_mode(
+            SCORE,
+            &Value::Int(0),
+            &Value::Int(1000),
+            None,
+            ReadMode::Degraded,
+        )
+        .expect("degraded range lookup");
+    assert_eq!(partial.failed_shards, vec![1]);
+    assert_eq!(partial.value.len(), by_shard[0].len());
+
+    let scan = db
+        .scan_primary_mode(
+            b"pk-".as_ref(),
+            b"pk-\xff".as_ref(),
+            None,
+            ReadMode::Degraded,
+        )
+        .expect("degraded scan");
+    assert_eq!(scan.failed_shards, vec![1]);
+    let mut got: Vec<String> = scan
+        .value
+        .iter()
+        .map(|(k, _)| String::from_utf8(k.clone()).expect("utf8 key"))
+        .collect();
+    got.sort();
+    let mut want = by_shard[0].clone();
+    want.sort();
+    assert_eq!(got, want, "keys routed to the failed shard are absent");
+
+    // Strict variants still answer in full.
+    let strict = db
+        .scan_primary(b"pk-".as_ref(), b"pk-\xff".as_ref(), None)
+        .expect("strict scan");
+    assert_eq!(strict.len(), 24);
+
+    let stats = db.degraded_stats();
+    assert_eq!(stats.degraded_reads, 2);
+    assert_eq!(stats.failed_shard_reads, 2);
+}
+
+#[test]
+fn healthy_degraded_reads_are_complete_and_uncounted() {
+    let (_fault, db) = open(2);
+    seed_keys(&db, 12);
+
+    let partial = db
+        .lookup_mode(USERS, &Value::str("u1"), None, ReadMode::Degraded)
+        .expect("degraded lookup on a healthy db");
+    assert!(partial.is_complete());
+    assert_eq!(partial.value.len(), 12);
+
+    let stats = db.degraded_stats();
+    assert_eq!(stats.degraded_reads, 0, "complete reads are not degraded");
+    assert_eq!(stats.failed_shard_reads, 0);
+}
+
+#[test]
+fn all_shards_failed_is_an_error_not_an_empty_success() {
+    let (fault, db) = open(2);
+    seed_keys(&db, 12);
+    poison_shard(&fault, &db, 0);
+    poison_shard(&fault, &db, 1);
+
+    let err = db
+        .lookup_mode(USERS, &Value::str("u1"), None, ReadMode::Degraded)
+        .unwrap_err();
+    assert!(
+        err.is_io(),
+        "with no healthy shard the first failure surfaces: {err}"
+    );
+}

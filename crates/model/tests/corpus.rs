@@ -78,7 +78,7 @@ fn corpus_cleanup_before_tombstone() {
 fn corpus_drain_late_registration() {
     let _g = ldbpp_model::exclusive();
     assert_replays(
-        "v1:0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.1.1.1.1.1.1.1.1.0.0.0:fc08e71c",
+        "v1:0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.0.1.1.1.1.1.1.1.1.1.1.0.0.0.0:b6cd7643",
         drain::drain(true),
         "late-register",
         "acknowledged",

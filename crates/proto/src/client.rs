@@ -4,9 +4,13 @@
 //! (send frame, read the matching response). Request ids are assigned
 //! from a per-connection counter and verified against the echoed id, so
 //! a desynchronized stream is detected instead of silently mismatching
-//! answers. The raw [`Client::send_raw`] / [`Client::read_response`]
-//! escape hatches exist for protocol tests that need to put malformed
-//! bytes on the wire.
+//! answers. After any transport failure (socket error, read deadline,
+//! corrupt or mismatched response) the connection is marked *desynced*:
+//! further calls fail fast with a typed error instead of reading frames
+//! that may belong to an earlier request. [`Client::is_desynced`] lets a
+//! retry layer detect this and reconnect. The raw [`Client::send_raw`] /
+//! [`Client::read_response`] escape hatches exist for protocol tests
+//! that need to put malformed bytes on the wire.
 
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -14,7 +18,7 @@ use std::time::Duration;
 
 use ldbpp_common::{Error, Result};
 
-use crate::wire::{read_frame, Hit, Request, Response, WireValue, WriteOp};
+use crate::wire::{io_to_error, read_frame, Hit, Request, Response, WireValue, WriteOp};
 
 /// Default per-call read timeout. Generous because a `STATS` with
 /// integrity check or a `SHUTDOWN` drain can legitimately take seconds.
@@ -24,6 +28,7 @@ pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    desynced: bool,
 }
 
 impl Client {
@@ -44,7 +49,11 @@ impl Client {
         stream
             .set_write_timeout(Some(timeout))
             .map_err(|e| Error::io(format!("set_write_timeout: {e}")))?;
-        Ok(Client { stream, next_id: 1 })
+        Ok(Client {
+            stream,
+            next_id: 1,
+            desynced: false,
+        })
     }
 
     /// Change the read/write timeout of an open connection.
@@ -55,21 +64,69 @@ impl Client {
             .map_err(|e| Error::io(format!("set timeout: {e}")))
     }
 
+    /// True once a transport failure (timeout, socket error, corrupt or
+    /// mismatched response) has made the framing on this connection
+    /// untrustworthy. A desynced client refuses further calls — the only
+    /// recovery is a fresh connection.
+    pub fn is_desynced(&self) -> bool {
+        self.desynced
+    }
+
+    /// Mark the connection desynced and pass the error through.
+    fn desync(&mut self, e: Error) -> Error {
+        self.desynced = true;
+        e
+    }
+
     /// Send one request and return the raw [`Response`]. Error responses
     /// are returned as `Ok(Response::Err { .. })`; transport failures as
     /// `Err`. Most callers want the typed wrappers below instead.
     pub fn call(&mut self, req: &Request) -> Result<Response> {
         let id = self.next_id;
         self.next_id += 1;
+        self.call_with_id(id, req)
+    }
+
+    /// Like [`Client::call`] but with a caller-chosen request id, so a
+    /// retry layer can resend the *same* id after reconnecting and have
+    /// the server's dedup window recognize the attempt.
+    pub fn call_with_id(&mut self, id: u64, req: &Request) -> Result<Response> {
+        if self.desynced {
+            return Err(Error::io(
+                "connection desynced by an earlier transport failure; reconnect required",
+            ));
+        }
         let frame = req.encode(id);
         self.stream
             .write_all(&frame)
-            .map_err(|e| Error::io(format!("send request: {e}")))?;
-        let (got_id, resp) = self.read_response()?;
+            .map_err(|e| self.desync(io_to_error("send request", &e)))?;
+        let (got_id, resp) = match self.read_response() {
+            Ok(v) => v,
+            Err(e) => return Err(self.desync(e)),
+        };
         if got_id != id {
-            return Err(Error::corruption(format!(
+            // Response id 0 is reserved: the server uses it for error
+            // replies to frames whose id it could not trust or read at
+            // all (CRC failure, connection-limit reject). A `Busy`
+            // reject is surfaced as such so the retry layer backs off
+            // instead of treating it as corruption; every other id-0
+            // error stays a (retryable) corruption — e.g. a CRC reject
+            // means our frame was garbled in transit and never
+            // executed. Either way our request was not the one
+            // answered, so the stream is desynced.
+            if got_id == 0 {
+                if let Response::Err {
+                    code: crate::wire::ErrorCode::Busy,
+                    message,
+                    ..
+                } = resp
+                {
+                    return Err(self.desync(crate::wire::ErrorCode::Busy.to_error(&message)));
+                }
+            }
+            return Err(self.desync(Error::corruption(format!(
                 "response id {got_id} does not match request id {id}"
-            )));
+            ))));
         }
         Ok(resp)
     }
@@ -90,9 +147,16 @@ impl Client {
     fn expect_unit(resp: Response) -> Result<()> {
         match resp {
             Response::Ok => Ok(()),
-            Response::Err { code, message } => Err(code.to_error(&message)),
+            Response::Err { code, message, .. } => Err(code.to_error(&message)),
             other => Err(Error::corruption(format!("unexpected response {other:?}"))),
         }
+    }
+
+    /// Bind this connection to retry session `session_id` (the server
+    /// starts deduplicating write request ids under it).
+    pub fn hello(&mut self, session_id: u64) -> Result<()> {
+        let resp = self.call(&Request::Hello { session_id })?;
+        Self::expect_unit(resp)
     }
 
     /// `PUT(k, v)`: store `doc` (serialized JSON) under `pk`, returning
@@ -103,7 +167,7 @@ impl Client {
             doc: doc.to_vec(),
         })? {
             Response::Seq(seq) => Ok(seq),
-            Response::Err { code, message } => Err(code.to_error(&message)),
+            Response::Err { code, message, .. } => Err(code.to_error(&message)),
             other => Err(Error::corruption(format!("unexpected response {other:?}"))),
         }
     }
@@ -112,7 +176,7 @@ impl Client {
     pub fn get(&mut self, pk: &[u8]) -> Result<Option<Vec<u8>>> {
         match self.call(&Request::Get { pk: pk.to_vec() })? {
             Response::Doc(doc) => Ok(doc),
-            Response::Err { code, message } => Err(code.to_error(&message)),
+            Response::Err { code, message, .. } => Err(code.to_error(&message)),
             other => Err(Error::corruption(format!("unexpected response {other:?}"))),
         }
     }
@@ -125,13 +189,31 @@ impl Client {
 
     /// `LOOKUP(A, a, K)`: top-K newest records with `val(A) = a`.
     pub fn lookup(&mut self, attr: &str, value: WireValue, k: Option<u64>) -> Result<Vec<Hit>> {
+        self.lookup_mode(attr, value, k, false)
+            .map(|(hits, _)| hits)
+    }
+
+    /// `LOOKUP` with an explicit read mode. In degraded mode the second
+    /// element lists the shards the server could not read (empty =
+    /// complete result).
+    pub fn lookup_mode(
+        &mut self,
+        attr: &str,
+        value: WireValue,
+        k: Option<u64>,
+        degraded: bool,
+    ) -> Result<(Vec<Hit>, Vec<u64>)> {
         match self.call(&Request::Lookup {
             attr: attr.to_string(),
             value,
             k,
+            degraded,
         })? {
-            Response::Hits(hits) => Ok(hits),
-            Response::Err { code, message } => Err(code.to_error(&message)),
+            Response::Hits {
+                hits,
+                failed_shards,
+            } => Ok((hits, failed_shards)),
+            Response::Err { code, message, .. } => Err(code.to_error(&message)),
             other => Err(Error::corruption(format!("unexpected response {other:?}"))),
         }
     }
@@ -144,14 +226,32 @@ impl Client {
         hi: WireValue,
         k: Option<u64>,
     ) -> Result<Vec<Hit>> {
+        self.range_lookup_mode(attr, lo, hi, k, false)
+            .map(|(hits, _)| hits)
+    }
+
+    /// `RANGELOOKUP` with an explicit read mode (see
+    /// [`Client::lookup_mode`]).
+    pub fn range_lookup_mode(
+        &mut self,
+        attr: &str,
+        lo: WireValue,
+        hi: WireValue,
+        k: Option<u64>,
+        degraded: bool,
+    ) -> Result<(Vec<Hit>, Vec<u64>)> {
         match self.call(&Request::RangeLookup {
             attr: attr.to_string(),
             lo,
             hi,
             k,
+            degraded,
         })? {
-            Response::Hits(hits) => Ok(hits),
-            Response::Err { code, message } => Err(code.to_error(&message)),
+            Response::Hits {
+                hits,
+                failed_shards,
+            } => Ok((hits, failed_shards)),
+            Response::Err { code, message, .. } => Err(code.to_error(&message)),
             other => Err(Error::corruption(format!("unexpected response {other:?}"))),
         }
     }
@@ -161,7 +261,7 @@ impl Client {
     pub fn batch(&mut self, ops: Vec<WriteOp>) -> Result<(u64, u64)> {
         match self.call(&Request::Batch { ops })? {
             Response::Batch { applied, last_seq } => Ok((applied, last_seq)),
-            Response::Err { code, message } => Err(code.to_error(&message)),
+            Response::Err { code, message, .. } => Err(code.to_error(&message)),
             other => Err(Error::corruption(format!("unexpected response {other:?}"))),
         }
     }
@@ -171,7 +271,7 @@ impl Client {
     pub fn stats(&mut self, include_integrity: bool) -> Result<String> {
         match self.call(&Request::Stats { include_integrity })? {
             Response::Stats(json) => Ok(json),
-            Response::Err { code, message } => Err(code.to_error(&message)),
+            Response::Err { code, message, .. } => Err(code.to_error(&message)),
             other => Err(Error::corruption(format!("unexpected response {other:?}"))),
         }
     }

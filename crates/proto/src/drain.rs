@@ -14,12 +14,17 @@
 //! complete when `active <= shutdown_waiters`, i.e. everyone still
 //! active is itself a shutdown handler.
 //!
-//! Under the `check` feature the atomics are the model checker's
-//! instrumented types and `await_drained` parks on a predicate gate of
-//! the cooperative scheduler instead of sleep-polling, so the explorer
-//! can interleave the drain against in-flight requests exactly.
+//! Waiting is condvar-based: request completions that can complete the
+//! drain notify a condvar, and `await_drained` blocks on
+//! `Condvar::wait_timeout` (the timeout is purely defensive). Under the
+//! `check` feature the atomics are the model checker's instrumented
+//! types and `await_drained` parks on a predicate gate of the
+//! cooperative scheduler instead, so the explorer can interleave the
+//! drain against in-flight requests exactly; the condvar is never
+//! touched on that path, keeping the model's op sequences unchanged.
 
 use ldbpp_lsm::sync::{AtomicBool, AtomicUsize, Ordering};
+use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,6 +38,11 @@ pub struct DrainGate {
     active: AtomicUsize,
     /// `SHUTDOWN` handlers currently waiting for the drain.
     shutdown_waiters: AtomicUsize,
+    /// Wakeup channel for `await_drained`: notifiers take the mutex
+    /// before signalling, so a waiter that checked the predicate under
+    /// the mutex cannot miss the wakeup.
+    wake_mu: Mutex<()>,
+    wake_cv: Condvar,
 }
 
 impl DrainGate {
@@ -46,6 +56,13 @@ impl DrainGate {
         self.draining.load(Ordering::SeqCst)
     }
 
+    /// Requests currently registered (being processed). The admission
+    /// bound in the server sheds load when this exceeds its in-flight
+    /// budget.
+    pub fn active_requests(&self) -> usize {
+        self.active.load(Ordering::SeqCst)
+    }
+
     /// A request frame fully arrived and is about to be processed.
     /// Must be called *before* the reader returns the frame, so a
     /// concurrently arriving `SHUTDOWN` is guaranteed to wait for it.
@@ -57,6 +74,7 @@ impl DrainGate {
     /// failed — either way it will never be worked on again).
     pub fn finish_request(&self) {
         self.active.fetch_sub(1, Ordering::SeqCst);
+        self.wake_if_draining();
     }
 
     /// This thread's `SHUTDOWN` request starts (or joins) the drain.
@@ -67,6 +85,9 @@ impl DrainGate {
     pub fn begin_shutdown(&self) {
         self.shutdown_waiters.fetch_add(1, Ordering::SeqCst);
         self.draining.store(true, Ordering::SeqCst);
+        // Joining the waiter set can itself complete the drain for a
+        // handler already parked (active <= shutdown_waiters).
+        self.wake_if_draining();
     }
 
     /// Block until every active request is a shutdown handler. Engine
@@ -85,10 +106,14 @@ impl DrainGate {
                 return;
             }
         }
-        // The parking_lot shim has no Condvar::wait_timeout, so poll;
-        // the interval is tiny next to any real drain.
+        let mut guard = this.wake_mu.lock();
         while !this.drained() {
-            std::thread::sleep(Duration::from_millis(1));
+            // Notifiers lock `wake_mu` before signalling, so no wakeup
+            // between the predicate check and the wait can be lost; the
+            // timeout only bounds the damage of a missed invariant.
+            let _ = this
+                .wake_cv
+                .wait_timeout(&mut guard, Duration::from_millis(50));
         }
     }
 
@@ -101,5 +126,23 @@ impl DrainGate {
 
     fn drained(&self) -> bool {
         self.active.load(Ordering::SeqCst) <= self.shutdown_waiters.load(Ordering::SeqCst)
+    }
+
+    /// Wake drain waiters after a transition that can complete the
+    /// drain. Skipped before any `SHUTDOWN` arrived (no waiter can
+    /// exist: `begin_shutdown`'s SeqCst store of `draining` precedes
+    /// every wait) and under an active model run (the model path parks
+    /// on a scheduler gate, not the condvar — keeping these notifies
+    /// out of the model preserves its op sequences and corpus seeds).
+    fn wake_if_draining(&self) {
+        if !self.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        #[cfg(feature = "check")]
+        if parking_lot::sched::active() {
+            return;
+        }
+        let _guard = self.wake_mu.lock();
+        self.wake_cv.notify_all();
     }
 }

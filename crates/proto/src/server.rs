@@ -29,6 +29,21 @@
 //! stays usable (the length prefix kept the stream in sync); only an
 //! unrecoverable framing error (oversized length, truncated stream)
 //! closes that one connection.
+//!
+//! # Overload and retries (DESIGN.md §18)
+//!
+//! Two admission bounds shed load instead of queueing it: beyond
+//! `max_conns` live connections a newcomer is rejected at accept, and
+//! beyond `max_inflight` concurrently executing requests a decoded
+//! request is answered `Busy` without touching the engine. Both `Busy`
+//! responses carry a `retry_after_ms` hint. A connection that announces
+//! a retry session (`HELLO`) gets idempotent writes: `PUT`/`DEL`/`BATCH`
+//! request ids are deduplicated through a bounded [`DedupMap`] window,
+//! so a client resend of a write whose ack was lost is re-acked with the
+//! original committed sequence instead of re-applied. Lookups carrying
+//! the degraded flag are dispatched in
+//! [`ReadMode::Degraded`](ldbpp_core::secondary_db::ReadMode) and
+//! return partial results tagged with the failed shard set.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -41,9 +56,10 @@ use ldbpp_common::coding::decode_fixed32;
 use ldbpp_common::json::Value;
 use ldbpp_common::{Error, Result};
 use ldbpp_core::doc::Document;
-use ldbpp_core::secondary_db::SecondaryDb;
+use ldbpp_core::secondary_db::{ReadMode, SecondaryDb};
 use ldbpp_lsm::env::IoSnapshot;
 
+use crate::dedup::{DedupConfig, DedupMap};
 use crate::drain::DrainGate;
 use crate::wire::{
     check_frame, salvage_request_id, ErrorCode, Hit, Request, Response, WireValue, WriteOp,
@@ -65,6 +81,14 @@ pub struct ServerConfig {
     /// Socket write timeout (a peer that stops reading cannot wedge a
     /// connection thread forever).
     pub write_timeout: Duration,
+    /// In-flight request bound: beyond it a decoded request is shed with
+    /// `Busy` + a retry-after hint instead of queueing on the engine.
+    /// Tighter than `max_conns` by design — idle connections are cheap,
+    /// executing requests are not.
+    pub max_inflight: usize,
+    /// Sizing of the per-session write-dedup window (idempotent
+    /// retries).
+    pub dedup: DedupConfig,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +98,8 @@ impl Default for ServerConfig {
             read_poll: Duration::from_millis(50),
             drain_grace: Duration::from_secs(5),
             write_timeout: Duration::from_secs(30),
+            max_inflight: 32,
+            dedup: DedupConfig::default(),
         }
     }
 }
@@ -95,6 +121,10 @@ struct Shared {
     requests: AtomicU64,
     /// Requests answered with a `Protocol` error.
     protocol_errors: AtomicU64,
+    /// Requests shed with `Busy` by the in-flight bound.
+    shed_busy: AtomicU64,
+    /// The write-dedup table for retry sessions.
+    dedup: DedupMap,
 }
 
 /// A running server. Dropping the handle does *not* stop the server;
@@ -144,6 +174,7 @@ impl Server {
         let local = listener
             .local_addr()
             .map_err(|e| Error::io(format!("local_addr: {e}")))?;
+        let dedup = DedupMap::new(cfg.dedup);
         let shared = Arc::new(Shared {
             db,
             cfg,
@@ -153,6 +184,8 @@ impl Server {
             rejected: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
+            shed_busy: AtomicU64::new(0),
+            dedup,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = thread::Builder::new()
@@ -203,6 +236,13 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
+/// The retry-after hint attached to `Busy` responses: long enough for
+/// in-flight work to make progress (a couple of poll ticks), short
+/// enough that a backing-off client converges quickly.
+fn retry_after_hint(cfg: &ServerConfig) -> u64 {
+    (cfg.read_poll.as_millis() as u64).saturating_mul(2).max(1)
+}
+
 /// Best-effort `Busy` reply to a connection over the bound; the request
 /// id is unknowable (nothing was read), so 0 is used by convention.
 fn reject_busy(mut stream: TcpStream, shared: &Shared) {
@@ -210,6 +250,7 @@ fn reject_busy(mut stream: TcpStream, shared: &Shared) {
     let frame = Response::Err {
         code: ErrorCode::Busy,
         message: format!("connection limit ({}) reached", shared.cfg.max_conns),
+        retry_after_ms: retry_after_hint(&shared.cfg),
     }
     .encode(0);
     let _ = stream.write_all(&frame);
@@ -311,6 +352,9 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     {
         return;
     }
+    // The retry session bound to this connection by `HELLO`, if any.
+    // Writes under a session are deduplicated by request id.
+    let mut session: Option<u64> = None;
     loop {
         match read_frame_polled(&mut stream, shared) {
             ReadOutcome::Closed => return,
@@ -349,16 +393,45 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
                         let resp = handle_shutdown(shared);
                         (id, resp, true)
                     }
+                    Ok((id, Request::Hello { session_id })) => {
+                        // Bind (or rebind) this connection to a retry
+                        // session; writes from here on are idempotent
+                        // per request id.
+                        session = Some(session_id);
+                        (id, Response::Ok, false)
+                    }
                     Ok((id, req)) => {
+                        let inflight = shared.gate.active_requests();
                         let resp = if shared.gate.is_draining() {
                             // Raced past the drain check in the reader;
                             // refuse rather than extend the drain.
                             Response::Err {
                                 code: ErrorCode::ShuttingDown,
                                 message: "server is draining".into(),
+                                retry_after_ms: 0,
+                            }
+                        } else if inflight > shared.cfg.max_inflight {
+                            // Shed before touching the engine. This
+                            // request is itself registered, so strictly
+                            //-greater-than admits `max_inflight`
+                            // executors.
+                            shared.shed_busy.fetch_add(1, Ordering::Relaxed);
+                            Response::Err {
+                                code: ErrorCode::Busy,
+                                message: format!(
+                                    "server overloaded: {inflight} request(s) in flight \
+                                     (bound {})",
+                                    shared.cfg.max_inflight
+                                ),
+                                retry_after_ms: retry_after_hint(&shared.cfg),
                             }
                         } else {
-                            handle_request(shared, req)
+                            match session {
+                                Some(s) if is_write(&req) => {
+                                    shared.dedup.execute(s, id, || handle_request(shared, req))
+                                }
+                                _ => handle_request(shared, req),
+                            }
                         };
                         (id, resp, false)
                     }
@@ -389,6 +462,22 @@ fn handle_shutdown(shared: &Shared) -> Response {
     resp
 }
 
+/// True for the requests that go through the write-dedup window.
+fn is_write(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::Put { .. } | Request::Del { .. } | Request::Batch { .. }
+    )
+}
+
+fn read_mode(degraded: bool) -> ReadMode {
+    if degraded {
+        ReadMode::Degraded
+    } else {
+        ReadMode::Strict
+    }
+}
+
 fn handle_request(shared: &Shared, req: Request) -> Response {
     let db = &*shared.db;
     let result = match req {
@@ -397,17 +486,45 @@ fn handle_request(shared: &Shared, req: Request) -> Response {
             .get(&pk)
             .map(|opt| Response::Doc(opt.map(|d| d.to_bytes()))),
         Request::Del { pk } => db.delete(&pk).map(|()| Response::Ok),
-        Request::Lookup { attr, value, k } => db
-            .lookup(&attr, &to_json(&value), k.map(|k| k as usize))
-            .map(|hits| Response::Hits(to_wire_hits(hits))),
-        Request::RangeLookup { attr, lo, hi, k } => db
-            .range_lookup(&attr, &to_json(&lo), &to_json(&hi), k.map(|k| k as usize))
-            .map(|hits| Response::Hits(to_wire_hits(hits))),
+        Request::Lookup {
+            attr,
+            value,
+            k,
+            degraded,
+        } => db
+            .lookup_mode(
+                &attr,
+                &to_json(&value),
+                k.map(|k| k as usize),
+                read_mode(degraded),
+            )
+            .map(|partial| Response::Hits {
+                hits: to_wire_hits(partial.value),
+                failed_shards: partial.failed_shards.iter().map(|&s| s as u64).collect(),
+            }),
+        Request::RangeLookup {
+            attr,
+            lo,
+            hi,
+            k,
+            degraded,
+        } => db
+            .range_lookup_mode(
+                &attr,
+                &to_json(&lo),
+                &to_json(&hi),
+                k.map(|k| k as usize),
+                read_mode(degraded),
+            )
+            .map(|partial| Response::Hits {
+                hits: to_wire_hits(partial.value),
+                failed_shards: partial.failed_shards.iter().map(|&s| s as u64).collect(),
+            }),
         Request::Batch { ops } => Ok(do_batch(db, ops)),
         Request::Stats { include_integrity } => {
             stats_json(db, include_integrity, Some(server_counters(shared))).map(Response::Stats)
         }
-        Request::Shutdown => unreachable!("handled by caller"),
+        Request::Hello { .. } | Request::Shutdown => unreachable!("handled by caller"),
     };
     match result {
         Ok(resp) => resp,
@@ -433,6 +550,7 @@ fn do_batch(db: &SecondaryDb, ops: Vec<WriteOp>) -> Response {
             return Response::Err {
                 code: ErrorCode::of_error(&e),
                 message: format!("batch failed after {applied} op(s): {e}"),
+                retry_after_ms: 0,
             };
         }
         applied += 1;
@@ -498,11 +616,22 @@ fn io_to_value(io: &IoSnapshot) -> Value {
 
 fn stats_json(db: &SecondaryDb, include_integrity: bool, server: Option<Value>) -> Result<String> {
     let merged = IoSnapshot::merge([db.primary_io(), db.index_io()]);
+    let degraded = db.degraded_stats();
     let mut root = Value::object([
         ("shards", Value::Int(db.shard_count() as i64)),
         ("primary_io", io_to_value(&db.primary_io())),
         ("index_io", io_to_value(&db.index_io())),
         ("merged_io", io_to_value(&merged)),
+        (
+            "degraded",
+            Value::object([
+                ("degraded_reads", Value::Int(degraded.degraded_reads as i64)),
+                (
+                    "failed_shard_reads",
+                    Value::Int(degraded.failed_shard_reads as i64),
+                ),
+            ]),
+        ),
     ]);
     if let Some(server) = server {
         root.insert("server", server);
@@ -525,6 +654,7 @@ fn stats_json(db: &SecondaryDb, include_integrity: bool, server: Option<Value>) 
 /// (kept separate from [`stats_json`] so the engine half is testable
 /// without a socket).
 fn server_counters(shared: &Shared) -> Value {
+    let dedup = shared.dedup.snapshot();
     Value::object([
         (
             "connections",
@@ -545,6 +675,21 @@ fn server_counters(shared: &Shared) -> Value {
         (
             "protocol_errors",
             Value::Int(shared.protocol_errors.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "shed_busy",
+            Value::Int(shared.shed_busy.load(Ordering::Relaxed) as i64),
+        ),
+        (
+            "dedup",
+            Value::object([
+                ("hits", Value::Int(dedup.hits as i64)),
+                ("sessions", Value::Int(dedup.sessions as i64)),
+                (
+                    "evicted_sessions",
+                    Value::Int(dedup.evicted_sessions as i64),
+                ),
+            ]),
         ),
         ("draining", Value::Bool(shared.gate.is_draining())),
     ])

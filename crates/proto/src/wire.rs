@@ -103,6 +103,10 @@ pub enum Request {
         value: WireValue,
         /// `None` = unbounded.
         k: Option<u64>,
+        /// Opt in to degraded scatter-gather: a poisoned or erroring shard
+        /// is skipped and reported in the response's failed-shard set
+        /// instead of failing the whole query.
+        degraded: bool,
     },
     /// `RANGELOOKUP(A, a, b, K)` — top-K newest with `a ≤ val(A) ≤ b`.
     RangeLookup {
@@ -114,6 +118,8 @@ pub enum Request {
         hi: WireValue,
         /// `None` = unbounded.
         k: Option<u64>,
+        /// Opt in to degraded scatter-gather (see [`Request::Lookup`]).
+        degraded: bool,
     },
     /// Several writes in one frame, applied in order. Acked after the
     /// last write committed; concurrent batches from other connections
@@ -132,6 +138,16 @@ pub enum Request {
     /// Graceful shutdown: stop accepting, drain in-flight requests,
     /// flush, ack, exit.
     Shutdown,
+    /// Bind this connection to a client retry session. The server keeps a
+    /// bounded dedup window of `(session_id, request_id) -> response` for
+    /// write requests, so a retried `PUT`/`DEL`/`BATCH` whose first
+    /// attempt committed is re-acked from the window instead of being
+    /// re-applied. Sent by [`crate::RetryClient`] as the first request on
+    /// every (re)connection.
+    Hello {
+        /// Client-chosen session id; request ids are monotonic within it.
+        session_id: u64,
+    },
 }
 
 /// Error categories a response can carry: the engine's [`Error`]
@@ -153,10 +169,13 @@ pub enum ErrorCode {
     /// The frame or its body could not be decoded. The server stays on
     /// the connection when the frame boundary was recoverable.
     Protocol,
-    /// The bounded accept queue is full; retry later on a new connection.
+    /// The server shed this request (accept bound or in-flight bound hit
+    /// before execution); retry after the hinted backoff.
     Busy,
     /// The server is draining for shutdown and no longer takes requests.
     ShuttingDown,
+    /// An operation exceeded its deadline on the server side.
+    Timeout,
 }
 
 impl ErrorCode {
@@ -171,6 +190,7 @@ impl ErrorCode {
             ErrorCode::Protocol => 6,
             ErrorCode::Busy => 7,
             ErrorCode::ShuttingDown => 8,
+            ErrorCode::Timeout => 9,
         }
     }
 
@@ -185,14 +205,17 @@ impl ErrorCode {
             6 => ErrorCode::Protocol,
             7 => ErrorCode::Busy,
             8 => ErrorCode::ShuttingDown,
+            9 => ErrorCode::Timeout,
             other => return Err(Error::corruption(format!("unknown error code {other}"))),
         })
     }
 
     /// The engine error this code maps back to on the client side.
-    /// Protocol-level codes become [`Error::Io`] (retryable on a fresh
-    /// connection), except `Protocol` itself, which is the client's own
-    /// fault and surfaces as [`Error::InvalidArgument`].
+    /// `Busy` and `Timeout` map to the typed retryable variants
+    /// ([`Error::Busy`], [`Error::Timeout`]) so callers can classify
+    /// without string matching; `Protocol` is the client's own fault and
+    /// surfaces as [`Error::InvalidArgument`]; `ShuttingDown` stays
+    /// [`Error::Io`] (this server is going away — retrying it is futile).
     pub fn to_error(self, message: &str) -> Error {
         match self {
             ErrorCode::NotFound => Error::not_found(message),
@@ -202,8 +225,9 @@ impl ErrorCode {
             ErrorCode::Io => Error::io(message),
             ErrorCode::NoSpace => Error::no_space(message),
             ErrorCode::Protocol => Error::invalid(format!("protocol error: {message}")),
-            ErrorCode::Busy => Error::io(format!("server busy: {message}")),
+            ErrorCode::Busy => Error::busy(format!("server busy: {message}")),
             ErrorCode::ShuttingDown => Error::io(format!("server shutting down: {message}")),
+            ErrorCode::Timeout => Error::timeout(message),
         }
     }
 
@@ -216,6 +240,8 @@ impl ErrorCode {
             Error::InvalidArgument(_) => ErrorCode::InvalidArgument,
             Error::Io(_) => ErrorCode::Io,
             Error::NoSpace(_) => ErrorCode::NoSpace,
+            Error::Busy(_) => ErrorCode::Busy,
+            Error::Timeout(_) => ErrorCode::Timeout,
         }
     }
 }
@@ -241,7 +267,13 @@ pub enum Response {
     /// `GET` result (`None` = key absent; absence is not an error).
     Doc(Option<Vec<u8>>),
     /// `LOOKUP`/`RANGELOOKUP` result, newest first.
-    Hits(Vec<Hit>),
+    Hits {
+        /// The matching records, newest first.
+        hits: Vec<Hit>,
+        /// Shards that could not be read (degraded mode only; empty means
+        /// the result is complete). Shard indexes of the server's router.
+        failed_shards: Vec<u64>,
+    },
     /// `BATCH` ack.
     Batch {
         /// Writes applied (always `ops.len()` on success).
@@ -257,6 +289,9 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// For `Busy`: how long the client should back off before
+        /// retrying, in milliseconds. `0` = no hint.
+        retry_after_ms: u64,
     },
 }
 
@@ -266,6 +301,7 @@ impl Response {
         Response::Err {
             code: ErrorCode::of_error(e),
             message: e.to_string(),
+            retry_after_ms: 0,
         }
     }
 
@@ -274,6 +310,15 @@ impl Response {
         Response::Err {
             code: ErrorCode::Protocol,
             message: message.into(),
+            retry_after_ms: 0,
+        }
+    }
+
+    /// A complete (non-degraded) hit set.
+    pub fn hits(hits: Vec<Hit>) -> Response {
+        Response::Hits {
+            hits,
+            failed_shards: Vec::new(),
         }
     }
 }
@@ -288,6 +333,7 @@ const REQ_RANGELOOKUP: u8 = 5;
 const REQ_BATCH: u8 = 6;
 const REQ_STATS: u8 = 7;
 const REQ_SHUTDOWN: u8 = 8;
+const REQ_HELLO: u8 = 9;
 
 const RESP_OK: u8 = 0;
 const RESP_SEQ: u8 = 1;
@@ -331,10 +377,11 @@ pub fn check_frame(body: &[u8]) -> Result<&[u8]> {
 
 /// Read one frame from a blocking stream and return its payload.
 ///
-/// Errors: I/O failures surface as [`Error::Io`]; a clean EOF before the
-/// first length byte is `Error::Io("connection closed")`; truncation
-/// mid-frame, an out-of-bounds length, or a CRC mismatch are
-/// [`Error::Corruption`].
+/// Errors: I/O failures surface as [`Error::Io`], except a read deadline
+/// (`WouldBlock`/`TimedOut` from a socket read timeout), which is the
+/// typed, retryable [`Error::Timeout`]; a clean EOF before the first
+/// length byte is `Error::Io("connection closed")`; truncation mid-frame,
+/// an out-of-bounds length, or a CRC mismatch are [`Error::Corruption`].
 pub fn read_frame(r: &mut impl std::io::Read) -> Result<Vec<u8>> {
     let mut len_buf = [0u8; 4];
     let mut got = 0usize;
@@ -343,7 +390,7 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Vec<u8>> {
             Ok(0) if got == 0 => return Err(Error::io("connection closed")),
             Ok(0) => return Err(Error::corruption("connection closed mid frame header")),
             Ok(n) => got += n,
-            Err(e) => return Err(Error::io(format!("read frame header: {e}"))),
+            Err(e) => return Err(io_to_error("read frame header", &e)),
         }
     }
     let len = decode_fixed32(&len_buf) as usize;
@@ -358,10 +405,22 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Vec<u8>> {
         match r.read(&mut body[got..]) {
             Ok(0) => return Err(Error::corruption("connection closed mid frame body")),
             Ok(n) => got += n,
-            Err(e) => return Err(Error::io(format!("read frame body: {e}"))),
+            Err(e) => return Err(io_to_error("read frame body", &e)),
         }
     }
     check_frame(&body).map(<[u8]>::to_vec)
+}
+
+/// Map a raw socket error to the typed wire error: a tripped read/write
+/// deadline becomes [`Error::Timeout`], everything else [`Error::Io`].
+pub fn io_to_error(what: &str, e: &std::io::Error) -> Error {
+    use std::io::ErrorKind;
+    match e.kind() {
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+            Error::timeout(format!("{what}: deadline exceeded"))
+        }
+        _ => Error::io(format!("{what}: {e}")),
+    }
 }
 
 // -- body coding helpers ----------------------------------------------------
@@ -462,6 +521,14 @@ fn get_opt_k(c: &mut Cursor<'_>) -> Result<Option<u64>> {
     }
 }
 
+fn get_bool(c: &mut Cursor<'_>) -> Result<bool> {
+    match c.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(Error::corruption(format!("unknown bool tag {other}"))),
+    }
+}
+
 // -- request coding ---------------------------------------------------------
 
 impl Request {
@@ -483,18 +550,31 @@ impl Request {
                 p.push(REQ_DEL);
                 put_length_prefixed(&mut p, pk);
             }
-            Request::Lookup { attr, value, k } => {
+            Request::Lookup {
+                attr,
+                value,
+                k,
+                degraded,
+            } => {
                 p.push(REQ_LOOKUP);
                 put_length_prefixed(&mut p, attr.as_bytes());
                 put_value(&mut p, value);
                 put_opt_k(&mut p, *k);
+                p.push(u8::from(*degraded));
             }
-            Request::RangeLookup { attr, lo, hi, k } => {
+            Request::RangeLookup {
+                attr,
+                lo,
+                hi,
+                k,
+                degraded,
+            } => {
                 p.push(REQ_RANGELOOKUP);
                 put_length_prefixed(&mut p, attr.as_bytes());
                 put_value(&mut p, lo);
                 put_value(&mut p, hi);
                 put_opt_k(&mut p, *k);
+                p.push(u8::from(*degraded));
             }
             Request::Batch { ops } => {
                 p.push(REQ_BATCH);
@@ -518,6 +598,10 @@ impl Request {
                 p.push(u8::from(*include_integrity));
             }
             Request::Shutdown => p.push(REQ_SHUTDOWN),
+            Request::Hello { session_id } => {
+                p.push(REQ_HELLO);
+                put_varint64(&mut p, *session_id);
+            }
         }
         encode_frame(&p)
     }
@@ -538,12 +622,14 @@ impl Request {
                 attr: c.string()?,
                 value: get_value(&mut c)?,
                 k: get_opt_k(&mut c)?,
+                degraded: get_bool(&mut c)?,
             },
             REQ_RANGELOOKUP => Request::RangeLookup {
                 attr: c.string()?,
                 lo: get_value(&mut c)?,
                 hi: get_value(&mut c)?,
                 k: get_opt_k(&mut c)?,
+                degraded: get_bool(&mut c)?,
             },
             REQ_BATCH => {
                 let n = c.varint()?;
@@ -572,6 +658,9 @@ impl Request {
                 include_integrity: c.u8()? != 0,
             },
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_HELLO => Request::Hello {
+                session_id: c.varint()?,
+            },
             other => return Err(Error::corruption(format!("unknown opcode {other}"))),
         };
         c.finish()?;
@@ -609,13 +698,20 @@ impl Response {
                     }
                 }
             }
-            Response::Hits(hits) => {
+            Response::Hits {
+                hits,
+                failed_shards,
+            } => {
                 p.push(RESP_HITS);
                 put_varint64(&mut p, hits.len() as u64);
                 for h in hits {
                     put_length_prefixed(&mut p, &h.key);
                     put_varint64(&mut p, h.seq);
                     put_length_prefixed(&mut p, &h.doc);
+                }
+                put_varint64(&mut p, failed_shards.len() as u64);
+                for s in failed_shards {
+                    put_varint64(&mut p, *s);
                 }
             }
             Response::Batch { applied, last_seq } => {
@@ -627,9 +723,14 @@ impl Response {
                 p.push(RESP_STATS);
                 put_length_prefixed(&mut p, json.as_bytes());
             }
-            Response::Err { code, message } => {
+            Response::Err {
+                code,
+                message,
+                retry_after_ms,
+            } => {
                 p.push(RESP_ERR_BIT | code.to_u8());
                 put_length_prefixed(&mut p, message.as_bytes());
+                put_varint64(&mut p, *retry_after_ms);
             }
         }
         encode_frame(&p)
@@ -644,6 +745,7 @@ impl Response {
             Response::Err {
                 code: ErrorCode::from_u8(kind & !RESP_ERR_BIT)?,
                 message: c.string()?,
+                retry_after_ms: c.varint()?,
             }
         } else {
             match kind {
@@ -669,7 +771,20 @@ impl Response {
                             doc: c.bytes()?,
                         });
                     }
-                    Response::Hits(hits)
+                    let nf = c.varint()?;
+                    if nf as usize > MAX_FRAME_LEN {
+                        return Err(Error::corruption(format!(
+                            "failed-shard count {nf} implausible"
+                        )));
+                    }
+                    let mut failed_shards = Vec::with_capacity(nf as usize);
+                    for _ in 0..nf {
+                        failed_shards.push(c.varint()?);
+                    }
+                    Response::Hits {
+                        hits,
+                        failed_shards,
+                    }
                 }
                 RESP_BATCH => Response::Batch {
                     applied: c.varint()?,
@@ -723,12 +838,14 @@ mod tests {
                 attr: "UserID".into(),
                 value: WireValue::Str("u1".into()),
                 k: Some(10),
+                degraded: false,
             },
             Request::RangeLookup {
                 attr: "CreationTime".into(),
                 lo: WireValue::Int(-5),
                 hi: WireValue::Int(i64::MAX),
                 k: None,
+                degraded: true,
             },
             Request::Batch {
                 ops: vec![
@@ -743,6 +860,9 @@ mod tests {
                 include_integrity: true,
             },
             Request::Shutdown,
+            Request::Hello {
+                session_id: u64::MAX,
+            },
         ];
         for (i, req) in reqs.iter().enumerate() {
             let frame = req.encode(i as u64 + 7);
@@ -760,11 +880,15 @@ mod tests {
             Response::Seq(u64::MAX),
             Response::Doc(None),
             Response::Doc(Some(b"{\"a\":1}".to_vec())),
-            Response::Hits(vec![Hit {
+            Response::hits(vec![Hit {
                 key: b"k".to_vec(),
                 seq: 3,
                 doc: b"{}".to_vec(),
             }]),
+            Response::Hits {
+                hits: vec![],
+                failed_shards: vec![1, 3],
+            },
             Response::Batch {
                 applied: 2,
                 last_seq: 99,
@@ -773,10 +897,17 @@ mod tests {
             Response::Err {
                 code: ErrorCode::NotFound,
                 message: "gone".into(),
+                retry_after_ms: 0,
+            },
+            Response::Err {
+                code: ErrorCode::Busy,
+                message: "shed".into(),
+                retry_after_ms: 25,
             },
             Response::Err {
                 code: ErrorCode::ShuttingDown,
                 message: String::new(),
+                retry_after_ms: 0,
             },
         ];
         for (i, resp) in resps.iter().enumerate() {
@@ -821,9 +952,33 @@ mod tests {
             ErrorCode::Protocol,
             ErrorCode::Busy,
             ErrorCode::ShuttingDown,
+            ErrorCode::Timeout,
         ] {
             assert_eq!(ErrorCode::from_u8(code.to_u8()).unwrap(), code);
         }
         assert!(ErrorCode::from_u8(200).is_err());
+    }
+
+    #[test]
+    fn busy_and_timeout_codes_map_to_retryable_errors() {
+        assert!(ErrorCode::Busy.to_error("shed").is_retryable());
+        assert!(ErrorCode::Timeout.to_error("deadline").is_retryable());
+        assert!(!ErrorCode::ShuttingDown.to_error("bye").is_retryable());
+        assert!(!ErrorCode::Io.to_error("reset").is_retryable());
+        assert_eq!(ErrorCode::of_error(&Error::busy("x")), ErrorCode::Busy);
+        assert_eq!(
+            ErrorCode::of_error(&Error::timeout("x")),
+            ErrorCode::Timeout
+        );
+    }
+
+    #[test]
+    fn io_to_error_maps_deadlines_to_timeout() {
+        let t = std::io::Error::new(std::io::ErrorKind::WouldBlock, "poll");
+        assert!(io_to_error("read", &t).is_timeout());
+        let t = std::io::Error::new(std::io::ErrorKind::TimedOut, "poll");
+        assert!(io_to_error("read", &t).is_timeout());
+        let o = std::io::Error::other("reset");
+        assert!(io_to_error("read", &o).is_io());
     }
 }

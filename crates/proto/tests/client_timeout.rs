@@ -1,0 +1,119 @@
+//! The client timeout path (DESIGN.md §18): a server that accepts and
+//! then never answers. The deadline must surface as a typed
+//! [`Error::Timeout`], the connection must be marked desynced (a late
+//! response would otherwise be matched to the wrong request), and the
+//! retry layer must classify the timeout as retryable, redial, and
+//! eventually exhaust its budget with the timeout as the final error.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ldbpp_lsm::sync::{AtomicBool, Ordering};
+use ldbpp_proto::{Client, RetryClient, RetryPolicy};
+
+/// A black hole: accepts connections, reads (and discards) whatever
+/// arrives, never writes a byte back. Held sockets stay open so the
+/// client's failure is a read deadline, not a reset.
+struct StalledServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl StalledServer {
+    fn start() -> StalledServer {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local_addr");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = thread::spawn(move || {
+            let mut held: Vec<TcpStream> = Vec::new();
+            let mut sink = [0u8; 256];
+            while !thread_stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((s, _)) => {
+                        let _ = s.set_read_timeout(Some(Duration::from_millis(1)));
+                        held.push(s);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        // Drain inbound bytes so client writes always
+                        // succeed; never answer.
+                        for s in &mut held {
+                            let _ = s.read(&mut sink);
+                        }
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        StalledServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for StalledServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[test]
+fn read_deadline_surfaces_as_timeout_and_desyncs() {
+    let server = StalledServer::start();
+    let mut client =
+        Client::connect_with_timeout(server.addr, Duration::from_millis(150)).expect("connect");
+
+    let t0 = Instant::now();
+    let err = client.put(b"k", b"{}").unwrap_err();
+    assert!(err.is_timeout(), "read deadline is a typed Timeout: {err}");
+    assert!(
+        t0.elapsed() >= Duration::from_millis(100),
+        "the deadline actually waited"
+    );
+    assert!(client.is_desynced(), "a timed-out stream is untrustworthy");
+
+    // Fail-fast: no second deadline is paid on a dead connection.
+    let t1 = Instant::now();
+    let err = client.get(b"k").unwrap_err();
+    assert!(
+        err.to_string().contains("desynced"),
+        "desynced connections refuse calls: {err}"
+    );
+    assert!(
+        t1.elapsed() < Duration::from_millis(100),
+        "desynced calls must not wait out another timeout"
+    );
+}
+
+#[test]
+fn retry_client_classifies_timeouts_and_exhausts_its_budget() {
+    let server = StalledServer::start();
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(5),
+        timeout: Duration::from_millis(120),
+    };
+    let mut client = RetryClient::with_session(server.addr.to_string(), policy, 5);
+
+    let err = client.put(b"k", b"{}").unwrap_err();
+    assert!(err.is_timeout(), "the final error is the timeout: {err}");
+    let stats = client.retry_stats();
+    assert_eq!(stats.attempts, 3, "{stats:?}");
+    assert_eq!(stats.retries, 2, "{stats:?}");
+    assert_eq!(
+        stats.timeout_retries, 2,
+        "both retries were timeout-classified: {stats:?}"
+    );
+}

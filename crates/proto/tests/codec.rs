@@ -56,19 +56,24 @@ fn request() -> impl Strategy<Value = Request> {
         (bytes(), bytes()).prop_map(|(pk, doc)| Request::Put { pk, doc }),
         bytes().prop_map(|pk| Request::Get { pk }),
         bytes().prop_map(|pk| Request::Del { pk }),
-        (wire_value(), opt_k()).prop_map(|(value, k)| Request::Lookup {
+        (wire_value(), opt_k(), any::<bool>()).prop_map(|(value, k, degraded)| Request::Lookup {
             attr: "UserID".into(),
             value,
-            k
+            k,
+            degraded
         }),
-        (wire_value(), wire_value(), opt_k()).prop_map(|(lo, hi, k)| Request::RangeLookup {
-            attr: "Timestamp".into(),
-            lo,
-            hi,
-            k
+        (wire_value(), wire_value(), opt_k(), any::<bool>()).prop_map(|(lo, hi, k, degraded)| {
+            Request::RangeLookup {
+                attr: "Timestamp".into(),
+                lo,
+                hi,
+                k,
+                degraded,
+            }
         }),
         vec(write_op(), 0..8).prop_map(|ops| Request::Batch { ops }),
         any::<bool>().prop_map(|include_integrity| Request::Stats { include_integrity }),
+        any::<u64>().prop_map(|session_id| Request::Hello { session_id }),
         Just(Request::Shutdown),
     ]
 }
@@ -88,6 +93,7 @@ fn error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::Protocol),
         Just(ErrorCode::Busy),
         Just(ErrorCode::ShuttingDown),
+        Just(ErrorCode::Timeout),
     ]
 }
 
@@ -96,15 +102,21 @@ fn response() -> impl Strategy<Value = Response> {
         Just(Response::Ok),
         any::<u64>().prop_map(Response::Seq),
         prop_oneof![Just(None), bytes().prop_map(Some)].prop_map(Response::Doc),
-        vec(hit(), 0..6).prop_map(Response::Hits),
+        (vec(hit(), 0..6), vec(0u64..8, 0..4)).prop_map(|(hits, failed_shards)| Response::Hits {
+            hits,
+            failed_shards
+        }),
         (0u64..500, any::<u64>())
             .prop_map(|(applied, last_seq)| Response::Batch { applied, last_seq }),
         bytes().prop_map(|b| Response::Stats(
             b.into_iter().map(|c| (b' ' + c % 64) as char).collect()
         )),
-        (error_code(), bytes()).prop_map(|(code, msg)| Response::Err {
-            code,
-            message: msg.into_iter().map(|c| (b'a' + c % 26) as char).collect(),
+        (error_code(), bytes(), 0u64..10_000).prop_map(|(code, msg, retry_after_ms)| {
+            Response::Err {
+                code,
+                message: msg.into_iter().map(|c| (b'a' + c % 26) as char).collect(),
+                retry_after_ms,
+            }
         }),
     ]
 }

@@ -1,0 +1,268 @@
+//! Targeted fault placements (DESIGN.md §18): the retry protocol's
+//! hardest cases, each pinned by a scripted [`ChaosProxy`] schedule or a
+//! deliberately tiny server config instead of random rates.
+//!
+//! * **Sever between commit and ack** — the reason idempotent sessions
+//!   exist. The proxy severs the first connection exactly when the PUT
+//!   ack crosses it (server→client frame 1; frame 0 is the `HELLO`
+//!   ack), so the server has committed but the client cannot know. The
+//!   retry must reconnect, resend the *same* request id, and get the
+//!   original sequence back from the dedup window — one allocation,
+//!   one ack.
+//! * **Admission control** — `max_inflight: 0` sheds every normal
+//!   request with `Busy` + a retry-after hint while `HELLO` and
+//!   `SHUTDOWN` stay exempt, so an overloaded server still drains.
+//! * **Degraded reads over the wire** — a write-poisoned shard is
+//!   skipped and reported in the response's failed-shard set when the
+//!   request carries the degraded flag, and still served strictly
+//!   when it does not.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ldbpp_common::json::Value;
+use ldbpp_core::doc::Document;
+use ldbpp_core::indexes::IndexKind;
+use ldbpp_core::secondary_db::{SecondaryDb, SecondaryDbOptions};
+use ldbpp_lsm::env::{Env, FaultEnv, FaultPlan, MemEnv};
+use ldbpp_lsm::options::DbOptions;
+use ldbpp_proto::{
+    ChaosProxy, Client, DirectedFaults, ErrorCode, NetFault, NetFaultPlan, Request, Response,
+    RetryClient, RetryPolicy, Server, ServerConfig, ServerHandle, WireValue,
+};
+
+fn open_db(env: Arc<dyn Env>) -> Arc<SecondaryDb> {
+    Arc::new(
+        SecondaryDb::open(
+            env,
+            "db",
+            SecondaryDbOptions {
+                base: DbOptions::small(),
+                shards: 2,
+                ..Default::default()
+            },
+            &[("UserID", IndexKind::LazyStandalone)],
+        )
+        .expect("open in-memory db"),
+    )
+}
+
+fn start_server(db: Arc<SecondaryDb>, cfg: ServerConfig) -> ServerHandle {
+    Server::start(db, "127.0.0.1:0", cfg).expect("start server")
+}
+
+fn fast_config() -> ServerConfig {
+    ServerConfig {
+        read_poll: Duration::from_millis(10),
+        ..ServerConfig::default()
+    }
+}
+
+fn doc(user: &str) -> Vec<u8> {
+    let mut d = Document::new();
+    d.set("UserID", Value::str(user));
+    d.to_bytes()
+}
+
+fn policy(attempts: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: attempts,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(50),
+        timeout: Duration::from_secs(5),
+    }
+}
+
+fn shutdown(handle: ServerHandle) {
+    let mut ctl =
+        Client::connect_with_timeout(handle.local_addr(), Duration::from_secs(30)).expect("ctl");
+    // A poisoned shard makes the drain's flush fail; the drain itself
+    // still completes, so tolerate an error ack here.
+    let _ = ctl.shutdown();
+    handle.join().expect("join");
+}
+
+#[test]
+fn sever_between_commit_and_ack_is_deduplicated() {
+    let db = open_db(MemEnv::new());
+    let handle = start_server(Arc::clone(&db), fast_config());
+    let plan = NetFaultPlan {
+        seed: 7,
+        to_server: DirectedFaults::clean(),
+        to_client: DirectedFaults {
+            // s→c frame 0 is the HELLO ack; frame 1 is the PUT ack.
+            // Pin the script to connection 0 so the retry's own ack
+            // (same frame index, next connection) passes.
+            script: vec![(1, NetFault::Sever)],
+            script_conn: Some(0),
+            ..DirectedFaults::default()
+        },
+    };
+    let mut proxy = ChaosProxy::start(handle.local_addr(), plan).expect("start proxy");
+    let mut client = RetryClient::with_session(proxy.local_addr().to_string(), policy(6), 42);
+
+    let seq = client
+        .put(b"pk-1", &doc("u1"))
+        .expect("retry must recover the severed ack");
+    assert_eq!(seq, 1, "the re-ack must carry the original sequence");
+
+    let stats = client.retry_stats();
+    assert!(
+        stats.reconnects >= 1,
+        "lost ack must force a redial: {stats:?}"
+    );
+    assert!(
+        stats.retries >= 1,
+        "lost ack must count as a retry: {stats:?}"
+    );
+
+    // Exactly one allocation server-side: the resend hit the dedup
+    // window instead of re-running the write.
+    let committed = (0..db.shard_count())
+        .filter_map(|i| db.shard_primary(i))
+        .map(|d| d.last_sequence())
+        .max()
+        .unwrap_or(0);
+    assert_eq!(committed, 1, "the severed-then-retried PUT applied twice");
+
+    let json = client.server_stats(false).expect("stats");
+    let v = Value::parse(&json).expect("stats json");
+    let hits = v
+        .get("server")
+        .and_then(|s| s.get("dedup"))
+        .and_then(|d| d.get("hits"))
+        .and_then(Value::as_int)
+        .expect("server.dedup.hits in stats");
+    assert!(hits >= 1, "dedup window never fired: {json}");
+
+    proxy.stop();
+    shutdown(handle);
+}
+
+#[test]
+fn admission_control_sheds_with_busy_and_hint() {
+    let db = open_db(MemEnv::new());
+    let handle = start_server(
+        Arc::clone(&db),
+        ServerConfig {
+            // Every normal request is over the bound (the request
+            // itself registers, and strictly-greater-than admits
+            // exactly `max_inflight` executors — here none).
+            max_inflight: 0,
+            ..fast_config()
+        },
+    );
+
+    // HELLO is exempt: a session can always announce itself.
+    let mut raw =
+        Client::connect_with_timeout(handle.local_addr(), Duration::from_secs(5)).expect("connect");
+    raw.hello(9).expect("HELLO must bypass admission");
+
+    // A PUT is shed before touching the engine, with a retry hint.
+    let resp = raw
+        .call_with_id(
+            5,
+            &Request::Put {
+                pk: b"k".to_vec(),
+                doc: doc("u1"),
+            },
+        )
+        .expect("shed responses are well-formed frames");
+    match resp {
+        Response::Err {
+            code: ErrorCode::Busy,
+            retry_after_ms,
+            ..
+        } => assert!(retry_after_ms > 0, "Busy must carry a retry-after hint"),
+        other => panic!("want Busy, got {other:?}"),
+    }
+    assert_eq!(
+        db.shard_primary(0).map(|d| d.last_sequence()),
+        Some(0),
+        "a shed request must not reach the engine"
+    );
+
+    // A budgeted retry client backs off on the hint, then gives up
+    // with the typed Busy error.
+    let mut rc = RetryClient::with_session(handle.local_addr().to_string(), policy(3), 11);
+    let err = rc.put(b"k2", &doc("u2")).unwrap_err();
+    assert!(err.is_busy(), "budget exhaustion surfaces Busy: {err}");
+    let stats = rc.retry_stats();
+    assert_eq!(stats.attempts, 3, "{stats:?}");
+    assert_eq!(stats.busy_retries, 2, "{stats:?}");
+
+    // Reads are shed too — admission is per request, not per op kind.
+    let err = rc.get(b"k2").unwrap_err();
+    assert!(err.is_busy(), "reads go through admission as well: {err}");
+
+    // SHUTDOWN is exempt: the overloaded server still drains cleanly.
+    raw.shutdown().expect("SHUTDOWN must bypass admission");
+    handle.join().expect("join");
+}
+
+#[test]
+fn degraded_lookup_over_the_wire_reports_failed_shards() {
+    let fault = FaultEnv::new(MemEnv::new());
+    let db = open_db(fault.clone());
+    let handle = start_server(Arc::clone(&db), fast_config());
+    let mut client = RetryClient::with_session(handle.local_addr().to_string(), policy(4), 77);
+
+    // One record per shard, same indexed value.
+    let (mut on0, mut on1) = (None, None);
+    for i in 0..64 {
+        let key = format!("pk-{i}");
+        match db.shard_of(key.as_bytes()) {
+            0 if on0.is_none() => on0 = Some(key),
+            1 if on1.is_none() => on1 = Some(key),
+            _ => {}
+        }
+        if on0.is_some() && on1.is_some() {
+            break;
+        }
+    }
+    let (on0, on1) = (on0.expect("a key routed to shard 0"), on1.expect("shard 1"));
+    client.put(on0.as_bytes(), &doc("u1")).expect("put shard 0");
+    client.put(on1.as_bytes(), &doc("u1")).expect("put shard 1");
+
+    // Poison shard 1: its next WAL append fails, setting the sticky
+    // fatal error that degraded reads treat as a failed shard.
+    fault.set_plan(FaultPlan {
+        crash_at: Some(0),
+        match_path: Some("shard-1/".into()),
+        ..FaultPlan::default()
+    });
+    let err = client.put(on1.as_bytes(), &doc("u9")).unwrap_err();
+    assert!(err.is_io(), "poisoning write fails with Io: {err}");
+    fault.clear_plan();
+
+    // Strict lookup still serves the poisoned shard (reads are intact).
+    let (hits, failed) = client
+        .lookup_mode("UserID", WireValue::Str("u1".into()), None, false)
+        .expect("strict lookup");
+    assert_eq!(hits.len(), 2, "strict mode reads through the poison");
+    assert!(failed.is_empty(), "strict mode never reports failed shards");
+
+    // Degraded lookup skips it and says so.
+    let (hits, failed) = client
+        .lookup_mode("UserID", WireValue::Str("u1".into()), None, true)
+        .expect("degraded lookup");
+    assert_eq!(failed, vec![1], "the poisoned shard must be reported");
+    assert_eq!(hits.len(), 1, "only the healthy shard answers");
+    assert_eq!(
+        hits[0].key,
+        on0.as_bytes(),
+        "the surviving hit is shard 0's"
+    );
+
+    // The degraded counters surface through STATS.
+    let json = client.server_stats(false).expect("stats");
+    let v = Value::parse(&json).expect("stats json");
+    let degraded_reads = v
+        .get("degraded")
+        .and_then(|d| d.get("degraded_reads"))
+        .and_then(Value::as_int)
+        .expect("degraded.degraded_reads in stats");
+    assert!(degraded_reads >= 1, "degraded counter never moved: {json}");
+
+    shutdown(handle);
+}

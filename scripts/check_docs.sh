@@ -7,9 +7,10 @@
 #      top-level *.md files must resolve;
 #   3. load-bearing sections must exist: DESIGN.md must keep §14
 #      (write-path concurrency / group commit), §15 (sharding), §16
-#      (the networked service layer), and §17 (model checking), and the
-#      README must keep describing the group-commit write path, the
-#      sharded engine, the server quickstart, and the model checker —
+#      (the networked service layer), §17 (model checking), and §18
+#      (the network failure model), and the README must keep describing
+#      the group-commit write path, the sharded engine, the server
+#      quickstart, the model checker, and running under chaos —
 #      docs that tests and comments point at may not silently disappear.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -79,6 +80,10 @@ grep -q "^## 17\. Model checking" DESIGN.md \
     || { echo "DESIGN.md: missing §17 'Model checking'"; exit 1; }
 grep -q "Model checker" README.md \
     || { echo "README.md: no longer documents the model checker"; exit 1; }
+grep -q "^## 18\. Network failure model" DESIGN.md \
+    || { echo "DESIGN.md: missing §18 'Network failure model'"; exit 1; }
+grep -q "Running under chaos" README.md \
+    || { echo "README.md: missing the 'Running under chaos' subsection"; exit 1; }
 echo "required sections present"
 
 echo "docs OK"

@@ -41,13 +41,19 @@
 #      `ldbpp_tool check` the resulting database, and run the 8-client
 #      e2e harness once under the concurrency sanitizer
 #      (`--features check`, DESIGN.md §16);
-#   9. repair smoke: build a real on-disk database, corrupt a table,
+#   9. chaos smoke: start a fresh release ldbpp_server and drive the
+#      bounded chaos experiment against it (`repro --server ... chaos`):
+#      a fault-injecting proxy (frame drops + delays, fixed seed) sits
+#      between retrying idempotent clients and the server, every acked
+#      write is verified by read-back, and the resulting database must
+#      `ldbpp_tool check` clean (DESIGN.md §18);
+#  10. repair smoke: build a real on-disk database, corrupt a table,
 #      `ldbpp_tool repair` it (must exit non-zero and quarantine the
 #      damaged file), verify with the `check` binary, and reopen;
-#  10. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
+#  11. documentation (`scripts/check_docs.sh`: rustdoc with -D warnings
 #      plus markdown link check, and grep gates pinning DESIGN.md §14,
-#      §15, §16 + the README's group-commit, sharding, and server
-#      coverage).
+#      §15, §16, §18 + the README's group-commit, sharding, server,
+#      and chaos coverage).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -129,6 +135,33 @@ server_pid=""
 ./target/release/ldbpp_tool check "$server_dir/db"
 # One sanitizer-instrumented pass of the 8-client e2e harness.
 cargo test -q --features check --test server_e2e
+
+echo "== chaos smoke: faulted wire traffic against a real ldbpp_server process =="
+# Same recipe as the server smoke, but the traffic goes through the
+# chaos proxy (frame drops + delays at a fixed seed) and retrying
+# idempotent clients; the experiment read-back-verifies every acked
+# write, then the database must check clean.
+chaos_seed=42
+./target/release/ldbpp_server "$server_dir/chaosdb" \
+    --listen 127.0.0.1:0 --shards 2 --index UserID=lazy \
+    > "$server_dir/chaos_stdout" &
+server_pid=$!
+server_addr=""
+for _ in $(seq 1 100); do
+    server_addr="$(sed -n 's/^listening on //p' "$server_dir/chaos_stdout")"
+    [ -n "$server_addr" ] && break
+    kill -0 "$server_pid" 2>/dev/null || { echo "ldbpp_server died at startup"; cat "$server_dir/chaos_stdout"; exit 1; }
+    sleep 0.1
+done
+[ -n "$server_addr" ] || { echo "ldbpp_server never announced its port"; exit 1; }
+cargo run --release --quiet -p ldbpp-bench --bin repro -- \
+    --smoke --seed "$chaos_seed" --out "$server_dir/results" \
+    --server "$server_addr" chaos \
+    || { echo "chaos smoke failed (seed $chaos_seed)"; exit 1; }
+./target/release/ldbpp_server --shutdown "$server_addr"
+wait "$server_pid"
+server_pid=""
+./target/release/ldbpp_tool check "$server_dir/chaosdb"
 
 echo "== repair smoke: corrupt -> repair -> check -> reopen =="
 ./scripts/repair_smoke.sh

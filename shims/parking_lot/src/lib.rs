@@ -278,12 +278,32 @@ impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
     }
 }
 
+/// Why a [`Condvar::wait_timeout`] returned: timeout or notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True if the wait ended because the timeout elapsed (spurious
+    /// wakeups and notifications report false).
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// A condition variable usable with [`Mutex`]/[`MutexGuard`].
 #[derive(Default)]
 pub struct Condvar {
     #[cfg(feature = "check")]
     id: lockcheck::LockId,
     inner: std::sync::Condvar,
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
 }
 
 impl Condvar {
@@ -338,6 +358,54 @@ impl Condvar {
         let _ = guard.lock; // keep the field used even if wait is never called elsewhere
     }
 
+    /// Atomically release the guarded mutex and block until notified or
+    /// `timeout` elapses; re-acquires the mutex before returning.
+    ///
+    /// Under an active model run the wait is modelled as an immediate
+    /// timeout with a scheduling point in the middle (release, yield so
+    /// a notifier can run, re-acquire) — logical time does not advance
+    /// in the model, and "the timeout raced the notify" is an outcome a
+    /// timed wait always permits. Predicate loops around this call
+    /// thereby become schedulable polls instead of untracked sleeps.
+    #[track_caller]
+    pub fn wait_timeout<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        #[cfg(feature = "check")]
+        if sched::active() {
+            let _ = timeout;
+            let grant = guard.grant.take().unwrap_or_else(|| {
+                panic!(
+                    "sched: condvar wait_timeout on a mutex that was acquired \
+                     outside the model run (unsupported pattern)"
+                )
+            });
+            let std_guard = guard.inner.take().expect("guard already taken");
+            drop(std_guard);
+            guard.token.suspend();
+            let regrant = sched::condvar_wait_timeout(grant);
+            guard.inner = Some(guard.lock.lock().unwrap_or_else(|e| e.into_inner()));
+            guard.token.resume();
+            guard.grant = Some(regrant);
+            return WaitTimeoutResult { timed_out: true };
+        }
+        let std_guard = guard.inner.take().expect("guard already taken");
+        #[cfg(feature = "check")]
+        guard.token.suspend();
+        let (std_guard, res) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        #[cfg(feature = "check")]
+        guard.token.resume();
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
     /// Wake one waiting thread. Returns whether a thread was woken
     /// (std cannot report this, so this conservatively returns false).
     pub fn notify_one(&self) -> bool {
@@ -376,6 +444,37 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wait_timeout_times_out_and_reacquires() {
+        let pair = (Mutex::new(0u32), Condvar::new());
+        let mut g = pair.0.lock();
+        let res = pair
+            .1
+            .wait_timeout(&mut g, std::time::Duration::from_millis(5));
+        assert!(res.timed_out());
+        *g += 1; // the guard is usable again: the mutex was re-acquired
+        assert_eq!(*g, 1);
+    }
+
+    #[test]
+    fn wait_timeout_sees_notification() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, c) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                let _ = c.wait_timeout(&mut done, std::time::Duration::from_secs(5));
+            }
+        });
+        {
+            let (m, c) = &*pair;
+            *m.lock() = true;
+            c.notify_all();
+        }
+        h.join().unwrap();
     }
 
     #[test]

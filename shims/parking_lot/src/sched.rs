@@ -561,6 +561,48 @@ pub(crate) fn condvar_wait(cv: &LockId, grant: Grant) -> Grant {
     }
 }
 
+/// Timed condvar wait under the scheduler. The model has no clock, so
+/// the wait is modelled as the always-legal "timeout raced the notify"
+/// outcome: release the mutex, yield (a scheduling point at which any
+/// notifier can run), re-acquire, and report that the timeout fired.
+/// The thread never joins the cv queue — a notify during the window is
+/// a permitted no-op. Predicate loops around `wait_timeout` thereby
+/// degenerate to a schedulable poll, which the coordinator can
+/// interleave like any other op sequence.
+pub(crate) fn condvar_wait_timeout(grant: Grant) -> Grant {
+    let ctx = current().expect("condvar_wait_timeout called off a model thread");
+    let mutex_obj = grant.disarm();
+    ctx.sched.lock().mutexes.insert(mutex_obj, None);
+    // The release above is observed at this yield (yield_for notifies
+    // the coordinator), so a parked notifier or lock waiter can run
+    // before we ask for the mutex back.
+    yield_for(
+        &ctx,
+        PendingOp {
+            kind: OpKind::Yield,
+            obj: 0,
+            gated: false,
+        },
+        None,
+    );
+    yield_for(
+        &ctx,
+        PendingOp {
+            kind: OpKind::CondReacquire,
+            obj: mutex_obj,
+            gated: false,
+        },
+        None,
+    );
+    Grant {
+        sched: ctx.sched,
+        obj: mutex_obj,
+        kind: GrantKind::Mutex,
+        me: ctx.me,
+        armed: true,
+    }
+}
+
 /// Condvar notify under the scheduler: a scheduling point, then moves
 /// up to one (or all) waiters from the cv queue to a pending
 /// mutex-reacquire. Returns false when not under a model run.

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ldbpp_server <db-dir> [--listen ADDR] [--shards N] [--index ATTR=KIND]...
-//!              [--max-conns N] [--no-wal-sync]
+//!              [--max-conns N] [--max-inflight N] [--no-wal-sync]
 //! ldbpp_server --shutdown ADDR
 //! ```
 //!
@@ -31,7 +31,7 @@ use ldbpp_proto::{Client, Server, ServerConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ldbpp_server <db-dir> [--listen ADDR] [--shards N] [--index ATTR=KIND]...\n\
-         \x20                [--max-conns N] [--no-wal-sync]\n\
+         \x20                [--max-conns N] [--max-inflight N] [--no-wal-sync]\n\
          \x20      ldbpp_server --shutdown ADDR\n\
          KIND: none | embedded | eager | lazy | composite"
     );
@@ -117,6 +117,13 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 cfg.max_conns = n.max(1);
+                i += 2;
+            }
+            "--max-inflight" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                cfg.max_inflight = n;
                 i += 2;
             }
             "--no-wal-sync" => {

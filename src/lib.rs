@@ -29,8 +29,8 @@
 
 pub use ldbpp_common::{json::Value, Error, Result};
 pub use ldbpp_core::{
-    advisor, cost, shard_layout, CheckCode, Document, HealReport, IndexKind, IntegrityReport,
-    LookupHit, SecondaryDb, SecondaryDbOptions, Violation,
+    advisor, cost, shard_layout, CheckCode, DegradedStats, Document, HealReport, IndexKind,
+    IntegrityReport, LookupHit, Partial, ReadMode, SecondaryDb, SecondaryDbOptions, Violation,
 };
 pub use ldbpp_lsm::db::{Db, DbOptions, SharedSequence};
 pub use ldbpp_lsm::env::{

@@ -1,0 +1,229 @@
+//! The chaos harness (DESIGN.md §18): a YCSB-ish read/write mix driven
+//! through a [`ChaosProxy`] under randomized fault schedules, checked
+//! against a serial in-process oracle.
+//!
+//! Each schedule derives every fault decision from one seed: the proxy
+//! drops, delays, garbles, truncates, splits, and severs frames in both
+//! directions while a [`RetryClient`] (reconnect + backoff + idempotent
+//! session) pushes the workload through. The invariants, asserted per
+//! schedule with the seed in every message:
+//!
+//! * **Zero lost acked writes** — every key whose PUT/DEL was acked
+//!   reads back with the acked value (or stays absent) over a clean
+//!   connection afterwards.
+//! * **Zero duplicate applies** — every acked write allocated exactly
+//!   one sequence number: the shards share one sequence clock, `HELLO`
+//!   and reads allocate nothing, so the max `last_sequence` across
+//!   shards must equal the count of acked writes. A retried write that
+//!   was deduplicated re-acks the original sequence and allocates
+//!   nothing new; a double-apply would push the clock past the count.
+//! * **Clean `check_integrity`** after the dust settles.
+//!
+//! 100 randomized schedules split across four test fns (so `cargo test`
+//! runs them in parallel), plus a clean-plan control.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ldbpp_proto::{
+    ChaosProxy, Client, NetFaultPlan, RetryClient, RetryPolicy, Server, ServerConfig,
+};
+use leveldbpp::{DbOptions, Document, IndexKind, MemEnv, SecondaryDb, SecondaryDbOptions, Value};
+
+const PUTS: usize = 16;
+const DELS: usize = 2;
+
+fn open_db() -> Arc<SecondaryDb> {
+    Arc::new(
+        SecondaryDb::open(
+            MemEnv::new(),
+            "db",
+            SecondaryDbOptions {
+                base: DbOptions::small(),
+                shards: 2,
+                ..Default::default()
+            },
+            &[("UserID", IndexKind::LazyStandalone)],
+        )
+        .expect("open in-memory db"),
+    )
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        // Tight poll so drains and Busy retry-after hints stay fast.
+        read_poll: Duration::from_millis(10),
+        ..ServerConfig::default()
+    }
+}
+
+fn retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        // Generous budget, short backoffs: the schedules are tuned so a
+        // persistent client always gets through, and the harness wants
+        // wall-clock speed, not production pacing.
+        max_attempts: 12,
+        base_backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(40),
+        timeout: Duration::from_millis(150),
+    }
+}
+
+fn doc_for(seed: u64, i: usize) -> Vec<u8> {
+    let mut doc = Document::new();
+    doc.set("UserID", Value::str(format!("u{}", i % 3)))
+        .set("V", Value::Int((seed as i64) ^ (i as i64)));
+    doc.to_bytes()
+}
+
+fn key_for(seed: u64, i: usize) -> String {
+    format!("s{seed:x}-k{i:02}")
+}
+
+/// The exactly-once witness: the highest sequence any shard has seen.
+/// The shards share one clock, so this is the total number of sequence
+/// allocations — one per applied write, zero per retry that deduped.
+fn global_seq(db: &SecondaryDb) -> u64 {
+    (0..db.shard_count())
+        .filter_map(|i| db.shard_primary(i))
+        .map(|d| d.last_sequence())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Drive one schedule end to end; returns the number of faults the
+/// proxy injected (for the aggregate "the harness actually bites"
+/// assertion).
+fn run_schedule(seed: u64, plan: NetFaultPlan) -> u64 {
+    let db = open_db();
+    let server = Server::start(Arc::clone(&db), "127.0.0.1:0", server_config())
+        .unwrap_or_else(|e| panic!("seed {seed}: start server: {e}"));
+    let mut proxy = ChaosProxy::start(server.local_addr(), plan)
+        .unwrap_or_else(|e| panic!("seed {seed}: start proxy: {e}"));
+    let mut client =
+        RetryClient::with_session(proxy.local_addr().to_string(), retry_policy(), seed | 1);
+
+    // -- workload through the chaos, oracle updated only on ack ------------
+    let mut oracle: HashMap<String, Vec<u8>> = HashMap::new();
+    let mut acked_writes = 0u64;
+    for i in 0..PUTS {
+        let key = key_for(seed, i);
+        let doc = doc_for(seed, i);
+        let seq = client
+            .put(key.as_bytes(), &doc)
+            .unwrap_or_else(|e| panic!("seed {seed}: put {key}: {e}"));
+        assert!(seq > 0, "seed {seed}: put {key} acked seq 0");
+        oracle.insert(key, doc);
+        acked_writes += 1;
+        if i % 5 == 4 {
+            // Interleaved read-your-writes probe, still through the proxy.
+            let probe = key_for(seed, i / 2);
+            let got = client
+                .get(probe.as_bytes())
+                .unwrap_or_else(|e| panic!("seed {seed}: get {probe}: {e}"));
+            assert_eq!(
+                got.as_deref(),
+                oracle.get(&probe).map(|v| v.as_slice()),
+                "seed {seed}: mid-chaos read of {probe} disagrees with oracle"
+            );
+        }
+    }
+    for i in 0..DELS {
+        let key = key_for(seed, i);
+        client
+            .del(key.as_bytes())
+            .unwrap_or_else(|e| panic!("seed {seed}: del {key}: {e}"));
+        oracle.remove(&key);
+        acked_writes += 1;
+    }
+    let faults = proxy.stats().faults_injected();
+    proxy.stop();
+
+    // -- verification over a clean link ------------------------------------
+    let mut direct = RetryClient::with_session(
+        server.local_addr().to_string(),
+        retry_policy(),
+        seed ^ 0xdead,
+    );
+    for i in 0..PUTS {
+        let key = key_for(seed, i);
+        let got = direct
+            .get(key.as_bytes())
+            .unwrap_or_else(|e| panic!("seed {seed}: verify get {key}: {e}"));
+        assert_eq!(
+            got.as_deref(),
+            oracle.get(&key).map(|v| v.as_slice()),
+            "seed {seed}: acked state of {key} lost or wrong after chaos"
+        );
+    }
+
+    // -- graceful shutdown, then the exactly-once and integrity checks -----
+    let mut ctl = Client::connect_with_timeout(server.local_addr(), Duration::from_secs(30))
+        .unwrap_or_else(|e| panic!("seed {seed}: control connect: {e}"));
+    ctl.shutdown()
+        .unwrap_or_else(|e| panic!("seed {seed}: shutdown: {e}"));
+    server
+        .join()
+        .unwrap_or_else(|e| panic!("seed {seed}: join: {e}"));
+
+    assert_eq!(
+        global_seq(&db),
+        acked_writes,
+        "seed {seed}: sequence clock disagrees with acked writes \
+         (lost ack or duplicate apply)"
+    );
+    db.wait_for_background_idle()
+        .unwrap_or_else(|e| panic!("seed {seed}: quiesce: {e}"));
+    let report = db.check_integrity();
+    assert!(
+        report.is_clean(),
+        "seed {seed}: integrity violations after chaos: {:?}",
+        report.violations
+    );
+    faults
+}
+
+/// Run 25 randomized schedules from a seed base; at least one of them
+/// must actually have injected faults (the rates are random in
+/// `[0, 60]`‰ per direction, so an all-clean batch of 25 means the
+/// injector is broken, not unlucky).
+fn run_batch(base: u64) {
+    let mut total_faults = 0u64;
+    for i in 0..25u64 {
+        let seed = base + i;
+        total_faults += run_schedule(seed, NetFaultPlan::randomized(seed));
+    }
+    assert!(
+        total_faults > 0,
+        "25 randomized schedules from base {base:#x} injected zero faults"
+    );
+}
+
+#[test]
+fn chaos_schedules_batch_a() {
+    run_batch(0xc4a0_0000);
+}
+
+#[test]
+fn chaos_schedules_batch_b() {
+    run_batch(0xc4a1_0000);
+}
+
+#[test]
+fn chaos_schedules_batch_c() {
+    run_batch(0xc4a2_0000);
+}
+
+#[test]
+fn chaos_schedules_batch_d() {
+    run_batch(0xc4a3_0000);
+}
+
+/// Control: the same workload through a transparent proxy must inject
+/// nothing and still pass every invariant.
+#[test]
+fn clean_plan_is_transparent() {
+    let faults = run_schedule(0x000c_1ea4, NetFaultPlan::clean(0x000c_1ea4));
+    assert_eq!(faults, 0, "clean plan must not inject");
+}
